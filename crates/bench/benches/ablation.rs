@@ -1,0 +1,116 @@
+//! Ablations of the design choices called out in DESIGN.md / §5.2:
+//!
+//! * capability-table size (8 → 512 entries): allocation success and area;
+//! * CapChecker pipeline latency (0 → 8 cycles): performance overhead;
+//! * single shared CapChecker vs per-accelerator checkers: with a
+//!   one-beat-per-cycle interconnect, distribution adds area, not speed.
+
+use capchecker::{CapChecker, CheckerConfig};
+use cheri::{Capability, Perms};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::timing::{simulate_accel_system, AccelTask, AccelTimingConfig, BusConfig};
+use hetsim::{ObjectId, TaskId, Trace, TraceOp};
+use ioprotect::IoProtection;
+use std::hint::black_box;
+
+fn mem_trace(ops: u64) -> Trace {
+    (0..ops)
+        .map(|i| TraceOp::Mem {
+            addr: i * 64,
+            bytes: 8,
+            write: false,
+            object: 0,
+        })
+        .collect()
+}
+
+fn table_size_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_table_size");
+    for entries in [8usize, 64, 256, 512] {
+        g.bench_function(format!("install_evict_{entries}"), |b| {
+            b.iter(|| {
+                let mut checker = CapChecker::new(CheckerConfig {
+                    entries,
+                    ..CheckerConfig::fine()
+                });
+                let cap = Capability::root()
+                    .set_bounds(0x1000, 64)
+                    .unwrap()
+                    .and_perms(Perms::RW)
+                    .unwrap();
+                for i in 0..entries {
+                    checker
+                        .grant(TaskId((i / 8) as u32), ObjectId((i % 8) as u16), &cap)
+                        .unwrap();
+                }
+                for t in 0..entries / 8 {
+                    checker.revoke_task(TaskId(t as u32));
+                }
+                black_box(checker.entries_in_use())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn pipeline_latency_ablation(c: &mut Criterion) {
+    let trace = mem_trace(50_000);
+    let mut g = c.benchmark_group("ablation_pipeline_latency");
+    g.sample_size(10);
+    for latency in [0u64, 1, 2, 4, 8] {
+        g.bench_function(format!("latency_{latency}"), |b| {
+            b.iter(|| {
+                let bus = BusConfig::default().with_checker(latency);
+                let task = AccelTask {
+                    trace: &trace,
+                    cfg: AccelTimingConfig::default(),
+                    start: 0,
+                };
+                black_box(simulate_accel_system(&[task], &bus).makespan)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn shared_vs_distributed_checker(c: &mut Criterion) {
+    // With a shared one-beat-per-cycle bus, one pipelined checker already
+    // sustains full bandwidth; N checkers only replicate area. The
+    // performance equivalence shows as identical makespans (the bus
+    // config is the same either way); the area difference comes from the
+    // fpgamodel: N * capchecker_area vs 1 * capchecker_area.
+    let traces: Vec<Trace> = (0..4).map(|_| mem_trace(20_000)).collect();
+    let mut g = c.benchmark_group("ablation_checker_topology");
+    g.sample_size(10);
+    g.bench_function("shared_single_checker", |b| {
+        b.iter(|| {
+            let bus = BusConfig::default().with_checker(2);
+            let tasks: Vec<AccelTask<'_>> = traces
+                .iter()
+                .map(|t| AccelTask {
+                    trace: t,
+                    cfg: AccelTimingConfig::default(),
+                    start: 0,
+                })
+                .collect();
+            black_box(simulate_accel_system(&tasks, &bus).makespan)
+        })
+    });
+    g.bench_function("area_shared_vs_per_accel", |b| {
+        b.iter(|| {
+            let shared = fpgamodel::capchecker_area(256).luts;
+            let distributed = 8 * fpgamodel::capchecker_area(256).luts;
+            assert!(distributed > shared);
+            black_box(distributed - shared)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablation,
+    table_size_ablation,
+    pipeline_latency_ablation,
+    shared_vs_distributed_checker
+);
+criterion_main!(ablation);

@@ -1,0 +1,113 @@
+//! `simulate` — run any benchmark under any system configuration.
+//!
+//! A small operator tool over the same harness the figures use:
+//!
+//! ```text
+//! simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]
+//!          [--tasks N] [--seed S]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release -p capcheri-bench --bin simulate -- gemm_ncubed --tasks 4
+//! cargo run --release -p capcheri-bench --bin simulate -- all --variant ccpu
+//! ```
+
+use capchecker::SystemVariant;
+use capcheri_bench::runner;
+use machsuite::Benchmark;
+use std::process::ExitCode;
+
+struct Options {
+    benches: Vec<Benchmark>,
+    variant: SystemVariant,
+    tasks: usize,
+    seed: u64,
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+    format!(
+        "usage: simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]\n\
+         \x20               [--tasks N] [--seed S]\n\n\
+         benchmarks: {}",
+        names.join(", ")
+    )
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        benches: Vec::new(),
+        variant: SystemVariant::CheriCpuCheriAccel,
+        tasks: 1,
+        seed: 0xC0DE,
+    };
+    let mut it = args.iter();
+    let first = it.next().ok_or_else(usage)?;
+    if first == "all" {
+        opts.benches = Benchmark::ALL.to_vec();
+    } else {
+        opts.benches.push(
+            first
+                .parse::<Benchmark>()
+                .map_err(|e| format!("{e}\n\n{}", usage()))?,
+        );
+    }
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--variant" => {
+                let v = value(&mut it)?;
+                opts.variant = SystemVariant::ALL
+                    .into_iter()
+                    .find(|x| x.label() == v)
+                    .ok_or_else(|| format!("unknown variant {v:?}"))?;
+            }
+            "--tasks" => {
+                opts.tasks = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<14} {:>12} {:>8} {:>12} {:>10} {:>9}",
+        "benchmark", "variant", "tasks", "cycles", "setup", "bus util"
+    );
+    for bench in opts.benches {
+        let r = runner::run_benchmark(bench, opts.variant, opts.tasks, opts.seed);
+        println!(
+            "{:<14} {:>12} {:>8} {:>12} {:>10} {:>8.1}%",
+            bench.name(),
+            r.variant.label(),
+            r.tasks,
+            r.cycles,
+            r.setup_cycles,
+            r.bus_utilization * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}

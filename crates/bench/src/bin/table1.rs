@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 output.
+fn main() {
+    println!("{}", capcheri_bench::table1::report());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 output.
+fn main() {
+    println!("{}", capcheri_bench::table2::report());
+}

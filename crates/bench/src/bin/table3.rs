@@ -1,0 +1,4 @@
+//! Regenerates the paper's table3 output.
+fn main() {
+    println!("{}", capcheri_bench::table3::report());
+}

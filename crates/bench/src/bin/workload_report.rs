@@ -1,0 +1,42 @@
+//! Characterizes every benchmark's operation stream: memory traffic,
+//! compute, arithmetic intensity, and write/copy mix — the quantitative
+//! backing for the Figure 7 calibration (see `machsuite::accel`).
+
+use capcheri_bench::render::table;
+use machsuite::{stats, Benchmark};
+
+fn main() {
+    let rows: Vec<Vec<String>> = Benchmark::ALL
+        .iter()
+        .map(|b| {
+            let s = stats::characterize(*b, 0xC0DE);
+            vec![
+                b.name().to_owned(),
+                s.mem_ops.to_string(),
+                s.mem_bytes.to_string(),
+                s.compute_units.to_string(),
+                format!("{:.2}", s.arithmetic_intensity),
+                format!("{:.0}%", s.write_fraction * 100.0),
+                s.copy_bytes.to_string(),
+            ]
+        })
+        .collect();
+    println!("Workload characterization (one task; kernels verified against references)\n");
+    println!(
+        "{}",
+        table(
+            &[
+                "Benchmark",
+                "Mem ops",
+                "Mem bytes",
+                "Compute",
+                "Units/B",
+                "Writes",
+                "Copy bytes"
+            ],
+            &rows
+        )
+    );
+    println!("Units/B = arithmetic intensity; > ~50 accelerates by thousands (Fig 7),");
+    println!("< ~2 is memory-bound and loses to the cached CPU.");
+}

@@ -1,0 +1,155 @@
+//! Figure 9 — overhead in systems with mixed accelerators.
+//!
+//! Twenty systems, each running eight accelerator tasks whose benchmarks
+//! are drawn at random from the suite, all sharing one interconnect and
+//! one CapChecker. The per-system overheads cluster around the Figure 8
+//! geometric mean.
+
+use crate::render::{pct, table};
+use crate::runner::CHECKER_PIPELINE_LATENCY;
+use capchecker::{HeteroSystem, SystemVariant, TaskRequest};
+use hetsim::timing::{simulate_accel_system, AccelTask, AccelTimingConfig, BusConfig};
+use hetsim::{Cycles, Trace};
+use machsuite::Benchmark;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of mixed systems (the paper evaluates 20).
+pub const SYSTEMS: usize = 20;
+/// Accelerator tasks per system.
+pub const TASKS_PER_SYSTEM: usize = 8;
+
+/// One mixed system's result.
+#[derive(Clone, Debug)]
+pub struct MixedRow {
+    /// Which benchmarks were drawn.
+    pub mix: Vec<Benchmark>,
+    /// Makespan without the CapChecker (`ccpu+accel`).
+    pub base_cycles: Cycles,
+    /// Makespan with it (`ccpu+caccel`).
+    pub checked_cycles: Cycles,
+    /// Relative overhead.
+    pub overhead: f64,
+}
+
+fn run_mix(mix: &[Benchmark], variant: SystemVariant, seed: u64) -> Cycles {
+    let mut sys = HeteroSystem::new(variant.config());
+    for bench in mix {
+        // One FU per drawn task (classes may repeat).
+        sys.add_fus(bench.name(), mix.iter().filter(|b| *b == bench).count());
+    }
+    let mut traces: Vec<Trace> = Vec::new();
+    let mut starts: Vec<Cycles> = Vec::new();
+    for (i, bench) in mix.iter().enumerate() {
+        let req = TaskRequest::accel(format!("{bench}#{i}"), bench.name())
+            .rw_buffers(bench.buffers().iter().map(|b| b.size));
+        let id = sys.allocate_task(&req).expect("mixed system fits");
+        for (obj, image) in bench.init(seed.wrapping_add(i as u64)).iter().enumerate() {
+            sys.write_buffer(id, obj, 0, image).expect("init fits");
+        }
+        let outcome = sys
+            .run_accel_task(id, |eng| bench.kernel(eng))
+            .expect("kernel runs");
+        assert!(outcome.completed(), "benign {bench} denied");
+        starts.push(sys.setup_cycles(id).expect("live task"));
+        traces.push(sys.trace(id).expect("live task").expect("ran").clone());
+    }
+    let bus = if variant == SystemVariant::CheriCpuCheriAccel {
+        BusConfig::default().with_checker(CHECKER_PIPELINE_LATENCY)
+    } else {
+        BusConfig::default()
+    };
+    let tasks: Vec<AccelTask<'_>> = mix
+        .iter()
+        .zip(traces.iter().zip(&starts))
+        .map(|(bench, (trace, start))| {
+            let p = bench.profile();
+            AccelTask {
+                trace,
+                cfg: AccelTimingConfig {
+                    lanes: p.lanes,
+                    compute_per_cycle: p.compute_per_cycle,
+                    outstanding: p.outstanding,
+                },
+                start: *start,
+            }
+        })
+        .collect();
+    simulate_accel_system(&tasks, &bus).makespan
+}
+
+/// Draws and measures one mixed system.
+#[must_use]
+pub fn row(system_index: usize) -> MixedRow {
+    let mut rng = SmallRng::seed_from_u64(0x519 + system_index as u64);
+    let mix: Vec<Benchmark> = (0..TASKS_PER_SYSTEM)
+        .map(|_| Benchmark::ALL[rng.gen_range(0..Benchmark::ALL.len())])
+        .collect();
+    let base_cycles = run_mix(&mix, SystemVariant::CheriCpuAccel, 0xF19);
+    let checked_cycles = run_mix(&mix, SystemVariant::CheriCpuCheriAccel, 0xF19);
+    MixedRow {
+        mix,
+        base_cycles,
+        checked_cycles,
+        overhead: (checked_cycles as f64 - base_cycles as f64) / base_cycles as f64,
+    }
+}
+
+/// All 20 systems.
+#[must_use]
+pub fn rows() -> Vec<MixedRow> {
+    (0..SYSTEMS).map(row).collect()
+}
+
+/// Renders Figure 9.
+#[must_use]
+pub fn report() -> String {
+    let rows = rows();
+    let mean = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let names: Vec<&str> = r.mix.iter().map(|b| b.name()).collect();
+            vec![
+                format!("mix{i:02}"),
+                names.join("+"),
+                r.base_cycles.to_string(),
+                r.checked_cycles.to_string(),
+                pct(r.overhead),
+            ]
+        })
+        .collect();
+    format!(
+        "Figure 9: {SYSTEMS} systems with {TASKS_PER_SYSTEM} randomly mixed accelerators\n\
+         mean overhead: {}\n\n{}",
+        pct(mean),
+        table(
+            &["System", "Mix", "ccpu+accel", "ccpu+caccel", "Overhead"],
+            &table_rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_mixed_system_has_modest_overhead() {
+        let r = row(0);
+        assert_eq!(r.mix.len(), TASKS_PER_SYSTEM);
+        assert!(r.overhead >= 0.0);
+        assert!(
+            r.overhead < 0.15,
+            "mixed overhead {} too large",
+            pct(r.overhead)
+        );
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_index() {
+        assert_eq!(row(3).mix, row(3).mix);
+        assert_ne!(row(0).mix, row(1).mix);
+    }
+}

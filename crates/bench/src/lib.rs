@@ -1,0 +1,64 @@
+//! # capcheri-bench — the paper's evaluation, regenerated
+//!
+//! One module per table/figure of the evaluation section, each exposing a
+//! typed `rows()`/data function and a `report()` string that prints the
+//! same rows/series the paper shows. The matching binaries
+//! (`cargo run -p capcheri-bench --release --bin <name>`) are thin wrappers:
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — qualitative mechanism comparison |
+//! | `table2` | Table 2 — benchmark buffer counts and sizes |
+//! | `table3` | Table 3 — CWE weakness matrix (runs the attacks) |
+//! | `fig7_speedup` | Figure 7 — accelerator speedup per benchmark |
+//! | `fig8_overhead` | Figure 8 — CapChecker performance/area/power overhead |
+//! | `fig9_mixed` | Figure 9 — 20 mixed-accelerator systems |
+//! | `fig10_breakdown` | Figure 10 — five system configurations per benchmark |
+//! | `fig11_parallelism` | Figure 11 — gemm_ncubed parallelism sweep |
+//! | `fig12_entries` | Figure 12 — IOMMU vs CapChecker entry counts |
+//! | `all_experiments` | everything above, in order |
+//!
+//! Simulations are deterministic: the same seeds produce the same rows.
+
+#![warn(missing_docs)]
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod render;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Geometric mean of strictly positive samples.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_equal_values_is_the_value() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean_is_between_min_and_max() {
+        let g = geomean(&[1.0, 100.0]);
+        assert!(g > 1.0 && g < 100.0);
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! Runs one benchmark under one of the five §6.3 system configurations
+//! and costs it with the timing models.
+
+use capchecker::{HeteroSystem, SystemVariant, TaskRequest};
+use hetsim::timing::{
+    simulate_accel_system, simulate_cpu, AccelTask, AccelTimingConfig, BusConfig, CpuTiming,
+};
+use hetsim::{Cycles, Trace};
+use machsuite::Benchmark;
+
+/// Pipeline depth the CapChecker adds to each request in the prototype.
+pub const CHECKER_PIPELINE_LATENCY: Cycles = 1;
+
+/// The outcome of one measured run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Which benchmark ran.
+    pub bench: Benchmark,
+    /// Under which system configuration.
+    pub variant: SystemVariant,
+    /// Concurrent accelerator tasks (1 for CPU configurations).
+    pub tasks: usize,
+    /// Wall-clock cycles (makespan over all tasks).
+    pub cycles: Cycles,
+    /// Driver setup cycles of the first task (capability installs show up
+    /// here on `ccpu+caccel`).
+    pub setup_cycles: Cycles,
+    /// Interconnect busy fraction (accelerator runs only).
+    pub bus_utilization: f64,
+}
+
+/// Builds the system, executes the kernel(s) functionally through the
+/// protected path, and costs the recorded trace(s) under the variant's
+/// timing model.
+///
+/// # Panics
+///
+/// Panics if the benign benchmark is denied by its own system — that
+/// would be a protection-model bug, and the tests treat it as one.
+#[must_use]
+pub fn run_benchmark(
+    bench: Benchmark,
+    variant: SystemVariant,
+    tasks: usize,
+    seed: u64,
+) -> RunResult {
+    let tasks = if variant.uses_accelerator() {
+        tasks.max(1)
+    } else {
+        1
+    };
+    let mut sys = HeteroSystem::new(variant.config());
+    sys.add_fus(bench.name(), tasks);
+
+    let mut traces: Vec<Trace> = Vec::with_capacity(tasks);
+    let mut setups: Vec<Cycles> = Vec::with_capacity(tasks);
+    for t in 0..tasks {
+        let req = if variant.uses_accelerator() {
+            TaskRequest::accel(format!("{bench}#{t}"), bench.name())
+        } else {
+            TaskRequest::cpu(format!("{bench}#{t}"))
+        }
+        .rw_buffers(bench.buffers().iter().map(|b| b.size));
+        let id = sys
+            .allocate_task(&req)
+            .expect("workload fits the prototype system");
+        for (obj, image) in bench.init(seed.wrapping_add(t as u64)).iter().enumerate() {
+            sys.write_buffer(id, obj, 0, image)
+                .expect("init data fits its buffer");
+        }
+        let outcome = if variant.uses_accelerator() {
+            sys.run_accel_task(id, |eng| bench.kernel(eng))
+        } else {
+            sys.run_cpu_task(id, |eng| bench.kernel(eng))
+        }
+        .expect("kernel executes");
+        assert!(
+            outcome.completed(),
+            "benign {bench} denied under {variant}: {:?}",
+            outcome.denial
+        );
+        setups.push(sys.setup_cycles(id).expect("task is live"));
+        traces.push(
+            sys.trace(id)
+                .expect("task is live")
+                .expect("kernel ran")
+                .clone(),
+        );
+    }
+
+    let profile = bench.profile();
+    if variant.uses_accelerator() {
+        let bus = if variant == SystemVariant::CheriCpuCheriAccel {
+            BusConfig::default().with_checker(CHECKER_PIPELINE_LATENCY)
+        } else {
+            BusConfig::default()
+        };
+        let accel_tasks: Vec<AccelTask<'_>> = traces
+            .iter()
+            .zip(&setups)
+            .map(|(trace, start)| AccelTask {
+                trace,
+                cfg: AccelTimingConfig {
+                    lanes: profile.lanes,
+                    compute_per_cycle: profile.compute_per_cycle,
+                    outstanding: profile.outstanding,
+                },
+                start: *start,
+            })
+            .collect();
+        let report = simulate_accel_system(&accel_tasks, &bus);
+        RunResult {
+            bench,
+            variant,
+            tasks,
+            cycles: report.makespan,
+            setup_cycles: setups[0],
+            bus_utilization: report.bus_utilization,
+        }
+    } else {
+        let timing = CpuTiming {
+            cycles_per_unit: profile.cpu_cycles_per_unit,
+            ..CpuTiming::default()
+        };
+        let timing = if variant.cheri_cpu() {
+            timing.with_cheri()
+        } else {
+            timing
+        };
+        let report = simulate_cpu(&traces[0], &timing);
+        RunResult {
+            bench,
+            variant,
+            tasks: 1,
+            cycles: report.cycles,
+            setup_cycles: setups[0],
+            bus_utilization: 0.0,
+        }
+    }
+}
+
+/// Convenience: cycles for `bench` under `variant` with one task.
+#[must_use]
+pub fn cycles(bench: Benchmark, variant: SystemVariant) -> Cycles {
+    run_benchmark(bench, variant, 1, 0xC0DE).cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_run_aes() {
+        for v in SystemVariant::ALL {
+            let r = run_benchmark(Benchmark::Aes, v, 1, 1);
+            assert!(r.cycles > 0, "{v}");
+        }
+    }
+
+    #[test]
+    fn checker_setup_cost_appears_only_on_caccel() {
+        let plain = run_benchmark(Benchmark::MdKnn, SystemVariant::CheriCpuAccel, 1, 1);
+        let checked = run_benchmark(Benchmark::MdKnn, SystemVariant::CheriCpuCheriAccel, 1, 1);
+        assert!(checked.setup_cycles > plain.setup_cycles);
+        assert!(checked.cycles > plain.cycles);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_benchmark(
+            Benchmark::SortRadix,
+            SystemVariant::CheriCpuCheriAccel,
+            2,
+            7,
+        );
+        let b = run_benchmark(
+            Benchmark::SortRadix,
+            SystemVariant::CheriCpuCheriAccel,
+            2,
+            7,
+        );
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

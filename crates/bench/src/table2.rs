@@ -1,0 +1,44 @@
+//! Table 2 — data buffer sizes of the benchmarks in the CapChecker.
+
+use crate::render;
+use machsuite::{Benchmark, Table2Row, INSTANCES};
+
+/// All rows, in the paper's order.
+#[must_use]
+pub fn rows() -> Vec<Table2Row> {
+    Benchmark::ALL.iter().map(|b| b.table2_row()).collect()
+}
+
+/// Renders Table 2.
+#[must_use]
+pub fn report() -> String {
+    let table_rows: Vec<Vec<String>> = rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.benchmark.name().to_owned(),
+                r.buffer_count.to_string(),
+                r.min_bytes.to_string(),
+                r.max_bytes.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 2: buffer counts and sizes ({INSTANCES} instances per benchmark, 256-entry CapChecker)\n\n{}",
+        render::table(&["Benchmark", "Buffers", "Min (B)", "Max (B)"], &table_rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_19_benchmarks() {
+        assert_eq!(rows().len(), 19);
+        let r = report();
+        for b in Benchmark::ALL {
+            assert!(r.contains(b.name()), "{b} missing from the report");
+        }
+    }
+}

@@ -1,0 +1,539 @@
+//! The architectural (uncompressed) capability and its monotonic operations.
+
+use crate::compressed::{self, CompressedCapability};
+use crate::error::CapFault;
+use crate::otype::OType;
+use crate::perms::Perms;
+use std::fmt;
+
+/// Top of the 64-bit address space (one past the last byte), as a `u128`.
+pub const ADDRESS_SPACE_TOP: u128 = 1 << 64;
+
+/// A CHERI capability: a pointer with hardware-enforced bounds, permissions,
+/// sealing state, and a validity tag.
+///
+/// This is the *architectural* view — exact bounds held as full integers —
+/// which is what a CPU register file or the CapChecker's decoded table entry
+/// holds. The in-memory 128-bit form is [`CompressedCapability`].
+///
+/// All mutating operations are **monotonic**: they can only maintain or
+/// reduce rights, never increase them, mirroring the CHERI ISA. Operations
+/// that would increase rights return [`CapFault`].
+///
+/// # Examples
+///
+/// ```
+/// use cheri::{Capability, Perms};
+///
+/// # fn main() -> Result<(), cheri::CapFault> {
+/// let root = Capability::root();
+/// let buf = root.set_bounds(0x1000, 256)?.and_perms(Perms::RW)?;
+/// assert!(buf.check_access(0x1000, 16, Perms::LOAD).is_ok());
+/// assert!(buf.check_access(0x1100, 1, Perms::LOAD).is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Capability {
+    tag: bool,
+    address: u64,
+    base: u64,
+    top: u128,
+    perms: Perms,
+    otype: OType,
+}
+
+impl Capability {
+    /// The root capability: the entire address space with every permission.
+    ///
+    /// Created once at system boot and tightly controlled by the OS; every
+    /// other capability in the system derives from it (Figure 4 of the
+    /// paper).
+    #[must_use]
+    pub fn root() -> Capability {
+        Capability {
+            tag: true,
+            address: 0,
+            base: 0,
+            top: ADDRESS_SPACE_TOP,
+            perms: Perms::ALL,
+            otype: OType::Unsealed,
+        }
+    }
+
+    /// The null capability: untagged, zero everywhere.
+    #[must_use]
+    pub fn null() -> Capability {
+        Capability {
+            tag: false,
+            address: 0,
+            base: 0,
+            top: 0,
+            perms: Perms::NONE,
+            otype: OType::Unsealed,
+        }
+    }
+
+    /// Assembles a capability from raw fields without any validity checks.
+    ///
+    /// This exists so that tests and the threat-model harness can build
+    /// *forged* capabilities that the rest of the model must reject. It is
+    /// not part of the architectural interface: hardware provides no such
+    /// operation.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn from_raw_parts(
+        tag: bool,
+        address: u64,
+        base: u64,
+        top: u128,
+        perms: Perms,
+        otype: OType,
+    ) -> Capability {
+        Capability {
+            tag,
+            address,
+            base,
+            top,
+            perms,
+            otype,
+        }
+    }
+
+    /// Whether the tag is set (the capability is valid and dereferenceable).
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.tag
+    }
+
+    /// The current pointer address.
+    #[must_use]
+    pub fn address(&self) -> u64 {
+        self.address
+    }
+
+    /// Inclusive lower bound of the authorized region.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Exclusive upper bound of the authorized region (may be `2^64`).
+    #[must_use]
+    pub fn top(&self) -> u128 {
+        self.top
+    }
+
+    /// Length of the authorized region in bytes.
+    #[must_use]
+    pub fn length(&self) -> u128 {
+        self.top - self.base as u128
+    }
+
+    /// The permission mask.
+    #[must_use]
+    pub fn perms(&self) -> Perms {
+        self.perms
+    }
+
+    /// The sealing state.
+    #[must_use]
+    pub fn otype(&self) -> OType {
+        self.otype
+    }
+
+    /// Whether the capability is sealed (non-dereferenceable token).
+    #[must_use]
+    pub fn is_sealed(&self) -> bool {
+        self.otype.is_sealed()
+    }
+
+    /// Whether `[addr, addr + len)` lies entirely within the bounds.
+    #[must_use]
+    pub fn bounds_contain(&self, addr: u64, len: u64) -> bool {
+        let end = addr as u128 + len as u128;
+        addr >= self.base && end <= self.top
+    }
+
+    /// Full dereference check: tag, seal, permissions, then bounds —
+    /// the same sequence the CapChecker pipeline applies per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing check as a [`CapFault`].
+    pub fn check_access(&self, addr: u64, len: u64, needed: Perms) -> Result<(), CapFault> {
+        if !self.tag {
+            return Err(CapFault::TagViolation);
+        }
+        if self.is_sealed() {
+            return Err(CapFault::SealViolation);
+        }
+        if !self.perms.contains(needed) {
+            return Err(CapFault::PermissionViolation {
+                missing: needed.intersect(!self.perms),
+            });
+        }
+        if !self.bounds_contain(addr, len) {
+            return Err(CapFault::BoundsViolation { addr, len });
+        }
+        Ok(())
+    }
+
+    /// Narrows the bounds to `[new_base, new_base + len)`, rounding outward
+    /// as required by the compressed encoding, and moves the address to
+    /// `new_base` (the `CSetBounds` idiom).
+    ///
+    /// # Errors
+    ///
+    /// * [`CapFault::TagViolation`] / [`CapFault::SealViolation`] on an
+    ///   invalid or sealed source.
+    /// * [`CapFault::MonotonicityViolation`] if the requested — or rounded —
+    ///   region is not contained in the current bounds.
+    pub fn set_bounds(&self, new_base: u64, len: u64) -> Result<Capability, CapFault> {
+        self.derivable()?;
+        let req_top = new_base as u128 + len as u128;
+        if !(new_base >= self.base && req_top <= self.top) {
+            return Err(CapFault::MonotonicityViolation);
+        }
+        let (rounded_base, rounded_top) = compressed::round_bounds(new_base, req_top);
+        if !((rounded_base as u128) >= self.base as u128 && rounded_top <= self.top) {
+            // The representable region grew past the parent: refusing keeps
+            // the model strictly monotonic.
+            return Err(CapFault::MonotonicityViolation);
+        }
+        Ok(Capability {
+            address: new_base,
+            base: rounded_base,
+            top: rounded_top,
+            ..*self
+        })
+    }
+
+    /// Like [`Capability::set_bounds`] but fails instead of rounding.
+    ///
+    /// # Errors
+    ///
+    /// [`CapFault::UnrepresentableBounds`] if the encoding would have to
+    /// round, plus everything [`Capability::set_bounds`] returns.
+    pub fn set_bounds_exact(&self, new_base: u64, len: u64) -> Result<Capability, CapFault> {
+        let req_top = new_base as u128 + len as u128;
+        let (rounded_base, rounded_top) = compressed::round_bounds(new_base, req_top);
+        if rounded_base != new_base || rounded_top != req_top {
+            return Err(CapFault::UnrepresentableBounds);
+        }
+        self.set_bounds(new_base, len)
+    }
+
+    /// Moves the pointer to `new_address`, keeping bounds and permissions.
+    ///
+    /// The address may point outside the bounds (a C one-past-the-end or
+    /// scan pointer); dereference is what bounds-checks, not pointer
+    /// arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// * [`CapFault::SealViolation`] on a sealed, valid capability.
+    /// * [`CapFault::UnrepresentableAddress`] if the new address leaves the
+    ///   compressed encoding's representable region (hardware would clear
+    ///   the tag here; this model surfaces the fault instead).
+    pub fn set_address(&self, new_address: u64) -> Result<Capability, CapFault> {
+        if self.tag {
+            if self.is_sealed() {
+                return Err(CapFault::SealViolation);
+            }
+            if !compressed::address_is_representable(self.base, self.top, new_address) {
+                return Err(CapFault::UnrepresentableAddress);
+            }
+        }
+        Ok(Capability {
+            address: new_address,
+            ..*self
+        })
+    }
+
+    /// Offsets the pointer by `delta` bytes (pointer arithmetic).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Capability::set_address`].
+    pub fn offset_address(&self, delta: i64) -> Result<Capability, CapFault> {
+        self.set_address(self.address.wrapping_add(delta as u64))
+    }
+
+    /// Intersects the permission mask with `mask` (the `CAndPerm` idiom).
+    ///
+    /// # Errors
+    ///
+    /// [`CapFault::TagViolation`] / [`CapFault::SealViolation`] on an
+    /// invalid or sealed source.
+    pub fn and_perms(&self, mask: Perms) -> Result<Capability, CapFault> {
+        self.derivable()?;
+        Ok(Capability {
+            perms: self.perms.intersect(mask),
+            ..*self
+        })
+    }
+
+    /// Seals the capability with a software object type.
+    ///
+    /// # Errors
+    ///
+    /// [`CapFault::InvalidObjectType`] for reserved/out-of-range otypes,
+    /// plus the usual tag/seal checks.
+    pub fn seal(&self, otype: u32) -> Result<Capability, CapFault> {
+        self.derivable()?;
+        Ok(Capability {
+            otype: OType::sealed(otype)?,
+            ..*self
+        })
+    }
+
+    /// Seals the capability as a sealed-entry (sentry) capability.
+    ///
+    /// # Errors
+    ///
+    /// The usual tag/seal checks.
+    pub fn seal_entry(&self) -> Result<Capability, CapFault> {
+        self.derivable()?;
+        Ok(Capability {
+            otype: OType::Sentry,
+            ..*self
+        })
+    }
+
+    /// Unseals a sealed capability (authority checks are the caller's
+    /// responsibility in this model — the trusted driver is the only
+    /// unsealer).
+    ///
+    /// # Errors
+    ///
+    /// [`CapFault::TagViolation`] on an untagged source,
+    /// [`CapFault::SealViolation`] if it was not sealed.
+    pub fn unseal(&self) -> Result<Capability, CapFault> {
+        if !self.tag {
+            return Err(CapFault::TagViolation);
+        }
+        if !self.is_sealed() {
+            return Err(CapFault::SealViolation);
+        }
+        Ok(Capability {
+            otype: OType::Unsealed,
+            ..*self
+        })
+    }
+
+    /// Returns a copy with the tag cleared — what happens to any capability
+    /// bit-pattern overwritten by a capability-unaware (DMA) write.
+    #[must_use]
+    pub fn clear_tag(&self) -> Capability {
+        Capability {
+            tag: false,
+            ..*self
+        }
+    }
+
+    /// Whether `other`'s rights are a subset of this capability's rights
+    /// (bounds and permissions) — the invariant every edge of the
+    /// capability tree maintains.
+    #[must_use]
+    pub fn dominates(&self, other: &Capability) -> bool {
+        other.base >= self.base && other.top <= self.top && other.perms.is_subset_of(self.perms)
+    }
+
+    /// Compresses to the 128-bit in-memory format (tag travels out of band).
+    #[must_use]
+    pub fn compress(&self) -> CompressedCapability {
+        CompressedCapability::from_capability(self)
+    }
+
+    fn derivable(&self) -> Result<(), CapFault> {
+        if !self.tag {
+            return Err(CapFault::TagViolation);
+        }
+        if self.is_sealed() {
+            return Err(CapFault::SealViolation);
+        }
+        Ok(())
+    }
+}
+
+impl Default for Capability {
+    fn default() -> Capability {
+        Capability::null()
+    }
+}
+
+impl fmt::Debug for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Capability")
+            .field("tag", &self.tag)
+            .field("address", &format_args!("{:#x}", self.address))
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("top", &format_args!("{:#x}", self.top))
+            .field("perms", &self.perms)
+            .field("otype", &self.otype)
+            .finish()
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}cap {:#x} [{:#x}, {:#x}) {} {}",
+            if self.tag { "" } else { "!" },
+            self.address,
+            self.base,
+            self.top,
+            self.perms,
+            self.otype
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_covers_everything() {
+        let root = Capability::root();
+        assert!(root.is_valid());
+        assert_eq!(root.base(), 0);
+        assert_eq!(root.top(), ADDRESS_SPACE_TOP);
+        assert!(root.check_access(0, 1, Perms::LOAD).is_ok());
+        assert!(root.check_access(u64::MAX, 1, Perms::RW).is_ok());
+    }
+
+    #[test]
+    fn null_is_invalid() {
+        let null = Capability::null();
+        assert!(!null.is_valid());
+        assert_eq!(
+            null.check_access(0, 0, Perms::NONE),
+            Err(CapFault::TagViolation)
+        );
+    }
+
+    #[test]
+    fn set_bounds_narrows() {
+        let c = Capability::root().set_bounds(0x1000, 0x100).unwrap();
+        assert_eq!(c.base(), 0x1000);
+        assert_eq!(c.top(), 0x1100);
+        assert_eq!(c.address(), 0x1000);
+        assert!(c.check_access(0x10ff, 1, Perms::LOAD).is_ok());
+        assert_eq!(
+            c.check_access(0x1100, 1, Perms::LOAD),
+            Err(CapFault::BoundsViolation {
+                addr: 0x1100,
+                len: 1
+            })
+        );
+    }
+
+    #[test]
+    fn set_bounds_rejects_widening() {
+        let c = Capability::root().set_bounds(0x1000, 0x100).unwrap();
+        assert_eq!(
+            c.set_bounds(0x0800, 0x100),
+            Err(CapFault::MonotonicityViolation)
+        );
+        assert_eq!(
+            c.set_bounds(0x1000, 0x200),
+            Err(CapFault::MonotonicityViolation)
+        );
+    }
+
+    #[test]
+    fn perms_only_shrink() {
+        let c = Capability::root().and_perms(Perms::RW).unwrap();
+        assert_eq!(c.perms(), Perms::RW);
+        let r = c.and_perms(Perms::LOAD | Perms::EXECUTE).unwrap();
+        assert_eq!(r.perms(), Perms::LOAD);
+        assert_eq!(
+            r.check_access(0, 1, Perms::STORE),
+            Err(CapFault::PermissionViolation {
+                missing: Perms::STORE
+            })
+        );
+    }
+
+    #[test]
+    fn sealed_capability_is_inert() {
+        let c = Capability::root()
+            .set_bounds(0, 0x1000)
+            .unwrap()
+            .seal(42)
+            .unwrap();
+        assert!(c.is_sealed());
+        assert_eq!(
+            c.check_access(0, 1, Perms::LOAD),
+            Err(CapFault::SealViolation)
+        );
+        assert_eq!(c.set_bounds(0, 16), Err(CapFault::SealViolation));
+        assert_eq!(c.and_perms(Perms::LOAD), Err(CapFault::SealViolation));
+        let u = c.unseal().unwrap();
+        assert!(!u.is_sealed());
+        assert!(u.check_access(0, 1, Perms::LOAD).is_ok());
+    }
+
+    #[test]
+    fn unseal_requires_sealed() {
+        assert_eq!(Capability::root().unseal(), Err(CapFault::SealViolation));
+    }
+
+    #[test]
+    fn cleared_tag_cannot_derive() {
+        let c = Capability::root().clear_tag();
+        assert_eq!(c.set_bounds(0, 16), Err(CapFault::TagViolation));
+        assert_eq!(c.and_perms(Perms::LOAD), Err(CapFault::TagViolation));
+        assert_eq!(c.seal(42), Err(CapFault::TagViolation));
+    }
+
+    #[test]
+    fn untagged_address_arithmetic_is_free() {
+        let c = Capability::root().clear_tag();
+        let moved = c.set_address(0xdead_beef).unwrap();
+        assert_eq!(moved.address(), 0xdead_beef);
+        assert!(!moved.is_valid());
+    }
+
+    #[test]
+    fn address_can_point_one_past_end() {
+        let c = Capability::root().set_bounds(0x1000, 0x100).unwrap();
+        let end = c.set_address(0x1100).unwrap();
+        assert_eq!(end.address(), 0x1100);
+        assert!(end.is_valid());
+    }
+
+    #[test]
+    fn offset_address_moves_pointer() {
+        let c = Capability::root().set_bounds(0x1000, 0x100).unwrap();
+        let p = c.offset_address(0x40).unwrap();
+        assert_eq!(p.address(), 0x1040);
+        let back = p.offset_address(-0x20).unwrap();
+        assert_eq!(back.address(), 0x1020);
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_antitone() {
+        let parent = Capability::root().set_bounds(0x1000, 0x1000).unwrap();
+        let child = parent
+            .set_bounds(0x1200, 0x100)
+            .unwrap()
+            .and_perms(Perms::LOAD)
+            .unwrap();
+        assert!(parent.dominates(&parent));
+        assert!(parent.dominates(&child));
+        assert!(!child.dominates(&parent));
+    }
+
+    #[test]
+    fn exact_bounds_reject_rounding() {
+        // A huge, misaligned region cannot be exact under a 14-bit mantissa.
+        let r = Capability::root().set_bounds_exact(1, (1 << 40) + 3);
+        assert_eq!(r, Err(CapFault::UnrepresentableBounds));
+        // Small regions are always exact.
+        assert!(Capability::root().set_bounds_exact(1, 100).is_ok());
+    }
+}

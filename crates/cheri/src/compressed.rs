@@ -1,0 +1,324 @@
+//! The 128-bit compressed in-memory capability format.
+//!
+//! Real CHERI systems store capabilities in memory as 128 bits plus an
+//! out-of-band tag, compressing the two 64-bit bounds into a floating-point
+//! style exponent/mantissa form relative to the address (CHERI
+//! Concentrate). This module implements a Concentrate-style scheme with the
+//! same behavioural properties — bounds round *outward* to a 14-bit
+//! mantissa at a power-of-two granule, and moving the address too far from
+//! the bounds makes the capability unrepresentable — without copying the
+//! draft RISC-V standard bit-for-bit.
+//!
+//! Layout (low 64 bits are metadata, high 64 bits the address):
+//!
+//! ```text
+//! [127:64] address
+//! [ 63:52] permissions (12 bits)
+//! [ 51:34] otype       (18 bits)
+//! [ 33:28] exponent E  (6 bits)
+//! [ 27:14] base mantissa B (14 bits) = bits [E+13:E] of the aligned base
+//! [ 13: 0] length mantissa L (14 bits), length = L << E
+//! ```
+//!
+//! The bits of the base above `E + 14` are reconstructed from the address:
+//! the representable region is `[alignedBase, alignedBase + 2^(E+14))` and
+//! any address inside it decodes the bounds exactly.
+
+use crate::capability::{Capability, ADDRESS_SPACE_TOP};
+use crate::otype::OType;
+use crate::perms::Perms;
+use std::fmt;
+
+/// Width of the bounds mantissas in bits.
+pub const MANTISSA_BITS: u32 = 14;
+/// Largest encodable length mantissa.
+const MANTISSA_MAX: u128 = (1 << MANTISSA_BITS) - 1;
+/// Largest exponent ever produced by [`encode_bounds`] (covers a full
+/// 2^64-byte region: `8192 << 51 = 2^64`).
+pub const MAX_EXPONENT: u32 = 52;
+
+const PERMS_SHIFT: u32 = 52;
+const OTYPE_SHIFT: u32 = 34;
+const EXP_SHIFT: u32 = 28;
+const BASE_SHIFT: u32 = 14;
+
+/// The exponent/mantissa triple produced by bounds compression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BoundsEncoding {
+    /// Power-of-two granule (`2^exponent` bytes).
+    pub exponent: u32,
+    /// Bits `[exponent+13 : exponent]` of the rounded base.
+    pub base_mantissa: u16,
+    /// Rounded length divided by the granule.
+    pub length_mantissa: u16,
+}
+
+/// Compresses `[base, top)` to the smallest-exponent encoding, rounding
+/// outward when the region is too large or misaligned for the mantissa.
+///
+/// # Panics
+///
+/// Panics if `top < base` or `top > 2^64` (impossible for capabilities
+/// built through the public API).
+#[must_use]
+pub fn encode_bounds(base: u64, top: u128) -> BoundsEncoding {
+    assert!(top >= base as u128, "top below base");
+    assert!(top <= ADDRESS_SPACE_TOP, "top beyond the address space");
+    for exponent in 0..=MAX_EXPONENT {
+        let granule_mask = (1u128 << exponent) - 1;
+        let b = base as u128 & !granule_mask;
+        let t = top.checked_add(granule_mask).expect("no overflow") & !granule_mask;
+        let l = (t - b) >> exponent;
+        if l <= MANTISSA_MAX {
+            return BoundsEncoding {
+                exponent,
+                base_mantissa: ((b >> exponent) & MANTISSA_MAX) as u16,
+                length_mantissa: l as u16,
+            };
+        }
+    }
+    unreachable!("exponent {MAX_EXPONENT} always fits a 2^64 region")
+}
+
+/// The bounds that [`encode_bounds`] would actually represent: the requested
+/// region rounded outward to the encoding granule.
+#[must_use]
+pub fn round_bounds(base: u64, top: u128) -> (u64, u128) {
+    let enc = encode_bounds(base, top);
+    let granule_mask = (1u128 << enc.exponent) - 1;
+    let b = base as u128 & !granule_mask;
+    let t = (top + granule_mask) & !granule_mask;
+    (b as u64, t)
+}
+
+/// Whether `address` stays inside the representable region of a capability
+/// with the given (already rounded) bounds.
+#[must_use]
+pub fn address_is_representable(base: u64, top: u128, address: u64) -> bool {
+    let enc = encode_bounds(base, top);
+    let aligned_base = base as u128 & !((1u128 << enc.exponent) - 1);
+    let region_end = aligned_base + (1u128 << (enc.exponent + MANTISSA_BITS));
+    let a = address as u128;
+    a >= aligned_base && a < region_end
+}
+
+/// Reconstructs `(base, top)` from an encoding and the capability address.
+///
+/// Only meaningful when `address` lies inside the representable region; the
+/// encoder and every monotonic operation maintain that invariant.
+#[must_use]
+pub fn decode_bounds(enc: BoundsEncoding, address: u64) -> (u64, u128) {
+    let e = enc.exponent.min(MAX_EXPONENT);
+    let b_mant = enc.base_mantissa as u128 & MANTISSA_MAX;
+    let l_mant = enc.length_mantissa as u128 & MANTISSA_MAX;
+    let a = address as u128;
+    let a_mid = (a >> e) & MANTISSA_MAX;
+    let a_hi = a >> (e + MANTISSA_BITS);
+    // If the address's mantissa slice is below the base mantissa, the
+    // address has wrapped into the block above the base's block.
+    let block_index = if a_mid < b_mant {
+        a_hi.saturating_sub(1)
+    } else {
+        a_hi
+    };
+    let base = (block_index << (e + MANTISSA_BITS)) | (b_mant << e);
+    let top = base + (l_mant << e);
+    (base as u64, top.min(ADDRESS_SPACE_TOP))
+}
+
+/// A capability in its 128-bit in-memory representation.
+///
+/// The validity tag is *not* part of the 128 bits: it lives out of band
+/// (shadow tag storage in [`hetsim`-style memories]) so that
+/// capability-unaware writes can never produce a valid capability.
+///
+/// # Examples
+///
+/// ```
+/// use cheri::{Capability, Perms};
+///
+/// # fn main() -> Result<(), cheri::CapFault> {
+/// let cap = Capability::root().set_bounds(0x4000, 512)?.and_perms(Perms::RW)?;
+/// let bits = cap.compress();
+/// let back = bits.decode(true);
+/// assert_eq!(back, cap);
+/// // An untagged decode yields the same fields but an invalid capability.
+/// assert!(!bits.decode(false).is_valid());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CompressedCapability(u128);
+
+impl CompressedCapability {
+    /// Compresses an architectural capability (the tag travels separately).
+    #[must_use]
+    pub fn from_capability(cap: &Capability) -> CompressedCapability {
+        let enc = encode_bounds(cap.base(), cap.top());
+        let mut bits: u128 = (cap.address() as u128) << 64;
+        bits |= ((cap.perms().bits() as u128) & 0xfff) << PERMS_SHIFT;
+        bits |= ((cap.otype().encoding() as u128) & 0x3ffff) << OTYPE_SHIFT;
+        bits |= ((enc.exponent as u128) & 0x3f) << EXP_SHIFT;
+        bits |= ((enc.base_mantissa as u128) & MANTISSA_MAX) << BASE_SHIFT;
+        bits |= (enc.length_mantissa as u128) & MANTISSA_MAX;
+        CompressedCapability(bits)
+    }
+
+    /// Reinterprets raw memory bits as a compressed capability.
+    #[must_use]
+    pub fn from_bits(bits: u128) -> CompressedCapability {
+        CompressedCapability(bits)
+    }
+
+    /// The raw 128-bit pattern.
+    #[must_use]
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// The address field without decoding the bounds.
+    #[must_use]
+    pub fn address(self) -> u64 {
+        (self.0 >> 64) as u64
+    }
+
+    /// The bounds-encoding fields without decoding them.
+    #[must_use]
+    pub fn bounds_encoding(self) -> BoundsEncoding {
+        BoundsEncoding {
+            exponent: ((self.0 >> EXP_SHIFT) & 0x3f) as u32,
+            base_mantissa: ((self.0 >> BASE_SHIFT) & MANTISSA_MAX) as u16,
+            length_mantissa: (self.0 & MANTISSA_MAX) as u16,
+        }
+    }
+
+    /// Decodes to the architectural form; `tag` comes from shadow storage.
+    ///
+    /// This is the job of the CapChecker's *capability decoder* block
+    /// (Figure 5): recover address bounds and permissions for the memory
+    /// check.
+    #[must_use]
+    pub fn decode(self, tag: bool) -> Capability {
+        let address = self.address();
+        let perms = Perms::from_bits(((self.0 >> PERMS_SHIFT) & 0xfff) as u16);
+        let otype = OType::from_encoding(((self.0 >> OTYPE_SHIFT) & 0x3ffff) as u32);
+        let (base, top) = decode_bounds(self.bounds_encoding(), address);
+        Capability::from_raw_parts(tag, address, base, top, perms, otype)
+    }
+}
+
+impl fmt::Debug for CompressedCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CompressedCapability({:#034x})", self.0)
+    }
+}
+
+impl fmt::Display for CompressedCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#034x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for CompressedCapability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(base: u64, len: u64) -> Capability {
+        Capability::root()
+            .set_bounds(base, len)
+            .expect("in-range bounds")
+    }
+
+    #[test]
+    fn small_bounds_encode_exactly() {
+        for (base, len) in [(0u64, 16u64), (0x1000, 1), (0x1234, 0x3fff), (7, 9)] {
+            let enc = encode_bounds(base, base as u128 + len as u128);
+            assert_eq!(enc.exponent, 0, "len {len} should not need an exponent");
+            let (b, t) = round_bounds(base, base as u128 + len as u128);
+            assert_eq!((b, t), (base, base as u128 + len as u128));
+        }
+    }
+
+    #[test]
+    fn large_bounds_round_outward() {
+        let base = 0x1001;
+        let top = base as u128 + (1 << 20) + 5;
+        let (b, t) = round_bounds(base, top);
+        assert!(b <= base);
+        assert!(t >= top);
+        // Rounding is bounded by one granule on each side.
+        let enc = encode_bounds(base, top);
+        let granule = 1u128 << enc.exponent;
+        assert!((base as u128 - b as u128) < granule);
+        assert!(t - top < granule);
+    }
+
+    #[test]
+    fn full_address_space_is_encodable() {
+        let enc = encode_bounds(0, ADDRESS_SPACE_TOP);
+        let (b, t) = decode_bounds(enc, 0);
+        assert_eq!(b, 0);
+        assert_eq!(t, ADDRESS_SPACE_TOP);
+    }
+
+    #[test]
+    fn decode_recovers_bounds_across_the_region() {
+        let base = 0xab_c000;
+        let len = 0x4000u64; // needs exponent > 0
+        let top = base as u128 + len as u128;
+        let (rb, rt) = round_bounds(base, top);
+        let enc = encode_bounds(base, top);
+        for addr in [rb, rb + 1, base + len / 2, rt as u64 - 1, rt as u64] {
+            assert!(address_is_representable(rb, rt, addr), "addr {addr:#x}");
+            assert_eq!(decode_bounds(enc, addr), (rb, rt), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn compress_round_trips() {
+        let c = cap(0x8000, 4096);
+        assert_eq!(c.compress().decode(true), c);
+    }
+
+    #[test]
+    fn tag_is_out_of_band() {
+        let c = cap(0x8000, 4096);
+        let decoded = c.compress().decode(false);
+        assert!(!decoded.is_valid());
+        assert_eq!(decoded.base(), c.base());
+    }
+
+    #[test]
+    fn null_bits_decode_to_null() {
+        let null = CompressedCapability::from_bits(0).decode(false);
+        assert_eq!(null, Capability::null());
+    }
+
+    #[test]
+    fn forged_bits_decode_untagged() {
+        // An attacker writing arbitrary bits gets fields, but never a tag.
+        let forged = CompressedCapability::from_bits(u128::MAX).decode(false);
+        assert!(!forged.is_valid());
+    }
+
+    #[test]
+    fn far_address_is_unrepresentable() {
+        let c = cap(0x10_0000, 0x100);
+        let enc = encode_bounds(c.base(), c.top());
+        assert_eq!(enc.exponent, 0);
+        // The representable region at E=0 spans 2^14 bytes above the
+        // aligned base; far beyond that must be rejected.
+        assert!(!address_is_representable(
+            c.base(),
+            c.top(),
+            0x10_0000 + (1 << 20)
+        ));
+        assert!(!address_is_representable(c.base(), c.top(), 0));
+    }
+}

@@ -1,0 +1,108 @@
+//! Capability fault types.
+
+use crate::perms::Perms;
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the capability model.
+///
+/// Raised by capability derivation and by every dereference check (on the
+/// CPU model and in the CapChecker alike). The variants mirror the CHERI
+/// architectural exception causes that matter to this system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CapFault {
+    /// The capability's tag is clear: it is not a valid capability.
+    TagViolation,
+    /// The capability is sealed and the operation requires an unsealed one.
+    SealViolation,
+    /// The access `[addr, addr + len)` falls outside the capability bounds.
+    BoundsViolation {
+        /// First byte of the offending access.
+        addr: u64,
+        /// Length of the offending access in bytes.
+        len: u64,
+    },
+    /// The capability lacks the permissions required for the operation.
+    PermissionViolation {
+        /// Permissions that were required but missing.
+        missing: Perms,
+    },
+    /// A derivation attempted to *increase* rights (bounds or permissions).
+    MonotonicityViolation,
+    /// The requested bounds cannot be represented exactly by the compressed
+    /// encoding and the operation demanded exactness.
+    UnrepresentableBounds,
+    /// The new address would leave the representable region, so the
+    /// capability's tag would be cleared by the operation.
+    UnrepresentableAddress,
+    /// The object type is out of range for the encoding.
+    InvalidObjectType,
+}
+
+impl fmt::Display for CapFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapFault::TagViolation => write!(f, "tag violation: capability is invalid"),
+            CapFault::SealViolation => write!(f, "seal violation: capability is sealed"),
+            CapFault::BoundsViolation { addr, len } => {
+                write!(
+                    f,
+                    "bounds violation: access [{addr:#x}, +{len}) outside capability bounds"
+                )
+            }
+            CapFault::PermissionViolation { missing } => {
+                write!(f, "permission violation: missing {missing}")
+            }
+            CapFault::MonotonicityViolation => {
+                write!(
+                    f,
+                    "monotonicity violation: derivation would increase rights"
+                )
+            }
+            CapFault::UnrepresentableBounds => {
+                write!(f, "requested bounds are not exactly representable")
+            }
+            CapFault::UnrepresentableAddress => {
+                write!(f, "new address is outside the representable region")
+            }
+            CapFault::InvalidObjectType => write!(f, "object type out of encodable range"),
+        }
+    }
+}
+
+impl Error for CapFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let faults = [
+            CapFault::TagViolation,
+            CapFault::SealViolation,
+            CapFault::BoundsViolation {
+                addr: 0x1000,
+                len: 4,
+            },
+            CapFault::PermissionViolation {
+                missing: Perms::STORE,
+            },
+            CapFault::MonotonicityViolation,
+            CapFault::UnrepresentableBounds,
+            CapFault::UnrepresentableAddress,
+            CapFault::InvalidObjectType,
+        ];
+        for fault in faults {
+            let msg = fault.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(CapFault::TagViolation);
+        assert!(e.to_string().contains("tag"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # cheri — the CHERI capability model
+//!
+//! The capability substrate for the CapChecker heterogeneous-system
+//! reproduction: architectural capabilities with monotonic derivation
+//! ([`Capability`]), the 128-bit compressed in-memory format with an
+//! out-of-band tag ([`CompressedCapability`]), permissions ([`Perms`]),
+//! sealing ([`OType`]), and the provenance tree of Figure 4
+//! ([`CapabilityTree`]).
+//!
+//! A CHERI capability is an unforgeable, delegatable token of authority
+//! over a memory region. Three properties carry the entire security
+//! argument of the paper, and this crate enforces all of them:
+//!
+//! 1. **Monotonicity** — every operation on a valid capability maintains or
+//!    reduces rights; widening returns a [`CapFault`].
+//! 2. **Unforgeability** — the validity tag is out of band; no sequence of
+//!    data writes can produce `decode(bits, tag = true)`.
+//! 3. **Intentional use** — dereference is checked against the specific
+//!    capability used, not any capability the task happens to hold.
+//!
+//! # Examples
+//!
+//! ```
+//! use cheri::{Capability, Perms};
+//!
+//! # fn main() -> Result<(), cheri::CapFault> {
+//! // The OS derives an application heap from the boot root…
+//! let heap = Capability::root().set_bounds(0x1000_0000, 1 << 20)?;
+//! // …and the application derives a buffer pointer for an accelerator.
+//! let buffer = heap.set_bounds(0x1000_2000, 4096)?.and_perms(Perms::RW)?;
+//!
+//! assert!(buffer.check_access(0x1000_2000, 64, Perms::STORE).is_ok());
+//! // Out-of-bounds and permission violations are architectural faults:
+//! assert!(buffer.check_access(0x1000_3000, 64, Perms::STORE).is_err());
+//! assert!(buffer.check_access(0x1000_2000, 4, Perms::EXECUTE).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod capability;
+pub mod compressed;
+mod error;
+mod otype;
+mod perms;
+mod tree;
+
+pub use capability::{Capability, ADDRESS_SPACE_TOP};
+pub use compressed::CompressedCapability;
+pub use error::CapFault;
+pub use otype::{OType, MAX_OTYPE, MAX_SEALED_OTYPE, MIN_SEALED_OTYPE};
+pub use perms::Perms;
+pub use tree::{CapabilityTree, NodeId, ObjectKind};
+
+/// Size in bytes of a capability in memory (and of a tag granule).
+pub const CAP_SIZE_BYTES: u64 = 16;

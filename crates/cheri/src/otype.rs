@@ -1,0 +1,129 @@
+//! Object types and sealing.
+
+use crate::error::CapFault;
+use std::fmt;
+
+/// Maximum encodable object type (18-bit field in the 128-bit format).
+pub const MAX_OTYPE: u32 = (1 << 18) - 1;
+
+/// Reserved otype encoding for an unsealed capability.
+///
+/// Zero, so that the all-zero bit pattern (the null capability) decodes as
+/// an ordinary unsealed capability.
+const OTYPE_UNSEALED: u32 = 0;
+/// Reserved otype encoding for a sealed-entry (sentry) capability.
+const OTYPE_SENTRY: u32 = 1;
+/// Smallest otype usable for software sealing.
+pub const MIN_SEALED_OTYPE: u32 = 2;
+/// Largest otype usable for software sealing.
+pub const MAX_SEALED_OTYPE: u32 = MAX_OTYPE;
+
+/// The sealing state of a capability.
+///
+/// Sealed capabilities are immutable and non-dereferenceable tokens; the
+/// driver in this system uses them to hand opaque accelerator-task handles
+/// back to applications.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum OType {
+    /// Ordinary, dereferenceable capability.
+    #[default]
+    Unsealed,
+    /// Sealed-entry capability: only invocable, which atomically unseals it.
+    Sentry,
+    /// Sealed with a software-chosen object type in
+    /// [`MIN_SEALED_OTYPE`]`..=`[`MAX_SEALED_OTYPE`].
+    Sealed(u32),
+}
+
+impl OType {
+    /// Decodes an 18-bit otype field.
+    #[must_use]
+    pub fn from_encoding(raw: u32) -> OType {
+        match raw & MAX_OTYPE {
+            OTYPE_UNSEALED => OType::Unsealed,
+            OTYPE_SENTRY => OType::Sentry,
+            o => OType::Sealed(o),
+        }
+    }
+
+    /// Encodes to the 18-bit otype field.
+    #[must_use]
+    pub fn encoding(self) -> u32 {
+        match self {
+            OType::Unsealed => OTYPE_UNSEALED,
+            OType::Sentry => OTYPE_SENTRY,
+            OType::Sealed(o) => o & MAX_OTYPE,
+        }
+    }
+
+    /// Builds a software-sealed otype, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapFault::InvalidObjectType`] if `otype` collides with a
+    /// reserved encoding or exceeds the 18-bit field.
+    pub fn sealed(otype: u32) -> Result<OType, CapFault> {
+        if (MIN_SEALED_OTYPE..=MAX_SEALED_OTYPE).contains(&otype) {
+            Ok(OType::Sealed(otype))
+        } else {
+            Err(CapFault::InvalidObjectType)
+        }
+    }
+
+    /// Returns `true` for any sealed state (sentry or software-sealed).
+    #[must_use]
+    pub fn is_sealed(self) -> bool {
+        !matches!(self, OType::Unsealed)
+    }
+}
+
+impl fmt::Display for OType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OType::Unsealed => write!(f, "unsealed"),
+            OType::Sentry => write!(f, "sentry"),
+            OType::Sealed(o) => write!(f, "sealed({o})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trip() {
+        for ot in [
+            OType::Unsealed,
+            OType::Sentry,
+            OType::Sealed(2),
+            OType::Sealed(42),
+        ] {
+            assert_eq!(OType::from_encoding(ot.encoding()), ot);
+        }
+    }
+
+    #[test]
+    fn null_pattern_decodes_unsealed() {
+        assert_eq!(OType::from_encoding(0), OType::Unsealed);
+    }
+
+    #[test]
+    fn sealed_constructor_validates_range() {
+        assert!(OType::sealed(0).is_err());
+        assert!(OType::sealed(1).is_err());
+        assert_eq!(OType::sealed(2), Ok(OType::Sealed(2)));
+        assert_eq!(
+            OType::sealed(MAX_SEALED_OTYPE),
+            Ok(OType::Sealed(MAX_SEALED_OTYPE))
+        );
+        assert!(OType::sealed(MAX_OTYPE + 1).is_err());
+    }
+
+    #[test]
+    fn sealed_query() {
+        assert!(!OType::Unsealed.is_sealed());
+        assert!(OType::Sentry.is_sealed());
+        assert!(OType::Sealed(7).is_sealed());
+    }
+}

@@ -1,0 +1,243 @@
+//! Capability permission bits.
+//!
+//! CHERI capabilities carry a permission mask restricting how the pointer
+//! may be used. Permissions are *monotonic*: derivation may clear bits but
+//! never set them ([`Perms::intersect`] is the only combining operation).
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A set of capability permissions.
+///
+/// Modelled on the architectural permissions of the 128-bit RISC-V CHERI
+/// encoding (16-bit field). The paper's CapChecker consumes primarily
+/// [`Perms::LOAD`] and [`Perms::STORE`]; the capability-interconnect path
+/// additionally honours [`Perms::LOAD_CAP`] / [`Perms::STORE_CAP`].
+///
+/// # Examples
+///
+/// ```
+/// use cheri::Perms;
+///
+/// let rw = Perms::LOAD | Perms::STORE;
+/// assert!(rw.contains(Perms::LOAD));
+/// assert!(!rw.contains(Perms::EXECUTE));
+/// assert!(rw.intersect(Perms::LOAD).is_subset_of(rw));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u16);
+
+impl Perms {
+    /// No permissions at all.
+    pub const NONE: Perms = Perms(0);
+    /// Capability is not scoped to a compartment and may be stored freely.
+    pub const GLOBAL: Perms = Perms(1 << 0);
+    /// Permit instruction fetch through this capability.
+    pub const EXECUTE: Perms = Perms(1 << 1);
+    /// Permit data loads.
+    pub const LOAD: Perms = Perms(1 << 2);
+    /// Permit data stores.
+    pub const STORE: Perms = Perms(1 << 3);
+    /// Permit loading valid (tagged) capabilities.
+    pub const LOAD_CAP: Perms = Perms(1 << 4);
+    /// Permit storing valid (tagged) capabilities.
+    pub const STORE_CAP: Perms = Perms(1 << 5);
+    /// Permit storing non-global capabilities.
+    pub const STORE_LOCAL_CAP: Perms = Perms(1 << 6);
+    /// Permit sealing other capabilities with this capability's address as
+    /// the object type.
+    pub const SEAL: Perms = Perms(1 << 7);
+    /// Permit unsealing capabilities sealed with this capability's address.
+    pub const UNSEAL: Perms = Perms(1 << 8);
+    /// Permit CInvoke-style domain crossing.
+    pub const INVOKE: Perms = Perms(1 << 9);
+    /// Permit access to system registers.
+    pub const ACCESS_SYS_REGS: Perms = Perms(1 << 10);
+    /// Software-defined permission 0 (the prototype driver uses this to mark
+    /// capabilities delegated to accelerator tasks).
+    pub const USER0: Perms = Perms(1 << 11);
+
+    /// Every architectural permission (the root capability's mask).
+    pub const ALL: Perms = Perms(0x0fff);
+
+    /// Read/write data permissions, the common grant for accelerator buffers.
+    pub const RW: Perms = Perms(Perms::LOAD.0 | Perms::STORE.0);
+
+    /// Creates a permission set from its raw 16-bit encoding.
+    ///
+    /// Bits outside [`Perms::ALL`] are preserved so that a decoded
+    /// capability round-trips exactly.
+    #[must_use]
+    pub const fn from_bits(bits: u16) -> Perms {
+        Perms(bits)
+    }
+
+    /// Returns the raw 16-bit encoding.
+    #[must_use]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Returns `true` if every permission in `other` is present in `self`.
+    #[must_use]
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if `self` grants no permission outside `other`.
+    #[must_use]
+    pub const fn is_subset_of(self, other: Perms) -> bool {
+        other.contains(self)
+    }
+
+    /// Monotonic permission combination: the intersection of two masks.
+    #[must_use]
+    pub const fn intersect(self, other: Perms) -> Perms {
+        Perms(self.0 & other.0)
+    }
+
+    /// Returns `true` if the set is empty.
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl Not for Perms {
+    type Output = Perms;
+    fn not(self) -> Perms {
+        Perms(!self.0)
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(u16, &str); 12] = [
+            (1 << 0, "GLOBAL"),
+            (1 << 1, "EXECUTE"),
+            (1 << 2, "LOAD"),
+            (1 << 3, "STORE"),
+            (1 << 4, "LOAD_CAP"),
+            (1 << 5, "STORE_CAP"),
+            (1 << 6, "STORE_LOCAL_CAP"),
+            (1 << 7, "SEAL"),
+            (1 << 8, "UNSEAL"),
+            (1 << 9, "INVOKE"),
+            (1 << 10, "ACCESS_SYS_REGS"),
+            (1 << 11, "USER0"),
+        ];
+        if self.0 == 0 {
+            return write!(f, "Perms(NONE)");
+        }
+        write!(f, "Perms(")?;
+        let mut first = true;
+        for (bit, name) in NAMES {
+            if self.0 & bit != 0 {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        let unknown = self.0 & !Perms::ALL.0;
+        if unknown != 0 {
+            if !first {
+                write!(f, "|")?;
+            }
+            write!(f, "{unknown:#x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Binary for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_contains_every_named_permission() {
+        for p in [
+            Perms::GLOBAL,
+            Perms::EXECUTE,
+            Perms::LOAD,
+            Perms::STORE,
+            Perms::LOAD_CAP,
+            Perms::STORE_CAP,
+            Perms::STORE_LOCAL_CAP,
+            Perms::SEAL,
+            Perms::UNSEAL,
+            Perms::INVOKE,
+            Perms::ACCESS_SYS_REGS,
+            Perms::USER0,
+        ] {
+            assert!(Perms::ALL.contains(p), "{p:?} missing from ALL");
+        }
+    }
+
+    #[test]
+    fn intersect_is_monotonic() {
+        let rw = Perms::RW;
+        let r = rw.intersect(Perms::LOAD);
+        assert_eq!(r, Perms::LOAD);
+        assert!(r.is_subset_of(rw));
+        assert!(rw.intersect(Perms::NONE).is_empty());
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(Perms::LOAD.is_subset_of(Perms::RW));
+        assert!(!Perms::RW.is_subset_of(Perms::LOAD));
+        assert!(Perms::NONE.is_subset_of(Perms::NONE));
+    }
+
+    #[test]
+    fn bit_round_trip() {
+        let p = Perms::LOAD | Perms::STORE_CAP | Perms::SEAL;
+        assert_eq!(Perms::from_bits(p.bits()), p);
+    }
+
+    #[test]
+    fn debug_never_empty() {
+        assert_eq!(format!("{:?}", Perms::NONE), "Perms(NONE)");
+        assert!(format!("{:?}", Perms::LOAD | Perms::STORE).contains("LOAD"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The capability derivation tree (Figure 4 of the paper).
+//!
+//! Every capability in a running CHERI system derives from the boot-time
+//! root. This module records that provenance explicitly so the software
+//! stack (OS, driver, applications) and the security analysis can audit
+//! that every delegation was monotonic — including the green accelerator
+//! edges the paper adds: accelerator tasks and the buffers a CPU task
+//! allocates on their behalf.
+
+use crate::capability::Capability;
+use crate::error::CapFault;
+use std::fmt;
+
+/// Identifies a node in a [`CapabilityTree`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Index form, useful for dense side tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// What kind of software object a tree node represents.
+///
+/// Mirrors the node kinds of Figure 4: CPU tasks (black), accelerator tasks
+/// and their data buffers (green), and plain data buffers owned by CPU
+/// tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// The boot-time root, held by the OS.
+    Root,
+    /// A CPU task: process, thread, or function compartment.
+    CpuTask,
+    /// An accelerator task: dedicated use of a functional unit for a time.
+    AcceleratorTask,
+    /// A data buffer.
+    Buffer,
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObjectKind::Root => "root",
+            ObjectKind::CpuTask => "cpu-task",
+            ObjectKind::AcceleratorTask => "accel-task",
+            ObjectKind::Buffer => "buffer",
+        };
+        f.write_str(s)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    cap: Capability,
+    kind: ObjectKind,
+    label: String,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    revoked: bool,
+}
+
+/// An append-only record of capability derivations.
+///
+/// Derivation through the tree enforces the CHERI monotonicity invariant:
+/// a child's rights are always a subset of its parent's. Revocation marks a
+/// subtree dead, modelling the trusted software's asynchronous revocation.
+///
+/// # Examples
+///
+/// ```
+/// use cheri::{CapabilityTree, ObjectKind, Perms};
+///
+/// # fn main() -> Result<(), cheri::CapFault> {
+/// let mut tree = CapabilityTree::new();
+/// let app = tree.derive(tree.root(), ObjectKind::CpuTask, "video app", |c| {
+///     c.set_bounds(0x1_0000, 0x10_000)
+/// })?;
+/// let buf = tree.derive(app, ObjectKind::Buffer, "frame buffer", |c| {
+///     c.set_bounds(0x1_2000, 0x1000)?.and_perms(Perms::RW)
+/// })?;
+/// assert!(tree.capability(buf).bounds_contain(0x1_2000, 0x1000));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CapabilityTree {
+    nodes: Vec<Node>,
+}
+
+impl CapabilityTree {
+    /// Creates a tree holding only the boot-time root capability.
+    #[must_use]
+    pub fn new() -> CapabilityTree {
+        CapabilityTree {
+            nodes: vec![Node {
+                cap: Capability::root(),
+                kind: ObjectKind::Root,
+                label: "root".to_owned(),
+                parent: None,
+                children: Vec::new(),
+                revoked: false,
+            }],
+        }
+    }
+
+    /// The root node.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Number of live (non-revoked) nodes.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.revoked).count()
+    }
+
+    /// The capability held at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    #[must_use]
+    pub fn capability(&self, id: NodeId) -> &Capability {
+        &self.nodes[id.0].cap
+    }
+
+    /// The object kind recorded at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    #[must_use]
+    pub fn kind(&self, id: NodeId) -> ObjectKind {
+        self.nodes[id.0].kind
+    }
+
+    /// The human-readable label recorded at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    #[must_use]
+    pub fn label(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].label
+    }
+
+    /// The parent of `id`, or `None` for the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    #[must_use]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.0].parent
+    }
+
+    /// The children derived from `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    #[must_use]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.0].children
+    }
+
+    /// Whether `id` (or an ancestor) has been revoked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    #[must_use]
+    pub fn is_revoked(&self, id: NodeId) -> bool {
+        self.nodes[id.0].revoked
+    }
+
+    /// Derives a child capability from `parent` via `derivation` (any chain
+    /// of the monotonic [`Capability`] operations) and records it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`CapFault`] from the derivation closure; additionally
+    /// returns [`CapFault::MonotonicityViolation`] if the closure somehow
+    /// produced a capability not dominated by the parent, and
+    /// [`CapFault::TagViolation`] when deriving from a revoked node.
+    pub fn derive(
+        &mut self,
+        parent: NodeId,
+        kind: ObjectKind,
+        label: impl Into<String>,
+        derivation: impl FnOnce(&Capability) -> Result<Capability, CapFault>,
+    ) -> Result<NodeId, CapFault> {
+        if self.nodes[parent.0].revoked {
+            return Err(CapFault::TagViolation);
+        }
+        let parent_cap = self.nodes[parent.0].cap;
+        let child_cap = derivation(&parent_cap)?;
+        if !parent_cap.dominates(&child_cap) {
+            return Err(CapFault::MonotonicityViolation);
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            cap: child_cap,
+            kind,
+            label: label.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            revoked: false,
+        });
+        self.nodes[parent.0].children.push(id);
+        Ok(id)
+    }
+
+    /// Revokes `id` and its entire subtree (trusted-software revocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this tree.
+    pub fn revoke(&mut self, id: NodeId) {
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            self.nodes[n.0].revoked = true;
+            self.nodes[n.0].cap = self.nodes[n.0].cap.clear_tag();
+            stack.extend(self.nodes[n.0].children.iter().copied());
+        }
+    }
+
+    /// Verifies the global invariant: every live edge is monotonic.
+    ///
+    /// Returns the first offending node, if any. A correct system never
+    /// trips this; the threat harness uses it to show what capability
+    /// forging would break.
+    #[must_use]
+    pub fn audit(&self) -> Option<NodeId> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.revoked {
+                continue;
+            }
+            if let Some(p) = node.parent {
+                if !self.nodes[p.0].cap.dominates(&node.cap) {
+                    return Some(NodeId(i));
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over all node ids, live and revoked, in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+}
+
+impl Default for CapabilityTree {
+    fn default() -> CapabilityTree {
+        CapabilityTree::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::Perms;
+
+    fn sample_tree() -> (CapabilityTree, NodeId, NodeId) {
+        let mut tree = CapabilityTree::new();
+        let task = tree
+            .derive(tree.root(), ObjectKind::CpuTask, "task", |c| {
+                c.set_bounds(0x1000, 0x1000)
+            })
+            .unwrap();
+        let buf = tree
+            .derive(task, ObjectKind::Buffer, "buf", |c| {
+                c.set_bounds(0x1800, 0x100)?.and_perms(Perms::RW)
+            })
+            .unwrap();
+        (tree, task, buf)
+    }
+
+    #[test]
+    fn derivation_links_parent_and_child() {
+        let (tree, task, buf) = sample_tree();
+        assert_eq!(tree.parent(buf), Some(task));
+        assert_eq!(tree.children(task), &[buf]);
+        assert_eq!(tree.kind(buf), ObjectKind::Buffer);
+        assert_eq!(tree.label(buf), "buf");
+        assert!(tree.audit().is_none());
+    }
+
+    #[test]
+    fn widening_derivation_fails() {
+        let (mut tree, task, _) = sample_tree();
+        let err = tree.derive(task, ObjectKind::Buffer, "evil", |c| {
+            c.set_bounds(0, 0x10_000)
+        });
+        assert_eq!(err.unwrap_err(), CapFault::MonotonicityViolation);
+    }
+
+    #[test]
+    fn closure_cannot_smuggle_unrelated_capability() {
+        let (mut tree, task, _) = sample_tree();
+        let err = tree.derive(task, ObjectKind::Buffer, "smuggled", |_| {
+            Ok(Capability::root())
+        });
+        assert_eq!(err.unwrap_err(), CapFault::MonotonicityViolation);
+    }
+
+    #[test]
+    fn revocation_kills_subtree() {
+        let (mut tree, task, buf) = sample_tree();
+        tree.revoke(task);
+        assert!(tree.is_revoked(task));
+        assert!(tree.is_revoked(buf));
+        assert!(!tree.capability(buf).is_valid());
+        assert_eq!(tree.live_count(), 1); // only the root survives
+        let err = tree.derive(task, ObjectKind::Buffer, "late", |c| {
+            c.set_bounds(0x1000, 8)
+        });
+        assert_eq!(err.unwrap_err(), CapFault::TagViolation);
+    }
+
+    #[test]
+    fn accelerator_edges_from_figure_4() {
+        // CPU task instantiates an accelerator task; the buffers the task
+        // computes on are allocated by the CPU task and dominated by the
+        // accelerator task's capability.
+        let mut tree = CapabilityTree::new();
+        let cpu = tree
+            .derive(tree.root(), ObjectKind::CpuTask, "app", |c| {
+                c.set_bounds(0x10_000, 0x8000)
+            })
+            .unwrap();
+        let acc = tree
+            .derive(cpu, ObjectKind::AcceleratorTask, "accel task 1", |c| {
+                c.set_bounds(0x12_000, 0x2000)
+            })
+            .unwrap();
+        let b1 = tree
+            .derive(acc, ObjectKind::Buffer, "buffer 1", |c| {
+                c.set_bounds(0x12_000, 0x800)
+            })
+            .unwrap();
+        let b2 = tree
+            .derive(acc, ObjectKind::Buffer, "buffer 2", |c| {
+                c.set_bounds(0x13_000, 0x800)
+            })
+            .unwrap();
+        assert!(tree.capability(acc).dominates(tree.capability(b1)));
+        assert!(tree.capability(acc).dominates(tree.capability(b2)));
+        assert!(tree.audit().is_none());
+        assert_eq!(tree.iter().count(), 5);
+    }
+}

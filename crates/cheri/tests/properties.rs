@@ -1,0 +1,168 @@
+//! Property-based tests for the capability model's core invariants.
+
+use cheri::compressed::{self, BoundsEncoding};
+use cheri::{CapFault, Capability, CompressedCapability, Perms, ADDRESS_SPACE_TOP};
+use proptest::prelude::*;
+
+fn arb_region() -> impl Strategy<Value = (u64, u64)> {
+    // Base anywhere, length up to 2^32 so regions stay in-space often.
+    (any::<u64>(), 0u64..=(1 << 32)).prop_filter("region fits in the address space", |(b, l)| {
+        (*b as u128 + *l as u128) <= ADDRESS_SPACE_TOP
+    })
+}
+
+proptest! {
+    /// Compression never shrinks the requested region.
+    #[test]
+    fn rounding_covers_request((base, len) in arb_region()) {
+        let top = base as u128 + len as u128;
+        let (rb, rt) = compressed::round_bounds(base, top);
+        prop_assert!(rb <= base);
+        prop_assert!(rt >= top);
+    }
+
+    /// Rounding slack is bounded by one granule per side.
+    #[test]
+    fn rounding_slack_is_one_granule((base, len) in arb_region()) {
+        let top = base as u128 + len as u128;
+        let enc = compressed::encode_bounds(base, top);
+        let granule = 1u128 << enc.exponent;
+        let (rb, rt) = compressed::round_bounds(base, top);
+        prop_assert!(((base - rb) as u128) < granule);
+        prop_assert!(rt - top < granule);
+    }
+
+    /// Decoding recovers the rounded bounds from any in-bounds address.
+    #[test]
+    fn decode_is_exact_within_bounds((base, len) in arb_region(), frac in 0.0f64..1.0) {
+        let top = base as u128 + len as u128;
+        let (rb, rt) = compressed::round_bounds(base, top);
+        let enc = compressed::encode_bounds(base, top);
+        let span = (rt - rb as u128) as f64;
+        let addr = rb as u128 + (span * frac) as u128;
+        let addr = addr.min(u64::MAX as u128) as u64;
+        prop_assert_eq!(compressed::decode_bounds(enc, addr), (rb, rt));
+    }
+
+    /// Full 128-bit round trip through memory representation.
+    #[test]
+    fn compress_decode_round_trip((base, len) in arb_region(), perm_bits in 0u16..0x1000) {
+        let cap = match Capability::root()
+            .set_bounds(base, len)
+            .and_then(|c| c.and_perms(Perms::from_bits(perm_bits)))
+        {
+            Ok(c) => c,
+            Err(_) => return Ok(()), // bounds rounded past the root: skip
+        };
+        let bits = cap.compress();
+        let back = bits.decode(true);
+        prop_assert_eq!(back, cap);
+        // And through raw memory bits, as the CapChecker table does.
+        let raw = CompressedCapability::from_bits(bits.bits());
+        prop_assert_eq!(raw.decode(true), cap);
+    }
+
+    /// set_bounds children are always dominated by their parent.
+    #[test]
+    fn set_bounds_is_monotonic(
+        (base, len) in arb_region(),
+        inner_off in any::<u64>(),
+        inner_len in any::<u64>(),
+    ) {
+        let parent = match Capability::root().set_bounds(base, len) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let plen = parent.length() as u64;
+        if plen == 0 { return Ok(()); }
+        let off = inner_off % plen;
+        let ilen = inner_len % (plen - off).max(1);
+        match parent.set_bounds(parent.base() + off, ilen) {
+            Ok(child) => prop_assert!(parent.dominates(&child)),
+            Err(CapFault::MonotonicityViolation) => {} // rounding refused, fine
+            Err(other) => prop_assert!(false, "unexpected fault {other}"),
+        }
+    }
+
+    /// Permission masking can never add a permission.
+    #[test]
+    fn and_perms_is_monotonic(initial in 0u16..0x1000, mask in 0u16..0x1000) {
+        let cap = Capability::root().and_perms(Perms::from_bits(initial)).unwrap();
+        let masked = cap.and_perms(Perms::from_bits(mask)).unwrap();
+        prop_assert!(masked.perms().is_subset_of(cap.perms()));
+    }
+
+    /// Any address within the (rounded) bounds is representable.
+    #[test]
+    fn in_bounds_addresses_are_representable((base, len) in arb_region(), frac in 0.0f64..=1.0) {
+        let top = base as u128 + len as u128;
+        let (rb, rt) = compressed::round_bounds(base, top);
+        let span = (rt - rb as u128) as f64;
+        let addr = (rb as u128 + (span * frac) as u128).min(u64::MAX as u128) as u64;
+        prop_assert!(compressed::address_is_representable(rb, rt, addr));
+    }
+
+    /// Checked accesses inside bounds with granted perms always pass; any
+    /// byte outside always faults.
+    #[test]
+    fn access_check_matches_bounds((base, len) in arb_region(), probe in any::<u64>()) {
+        let cap = match Capability::root().set_bounds(base, len) {
+            Ok(c) => c.and_perms(Perms::RW).unwrap(),
+            Err(_) => return Ok(()),
+        };
+        let inside = probe as u128 >= cap.base() as u128 && (probe as u128) < cap.top();
+        let ok = cap.check_access(probe, 1, Perms::LOAD).is_ok();
+        prop_assert_eq!(ok, inside);
+    }
+
+    /// Encoding fields survive a trip through the raw field accessors.
+    #[test]
+    fn bounds_encoding_fields_round_trip((base, len) in arb_region()) {
+        let cap = match Capability::root().set_bounds(base, len) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let enc_direct = compressed::encode_bounds(cap.base(), cap.top());
+        let enc_via_bits: BoundsEncoding = cap.compress().bounds_encoding();
+        prop_assert_eq!(enc_direct, enc_via_bits);
+    }
+}
+
+#[test]
+fn sealed_round_trip_via_memory() {
+    let cap = Capability::root()
+        .set_bounds(0x4000, 64)
+        .unwrap()
+        .seal(1234)
+        .unwrap();
+    let back = cap.compress().decode(true);
+    assert_eq!(back, cap);
+    assert!(back.is_sealed());
+}
+
+proptest! {
+    /// Decoding arbitrary memory bits and re-encoding reaches a stable
+    /// fixed point immediately: the architectural view of any bit pattern
+    /// is well-defined and idempotent (no oscillating decodes).
+    #[test]
+    fn decode_encode_is_a_fixed_point(bits in any::<u128>()) {
+        let once = CompressedCapability::from_bits(bits).decode(false);
+        let twice = once.compress().decode(false);
+        let thrice = twice.compress().decode(false);
+        prop_assert_eq!(twice.base(), thrice.base());
+        prop_assert_eq!(twice.top(), thrice.top());
+        prop_assert_eq!(twice.perms(), thrice.perms());
+        prop_assert_eq!(twice.otype(), thrice.otype());
+    }
+
+    /// An untagged decode can never be laundered into authority: every
+    /// monotonic operation on it fails with a tag violation.
+    #[test]
+    fn garbage_bits_never_become_authority(bits in any::<u128>()) {
+        let cap = CompressedCapability::from_bits(bits).decode(false);
+        prop_assert!(!cap.is_valid());
+        prop_assert_eq!(cap.set_bounds(cap.base(), 1).unwrap_err(), CapFault::TagViolation);
+        prop_assert_eq!(cap.and_perms(Perms::ALL).unwrap_err(), CapFault::TagViolation);
+        prop_assert!(cap.check_access(cap.base(), 1, Perms::NONE).is_err());
+    }
+}

@@ -1,0 +1,385 @@
+//! A cache-backed CapChecker — the microarchitectural option of §5.2.3.
+//!
+//! "Alternatively, a CapChecker could be built as a cache backing a larger
+//! in-memory table, similar to page table caching in IOMMUs/IOTLBs, but
+//! with each entry holding a capability." The paper leaves this design
+//! out of scope; this module builds it, because it changes the
+//! area/latency trade-off the ablation benches explore:
+//!
+//! * the hardware holds only a small, fully-associative, LRU cache of
+//!   decoded capabilities (tens of entries → far below 30 k LUTs);
+//! * the full set lives in a memory-resident table that only the trusted
+//!   driver can address; a cache miss costs a table walk (one memory
+//!   round trip) but never an allocation stall — the capacity pressure
+//!   that forces the fixed-table design to evict/stall disappears.
+//!
+//! The protection model is unchanged (same checks, same tag discipline,
+//! same exception reporting), which is exactly why the paper could defer
+//! it: this is performance engineering, not security.
+
+use crate::config::{CheckerConfig, CheckerMode};
+use cheri::Capability;
+use hetsim::{Access, AccessKind, Cycles, Denial, DenyReason, ObjectId, TaskId};
+use ioprotect::{GrantError, Granularity, IoProtection, MechanismProperties};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration of the cached variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CachedCheckerConfig {
+    /// Hardware cache entries (fully associative, LRU).
+    pub cache_entries: usize,
+    /// Cycles a miss adds (fetch + decode of the in-memory entry).
+    pub miss_penalty: Cycles,
+    /// Provenance/addressing parameters shared with the fixed design.
+    pub base: CheckerConfig,
+}
+
+impl Default for CachedCheckerConfig {
+    fn default() -> CachedCheckerConfig {
+        CachedCheckerConfig {
+            cache_entries: 16,
+            miss_penalty: 35,
+            base: CheckerConfig::fine(),
+        }
+    }
+}
+
+/// Cache hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests whose capability was cached.
+    pub hits: u64,
+    /// Requests that walked the in-memory table.
+    pub misses: u64,
+    /// Total added latency from misses, in cycles.
+    pub miss_cycles: Cycles,
+}
+
+impl CacheStats {
+    /// Miss ratio over all lookups (0 when idle).
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// The cache-backed CapChecker.
+///
+/// # Examples
+///
+/// ```
+/// use capchecker::cached::{CachedCapChecker, CachedCheckerConfig};
+/// use cheri::{Capability, Perms};
+/// use hetsim::{Access, MasterId, ObjectId, TaskId};
+/// use ioprotect::IoProtection;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut checker = CachedCapChecker::new(CachedCheckerConfig::default());
+/// let cap = Capability::root().set_bounds(0x1000, 64)?.and_perms(Perms::RW)?;
+/// checker.grant(TaskId(1), ObjectId(0), &cap)?;
+///
+/// let a = Access::read(MasterId(1), TaskId(1), 0x1000, 8).with_object(ObjectId(0));
+/// checker.check(&a)?; // cold: table walk
+/// checker.check(&a)?; // warm: cache hit
+/// assert_eq!(checker.cache_stats().misses, 1);
+/// assert_eq!(checker.cache_stats().hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CachedCapChecker {
+    config: CachedCheckerConfig,
+    /// The memory-resident table (driver-owned; unbounded by hardware).
+    backing: HashMap<(TaskId, ObjectId), Capability>,
+    /// LRU cache: most recently used at the back.
+    cache: Vec<(TaskId, ObjectId)>,
+    stats: CacheStats,
+    exception_flag: bool,
+    exceptions: Vec<(TaskId, ObjectId)>,
+}
+
+impl CachedCapChecker {
+    /// Builds the cached checker.
+    #[must_use]
+    pub fn new(config: CachedCheckerConfig) -> CachedCapChecker {
+        CachedCapChecker {
+            config,
+            backing: HashMap::new(),
+            cache: Vec::new(),
+            stats: CacheStats::default(),
+            exception_flag: false,
+            exceptions: Vec::new(),
+        }
+    }
+
+    /// Cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The global exception flag.
+    #[must_use]
+    pub fn exception_flag(&self) -> bool {
+        self.exception_flag
+    }
+
+    /// `(task, object)` pairs that have faulted.
+    #[must_use]
+    pub fn exceptions(&self) -> &[(TaskId, ObjectId)] {
+        &self.exceptions
+    }
+
+    /// Capabilities resident in the backing table.
+    #[must_use]
+    pub fn backing_entries(&self) -> usize {
+        self.backing.len()
+    }
+
+    /// Average added check latency given the observed miss ratio — what
+    /// the ablation trades against the fixed table's area.
+    #[must_use]
+    pub fn effective_latency(&self) -> f64 {
+        self.config.base.pipeline_latency as f64
+            + self.stats.miss_ratio() * self.config.miss_penalty as f64
+    }
+
+    fn touch(&mut self, key: (TaskId, ObjectId)) -> bool {
+        if let Some(pos) = self.cache.iter().position(|k| *k == key) {
+            self.cache.remove(pos);
+            self.cache.push(key);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            self.stats.miss_cycles += self.config.miss_penalty;
+            if self.cache.len() >= self.config.cache_entries.max(1) {
+                self.cache.remove(0);
+            }
+            self.cache.push(key);
+            false
+        }
+    }
+
+    fn deny(&mut self, access: &Access, object: Option<ObjectId>, reason: DenyReason) -> Denial {
+        self.exception_flag = true;
+        if let Some(obj) = object {
+            self.exceptions.push((access.task, obj));
+        }
+        Denial {
+            access: *access,
+            reason,
+        }
+    }
+}
+
+impl IoProtection for CachedCapChecker {
+    fn name(&self) -> &'static str {
+        "CapChecker-Cached"
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        MechanismProperties::cheri()
+    }
+
+    fn granularity(&self) -> Granularity {
+        match self.config.base.mode {
+            CheckerMode::Fine => Granularity::Object,
+            CheckerMode::Coarse => Granularity::Task,
+        }
+    }
+
+    fn grant(
+        &mut self,
+        task: TaskId,
+        object: ObjectId,
+        cap: &Capability,
+    ) -> Result<(), GrantError> {
+        if !cap.is_valid() || cap.is_sealed() {
+            return Err(GrantError::InvalidCapability);
+        }
+        // The backing table is memory-resident: no capacity stall, ever.
+        self.backing.insert((task, object), *cap);
+        Ok(())
+    }
+
+    fn revoke_task(&mut self, task: TaskId) {
+        self.backing.retain(|(t, _), _| *t != task);
+        // Shoot down cached entries (the IOTLB-invalidate analogue; skip
+        // this and you get the Thunderclap-style stale-window bug).
+        self.cache.retain(|(t, _)| *t != task);
+    }
+
+    fn check(&mut self, access: &Access) -> Result<(), Denial> {
+        let (object, phys) = match self.config.base.mode {
+            CheckerMode::Fine => match access.object {
+                Some(obj) => (obj, access.addr),
+                None => return Err(self.deny(access, None, DenyReason::BadProvenance)),
+            },
+            CheckerMode::Coarse => {
+                let (obj, phys) = self.config.base.coarse_split_address(access.addr);
+                (ObjectId(obj), phys)
+            }
+        };
+        let Some(cap) = self.backing.get(&(access.task, object)).copied() else {
+            return Err(self.deny(access, Some(object), DenyReason::NoEntry));
+        };
+        self.touch((access.task, object));
+        let needed = match access.kind {
+            AccessKind::Read => cheri::Perms::LOAD,
+            AccessKind::Write => cheri::Perms::STORE,
+        };
+        match cap.check_access(phys, access.len, needed) {
+            Ok(()) => Ok(()),
+            Err(fault) => Err(self.deny(access, Some(object), DenyReason::Capability(fault))),
+        }
+    }
+
+    fn entries_in_use(&self) -> usize {
+        self.config.cache_entries.min(self.backing.len())
+    }
+
+    fn translate(&self, addr: u64) -> u64 {
+        match self.config.base.mode {
+            CheckerMode::Fine => addr,
+            CheckerMode::Coarse => self.config.base.coarse_split_address(addr).1,
+        }
+    }
+}
+
+impl fmt::Display for CachedCapChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CachedCapChecker[{}] {} backing entries, {:.1}% miss ratio",
+            self.config.base.mode.label(),
+            self.backing.len(),
+            self.stats.miss_ratio() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Perms;
+    use hetsim::MasterId;
+
+    fn rw(base: u64, len: u64) -> Capability {
+        Capability::root()
+            .set_bounds(base, len)
+            .unwrap()
+            .and_perms(Perms::RW)
+            .unwrap()
+    }
+
+    fn read(task: u32, addr: u64, obj: u16) -> Access {
+        Access::read(MasterId(1), TaskId(task), addr, 4).with_object(ObjectId(obj))
+    }
+
+    #[test]
+    fn no_capacity_stall_even_past_256_entries() {
+        let mut c = CachedCapChecker::new(CachedCheckerConfig::default());
+        for i in 0..1000u32 {
+            c.grant(TaskId(i), ObjectId(0), &rw(u64::from(i) * 64, 64))
+                .unwrap();
+        }
+        assert_eq!(c.backing_entries(), 1000);
+        // And every one of them is checkable.
+        assert!(c.check(&read(999, 999 * 64, 0)).is_ok());
+        assert!(c.check(&read(0, 0, 0)).is_ok());
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_set() {
+        let mut c = CachedCapChecker::new(CachedCheckerConfig {
+            cache_entries: 2,
+            ..CachedCheckerConfig::default()
+        });
+        for i in 0..3u32 {
+            c.grant(TaskId(i), ObjectId(0), &rw(u64::from(i) * 64, 64))
+                .unwrap();
+        }
+        c.check(&read(0, 0, 0)).unwrap(); // miss
+        c.check(&read(0, 4, 0)).unwrap(); // hit
+        c.check(&read(1, 64, 0)).unwrap(); // miss
+        c.check(&read(2, 128, 0)).unwrap(); // miss (evicts task 0)
+        c.check(&read(0, 8, 0)).unwrap(); // miss again
+        let s = c.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 4));
+        assert!(s.miss_ratio() > 0.5);
+    }
+
+    #[test]
+    fn security_is_identical_to_the_fixed_table() {
+        let mut c = CachedCapChecker::new(CachedCheckerConfig::default());
+        c.grant(TaskId(1), ObjectId(0), &rw(0x1000, 64)).unwrap();
+        // Bounds violation.
+        let denial = c.check(&read(1, 0x2000, 0)).unwrap_err();
+        assert!(matches!(denial.reason, DenyReason::Capability(_)));
+        assert!(c.exception_flag());
+        assert_eq!(c.exceptions(), &[(TaskId(1), ObjectId(0))]);
+        // Wrong task.
+        assert_eq!(
+            c.check(&read(2, 0x1000, 0)).unwrap_err().reason,
+            DenyReason::NoEntry
+        );
+        // Sealed capabilities rejected at import.
+        let sealed = Capability::root().seal(9).unwrap();
+        assert_eq!(
+            c.grant(TaskId(1), ObjectId(1), &sealed),
+            Err(GrantError::InvalidCapability)
+        );
+    }
+
+    #[test]
+    fn revoke_shoots_down_cached_entries() {
+        let mut c = CachedCapChecker::new(CachedCheckerConfig::default());
+        c.grant(TaskId(1), ObjectId(0), &rw(0x1000, 64)).unwrap();
+        c.check(&read(1, 0x1000, 0)).unwrap(); // cache it
+        c.revoke_task(TaskId(1));
+        // The cached copy must not outlive the grant.
+        assert_eq!(
+            c.check(&read(1, 0x1000, 0)).unwrap_err().reason,
+            DenyReason::NoEntry
+        );
+        assert_eq!(c.backing_entries(), 0);
+    }
+
+    #[test]
+    fn effective_latency_tracks_miss_ratio() {
+        let mut c = CachedCapChecker::new(CachedCheckerConfig {
+            cache_entries: 1,
+            miss_penalty: 40,
+            base: CheckerConfig::fine(),
+        });
+        c.grant(TaskId(1), ObjectId(0), &rw(0, 64)).unwrap();
+        c.grant(TaskId(1), ObjectId(1), &rw(64, 64)).unwrap();
+        // Alternate: every access misses.
+        for _ in 0..8 {
+            c.check(&read(1, 0, 0)).unwrap();
+            c.check(&read(1, 64, 1)).unwrap();
+        }
+        assert!(c.effective_latency() > 40.0);
+    }
+
+    #[test]
+    fn coarse_mode_translation_works_too() {
+        let cfg = CachedCheckerConfig {
+            base: CheckerConfig::coarse(),
+            ..Default::default()
+        };
+        let mut c = CachedCapChecker::new(cfg);
+        c.grant(TaskId(1), ObjectId(3), &rw(0x4000, 64)).unwrap();
+        let tagged = cfg.base.coarse_tag_address(3, 0x4010);
+        let a = Access::read(MasterId(1), TaskId(1), tagged, 4);
+        assert!(c.check(&a).is_ok());
+        assert_eq!(c.translate(tagged), 0x4010);
+    }
+}

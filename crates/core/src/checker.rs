@@ -1,0 +1,513 @@
+//! The CapChecker itself — Figure 5's hardware block.
+//!
+//! The checker sits between the accelerator functional units and the
+//! memory controller. It holds imported capabilities in a
+//! [`CapabilityTable`], decodes them, and vets every DMA request:
+//!
+//! 1. recover the object identity (port metadata in *Fine* mode, top
+//!    address bits in *Coarse* mode);
+//! 2. fetch and decode the `(task, object)` capability;
+//! 3. check tag, permissions, and bounds;
+//! 4. grant — or raise an exception: set the global flag, set the entry's
+//!    exception bit, and refuse the request.
+//!
+//! Writes that *are* granted still clear memory tags downstream (the
+//! system's write path is capability-unaware), which is what makes
+//! capability forging by DMA impossible.
+//!
+//! Capabilities arrive from the CHERI CPU over a dedicated capability
+//! interconnect, exposed here as an MMIO register map ([`regs`]).
+
+use crate::config::{CheckerConfig, CheckerMode};
+use crate::table::{CapabilityTable, TableEntry};
+use cheri::{Capability, CompressedCapability, Perms};
+use hetsim::mmio::MmioDevice;
+use hetsim::{Access, AccessKind, Denial, DenyReason, ObjectId, TaskId};
+use ioprotect::{GrantError, Granularity, IoProtection, MechanismProperties};
+use std::fmt;
+
+/// MMIO register offsets of the capability-import interface.
+pub mod regs {
+    /// Write: low 64 bits of the staged compressed capability.
+    pub const CAP_LO: u64 = 0x00;
+    /// Write: high 64 bits (the address field).
+    pub const CAP_HI: u64 = 0x08;
+    /// Write: staged tag (bit 0).
+    pub const TAG: u64 = 0x10;
+    /// Write: staged task ID.
+    pub const TASK: u64 = 0x18;
+    /// Write: staged object ID.
+    pub const OBJECT: u64 = 0x20;
+    /// Write: commit the staged capability; read: last commit status.
+    pub const COMMIT: u64 = 0x28;
+    /// Read: global exception flag; write: clear it.
+    pub const EXCEPTION: u64 = 0x30;
+    /// Write: evict every entry of the given task ID.
+    pub const EVICT_TASK: u64 = 0x38;
+    /// Read: occupied entry count.
+    pub const OCCUPANCY: u64 = 0x40;
+    /// Read: requests granted since reset (hardware performance counter).
+    pub const GRANTED: u64 = 0x48;
+    /// Read: requests denied since reset.
+    pub const DENIED: u64 = 0x50;
+    /// Read: capability installs since reset.
+    pub const INSTALLS: u64 = 0x58;
+
+    /// COMMIT status: installed.
+    pub const STATUS_OK: u64 = 0;
+    /// COMMIT status: table full (allocation must stall or evict).
+    pub const STATUS_FULL: u64 = 1;
+    /// COMMIT status: staged capability was invalid (tag clear or sealed).
+    pub const STATUS_INVALID: u64 = 2;
+}
+
+/// Running counters of the checker's data path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckerStats {
+    /// Requests granted.
+    pub granted: u64,
+    /// Requests refused.
+    pub denied: u64,
+    /// Capabilities installed over the lifetime of the checker.
+    pub installs: u64,
+    /// Install attempts that found the table full.
+    pub install_stalls: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Staging {
+    lo: u64,
+    hi: u64,
+    tag: bool,
+    task: u32,
+    object: u16,
+    status: u64,
+}
+
+/// The CAPability Checker.
+///
+/// # Examples
+///
+/// ```
+/// use capchecker::{CapChecker, CheckerConfig};
+/// use cheri::{Capability, Perms};
+/// use hetsim::{Access, MasterId, ObjectId, TaskId};
+/// use ioprotect::IoProtection;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut checker = CapChecker::new(CheckerConfig::fine());
+/// let cap = Capability::root().set_bounds(0x1000, 256)?.and_perms(Perms::RW)?;
+/// checker.grant(TaskId(1), ObjectId(0), &cap)?;
+///
+/// let ok = Access::read(MasterId(1), TaskId(1), 0x1000, 16).with_object(ObjectId(0));
+/// assert!(checker.check(&ok).is_ok());
+///
+/// let oob = Access::read(MasterId(1), TaskId(1), 0x1100, 16).with_object(ObjectId(0));
+/// assert!(checker.check(&oob).is_err());
+/// assert!(checker.exception_flag());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CapChecker {
+    config: CheckerConfig,
+    table: CapabilityTable,
+    staging: Staging,
+    exception_flag: bool,
+    stats: CheckerStats,
+}
+
+impl CapChecker {
+    /// Builds a checker with the given hardware configuration.
+    #[must_use]
+    pub fn new(config: CheckerConfig) -> CapChecker {
+        CapChecker {
+            table: CapabilityTable::new(config.entries),
+            config,
+            staging: Staging::default(),
+            exception_flag: false,
+            stats: CheckerStats::default(),
+        }
+    }
+
+    /// The hardware configuration.
+    #[must_use]
+    pub fn config(&self) -> &CheckerConfig {
+        &self.config
+    }
+
+    /// The provenance mode.
+    #[must_use]
+    pub fn mode(&self) -> CheckerMode {
+        self.config.mode
+    }
+
+    /// The global exception flag (the CPU polls this).
+    #[must_use]
+    pub fn exception_flag(&self) -> bool {
+        self.exception_flag
+    }
+
+    /// Clears the global exception flag.
+    pub fn clear_exception_flag(&mut self) {
+        self.exception_flag = false;
+    }
+
+    /// Data-path counters.
+    #[must_use]
+    pub fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    /// Read access to the capability table (audits, Figure 12 counting).
+    #[must_use]
+    pub fn table(&self) -> &CapabilityTable {
+        &self.table
+    }
+
+    /// Entries of `task` whose exception bit is set — the software trace
+    /// of which pointer misbehaved.
+    pub fn exception_entries(&self, task: TaskId) -> Vec<TableEntry> {
+        self.table.exceptions_for(task).copied().collect()
+    }
+
+    /// The physical address a granted request should use (strips the
+    /// Coarse object bits; identity in Fine mode).
+    #[must_use]
+    pub fn physical_address(&self, addr: u64) -> u64 {
+        match self.config.mode {
+            CheckerMode::Fine => addr,
+            CheckerMode::Coarse => self.config.coarse_split_address(addr).1,
+        }
+    }
+
+    fn required_perms(kind: AccessKind) -> Perms {
+        match kind {
+            AccessKind::Read => Perms::LOAD,
+            AccessKind::Write => Perms::STORE,
+        }
+    }
+
+    fn deny(&mut self, access: &Access, object: Option<ObjectId>, reason: DenyReason) -> Denial {
+        self.exception_flag = true;
+        self.stats.denied += 1;
+        if let Some(obj) = object {
+            self.table.mark_exception(access.task, obj);
+        }
+        Denial {
+            access: *access,
+            reason,
+        }
+    }
+
+    fn resolve_object(&self, access: &Access) -> Result<(ObjectId, u64), DenyReason> {
+        match self.config.mode {
+            CheckerMode::Fine => match access.object {
+                Some(obj) => Ok((obj, access.addr)),
+                // Fine hardware cannot check a request with no provenance.
+                None => Err(DenyReason::BadProvenance),
+            },
+            CheckerMode::Coarse => {
+                let (obj, phys) = self.config.coarse_split_address(access.addr);
+                Ok((ObjectId(obj), phys))
+            }
+        }
+    }
+}
+
+impl IoProtection for CapChecker {
+    fn name(&self) -> &'static str {
+        match self.config.mode {
+            CheckerMode::Fine => "CapChecker-Fine",
+            CheckerMode::Coarse => "CapChecker-Coarse",
+        }
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        MechanismProperties::cheri()
+    }
+
+    fn granularity(&self) -> Granularity {
+        match self.config.mode {
+            CheckerMode::Fine => Granularity::Object,
+            // Object bits in addresses are attacker-influencable, so the
+            // guaranteed separation is per task (Table 3, §5.2.3).
+            CheckerMode::Coarse => Granularity::Task,
+        }
+    }
+
+    fn grant(
+        &mut self,
+        task: TaskId,
+        object: ObjectId,
+        cap: &Capability,
+    ) -> Result<(), GrantError> {
+        if !cap.is_valid() || cap.is_sealed() {
+            return Err(GrantError::InvalidCapability);
+        }
+        self.stats.installs += 1;
+        match self.table.install(task, object, *cap) {
+            Some(_) => Ok(()),
+            None => {
+                self.stats.install_stalls += 1;
+                Err(GrantError::TableFull)
+            }
+        }
+    }
+
+    fn revoke_task(&mut self, task: TaskId) {
+        self.table.evict_task(task);
+    }
+
+    fn check(&mut self, access: &Access) -> Result<(), Denial> {
+        let (object, phys) = match self.resolve_object(access) {
+            Ok(pair) => pair,
+            Err(reason) => return Err(self.deny(access, None, reason)),
+        };
+        let Some(entry) = self.table.lookup(access.task, object) else {
+            return Err(self.deny(access, Some(object), DenyReason::NoEntry));
+        };
+        let needed = CapChecker::required_perms(access.kind);
+        match entry.capability.check_access(phys, access.len, needed) {
+            Ok(()) => {
+                self.stats.granted += 1;
+                Ok(())
+            }
+            Err(fault) => Err(self.deny(access, Some(object), DenyReason::Capability(fault))),
+        }
+    }
+
+    fn entries_in_use(&self) -> usize {
+        self.table.occupied()
+    }
+
+    fn translate(&self, addr: u64) -> u64 {
+        self.physical_address(addr)
+    }
+}
+
+impl MmioDevice for CapChecker {
+    fn mmio_read(&mut self, offset: u64) -> u64 {
+        match offset {
+            regs::COMMIT => self.staging.status,
+            regs::EXCEPTION => u64::from(self.exception_flag),
+            regs::OCCUPANCY => self.table.occupied() as u64,
+            regs::GRANTED => self.stats.granted,
+            regs::DENIED => self.stats.denied,
+            regs::INSTALLS => self.stats.installs,
+            _ => 0,
+        }
+    }
+
+    fn mmio_write(&mut self, offset: u64, value: u64) {
+        match offset {
+            regs::CAP_LO => self.staging.lo = value,
+            regs::CAP_HI => self.staging.hi = value,
+            regs::TAG => self.staging.tag = value & 1 == 1,
+            regs::TASK => self.staging.task = value as u32,
+            regs::OBJECT => self.staging.object = value as u16,
+            regs::COMMIT => {
+                let bits = (u128::from(self.staging.hi) << 64) | u128::from(self.staging.lo);
+                let cap = CompressedCapability::from_bits(bits).decode(self.staging.tag);
+                let task = TaskId(self.staging.task);
+                let object = ObjectId(self.staging.object);
+                self.staging.status = match self.grant(task, object, &cap) {
+                    Ok(()) => regs::STATUS_OK,
+                    Err(GrantError::TableFull) => regs::STATUS_FULL,
+                    Err(_) => regs::STATUS_INVALID,
+                };
+            }
+            regs::EXCEPTION => self.exception_flag = false,
+            regs::EVICT_TASK => self.revoke_task(TaskId(value as u32)),
+            _ => {}
+        }
+    }
+}
+
+impl fmt::Display for CapChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CapChecker[{}] {}/{} entries, exc={}",
+            self.config.mode.label(),
+            self.table.occupied(),
+            self.table.capacity(),
+            self.exception_flag
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::CapFault;
+    use hetsim::MasterId;
+
+    fn rw_cap(base: u64, len: u64) -> Capability {
+        Capability::root()
+            .set_bounds(base, len)
+            .unwrap()
+            .and_perms(Perms::RW)
+            .unwrap()
+    }
+
+    fn fine_checker_with_two_buffers() -> CapChecker {
+        let mut c = CapChecker::new(CheckerConfig::fine());
+        c.grant(TaskId(1), ObjectId(0), &rw_cap(0x1000, 0x100))
+            .unwrap();
+        c.grant(TaskId(1), ObjectId(1), &rw_cap(0x3000, 0x100))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn fine_mode_blocks_cross_object_access() {
+        let mut c = fine_checker_with_two_buffers();
+        // Reading buffer 1's memory with buffer 0's pointer: the
+        // principle of intentional use.
+        let cross = Access::read(MasterId(1), TaskId(1), 0x3000, 4).with_object(ObjectId(0));
+        let denial = c.check(&cross).unwrap_err();
+        assert!(matches!(
+            denial.reason,
+            DenyReason::Capability(CapFault::BoundsViolation { .. })
+        ));
+        assert!(c.exception_flag());
+        // And the offending pointer is traceable.
+        let excs = c.exception_entries(TaskId(1));
+        assert_eq!(excs.len(), 1);
+        assert_eq!(excs[0].object, ObjectId(0));
+    }
+
+    #[test]
+    fn fine_mode_requires_provenance() {
+        let mut c = fine_checker_with_two_buffers();
+        let anon = Access::read(MasterId(1), TaskId(1), 0x1000, 4);
+        assert_eq!(
+            c.check(&anon).unwrap_err().reason,
+            DenyReason::BadProvenance
+        );
+    }
+
+    #[test]
+    fn coarse_mode_recovers_object_from_address() {
+        let cfg = CheckerConfig::coarse();
+        let mut c = CapChecker::new(cfg);
+        c.grant(TaskId(1), ObjectId(2), &rw_cap(0x1000, 0x100))
+            .unwrap();
+        let tagged = cfg.coarse_tag_address(2, 0x1040);
+        let a = Access::read(MasterId(1), TaskId(1), tagged, 4);
+        assert!(c.check(&a).is_ok());
+        assert_eq!(c.physical_address(tagged), 0x1040);
+        // Out of bounds within the right object still faults.
+        let oob = Access::read(MasterId(1), TaskId(1), cfg.coarse_tag_address(2, 0x1100), 4);
+        assert!(c.check(&oob).is_err());
+    }
+
+    #[test]
+    fn coarse_mode_still_separates_tasks() {
+        let cfg = CheckerConfig::coarse();
+        let mut c = CapChecker::new(cfg);
+        c.grant(TaskId(1), ObjectId(0), &rw_cap(0x1000, 0x100))
+            .unwrap();
+        // Task 2 forging task 1's object bits gets nothing: the task ID
+        // comes from the interconnect source, not the address.
+        let forged = Access::read(MasterId(2), TaskId(2), cfg.coarse_tag_address(0, 0x1000), 4);
+        assert_eq!(c.check(&forged).unwrap_err().reason, DenyReason::NoEntry);
+    }
+
+    #[test]
+    fn write_needs_store_permission() {
+        let mut c = CapChecker::new(CheckerConfig::fine());
+        let ro = Capability::root()
+            .set_bounds(0x1000, 64)
+            .unwrap()
+            .and_perms(Perms::LOAD)
+            .unwrap();
+        c.grant(TaskId(1), ObjectId(0), &ro).unwrap();
+        let w = Access::write(MasterId(1), TaskId(1), 0x1000, 4).with_object(ObjectId(0));
+        let denial = c.check(&w).unwrap_err();
+        assert!(matches!(
+            denial.reason,
+            DenyReason::Capability(CapFault::PermissionViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn mmio_install_path_works_end_to_end() {
+        let mut c = CapChecker::new(CheckerConfig::fine());
+        let cap = rw_cap(0x2000, 128);
+        let bits = cap.compress().bits();
+        c.mmio_write(regs::CAP_LO, bits as u64);
+        c.mmio_write(regs::CAP_HI, (bits >> 64) as u64);
+        c.mmio_write(regs::TAG, 1);
+        c.mmio_write(regs::TASK, 7);
+        c.mmio_write(regs::OBJECT, 3);
+        c.mmio_write(regs::COMMIT, 1);
+        assert_eq!(c.mmio_read(regs::COMMIT), regs::STATUS_OK);
+        assert_eq!(c.mmio_read(regs::OCCUPANCY), 1);
+        let a = Access::read(MasterId(1), TaskId(7), 0x2000, 8).with_object(ObjectId(3));
+        assert!(c.check(&a).is_ok());
+    }
+
+    #[test]
+    fn mmio_rejects_untagged_capability() {
+        // An attacker replaying capability bits without the tag gets
+        // STATUS_INVALID: unforgeability survives the import path.
+        let mut c = CapChecker::new(CheckerConfig::fine());
+        let bits = rw_cap(0x2000, 128).compress().bits();
+        c.mmio_write(regs::CAP_LO, bits as u64);
+        c.mmio_write(regs::CAP_HI, (bits >> 64) as u64);
+        c.mmio_write(regs::TAG, 0);
+        c.mmio_write(regs::TASK, 7);
+        c.mmio_write(regs::OBJECT, 3);
+        c.mmio_write(regs::COMMIT, 1);
+        assert_eq!(c.mmio_read(regs::COMMIT), regs::STATUS_INVALID);
+        assert_eq!(c.entries_in_use(), 0);
+    }
+
+    #[test]
+    fn mmio_exception_flag_read_and_clear() {
+        let mut c = fine_checker_with_two_buffers();
+        let bad = Access::read(MasterId(1), TaskId(1), 0xffff, 4).with_object(ObjectId(0));
+        let _ = c.check(&bad);
+        assert_eq!(c.mmio_read(regs::EXCEPTION), 1);
+        c.mmio_write(regs::EXCEPTION, 0);
+        assert_eq!(c.mmio_read(regs::EXCEPTION), 0);
+    }
+
+    #[test]
+    fn mmio_evict_task_frees_entries() {
+        let mut c = fine_checker_with_two_buffers();
+        c.mmio_write(regs::EVICT_TASK, 1);
+        assert_eq!(c.entries_in_use(), 0);
+    }
+
+    #[test]
+    fn stats_count_grants_and_denials() {
+        let mut c = fine_checker_with_two_buffers();
+        let ok = Access::read(MasterId(1), TaskId(1), 0x1000, 4).with_object(ObjectId(0));
+        let bad = Access::read(MasterId(1), TaskId(1), 0x3000, 4).with_object(ObjectId(0));
+        c.check(&ok).unwrap();
+        let _ = c.check(&bad);
+        let s = c.stats();
+        assert_eq!((s.granted, s.denied), (1, 1));
+        // And the CPU can read the same counters over MMIO.
+        assert_eq!(c.mmio_read(regs::GRANTED), 1);
+        assert_eq!(c.mmio_read(regs::DENIED), 1);
+        assert_eq!(c.mmio_read(regs::INSTALLS), 2);
+    }
+
+    #[test]
+    fn table_full_is_a_stall() {
+        let mut c = CapChecker::new(CheckerConfig {
+            entries: 1,
+            ..CheckerConfig::fine()
+        });
+        c.grant(TaskId(1), ObjectId(0), &rw_cap(0, 64)).unwrap();
+        assert_eq!(
+            c.grant(TaskId(1), ObjectId(1), &rw_cap(64, 64)),
+            Err(GrantError::TableFull)
+        );
+        assert_eq!(c.stats().install_stalls, 1);
+    }
+}

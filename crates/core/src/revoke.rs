@@ -1,0 +1,125 @@
+//! Capability revocation sweeping.
+//!
+//! The CapChecker handles the *accelerator* side of temporal safety:
+//! deallocation evicts the task's table entries, so stale DMA dies at the
+//! checker. But a CHERI **CPU** may still hold — or have spilled to
+//! memory — capabilities into the freed region, and "capabilities …
+//! are revoked asynchronously by software" (§7.2). This module is that
+//! software: a sweep over the shadow tag map that invalidates every
+//! in-memory capability whose authority intersects a freed region.
+//!
+//! The sweep only ever *clears* tags — it is monotonic by construction
+//! and cannot mint authority — so running it is always safe.
+
+use cheri::{Capability, CAP_SIZE_BYTES};
+use hetsim::TaggedMemory;
+
+/// Result of one revocation sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Capability-aligned granules inspected.
+    pub granules_scanned: u64,
+    /// Valid capabilities found.
+    pub capabilities_found: u64,
+    /// Capabilities whose tags were cleared because their bounds
+    /// intersected the revoked region.
+    pub revoked: u64,
+}
+
+/// Returns `true` if `cap`'s authority intersects `[base, base + len)`.
+fn intersects(cap: &Capability, base: u64, len: u64) -> bool {
+    let lo = u128::from(base);
+    let hi = lo + u128::from(len);
+    u128::from(cap.base()) < hi && cap.top() > lo
+}
+
+/// Sweeps all of `mem`, clearing the tag of every valid in-memory
+/// capability that could still authorize access to the revoked region.
+///
+/// This is the load-barrier-free, stop-the-world variant: correct and
+/// simple, O(memory). Production systems amortize it (CHERIoT's load
+/// filter, Cornucopia's epochs); the sweep's *effect* is identical.
+#[must_use]
+pub fn sweep_revoked(mem: &mut TaggedMemory, base: u64, len: u64) -> SweepReport {
+    sweep_revoked_many(mem, &[(base, len)])
+}
+
+/// One pass over memory revoking capabilities into *any* of `regions`
+/// (a task's scattered buffers die in a single sweep).
+#[must_use]
+pub fn sweep_revoked_many(mem: &mut TaggedMemory, regions: &[(u64, u64)]) -> SweepReport {
+    let mut report = SweepReport::default();
+    let mut addr = 0u64;
+    while addr + CAP_SIZE_BYTES <= mem.size() {
+        report.granules_scanned += 1;
+        if mem.tag(addr) {
+            let (bits, tag) = mem.read_capability(addr).expect("aligned in-range read");
+            debug_assert!(tag);
+            report.capabilities_found += 1;
+            let cap = bits.decode(true);
+            if regions
+                .iter()
+                .any(|(base, len)| intersects(&cap, *base, *len))
+            {
+                mem.clear_tags(addr, CAP_SIZE_BYTES);
+                report.revoked += 1;
+            }
+        }
+        addr += CAP_SIZE_BYTES;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Perms;
+
+    fn spill(mem: &mut TaggedMemory, at: u64, base: u64, len: u64) {
+        let cap = Capability::root()
+            .set_bounds(base, len)
+            .unwrap()
+            .and_perms(Perms::RW)
+            .unwrap();
+        mem.write_capability(at, cap.compress(), true).unwrap();
+    }
+
+    #[test]
+    fn sweep_kills_exactly_the_intersecting_capabilities() {
+        let mut mem = TaggedMemory::new(64 * 1024);
+        spill(&mut mem, 0x100, 0x4000, 0x100); // inside the freed region
+        spill(&mut mem, 0x110, 0x3ff0, 0x20); // straddles its start
+        spill(&mut mem, 0x120, 0x8000, 0x100); // unrelated
+        spill(&mut mem, 0x130, 0x40f0, 0x20); // straddles its end
+
+        let report = sweep_revoked(&mut mem, 0x4000, 0x100);
+        assert_eq!(report.capabilities_found, 4);
+        assert_eq!(report.revoked, 3);
+        assert!(!mem.tag(0x100));
+        assert!(!mem.tag(0x110));
+        assert!(mem.tag(0x120), "the unrelated capability must survive");
+        assert!(!mem.tag(0x130));
+    }
+
+    #[test]
+    fn sweep_is_idempotent_and_monotonic() {
+        let mut mem = TaggedMemory::new(16 * 1024);
+        spill(&mut mem, 0x40, 0x1000, 0x100);
+        let first = sweep_revoked(&mut mem, 0x1000, 0x100);
+        assert_eq!(first.revoked, 1);
+        let second = sweep_revoked(&mut mem, 0x1000, 0x100);
+        assert_eq!(second.revoked, 0, "nothing left to revoke");
+        assert_eq!(mem.tag_count(), 0);
+    }
+
+    #[test]
+    fn adjacent_regions_do_not_intersect() {
+        let mut mem = TaggedMemory::new(16 * 1024);
+        spill(&mut mem, 0x40, 0x1000, 0x100); // [0x1000, 0x1100)
+                                              // Revoking the region that *ends* at its base and the one that
+                                              // *starts* at its top leaves it alone.
+        assert_eq!(sweep_revoked(&mut mem, 0xf00, 0x100).revoked, 0);
+        assert_eq!(sweep_revoked(&mut mem, 0x1100, 0x100).revoked, 0);
+        assert!(mem.tag(0x40));
+    }
+}

@@ -1,0 +1,1235 @@
+//! The heterogeneous system and its trusted software driver.
+//!
+//! [`HeteroSystem`] assembles the prototype of Figure 2: tagged main
+//! memory, a CPU (plain or CHERI), accelerator functional units with MMIO
+//! control registers, and a protection mechanism on the accelerator DMA
+//! path — the CapChecker, one of the baselines, or nothing.
+//!
+//! The driver half implements Figure 6 faithfully:
+//!
+//! * **allocation** ① — find a free functional unit of the right class
+//!   (or fail, where the paper's driver stalls), allocate buffers on the
+//!   shared heap, derive their capabilities in the provenance tree, import
+//!   them into the CapChecker over MMIO, and load the accelerator's base
+//!   pointers (object-tagged in Coarse mode);
+//! * **execution** — run the task's kernel through the protected path;
+//! * **deallocation** ② — evict the task's capabilities, clear the control
+//!   registers so the next task inherits nothing, scrub buffer data if an
+//!   exception was raised, release the FU, and report the exception.
+
+use crate::alloc::HeapAllocator;
+use crate::checker::CapChecker;
+use crate::config::{CheckerConfig, CheckerMode};
+use crate::engines::{CpuEngine, ProtectedEngine, Provenance};
+use cheri::{compressed, Capability, CapabilityTree, NodeId, ObjectKind, Perms};
+use hetsim::mmio::RegisterFile;
+use hetsim::{
+    Cycles, Denial, Engine, ExecFault, MasterId, ObjectId, TaggedMemory, TaskId, TaskLayout, Trace,
+};
+use ioprotect::{
+    GrantError, Granularity, IoProtection, Iommu, IommuConfig, Iopmp, IopmpConfig, NoProtection,
+    Snpu,
+};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Which mechanism guards the accelerator DMA path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtectionChoice {
+    /// Nothing: the traditional embedded system.
+    None,
+    /// A RISC-V IOPMP.
+    Iopmp(IopmpConfig),
+    /// A page-granular IOMMU.
+    Iommu(IommuConfig),
+    /// An sNPU-style task-window checker.
+    Snpu,
+    /// The CapChecker (Fine or Coarse per its config).
+    CapChecker(CheckerConfig),
+    /// The cache-backed CapChecker variant (§5.2.3's microarchitectural
+    /// option): a small LRU cache over a memory-resident table.
+    CachedCapChecker(crate::cached::CachedCheckerConfig),
+}
+
+/// System-level configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Physical memory size in bytes.
+    pub mem_size: u64,
+    /// First heap byte available to the driver's allocator.
+    pub heap_base: u64,
+    /// Whether the CPU is CHERI-extended (checks its own accesses).
+    pub cheri_cpu: bool,
+    /// Protection on the accelerator path.
+    pub protection: ProtectionChoice,
+    /// Latency of one control-register MMIO write.
+    pub mmio_write_cycles: Cycles,
+    /// Run a capability-revocation sweep over memory when a task's
+    /// buffers are freed, invalidating any CPU-spilled capabilities into
+    /// the region (temporal safety beyond the checker's eviction).
+    pub revocation_sweep: bool,
+    /// Unmapped guard bytes the allocator leaves after every buffer — the
+    /// §5.2.3 safeguard that turns an *accidental* contiguous overflow in
+    /// Coarse mode into a fault instead of a silent hit on the next
+    /// buffer. (It cannot stop deliberate address forging; Table 3 still
+    /// scores Coarse "TA".)
+    pub guard_bytes: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig {
+            mem_size: 64 << 20,
+            heap_base: 1 << 20,
+            cheri_cpu: true,
+            protection: ProtectionChoice::CapChecker(CheckerConfig::fine()),
+            mmio_write_cycles: 30,
+            revocation_sweep: true,
+            guard_bytes: 0,
+        }
+    }
+}
+
+/// The five system configurations compared in §6.3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemVariant {
+    /// Plain CPU only.
+    Cpu,
+    /// CHERI CPU only.
+    CheriCpu,
+    /// Plain CPU + unprotected accelerators.
+    CpuAccel,
+    /// CHERI CPU + unprotected accelerators.
+    CheriCpuAccel,
+    /// CHERI CPU + CapChecker-guarded accelerators (this paper).
+    CheriCpuCheriAccel,
+}
+
+impl SystemVariant {
+    /// All five, in the paper's order.
+    pub const ALL: [SystemVariant; 5] = [
+        SystemVariant::Cpu,
+        SystemVariant::CheriCpu,
+        SystemVariant::CpuAccel,
+        SystemVariant::CheriCpuAccel,
+        SystemVariant::CheriCpuCheriAccel,
+    ];
+
+    /// The paper's label for this configuration.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemVariant::Cpu => "cpu",
+            SystemVariant::CheriCpu => "ccpu",
+            SystemVariant::CpuAccel => "cpu+accel",
+            SystemVariant::CheriCpuAccel => "ccpu+accel",
+            SystemVariant::CheriCpuCheriAccel => "ccpu+caccel",
+        }
+    }
+
+    /// Whether this variant executes the kernel on the accelerator.
+    #[must_use]
+    pub fn uses_accelerator(self) -> bool {
+        !matches!(self, SystemVariant::Cpu | SystemVariant::CheriCpu)
+    }
+
+    /// Whether the CPU is CHERI-extended.
+    #[must_use]
+    pub fn cheri_cpu(self) -> bool {
+        !matches!(self, SystemVariant::Cpu | SystemVariant::CpuAccel)
+    }
+
+    /// The corresponding [`SystemConfig`].
+    #[must_use]
+    pub fn config(self) -> SystemConfig {
+        SystemConfig {
+            cheri_cpu: self.cheri_cpu(),
+            protection: if self == SystemVariant::CheriCpuCheriAccel {
+                ProtectionChoice::CapChecker(CheckerConfig::fine())
+            } else {
+                ProtectionChoice::None
+            },
+            ..SystemConfig::default()
+        }
+    }
+}
+
+impl fmt::Display for SystemVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Driver-level failures.
+#[derive(Debug)]
+pub enum DriverError {
+    /// No free functional unit of the requested class (the paper's driver
+    /// stalls here; the simulator surfaces it).
+    NoFreeFu {
+        /// The FU class that was requested.
+        class: String,
+    },
+    /// The heap cannot satisfy a buffer allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+    },
+    /// The protection mechanism is out of entries.
+    ProtectionTableFull(GrantError),
+    /// A capability derivation failed.
+    Capability(cheri::CapFault),
+    /// The task ID is unknown (already deallocated?).
+    UnknownTask(TaskId),
+    /// The operation needs an accelerator task but this one has no FU.
+    NotAnAcceleratorTask(TaskId),
+    /// A host access fell outside the target buffer.
+    HostAccessOutOfBounds,
+    /// A kernel access left simulated physical memory (platform bug, not a
+    /// protection outcome).
+    Platform(hetsim::MemError),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::NoFreeFu { class } => {
+                write!(f, "no free functional unit of class {class:?}")
+            }
+            DriverError::OutOfMemory { requested } => {
+                write!(f, "heap cannot allocate {requested} bytes")
+            }
+            DriverError::ProtectionTableFull(e) => write!(f, "protection grant failed: {e}"),
+            DriverError::Capability(e) => write!(f, "capability derivation failed: {e}"),
+            DriverError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            DriverError::NotAnAcceleratorTask(t) => write!(f, "{t} has no functional unit"),
+            DriverError::HostAccessOutOfBounds => write!(f, "host access outside the buffer"),
+            DriverError::Platform(e) => write!(f, "platform fault: {e}"),
+        }
+    }
+}
+
+impl Error for DriverError {}
+
+impl From<cheri::CapFault> for DriverError {
+    fn from(e: cheri::CapFault) -> DriverError {
+        DriverError::Capability(e)
+    }
+}
+
+/// One buffer in a task request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferSpec {
+    /// Size in bytes.
+    pub size: u64,
+    /// Permissions delegated to the task for this buffer.
+    pub perms: Perms,
+}
+
+impl BufferSpec {
+    /// A read-write buffer (the common case).
+    #[must_use]
+    pub fn rw(size: u64) -> BufferSpec {
+        BufferSpec {
+            size,
+            perms: Perms::RW,
+        }
+    }
+
+    /// A read-only buffer.
+    #[must_use]
+    pub fn ro(size: u64) -> BufferSpec {
+        BufferSpec {
+            size,
+            perms: Perms::LOAD,
+        }
+    }
+}
+
+/// What an application asks the driver for (§5.3: "a set of objects, a
+/// pointer to the accelerator task, … and buffer sizes").
+#[derive(Clone, Debug)]
+pub struct TaskRequest {
+    /// Human-readable task name.
+    pub name: String,
+    /// The FU class needed, or `None` for a CPU-only task.
+    pub fu_class: Option<String>,
+    /// The buffers to allocate.
+    pub buffers: Vec<BufferSpec>,
+}
+
+impl TaskRequest {
+    /// Starts a request for an accelerator task of class `fu_class`.
+    #[must_use]
+    pub fn accel(name: impl Into<String>, fu_class: impl Into<String>) -> TaskRequest {
+        TaskRequest {
+            name: name.into(),
+            fu_class: Some(fu_class.into()),
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Starts a request for a CPU task.
+    #[must_use]
+    pub fn cpu(name: impl Into<String>) -> TaskRequest {
+        TaskRequest {
+            name: name.into(),
+            fu_class: None,
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Adds a buffer.
+    #[must_use]
+    pub fn buffer(mut self, spec: BufferSpec) -> TaskRequest {
+        self.buffers.push(spec);
+        self
+    }
+
+    /// Adds read-write buffers of the given sizes.
+    #[must_use]
+    pub fn rw_buffers(mut self, sizes: impl IntoIterator<Item = u64>) -> TaskRequest {
+        self.buffers.extend(sizes.into_iter().map(BufferSpec::rw));
+        self
+    }
+}
+
+/// The result of running a task's kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskOutcome {
+    /// `None` if the kernel ran to completion; the latched exception
+    /// otherwise.
+    pub denial: Option<Denial>,
+}
+
+impl TaskOutcome {
+    /// `true` when no exception was raised.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.denial.is_none()
+    }
+}
+
+/// The deallocation report handed back to the application (Figure 6 ②).
+#[derive(Clone, Debug)]
+pub struct TaskReport {
+    /// Task name.
+    pub name: String,
+    /// The exception that aborted the task, if any.
+    pub exception: Option<Denial>,
+    /// Objects whose table entries carried the exception bit.
+    pub offending_objects: Vec<ObjectId>,
+    /// Whether buffer data was scrubbed before the memory was freed.
+    pub scrubbed: bool,
+    /// CPU-spilled capabilities into the freed region that the
+    /// revocation sweep invalidated.
+    pub capabilities_revoked: u64,
+}
+
+#[derive(Debug)]
+struct Fu {
+    class: String,
+    busy: Option<TaskId>,
+    regs: RegisterFile,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    name: String,
+    fu: Option<usize>,
+    buffers: Vec<(u64, u64)>,
+    padded: Vec<(u64, u64)>,
+    caps: Vec<Capability>,
+    dynamic_nodes: Vec<NodeId>,
+    task_node: NodeId,
+    setup_cycles: Cycles,
+    trace: Option<Trace>,
+    fault: Option<Denial>,
+}
+
+enum Protection {
+    Checker(CapChecker),
+    Baseline(Box<dyn IoProtection>),
+}
+
+impl Protection {
+    fn as_dyn(&mut self) -> &mut dyn IoProtection {
+        match self {
+            Protection::Checker(c) => c,
+            Protection::Baseline(b) => b.as_mut(),
+        }
+    }
+
+    fn as_dyn_ref(&self) -> &dyn IoProtection {
+        match self {
+            Protection::Checker(c) => c,
+            Protection::Baseline(b) => b.as_ref(),
+        }
+    }
+}
+
+impl fmt::Debug for Protection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Protection({})", self.as_dyn_ref().name())
+    }
+}
+
+/// The assembled heterogeneous system: memory, CPU, FUs, protection, and
+/// the trusted driver.
+///
+/// # Examples
+///
+/// ```
+/// use capchecker::{BufferSpec, HeteroSystem, SystemConfig, TaskRequest};
+/// use hetsim::Engine;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut sys = HeteroSystem::new(SystemConfig::default());
+/// sys.add_fus("vadd", 1);
+///
+/// let task = sys.allocate_task(
+///     &TaskRequest::accel("demo", "vadd").rw_buffers([256, 256]),
+/// )?;
+/// sys.write_buffer(task, 0, 0, &[1; 256])?;
+/// let outcome = sys.run_accel_task(task, |eng| {
+///     for i in 0..64 {
+///         let x = eng.load_u32(0, i)?;
+///         eng.store_u32(1, i, x + 1)?;
+///         eng.compute(1);
+///     }
+///     Ok(())
+/// })?;
+/// assert!(outcome.completed());
+/// let report = sys.deallocate_task(task)?;
+/// assert!(report.exception.is_none());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HeteroSystem {
+    config: SystemConfig,
+    mem: TaggedMemory,
+    protection: Protection,
+    tree: CapabilityTree,
+    alloc: HeapAllocator,
+    fus: Vec<Fu>,
+    tasks: BTreeMap<TaskId, TaskState>,
+    next_task: u32,
+}
+
+impl HeteroSystem {
+    /// Builds the system described by `config`.
+    #[must_use]
+    pub fn new(config: SystemConfig) -> HeteroSystem {
+        let protection = match config.protection {
+            ProtectionChoice::None => Protection::Baseline(Box::new(NoProtection::new())),
+            ProtectionChoice::Iopmp(c) => Protection::Baseline(Box::new(Iopmp::new(c))),
+            ProtectionChoice::Iommu(c) => Protection::Baseline(Box::new(Iommu::new(c))),
+            ProtectionChoice::Snpu => Protection::Baseline(Box::new(Snpu::new())),
+            ProtectionChoice::CapChecker(c) => Protection::Checker(CapChecker::new(c)),
+            ProtectionChoice::CachedCapChecker(c) => {
+                Protection::Baseline(Box::new(crate::cached::CachedCapChecker::new(c)))
+            }
+        };
+        HeteroSystem {
+            mem: TaggedMemory::new(config.mem_size),
+            protection,
+            tree: CapabilityTree::new(),
+            alloc: HeapAllocator::new(config.heap_base, config.mem_size - config.heap_base),
+            fus: Vec::new(),
+            tasks: BTreeMap::new(),
+            next_task: 1,
+            config,
+        }
+    }
+
+    /// Registers `count` functional units of `class` (e.g. one per
+    /// accelerator instance — the paper uses eight).
+    pub fn add_fus(&mut self, class: &str, count: usize) {
+        for _ in 0..count {
+            self.fus.push(Fu {
+                class: class.to_owned(),
+                busy: None,
+                regs: RegisterFile::new(32),
+            });
+        }
+    }
+
+    /// The system configuration.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The simulated memory.
+    #[must_use]
+    pub fn memory(&self) -> &TaggedMemory {
+        &self.mem
+    }
+
+    /// Mutable memory access (host-side scaffolding in tests/benches).
+    pub fn memory_mut(&mut self) -> &mut TaggedMemory {
+        &mut self.mem
+    }
+
+    /// The CapChecker, if this system has one.
+    #[must_use]
+    pub fn checker(&self) -> Option<&CapChecker> {
+        match &self.protection {
+            Protection::Checker(c) => Some(c),
+            Protection::Baseline(_) => None,
+        }
+    }
+
+    /// The protection mechanism on the accelerator path.
+    #[must_use]
+    pub fn protection(&self) -> &dyn IoProtection {
+        self.protection.as_dyn_ref()
+    }
+
+    /// The capability provenance tree (Figure 4).
+    #[must_use]
+    pub fn tree(&self) -> &CapabilityTree {
+        &self.tree
+    }
+
+    /// Live task IDs, in creation order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks.keys().copied()
+    }
+
+    fn state(&self, task: TaskId) -> Result<&TaskState, DriverError> {
+        self.tasks.get(&task).ok_or(DriverError::UnknownTask(task))
+    }
+
+    /// Allocation ①: FU search, buffer allocation, capability derivation,
+    /// CapChecker import, control-register loading.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NoFreeFu`] when every FU of the class is busy,
+    /// [`DriverError::OutOfMemory`] when the heap is exhausted,
+    /// [`DriverError::ProtectionTableFull`] when the mechanism cannot hold
+    /// another entry (the hardware would stall; the driver surfaces it).
+    pub fn allocate_task(&mut self, req: &TaskRequest) -> Result<TaskId, DriverError> {
+        // ① step 1: find a suitable, available functional unit.
+        let fu = match &req.fu_class {
+            None => None,
+            Some(class) => {
+                let idx = self
+                    .fus
+                    .iter()
+                    .position(|f| f.busy.is_none() && &f.class == class)
+                    .ok_or_else(|| DriverError::NoFreeFu {
+                        class: class.clone(),
+                    })?;
+                Some(idx)
+            }
+        };
+
+        // ① step 2: allocate the buffers (padded so that every capability
+        // is exactly representable).
+        let mut buffers = Vec::with_capacity(req.buffers.len());
+        let mut padded = Vec::with_capacity(req.buffers.len());
+        let mut cap_sizes = Vec::with_capacity(req.buffers.len());
+        for spec in &req.buffers {
+            let (align, padded_size) = representable_block(spec.size);
+            let reserve = padded_size + self.config.guard_bytes;
+            match self.alloc.alloc(reserve, align) {
+                Some(base) => {
+                    buffers.push((base, spec.size));
+                    padded.push((base, reserve));
+                    cap_sizes.push(padded_size);
+                }
+                None => {
+                    for (base, size) in padded {
+                        self.alloc.free(base, size);
+                    }
+                    return Err(DriverError::OutOfMemory {
+                        requested: spec.size,
+                    });
+                }
+            }
+        }
+
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+
+        // Derive the task and buffer capabilities in the provenance tree.
+        let span = buffers
+            .iter()
+            .zip(&padded)
+            .fold((u64::MAX, 0u64), |(lo, hi), (&(b, _), &(_, ps))| {
+                (lo.min(b), hi.max(b + ps))
+            });
+        let kind = if fu.is_some() {
+            ObjectKind::AcceleratorTask
+        } else {
+            ObjectKind::CpuTask
+        };
+        let task_node = if buffers.is_empty() {
+            self.tree
+                .derive(self.tree.root(), kind, req.name.clone(), |c| Ok(*c))?
+        } else {
+            self.tree
+                .derive(self.tree.root(), kind, req.name.clone(), |c| {
+                    c.set_bounds(span.0, span.1 - span.0)
+                })?
+        };
+        let mut caps = Vec::with_capacity(buffers.len());
+        for (i, (&(base, _), &psize)) in buffers.iter().zip(&cap_sizes).enumerate() {
+            let perms = req.buffers[i].perms;
+            let node = self.tree.derive(
+                task_node,
+                ObjectKind::Buffer,
+                format!("{}:obj{}", req.name, i),
+                |c| c.set_bounds_exact(base, psize)?.and_perms(perms),
+            )?;
+            caps.push(*self.tree.capability(node));
+        }
+
+        // ① step 3: import the capabilities into the protection mechanism
+        // and account for the MMIO installation cost. On CapChecker
+        // systems the driver really does stage each capability over the
+        // capability interconnect's register map (Figure 6 ③).
+        let mut setup_cycles = 0;
+        if fu.is_some() {
+            for (i, cap) in caps.iter().enumerate() {
+                let result = match &mut self.protection {
+                    Protection::Checker(checker) => {
+                        install_over_mmio(checker, id, ObjectId(i as u16), cap)
+                    }
+                    Protection::Baseline(b) => b.grant(id, ObjectId(i as u16), cap),
+                };
+                if let Err(e) = result {
+                    self.protection.as_dyn().revoke_task(id);
+                    for (base, size) in padded {
+                        self.alloc.free(base, size);
+                    }
+                    self.tree.revoke(task_node);
+                    return Err(DriverError::ProtectionTableFull(e));
+                }
+            }
+            if let Protection::Checker(c) = &self.protection {
+                setup_cycles += caps.len() as Cycles * c.config().install_cycles();
+            }
+            // Control registers: one pointer per buffer plus start/config.
+            setup_cycles += (caps.len() as Cycles + 2) * self.config.mmio_write_cycles;
+        }
+
+        // Load the accelerator's base pointers into its control registers.
+        if let Some(fu_idx) = fu {
+            let coarse = self.coarse_config();
+            for (i, &(base, _)) in buffers.iter().enumerate() {
+                let visible = match coarse {
+                    Some(cfg) => cfg.coarse_tag_address(i as u16, base),
+                    None => base,
+                };
+                self.fus[fu_idx].regs.set(i, visible);
+            }
+            self.fus[fu_idx].busy = Some(id);
+        }
+
+        self.tasks.insert(
+            id,
+            TaskState {
+                name: req.name.clone(),
+                fu,
+                buffers,
+                padded,
+                caps,
+                dynamic_nodes: Vec::new(),
+                task_node,
+                setup_cycles,
+                trace: None,
+                fault: None,
+            },
+        );
+        Ok(id)
+    }
+
+    fn coarse_config(&self) -> Option<CheckerConfig> {
+        match &self.protection {
+            Protection::Checker(c) if c.mode() == CheckerMode::Coarse => Some(*c.config()),
+            _ => None,
+        }
+    }
+
+    /// The accelerator-visible layout of a task's buffers (object-tagged
+    /// base addresses in Coarse mode).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`].
+    pub fn accel_layout(&self, task: TaskId) -> Result<TaskLayout, DriverError> {
+        let st = self.state(task)?;
+        let coarse = self.coarse_config();
+        Ok(TaskLayout::new(st.buffers.iter().enumerate().map(
+            |(i, &(base, size))| match coarse {
+                Some(cfg) => (cfg.coarse_tag_address(i as u16, base), size),
+                None => (base, size),
+            },
+        )))
+    }
+
+    /// The physical layout of a task's buffers (the CPU's view).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`].
+    pub fn cpu_layout(&self, task: TaskId) -> Result<TaskLayout, DriverError> {
+        Ok(TaskLayout::new(self.state(task)?.buffers.iter().copied()))
+    }
+
+    /// Host-side buffer initialization (the CPU writes input data). On a
+    /// CHERI CPU the write is checked against the buffer's capability.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::HostAccessOutOfBounds`] on overflow,
+    /// [`DriverError::UnknownTask`] for a dead handle.
+    pub fn write_buffer(
+        &mut self,
+        task: TaskId,
+        obj: usize,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), DriverError> {
+        let st = self
+            .tasks
+            .get(&task)
+            .ok_or(DriverError::UnknownTask(task))?;
+        let &(base, size) = st
+            .buffers
+            .get(obj)
+            .ok_or(DriverError::HostAccessOutOfBounds)?;
+        if self.config.cheri_cpu {
+            st.caps[obj]
+                .check_access(base + offset, data.len() as u64, Perms::STORE)
+                .map_err(|_| DriverError::HostAccessOutOfBounds)?;
+        } else if offset + data.len() as u64 > size {
+            return Err(DriverError::HostAccessOutOfBounds);
+        }
+        self.mem
+            .write_bytes(base + offset, data)
+            .map_err(|_| DriverError::HostAccessOutOfBounds)
+    }
+
+    /// Host-side buffer read-back.
+    ///
+    /// # Errors
+    ///
+    /// As [`HeteroSystem::write_buffer`].
+    pub fn read_buffer(
+        &self,
+        task: TaskId,
+        obj: usize,
+        offset: u64,
+        out: &mut [u8],
+    ) -> Result<(), DriverError> {
+        let st = self.state(task)?;
+        let &(base, size) = st
+            .buffers
+            .get(obj)
+            .ok_or(DriverError::HostAccessOutOfBounds)?;
+        if self.config.cheri_cpu {
+            st.caps[obj]
+                .check_access(base + offset, out.len() as u64, Perms::LOAD)
+                .map_err(|_| DriverError::HostAccessOutOfBounds)?;
+        } else if offset + out.len() as u64 > size {
+            return Err(DriverError::HostAccessOutOfBounds);
+        }
+        self.mem
+            .read_bytes(base + offset, out)
+            .map_err(|_| DriverError::HostAccessOutOfBounds)
+    }
+
+    /// Runs `kernel` on the task's accelerator FU through the protected
+    /// DMA path. A denial latches as the task's exception and aborts the
+    /// kernel (if the kernel propagates it, as benign kernels do).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NotAnAcceleratorTask`] for CPU tasks,
+    /// [`DriverError::UnknownTask`] for dead handles. Protection denials
+    /// are *not* errors here: they are recorded in the returned
+    /// [`TaskOutcome`].
+    pub fn run_accel_task<F>(&mut self, task: TaskId, kernel: F) -> Result<TaskOutcome, DriverError>
+    where
+        F: FnOnce(&mut dyn Engine) -> Result<(), ExecFault>,
+    {
+        let st = self
+            .tasks
+            .get(&task)
+            .ok_or(DriverError::UnknownTask(task))?;
+        let fu = st.fu.ok_or(DriverError::NotAnAcceleratorTask(task))?;
+        let layout = self.accel_layout(task)?;
+        let provenance = match &self.protection {
+            Protection::Checker(c) if c.mode() == CheckerMode::Coarse => Provenance::Opaque,
+            _ => Provenance::PerObjectPorts,
+        };
+        let master = MasterId(fu as u16 + 1);
+        let mut eng = ProtectedEngine::new(
+            &mut self.mem,
+            self.protection.as_dyn(),
+            layout,
+            master,
+            task,
+            provenance,
+        );
+        let result = kernel(&mut eng);
+        let denial = eng.first_denial();
+        let trace = eng.into_trace();
+        let st = self.tasks.get_mut(&task).expect("state verified above");
+        st.trace = Some(trace);
+        if let Some(d) = denial {
+            st.fault = Some(d);
+        }
+        match result {
+            Ok(()) | Err(ExecFault::Denied(_)) => Ok(TaskOutcome { denial }),
+            Err(ExecFault::Mem(e)) => Err(DriverError::Platform(e)),
+        }
+    }
+
+    /// Runs `kernel` on the CPU (the `cpu`/`ccpu` configurations).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`] for dead handles.
+    pub fn run_cpu_task<F>(&mut self, task: TaskId, kernel: F) -> Result<TaskOutcome, DriverError>
+    where
+        F: FnOnce(&mut dyn Engine) -> Result<(), ExecFault>,
+    {
+        let layout = self.cpu_layout(task)?;
+        let st = self
+            .tasks
+            .get(&task)
+            .ok_or(DriverError::UnknownTask(task))?;
+        let caps = self.config.cheri_cpu.then(|| st.caps.clone());
+        let mut eng = CpuEngine::new(&mut self.mem, layout, caps, task);
+        let result = kernel(&mut eng);
+        let trace = eng.into_trace();
+        let st = self.tasks.get_mut(&task).expect("state verified above");
+        st.trace = Some(trace);
+        match result {
+            Ok(()) => Ok(TaskOutcome { denial: None }),
+            Err(ExecFault::Denied(d)) => {
+                st.fault = Some(d);
+                Ok(TaskOutcome { denial: Some(d) })
+            }
+            Err(ExecFault::Mem(_)) => Ok(TaskOutcome { denial: None }),
+        }
+    }
+
+    /// The trace recorded by the task's last run.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`].
+    pub fn trace(&self, task: TaskId) -> Result<Option<&Trace>, DriverError> {
+        Ok(self.state(task)?.trace.as_ref())
+    }
+
+    /// Driver setup cycles for the task: control-register writes plus (on
+    /// CapChecker systems) the MMIO capability imports.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`].
+    pub fn setup_cycles(&self, task: TaskId) -> Result<Cycles, DriverError> {
+        Ok(self.state(task)?.setup_cycles)
+    }
+
+    /// Deallocation ②: evict capabilities, clear control registers, scrub
+    /// buffers on exception, free memory, release the FU, and report.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`].
+    pub fn deallocate_task(&mut self, task: TaskId) -> Result<TaskReport, DriverError> {
+        let st = self
+            .tasks
+            .remove(&task)
+            .ok_or(DriverError::UnknownTask(task))?;
+
+        // Trace the offending pointers before evicting the entries.
+        let offending_objects = match &self.protection {
+            Protection::Checker(c) => c.exception_entries(task).iter().map(|e| e.object).collect(),
+            Protection::Baseline(_) => Vec::new(),
+        };
+
+        // Evict the task's capabilities so new tasks can be allocated.
+        self.protection.as_dyn().revoke_task(task);
+        if let Protection::Checker(c) = &mut self.protection {
+            if st.fault.is_some() {
+                c.clear_exception_flag();
+            }
+        }
+
+        // Clear the control registers: the next task mapped onto this FU
+        // must not inherit stale pointers.
+        if let Some(fu) = st.fu {
+            self.fus[fu].regs.clear();
+            self.fus[fu].busy = None;
+        }
+
+        // Buffer data is always cleared before the memory returns to the
+        // heap: on an exception this hides the aborted task's secrets
+        // (§5.3 ②), and on normal completion it stops the next tenant from
+        // inspecting leftovers (CWE-244).
+        for &(base, size) in &st.padded {
+            self.mem
+                .scrub(base, size)
+                .expect("task buffers are in range");
+            self.alloc.free(base, size);
+        }
+        let scrub = true;
+        // Revoke any capability the CPU spilled into memory that still
+        // points at the freed buffers (asynchronous software revocation).
+        let capabilities_revoked = if self.config.revocation_sweep {
+            crate::revoke::sweep_revoked_many(&mut self.mem, &st.padded).revoked
+        } else {
+            0
+        };
+        self.tree.revoke(st.task_node);
+        for node in st.dynamic_nodes {
+            self.tree.revoke(node);
+        }
+
+        Ok(TaskReport {
+            name: st.name,
+            exception: st.fault,
+            offending_objects,
+            scrubbed: scrub,
+            capabilities_revoked,
+        })
+    }
+
+    /// Grows a *live* task by one buffer — the paper's future-work
+    /// direction of lifting threat-model assumption 2 (no dynamic memory
+    /// management on accelerators). The accelerator still cannot allocate
+    /// by itself: it requests, and the trusted driver allocates on the
+    /// shared heap, derives a fresh capability from the heap authority,
+    /// imports it into the protection mechanism, and loads a new base
+    /// pointer — all while the task keeps running between kernel phases.
+    ///
+    /// Returns the new object index.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::OutOfMemory`], [`DriverError::ProtectionTableFull`],
+    /// [`DriverError::UnknownTask`].
+    pub fn allocate_buffer(
+        &mut self,
+        task: TaskId,
+        spec: BufferSpec,
+    ) -> Result<usize, DriverError> {
+        if !self.tasks.contains_key(&task) {
+            return Err(DriverError::UnknownTask(task));
+        }
+        let (align, padded_size) = representable_block(spec.size);
+        let reserve = padded_size + self.config.guard_bytes;
+        let base = self
+            .alloc
+            .alloc(reserve, align)
+            .ok_or(DriverError::OutOfMemory {
+                requested: spec.size,
+            })?;
+        // Dynamic buffers derive from the heap authority (the root), like
+        // malloc on a CHERI CPU: the allocator's capability, narrowed.
+        let st_name = self.tasks[&task].name.clone();
+        let obj = self.tasks[&task].buffers.len();
+        let node = match self.tree.derive(
+            self.tree.root(),
+            ObjectKind::Buffer,
+            format!("{st_name}:dyn{obj}"),
+            |c| c.set_bounds_exact(base, padded_size)?.and_perms(spec.perms),
+        ) {
+            Ok(n) => n,
+            Err(e) => {
+                self.alloc.free(base, reserve);
+                return Err(DriverError::Capability(e));
+            }
+        };
+        let cap = *self.tree.capability(node);
+        if self.tasks[&task].fu.is_some() {
+            let result = match &mut self.protection {
+                Protection::Checker(checker) => {
+                    install_over_mmio(checker, task, ObjectId(obj as u16), &cap)
+                }
+                Protection::Baseline(b) => b.grant(task, ObjectId(obj as u16), &cap),
+            };
+            if let Err(e) = result {
+                self.tree.revoke(node);
+                self.alloc.free(base, reserve);
+                return Err(DriverError::ProtectionTableFull(e));
+            }
+        }
+        let coarse = self.coarse_config();
+        let install = match &self.protection {
+            Protection::Checker(c) => c.config().install_cycles(),
+            Protection::Baseline(_) => 0,
+        };
+        let st = self.tasks.get_mut(&task).expect("existence checked above");
+        st.buffers.push((base, spec.size));
+        st.padded.push((base, reserve));
+        st.caps.push(cap);
+        st.dynamic_nodes.push(node);
+        st.setup_cycles += self.config.mmio_write_cycles + install;
+        if let Some(fu_idx) = st.fu {
+            let visible = match coarse {
+                Some(cfg) => cfg.coarse_tag_address(obj as u16, base),
+                None => base,
+            };
+            self.fus[fu_idx].regs.set(obj, visible);
+        }
+        Ok(obj)
+    }
+
+    /// Injects one raw request on the accelerator bus, as a rogue or stale
+    /// DMA master would (no task bookkeeping) — the threat harness's probe
+    /// for use-after-free and forged-request scenarios.
+    ///
+    /// # Errors
+    ///
+    /// The protection mechanism's [`Denial`], if it refuses.
+    pub fn check_raw(&mut self, access: &hetsim::Access) -> Result<(), Denial> {
+        self.protection.as_dyn().check(access)
+    }
+
+    /// Protection entries currently in use (Figure 12).
+    #[must_use]
+    pub fn protection_entries(&self) -> usize {
+        self.protection.as_dyn_ref().entries_in_use()
+    }
+
+    /// The protection granularity of this system's accelerator path.
+    #[must_use]
+    pub fn protection_granularity(&self) -> Granularity {
+        self.protection.as_dyn_ref().granularity()
+    }
+}
+
+/// Stages a capability through the CapChecker's MMIO register map — the
+/// driver's actual install sequence on the capability interconnect.
+fn install_over_mmio(
+    checker: &mut CapChecker,
+    task: TaskId,
+    object: ObjectId,
+    cap: &Capability,
+) -> Result<(), GrantError> {
+    use crate::checker::regs;
+    use hetsim::mmio::MmioDevice;
+    let bits = cap.compress().bits();
+    checker.mmio_write(regs::CAP_LO, bits as u64);
+    checker.mmio_write(regs::CAP_HI, (bits >> 64) as u64);
+    checker.mmio_write(regs::TAG, u64::from(cap.is_valid()));
+    checker.mmio_write(regs::TASK, u64::from(task.0));
+    checker.mmio_write(regs::OBJECT, u64::from(object.0));
+    checker.mmio_write(regs::COMMIT, 1);
+    match checker.mmio_read(regs::COMMIT) {
+        regs::STATUS_OK => Ok(()),
+        regs::STATUS_FULL => Err(GrantError::TableFull),
+        _ => Err(GrantError::InvalidCapability),
+    }
+}
+
+/// Alignment and padded size that make `[base, base+size)` exactly
+/// representable by the compressed encoding.
+fn representable_block(size: u64) -> (u64, u64) {
+    let size = size.max(1);
+    let exp = compressed::encode_bounds(0, size as u128).exponent;
+    let granule = 1u64 << exp;
+    let align = granule.max(16);
+    (align, size.next_multiple_of(align))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fine_system() -> HeteroSystem {
+        let mut sys = HeteroSystem::new(SystemConfig::default());
+        sys.add_fus("gemm", 2);
+        sys
+    }
+
+    fn two_buffer_request() -> TaskRequest {
+        TaskRequest::accel("t", "gemm").rw_buffers([256, 256])
+    }
+
+    #[test]
+    fn allocate_run_deallocate_lifecycle() {
+        let mut sys = fine_system();
+        let t = sys.allocate_task(&two_buffer_request()).unwrap();
+        assert_eq!(sys.protection_entries(), 2);
+        assert!(sys.setup_cycles(t).unwrap() > 0);
+        let out = sys
+            .run_accel_task(t, |eng| {
+                for i in 0..64 {
+                    eng.store_u32(0, i, i as u32)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(out.completed());
+        assert!(sys.trace(t).unwrap().is_some());
+        let report = sys.deallocate_task(t).unwrap();
+        assert!(report.exception.is_none());
+        assert!(report.scrubbed, "dealloc always scrubs (CWE-244 hygiene)");
+        assert_eq!(sys.protection_entries(), 0);
+        assert!(matches!(sys.trace(t), Err(DriverError::UnknownTask(_))));
+    }
+
+    #[test]
+    fn fu_pool_exhausts_and_recovers() {
+        let mut sys = fine_system();
+        let a = sys.allocate_task(&two_buffer_request()).unwrap();
+        let _b = sys.allocate_task(&two_buffer_request()).unwrap();
+        let err = sys.allocate_task(&two_buffer_request()).unwrap_err();
+        assert!(matches!(err, DriverError::NoFreeFu { .. }));
+        sys.deallocate_task(a).unwrap();
+        assert!(sys.allocate_task(&two_buffer_request()).is_ok());
+    }
+
+    #[test]
+    fn exception_scrubs_buffers_and_reports_offender() {
+        let mut sys = fine_system();
+        let t = sys.allocate_task(&two_buffer_request()).unwrap();
+        sys.write_buffer(t, 1, 0, &[0xaa; 256]).unwrap();
+        let base1 = sys.cpu_layout(t).unwrap().buffers[1].base;
+        let out = sys
+            .run_accel_task(t, |eng| {
+                eng.store_u32(0, 0, 1)?;
+                // Overflow object 0 into object 1's territory.
+                eng.load_u32(0, 4096)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!out.completed());
+        assert!(sys.checker().unwrap().exception_flag());
+        let report = sys.deallocate_task(t).unwrap();
+        assert!(report.exception.is_some());
+        assert_eq!(report.offending_objects, vec![ObjectId(0)]);
+        assert!(report.scrubbed);
+        // Buffer 1's secrets were cleared before the memory was reused.
+        assert_eq!(sys.memory().read_uint(base1, 8).unwrap(), 0);
+        // Flag is cleared for the next task.
+        assert!(!sys.checker().unwrap().exception_flag());
+    }
+
+    #[test]
+    fn cheri_cpu_guards_host_accesses() {
+        let mut sys = fine_system();
+        let t = sys.allocate_task(&two_buffer_request()).unwrap();
+        assert!(sys.write_buffer(t, 0, 0, &[1; 256]).is_ok());
+        let err = sys.write_buffer(t, 0, 255, &[1, 2]).unwrap_err();
+        assert!(matches!(err, DriverError::HostAccessOutOfBounds));
+    }
+
+    #[test]
+    fn cpu_tasks_need_no_fu() {
+        let mut sys = fine_system();
+        let t = sys
+            .allocate_task(&TaskRequest::cpu("host").rw_buffers([128]))
+            .unwrap();
+        let out = sys
+            .run_cpu_task(t, |eng| {
+                eng.store_u32(0, 0, 42)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(out.completed());
+        assert!(matches!(
+            sys.run_accel_task(t, |_| Ok(())),
+            Err(DriverError::NotAnAcceleratorTask(_))
+        ));
+    }
+
+    #[test]
+    fn ccpu_task_kernel_faults_on_overflow() {
+        let mut sys = fine_system();
+        let t = sys
+            .allocate_task(&TaskRequest::cpu("host").rw_buffers([64]))
+            .unwrap();
+        let out = sys.run_cpu_task(t, |eng| {
+            eng.store_u32(0, 1000, 1)?;
+            Ok(())
+        });
+        assert!(out.unwrap().denial.is_some());
+    }
+
+    #[test]
+    fn coarse_system_runs_and_translates() {
+        let mut sys = HeteroSystem::new(SystemConfig {
+            protection: ProtectionChoice::CapChecker(CheckerConfig::coarse()),
+            ..SystemConfig::default()
+        });
+        sys.add_fus("fft", 1);
+        let t = sys
+            .allocate_task(&TaskRequest::accel("fft0", "fft").rw_buffers([512]))
+            .unwrap();
+        let layout = sys.accel_layout(t).unwrap();
+        // Accelerator-visible addresses carry the object tag.
+        assert_eq!(layout.buffers[0].base >> 56, 0);
+        let out = sys
+            .run_accel_task(t, |eng| {
+                eng.store_u32(0, 5, 99)?;
+                assert_eq!(eng.load_u32(0, 5)?, 99);
+                Ok(())
+            })
+            .unwrap();
+        assert!(out.completed());
+        // Host sees the data at the physical address.
+        let mut buf = [0u8; 4];
+        sys.read_buffer(t, 0, 20, &mut buf).unwrap();
+        assert_eq!(u32::from_le_bytes(buf), 99);
+    }
+
+    #[test]
+    fn variants_have_expected_shape() {
+        assert_eq!(SystemVariant::ALL.len(), 5);
+        assert!(!SystemVariant::Cpu.uses_accelerator());
+        assert!(SystemVariant::CheriCpuCheriAccel.uses_accelerator());
+        assert!(SystemVariant::CheriCpu.cheri_cpu());
+        assert!(!SystemVariant::CpuAccel.cheri_cpu());
+        let cfg = SystemVariant::CheriCpuCheriAccel.config();
+        assert!(matches!(cfg.protection, ProtectionChoice::CapChecker(_)));
+        assert_eq!(SystemVariant::CheriCpuAccel.label(), "ccpu+accel");
+    }
+
+    #[test]
+    fn representable_blocks_keep_caps_exact() {
+        for size in [1u64, 12, 100, 4096, 16384, 65536, 66564, 1 << 20] {
+            let (align, padded) = representable_block(size);
+            assert!(padded >= size);
+            assert!(align.is_power_of_two());
+            let base = align * 3;
+            let cap = Capability::root().set_bounds_exact(base, padded);
+            assert!(
+                cap.is_ok(),
+                "size {size} (padded {padded}, align {align}) must be exact"
+            );
+        }
+    }
+
+    #[test]
+    fn iommu_system_smoke() {
+        let mut sys = HeteroSystem::new(SystemConfig {
+            protection: ProtectionChoice::Iommu(IommuConfig::default()),
+            ..SystemConfig::default()
+        });
+        sys.add_fus("k", 1);
+        let t = sys
+            .allocate_task(&TaskRequest::accel("k0", "k").rw_buffers([64]))
+            .unwrap();
+        let out = sys
+            .run_accel_task(t, |eng| {
+                eng.store_u32(0, 0, 7)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(out.completed());
+        assert!(sys.protection_entries() >= 1);
+    }
+}

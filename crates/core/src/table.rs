@@ -1,0 +1,194 @@
+//! The CapChecker's capability table.
+//!
+//! A fixed bank of entries, each holding one imported capability keyed by
+//! `(task, object)`, with a per-entry exception bit so illegal accesses can
+//! be traced in software (§5.2.2). Lookup and allocation are associative,
+//! as in the hardware.
+
+use cheri::Capability;
+use hetsim::{ObjectId, TaskId};
+use std::fmt;
+
+/// One occupied table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableEntry {
+    /// The task the capability was delegated to.
+    pub task: TaskId,
+    /// The object (buffer) it authorizes.
+    pub object: ObjectId,
+    /// The decoded capability.
+    pub capability: Capability,
+    /// Set when an access through this entry was refused.
+    pub exception: bool,
+}
+
+/// The fixed-size associative capability store.
+#[derive(Clone)]
+pub struct CapabilityTable {
+    slots: Vec<Option<TableEntry>>,
+}
+
+impl CapabilityTable {
+    /// A table with `entries` slots (256 in the prototype).
+    #[must_use]
+    pub fn new(entries: usize) -> CapabilityTable {
+        CapabilityTable {
+            slots: vec![None; entries],
+        }
+    }
+
+    /// Total slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots (Figure 12's CapChecker entry count).
+    #[must_use]
+    pub fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Installs a capability, searching associatively for a free slot.
+    /// Re-installing an existing `(task, object)` key replaces it in place.
+    ///
+    /// Returns the slot index, or `None` when the table is full — the
+    /// hardware stalls the allocation in that case (§5.3 ③).
+    pub fn install(&mut self, task: TaskId, object: ObjectId, cap: Capability) -> Option<usize> {
+        let entry = TableEntry {
+            task,
+            object,
+            capability: cap,
+            exception: false,
+        };
+        if let Some(i) = self.position(task, object) {
+            self.slots[i] = Some(entry);
+            return Some(i);
+        }
+        let free = self.slots.iter().position(Option::is_none)?;
+        self.slots[free] = Some(entry);
+        Some(free)
+    }
+
+    /// Finds the entry for `(task, object)`.
+    #[must_use]
+    pub fn lookup(&self, task: TaskId, object: ObjectId) -> Option<&TableEntry> {
+        self.position(task, object)
+            .and_then(|i| self.slots[i].as_ref())
+    }
+
+    /// Marks the entry's exception bit (illegal access trace).
+    pub fn mark_exception(&mut self, task: TaskId, object: ObjectId) {
+        if let Some(i) = self.position(task, object) {
+            if let Some(e) = self.slots[i].as_mut() {
+                e.exception = true;
+            }
+        }
+    }
+
+    /// Evicts every entry of `task`, returning how many were freed
+    /// (deallocation step ② of Figure 6).
+    pub fn evict_task(&mut self, task: TaskId) -> usize {
+        let mut freed = 0;
+        for slot in &mut self.slots {
+            if slot.is_some_and(|e| e.task == task) {
+                *slot = None;
+                freed += 1;
+            }
+        }
+        freed
+    }
+
+    /// Iterates over occupied entries.
+    pub fn iter(&self) -> impl Iterator<Item = &TableEntry> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Entries of `task` whose exception bit is set.
+    pub fn exceptions_for(&self, task: TaskId) -> impl Iterator<Item = &TableEntry> {
+        self.iter().filter(move |e| e.task == task && e.exception)
+    }
+
+    fn position(&self, task: TaskId, object: ObjectId) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.is_some_and(|e| e.task == task && e.object == object))
+    }
+}
+
+impl fmt::Debug for CapabilityTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CapabilityTable({}/{} occupied)",
+            self.occupied(),
+            self.capacity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Perms;
+
+    fn cap(base: u64, len: u64) -> Capability {
+        Capability::root()
+            .set_bounds(base, len)
+            .unwrap()
+            .and_perms(Perms::RW)
+            .unwrap()
+    }
+
+    #[test]
+    fn install_lookup_evict_cycle() {
+        let mut t = CapabilityTable::new(4);
+        t.install(TaskId(1), ObjectId(0), cap(0x1000, 64)).unwrap();
+        t.install(TaskId(1), ObjectId(1), cap(0x2000, 64)).unwrap();
+        t.install(TaskId(2), ObjectId(0), cap(0x3000, 64)).unwrap();
+        assert_eq!(t.occupied(), 3);
+        assert_eq!(
+            t.lookup(TaskId(1), ObjectId(1)).unwrap().capability.base(),
+            0x2000
+        );
+        assert!(t.lookup(TaskId(3), ObjectId(0)).is_none());
+        assert_eq!(t.evict_task(TaskId(1)), 2);
+        assert_eq!(t.occupied(), 1);
+        assert!(t.lookup(TaskId(1), ObjectId(0)).is_none());
+    }
+
+    #[test]
+    fn full_table_refuses() {
+        let mut t = CapabilityTable::new(2);
+        assert!(t.install(TaskId(1), ObjectId(0), cap(0, 16)).is_some());
+        assert!(t.install(TaskId(1), ObjectId(1), cap(16, 16)).is_some());
+        assert!(t.install(TaskId(1), ObjectId(2), cap(32, 16)).is_none());
+        // Eviction frees a slot and installation resumes — the stall/evict
+        // protocol of §5.3.
+        t.evict_task(TaskId(1));
+        assert!(t.install(TaskId(2), ObjectId(0), cap(0, 16)).is_some());
+    }
+
+    #[test]
+    fn reinstall_replaces_in_place() {
+        let mut t = CapabilityTable::new(2);
+        t.install(TaskId(1), ObjectId(0), cap(0x1000, 64)).unwrap();
+        t.install(TaskId(1), ObjectId(0), cap(0x5000, 32)).unwrap();
+        assert_eq!(t.occupied(), 1);
+        assert_eq!(
+            t.lookup(TaskId(1), ObjectId(0)).unwrap().capability.base(),
+            0x5000
+        );
+    }
+
+    #[test]
+    fn exception_bits_trace_offenders() {
+        let mut t = CapabilityTable::new(4);
+        t.install(TaskId(1), ObjectId(0), cap(0x1000, 64)).unwrap();
+        t.install(TaskId(1), ObjectId(1), cap(0x2000, 64)).unwrap();
+        t.mark_exception(TaskId(1), ObjectId(1));
+        let excs: Vec<_> = t.exceptions_for(TaskId(1)).collect();
+        assert_eq!(excs.len(), 1);
+        assert_eq!(excs[0].object, ObjectId(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the CapChecker's data structures: the heap
+//! allocator and the capability table.
+
+use capchecker::{CapabilityTable, HeapAllocator};
+use cheri::{Capability, Perms};
+use hetsim::{ObjectId, TaskId};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum HeapOp {
+    Alloc { size: u64, align_log2: u32 },
+    FreeOldest,
+}
+
+fn arb_heap_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (1u64..5000, 0u32..8).prop_map(|(size, align_log2)| HeapOp::Alloc { size, align_log2 }),
+            2 => Just(HeapOp::FreeOldest),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Allocations never overlap, always satisfy alignment, and freeing
+    /// everything restores the full heap.
+    #[test]
+    fn allocator_never_overlaps_and_fully_recovers(ops in arb_heap_ops()) {
+        let total = 1u64 << 20;
+        let mut heap = HeapAllocator::new(0x1000, total);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                HeapOp::Alloc { size, align_log2 } => {
+                    let align = 1u64 << align_log2;
+                    if let Some(base) = heap.alloc(size, align) {
+                        prop_assert_eq!(base % align, 0, "misaligned block");
+                        let end = base + size;
+                        for (lb, ls) in &live {
+                            let l_end = lb + ls;
+                            prop_assert!(end <= *lb || base >= l_end,
+                                "overlap: [{base:#x},{end:#x}) vs [{lb:#x},{l_end:#x})");
+                        }
+                        live.push((base, size));
+                    }
+                }
+                HeapOp::FreeOldest => {
+                    if !live.is_empty() {
+                        let (base, size) = live.remove(0);
+                        heap.free(base, size);
+                    }
+                }
+            }
+        }
+        for (base, size) in live {
+            heap.free(base, size);
+        }
+        prop_assert_eq!(heap.free_bytes(), total);
+        prop_assert_eq!(heap.largest_free(), total);
+    }
+
+    /// The capability table never exceeds its capacity, lookup finds
+    /// exactly what was installed, and eviction removes exactly one
+    /// task's entries.
+    #[test]
+    fn table_capacity_and_eviction_invariants(
+        installs in prop::collection::vec((0u32..6, 0u16..12), 1..100),
+        evict_task in 0u32..6,
+    ) {
+        let mut table = CapabilityTable::new(32);
+        let mut model: Vec<(u32, u16)> = Vec::new();
+        for (task, object) in installs {
+            let cap = Capability::root()
+                .set_bounds(u64::from(task) * 0x10000 + u64::from(object) * 64, 64)
+                .unwrap()
+                .and_perms(Perms::RW)
+                .unwrap();
+            let existed = model.contains(&(task, object));
+            let had_room = model.len() < 32;
+            let inserted = table.install(TaskId(task), ObjectId(object), cap).is_some();
+            if inserted && !existed {
+                model.push((task, object));
+            }
+            prop_assert_eq!(inserted, existed || had_room);
+            prop_assert!(table.occupied() <= 32);
+            prop_assert_eq!(table.occupied(), model.len());
+        }
+        // Lookup agreement.
+        for t in 0..6u32 {
+            for o in 0..12u16 {
+                prop_assert_eq!(
+                    table.lookup(TaskId(t), ObjectId(o)).is_some(),
+                    model.contains(&(t, o)),
+                    "lookup mismatch at ({},{})", t, o
+                );
+            }
+        }
+        // Eviction removes exactly that task's entries.
+        let before = table.occupied();
+        let expected_freed = model.iter().filter(|(t, _)| *t == evict_task).count();
+        let freed = table.evict_task(TaskId(evict_task));
+        prop_assert_eq!(freed, expected_freed);
+        prop_assert_eq!(table.occupied(), before - freed);
+        for (t, o) in &model {
+            prop_assert_eq!(
+                table.lookup(TaskId(*t), ObjectId(*o)).is_some(),
+                *t != evict_task
+            );
+        }
+    }
+
+    /// Installed capabilities come back bit-identical.
+    #[test]
+    fn table_stores_capabilities_faithfully(base in 0u64..(1 << 30), len in 1u64..16384) {
+        let Ok(cap) = Capability::root().set_bounds(base, len) else { return Ok(()) };
+        let mut table = CapabilityTable::new(4);
+        table.install(TaskId(1), ObjectId(0), cap).unwrap();
+        let got = table.lookup(TaskId(1), ObjectId(0)).unwrap().capability;
+        prop_assert_eq!(got, cap);
+    }
+}

@@ -1,0 +1,71 @@
+//! Identifier newtypes shared across the simulated system.
+
+use std::fmt;
+
+/// Identifies a computing task (CPU or accelerator), unique system-wide.
+///
+/// The pair `(target, number)` matches the paper's formalization where a
+/// task is an element of `{P, A} × ℕ`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Identifies one software object (buffer) within a task.
+///
+/// In *Fine* mode this arrives with the request as hardware-port
+/// provenance; in *Coarse* mode it is recovered from the top address bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u16);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Identifies an accelerator functional unit (FU) instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuId(pub u32);
+
+impl fmt::Display for FuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fu{}", self.0)
+    }
+}
+
+/// Identifies a bus master (the CPU, or an accelerator DMA port).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MasterId(pub u16);
+
+impl fmt::Display for MasterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "master{}", self.0)
+    }
+}
+
+/// Simulated time in clock cycles.
+pub type Cycles = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TaskId(3).to_string(), "task3");
+        assert_eq!(ObjectId(1).to_string(), "obj1");
+        assert_eq!(FuId(0).to_string(), "fu0");
+        assert_eq!(MasterId(9).to_string(), "master9");
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(ObjectId(5), ObjectId(5));
+    }
+}

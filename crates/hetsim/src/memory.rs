@@ -1,0 +1,359 @@
+//! Byte-addressed main memory with out-of-band capability tags.
+//!
+//! The tag bit is "a vital component of the protection model" (§5.2.1): one
+//! bit per 16-byte capability granule, stored out of band so that no data
+//! write can ever set it. Any capability-unaware write — which is what all
+//! accelerator DMA is — clears the tags of every granule it touches, which
+//! is exactly how the CapChecker prevents "mutation of valid capabilities
+//! into forged ones".
+
+use cheri::{CompressedCapability, CAP_SIZE_BYTES};
+use std::error::Error;
+use std::fmt;
+
+/// An access fell outside the physical memory, or was misaligned for a
+/// capability-width operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// `[addr, addr + len)` is not contained in physical memory.
+    OutOfRange {
+        /// Start of the offending access.
+        addr: u64,
+        /// Length of the offending access in bytes.
+        len: u64,
+    },
+    /// A capability-width access must be 16-byte aligned.
+    Misaligned {
+        /// The misaligned address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, len } => {
+                write!(f, "physical access [{addr:#x}, +{len}) out of range")
+            }
+            MemError::Misaligned { addr } => {
+                write!(f, "capability access at {addr:#x} is not 16-byte aligned")
+            }
+        }
+    }
+}
+
+impl Error for MemError {}
+
+/// Main memory plus shadow tag storage.
+///
+/// # Examples
+///
+/// ```
+/// use hetsim::TaggedMemory;
+/// use cheri::Capability;
+///
+/// # fn main() -> Result<(), hetsim::MemError> {
+/// let mut mem = TaggedMemory::new(4096);
+/// let cap = Capability::root().set_bounds(0x100, 64).unwrap();
+/// mem.write_capability(0x40, cap.compress(), true)?;
+/// assert!(mem.tag(0x40));
+///
+/// // A plain data write over the capability strips its tag.
+/// mem.write_bytes(0x48, &[0xff])?;
+/// assert!(!mem.tag(0x40));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct TaggedMemory {
+    data: Vec<u8>,
+    tags: Vec<bool>,
+}
+
+impl TaggedMemory {
+    /// Allocates `size` bytes of zeroed memory with all tags clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not a multiple of the 16-byte tag granule.
+    #[must_use]
+    pub fn new(size: u64) -> TaggedMemory {
+        assert!(
+            size.is_multiple_of(CAP_SIZE_BYTES),
+            "memory size must be tag-granule aligned"
+        );
+        TaggedMemory {
+            data: vec![0; size as usize],
+            tags: vec![false; (size / CAP_SIZE_BYTES) as usize],
+        }
+    }
+
+    /// Physical memory size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn span(&self, addr: u64, len: u64) -> Result<std::ops::Range<usize>, MemError> {
+        let end = addr
+            .checked_add(len)
+            .ok_or(MemError::OutOfRange { addr, len })?;
+        if end > self.size() {
+            return Err(MemError::OutOfRange { addr, len });
+        }
+        Ok(addr as usize..end as usize)
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the span leaves physical memory.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let span = self.span(addr, buf.len() as u64)?;
+        buf.copy_from_slice(&self.data[span]);
+        Ok(())
+    }
+
+    /// Writes `buf` at `addr` as a *capability-unaware* store: the tags of
+    /// every granule the write touches are cleared.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the span leaves physical memory.
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
+        let span = self.span(addr, buf.len() as u64)?;
+        self.data[span].copy_from_slice(buf);
+        self.clear_tags(addr, buf.len() as u64);
+        Ok(())
+    }
+
+    /// Reads up to 8 bytes as a little-endian integer.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the span leaves physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 8`.
+    pub fn read_uint(&self, addr: u64, len: u8) -> Result<u64, MemError> {
+        assert!(len <= 8, "integer reads are at most 8 bytes");
+        let mut raw = [0u8; 8];
+        self.read_bytes(addr, &mut raw[..len as usize])?;
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    /// Writes up to 8 bytes as a little-endian integer (tag-clearing).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the span leaves physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 8`.
+    pub fn write_uint(&mut self, addr: u64, len: u8, value: u64) -> Result<(), MemError> {
+        assert!(len <= 8, "integer writes are at most 8 bytes");
+        let raw = value.to_le_bytes();
+        self.write_bytes(addr, &raw[..len as usize])
+    }
+
+    /// Reads a 128-bit capability and its shadow tag.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] unless `addr` is 16-byte aligned;
+    /// [`MemError::OutOfRange`] if outside memory.
+    pub fn read_capability(&self, addr: u64) -> Result<(CompressedCapability, bool), MemError> {
+        if !addr.is_multiple_of(CAP_SIZE_BYTES) {
+            return Err(MemError::Misaligned { addr });
+        }
+        let mut raw = [0u8; 16];
+        self.read_bytes(addr, &mut raw)?;
+        let bits = u128::from_le_bytes(raw);
+        Ok((
+            CompressedCapability::from_bits(bits),
+            self.tags[(addr / CAP_SIZE_BYTES) as usize],
+        ))
+    }
+
+    /// Writes a 128-bit capability with its tag — the *capability-aware*
+    /// store only the CHERI CPU (and the trusted CapChecker import path)
+    /// can perform.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Misaligned`] unless `addr` is 16-byte aligned;
+    /// [`MemError::OutOfRange`] if outside memory.
+    pub fn write_capability(
+        &mut self,
+        addr: u64,
+        cap: CompressedCapability,
+        tag: bool,
+    ) -> Result<(), MemError> {
+        if !addr.is_multiple_of(CAP_SIZE_BYTES) {
+            return Err(MemError::Misaligned { addr });
+        }
+        let span = self.span(addr, CAP_SIZE_BYTES)?;
+        self.data[span].copy_from_slice(&cap.bits().to_le_bytes());
+        self.tags[(addr / CAP_SIZE_BYTES) as usize] = tag;
+        Ok(())
+    }
+
+    /// The shadow tag covering `addr`'s granule (`false` out of range).
+    #[must_use]
+    pub fn tag(&self, addr: u64) -> bool {
+        self.tags
+            .get((addr / CAP_SIZE_BYTES) as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Clears every tag whose granule intersects `[addr, addr + len)`.
+    pub fn clear_tags(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = (addr / CAP_SIZE_BYTES) as usize;
+        let last = ((addr + len - 1) / CAP_SIZE_BYTES) as usize;
+        for granule in first..=last.min(self.tags.len().saturating_sub(1)) {
+            self.tags[granule] = false;
+        }
+    }
+
+    /// Number of set tags (used by audits and tests).
+    #[must_use]
+    pub fn tag_count(&self) -> usize {
+        self.tags.iter().filter(|t| **t).count()
+    }
+
+    /// Zeroes `[addr, addr + len)` and clears its tags — the driver's
+    /// buffer-scrub on deallocation after an exception.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the span leaves physical memory.
+    pub fn scrub(&mut self, addr: u64, len: u64) -> Result<(), MemError> {
+        let span = self.span(addr, len)?;
+        self.data[span].fill(0);
+        self.clear_tags(addr, len);
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TaggedMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaggedMemory")
+            .field("size", &self.data.len())
+            .field("tags_set", &self.tag_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Capability;
+
+    #[test]
+    fn data_round_trip() {
+        let mut mem = TaggedMemory::new(1024);
+        mem.write_bytes(100, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        mem.read_bytes(100, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn uint_round_trip() {
+        let mut mem = TaggedMemory::new(1024);
+        mem.write_uint(64, 8, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(mem.read_uint(64, 8).unwrap(), 0xdead_beef_cafe_f00d);
+        mem.write_uint(80, 4, 0x1234_5678).unwrap();
+        assert_eq!(mem.read_uint(80, 4).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let mem = TaggedMemory::new(1024);
+        let mut buf = [0u8; 8];
+        assert_eq!(
+            mem.read_bytes(1020, &mut buf),
+            Err(MemError::OutOfRange { addr: 1020, len: 8 })
+        );
+        assert!(mem.read_bytes(u64::MAX, &mut buf).is_err());
+    }
+
+    #[test]
+    fn capability_round_trip_keeps_tag() {
+        let mut mem = TaggedMemory::new(1024);
+        let cap = Capability::root().set_bounds(0x200, 32).unwrap();
+        mem.write_capability(0x80, cap.compress(), true).unwrap();
+        let (bits, tag) = mem.read_capability(0x80).unwrap();
+        assert!(tag);
+        assert_eq!(bits.decode(true), cap);
+    }
+
+    #[test]
+    fn data_write_clears_overlapping_tag() {
+        let mut mem = TaggedMemory::new(1024);
+        let cap = Capability::root().set_bounds(0, 16).unwrap();
+        mem.write_capability(0x80, cap.compress(), true).unwrap();
+        mem.write_capability(0x90, cap.compress(), true).unwrap();
+        assert_eq!(mem.tag_count(), 2);
+        // One byte into the first granule kills only that tag.
+        mem.write_bytes(0x8f, &[0]).unwrap();
+        assert!(!mem.tag(0x80));
+        assert!(mem.tag(0x90));
+    }
+
+    #[test]
+    fn wide_write_clears_all_touched_tags() {
+        let mut mem = TaggedMemory::new(1024);
+        let cap = Capability::root().set_bounds(0, 16).unwrap();
+        for addr in [0x40, 0x50, 0x60] {
+            mem.write_capability(addr, cap.compress(), true).unwrap();
+        }
+        mem.write_bytes(0x48, &[0u8; 24]).unwrap(); // touches 0x40 and 0x50 and 0x60's granule start?
+        assert!(!mem.tag(0x40));
+        assert!(!mem.tag(0x50));
+        // 0x48 + 24 = 0x60, exclusive: granule 0x60 untouched.
+        assert!(mem.tag(0x60));
+    }
+
+    #[test]
+    fn misaligned_capability_access_rejected() {
+        let mut mem = TaggedMemory::new(1024);
+        assert_eq!(
+            mem.read_capability(8).unwrap_err(),
+            MemError::Misaligned { addr: 8 }
+        );
+        let cap = Capability::root().compress();
+        assert_eq!(
+            mem.write_capability(8, cap, true).unwrap_err(),
+            MemError::Misaligned { addr: 8 }
+        );
+    }
+
+    #[test]
+    fn scrub_zeroes_and_untags() {
+        let mut mem = TaggedMemory::new(1024);
+        mem.write_bytes(0x100, &[0xaa; 64]).unwrap();
+        mem.write_capability(0x100, Capability::root().compress(), true)
+            .unwrap();
+        mem.scrub(0x100, 64).unwrap();
+        let mut buf = [0xffu8; 64];
+        mem.read_bytes(0x100, &mut buf).unwrap();
+        assert!(buf.iter().all(|b| *b == 0));
+        assert_eq!(mem.tag_count(), 0);
+    }
+
+    #[test]
+    fn zero_length_operations_are_noops() {
+        let mut mem = TaggedMemory::new(64);
+        mem.write_bytes(64, &[]).unwrap(); // empty write at the end is fine
+        mem.clear_tags(0, 0);
+        assert_eq!(mem.tag_count(), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Memory-mapped I/O register plumbing.
+//!
+//! The CPU configures accelerators and the CapChecker by storing to control
+//! registers. Devices implement [`MmioDevice`]; a [`RegisterFile`] is the
+//! trivial backing store most devices need.
+
+use std::fmt;
+
+/// A device reachable over the control interconnect.
+///
+/// Offsets are byte offsets from the device's base address; accesses are
+/// 64-bit, matching the prototype's AXI-Lite control path.
+pub trait MmioDevice {
+    /// Reads the 64-bit register at `offset`.
+    fn mmio_read(&mut self, offset: u64) -> u64;
+    /// Writes the 64-bit register at `offset`.
+    fn mmio_write(&mut self, offset: u64, value: u64);
+}
+
+/// A plain bank of 64-bit registers.
+///
+/// # Examples
+///
+/// ```
+/// use hetsim::mmio::{MmioDevice, RegisterFile};
+///
+/// let mut regs = RegisterFile::new(4);
+/// regs.mmio_write(8, 0xbeef);
+/// assert_eq!(regs.mmio_read(8), 0xbeef);
+/// ```
+#[derive(Clone, Default)]
+pub struct RegisterFile {
+    regs: Vec<u64>,
+}
+
+impl RegisterFile {
+    /// A bank of `count` zeroed registers.
+    #[must_use]
+    pub fn new(count: usize) -> RegisterFile {
+        RegisterFile {
+            regs: vec![0; count],
+        }
+    }
+
+    /// Number of registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// `true` if the bank has no registers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Direct indexed access (register number, not byte offset).
+    #[must_use]
+    pub fn get(&self, index: usize) -> u64 {
+        self.regs.get(index).copied().unwrap_or(0)
+    }
+
+    /// Direct indexed store (register number, not byte offset).
+    pub fn set(&mut self, index: usize, value: u64) {
+        if let Some(r) = self.regs.get_mut(index) {
+            *r = value;
+        }
+    }
+
+    /// Zeroes every register — the driver's deallocation scrub that stops a
+    /// follow-on task from inheriting pointers (§5.3).
+    pub fn clear(&mut self) {
+        self.regs.fill(0);
+    }
+}
+
+impl MmioDevice for RegisterFile {
+    fn mmio_read(&mut self, offset: u64) -> u64 {
+        self.get((offset / 8) as usize)
+    }
+
+    fn mmio_write(&mut self, offset: u64, value: u64) {
+        self.set((offset / 8) as usize, value);
+    }
+}
+
+impl fmt::Debug for RegisterFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RegisterFile({} regs)", self.regs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_reads_zero_and_writes_drop() {
+        let mut regs = RegisterFile::new(2);
+        assert_eq!(regs.mmio_read(64), 0);
+        regs.mmio_write(64, 5); // silently dropped, like a real bus
+        assert_eq!(regs.len(), 2);
+    }
+
+    #[test]
+    fn clear_scrubs_all() {
+        let mut regs = RegisterFile::new(3);
+        regs.set(0, 1);
+        regs.set(2, 9);
+        regs.clear();
+        assert_eq!((regs.get(0), regs.get(2)), (0, 0));
+    }
+}

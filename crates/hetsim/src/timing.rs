@@ -1,0 +1,740 @@
+//! Timing models: cost a recorded [`Trace`] on a CPU or on accelerator
+//! functional units behind the shared AXI port.
+//!
+//! The models are deliberately architectural rather than RTL-exact: they
+//! reproduce the *relationships* the paper's evaluation rests on —
+//!
+//! * the interconnect moves one beat per cycle, shared by everyone, so
+//!   memory-bound accelerators saturate and extra parallelism stops paying
+//!   (Figures 7, 11);
+//! * accelerators have no cache, so latency-bound kernels lose to the CPU
+//!   (Figure 10 c, i);
+//! * the CapChecker is a pipelined unit: it adds latency per request but no
+//!   throughput loss, plus a fixed MMIO capability-installation cost at
+//!   task start (Figure 8's md_knn outlier);
+//! * the CHERI CPU pays a small per-access cost but moves 16 bytes per
+//!   copy instruction (gemm_blocked runs *faster* on `ccpu`, Figure 10 g).
+
+use crate::ids::Cycles;
+use crate::trace::{Trace, TraceOp};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+/// A set-associative data cache (LRU within a set; 1 way = direct-mapped).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            size: 16 * 1024,
+            line: 64,
+            ways: 1,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A direct-mapped cache of the given size.
+    #[must_use]
+    pub fn direct_mapped(size: u64, line: u64) -> CacheConfig {
+        CacheConfig {
+            size,
+            line,
+            ways: 1,
+        }
+    }
+}
+
+/// Extra costs of the CHERI-extended CPU (`ccpu`) relative to `cpu`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheriCpuCost {
+    /// Average extra cycles per memory operation (capability register
+    /// management and wider spills; bounds checks themselves are parallel
+    /// and free).
+    pub per_mem_op_extra: f64,
+    /// Multiplier on compute cycles: capability-manipulation instructions
+    /// interleaved with the data path cost a small percentage of dynamic
+    /// instructions (the 1–5% `cpu`→`ccpu` gap of Figure 10).
+    pub compute_factor: f64,
+    /// Bytes moved per copy instruction: 16 with the capability-copy
+    /// instruction versus 8 on plain RV64.
+    pub copy_width: u64,
+    /// One-time cost of installing the compartment's capability registers.
+    pub setup_cycles: Cycles,
+}
+
+impl Default for CheriCpuCost {
+    fn default() -> CheriCpuCost {
+        CheriCpuCost {
+            per_mem_op_extra: 0.04,
+            compute_factor: 1.02,
+            copy_width: 16,
+            setup_cycles: 50,
+        }
+    }
+}
+
+/// Timing parameters for the scalar CPU model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuTiming {
+    /// Cycles per data-path work unit (scalar CPI for the kernel's ops).
+    pub cycles_per_unit: f64,
+    /// Cycles to issue a memory access that hits in the L1.
+    pub issue_cycles: f64,
+    /// Extra cycles on an L1 miss (memory + interconnect round trip).
+    pub miss_latency: Cycles,
+    /// The L1 data cache; `None` models an uncached core.
+    pub cache: Option<CacheConfig>,
+    /// `Some` for the CHERI-extended CPU.
+    pub cheri: Option<CheriCpuCost>,
+}
+
+impl Default for CpuTiming {
+    fn default() -> CpuTiming {
+        CpuTiming {
+            cycles_per_unit: 1.0,
+            issue_cycles: 1.0,
+            miss_latency: 30,
+            cache: Some(CacheConfig::default()),
+            cheri: None,
+        }
+    }
+}
+
+impl CpuTiming {
+    /// The same core with the CHERI extensions enabled.
+    #[must_use]
+    pub fn with_cheri(mut self) -> CpuTiming {
+        self.cheri = Some(CheriCpuCost::default());
+        self
+    }
+}
+
+/// Result of costing a trace on the CPU model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CpuReport {
+    /// Total execution time.
+    pub cycles: Cycles,
+    /// Memory operations issued (copies expanded).
+    pub mem_ops: u64,
+    /// L1 hits.
+    pub hits: u64,
+    /// L1 misses.
+    pub misses: u64,
+}
+
+#[derive(Debug)]
+struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    /// `sets × ways` tags; within a set, index 0 is least recently used.
+    tags: Vec<u64>,
+}
+
+impl Cache {
+    fn new(cfg: CacheConfig) -> Cache {
+        let ways = cfg.ways.max(1) as usize;
+        let lines = (cfg.size / cfg.line).max(1) as usize;
+        let sets = (lines / ways).max(1);
+        Cache {
+            cfg,
+            sets,
+            tags: vec![u64::MAX; sets * ways],
+        }
+    }
+
+    /// Returns `true` on hit; fills the line (LRU eviction) otherwise.
+    fn access(&mut self, addr: u64) -> bool {
+        let ways = self.cfg.ways.max(1) as usize;
+        let line_no = addr / self.cfg.line;
+        let set = (line_no % self.sets as u64) as usize;
+        let slice = &mut self.tags[set * ways..(set + 1) * ways];
+        if let Some(pos) = slice.iter().position(|t| *t == line_no) {
+            // Move to most-recently-used position.
+            slice[pos..].rotate_left(1);
+            true
+        } else {
+            slice.rotate_left(1);
+            slice[ways - 1] = line_no;
+            false
+        }
+    }
+}
+
+/// Costs `trace` on the sequential CPU model.
+#[must_use]
+pub fn simulate_cpu(trace: &Trace, cfg: &CpuTiming) -> CpuReport {
+    let mut cache = cfg.cache.map(Cache::new);
+    let mut cycles = 0.0f64;
+    let mut report = CpuReport::default();
+    let per_op_extra = cfg.cheri.map_or(0.0, |c| c.per_mem_op_extra);
+    let compute_factor = cfg.cheri.map_or(1.0, |c| c.compute_factor);
+    if let Some(ch) = &cfg.cheri {
+        cycles += ch.setup_cycles as f64;
+    }
+
+    let mut access = |addr: u64, report: &mut CpuReport| -> f64 {
+        report.mem_ops += 1;
+        let mut cost = cfg.issue_cycles + per_op_extra;
+        match cache.as_mut() {
+            Some(c) => {
+                if c.access(addr) {
+                    report.hits += 1;
+                } else {
+                    report.misses += 1;
+                    cost += cfg.miss_latency as f64;
+                }
+            }
+            None => cost += cfg.miss_latency as f64,
+        }
+        cost
+    };
+
+    for op in trace.ops() {
+        match *op {
+            TraceOp::Compute(units) => {
+                cycles += units as f64 * cfg.cycles_per_unit * compute_factor
+            }
+            TraceOp::Mem { addr, .. } => cycles += access(addr, &mut report),
+            TraceOp::Copy { src, dst, bytes } => {
+                // memcpy moves line-sized bursts: read a line's worth of
+                // chunks, then write them (avoids pathological src/dst
+                // alternation in the direct-mapped cache).
+                let width = cfg.cheri.map_or(8, |c| c.copy_width).max(1);
+                let burst = cfg.cache.map_or(64, |c| c.line).max(width);
+                let mut at = 0u64;
+                while at < bytes {
+                    let span = burst.min(bytes - at);
+                    for i in (0..span).step_by(width as usize) {
+                        cycles += access(src + at + i, &mut report);
+                    }
+                    for i in (0..span).step_by(width as usize) {
+                        cycles += access(dst + at + i, &mut report);
+                    }
+                    at += span;
+                }
+            }
+        }
+    }
+    report.cycles = cycles.ceil() as Cycles;
+    report
+}
+
+/// Timing parameters for one accelerator task's functional unit.
+///
+/// These are the knobs HLS fixes when it builds the accelerator: how many
+/// parallel lanes the datapath has, how many operations each lane retires
+/// per cycle once its pipeline fills, and how many memory requests a lane
+/// keeps in flight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccelTimingConfig {
+    /// Parallel datapath lanes (loop unroll × FU duplication).
+    pub lanes: u32,
+    /// Work units retired per lane per cycle (pipelining depth).
+    pub compute_per_cycle: f64,
+    /// Outstanding memory requests per lane (no cache: this is all the
+    /// latency tolerance the accelerator has).
+    pub outstanding: u32,
+}
+
+impl Default for AccelTimingConfig {
+    fn default() -> AccelTimingConfig {
+        AccelTimingConfig {
+            lanes: 4,
+            compute_per_cycle: 4.0,
+            outstanding: 4,
+        }
+    }
+}
+
+/// Shared memory-path parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Bytes moved per interconnect beat (AXI data width).
+    pub beat_bytes: u64,
+    /// Memory access latency in cycles (request to data).
+    pub mem_latency: Cycles,
+    /// Extra pipelined latency added by a checker on the path (0 = none).
+    pub checker_latency: Cycles,
+}
+
+impl Default for BusConfig {
+    fn default() -> BusConfig {
+        BusConfig {
+            beat_bytes: 8,
+            mem_latency: 30,
+            checker_latency: 0,
+        }
+    }
+}
+
+impl BusConfig {
+    /// The same bus with a CapChecker of the given pipeline depth inserted.
+    #[must_use]
+    pub fn with_checker(mut self, latency: Cycles) -> BusConfig {
+        self.checker_latency = latency;
+        self
+    }
+
+    fn beats(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.beat_bytes).max(1)
+    }
+}
+
+/// One accelerator task to run: its trace, its FU configuration, and the
+/// cycle at which it may start issuing (driver setup cost).
+#[derive(Clone, Debug)]
+pub struct AccelTask<'a> {
+    /// The work to perform.
+    pub trace: &'a Trace,
+    /// The FU's timing configuration.
+    pub cfg: AccelTimingConfig,
+    /// Start time: capability-installation and control-register setup.
+    pub start: Cycles,
+}
+
+/// Result of simulating a set of accelerator tasks on the shared bus.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AccelReport {
+    /// Completion cycle of each task (same order as the input).
+    pub per_task: Vec<Cycles>,
+    /// Cycle at which the last task finished.
+    pub makespan: Cycles,
+    /// Total interconnect beats consumed.
+    pub bus_beats: u64,
+    /// Fraction of the makespan the bus was busy (contention indicator).
+    pub bus_utilization: f64,
+}
+
+#[derive(Debug)]
+struct Lane {
+    task: usize,
+    ops: Vec<TraceOp>,
+    next: usize,
+    time: f64,
+    inflight: VecDeque<f64>,
+    cfg: AccelTimingConfig,
+}
+
+/// A totally ordered f64 for the event heap (times are never NaN).
+#[derive(PartialEq, PartialOrd)]
+struct Time(f64);
+impl Eq for Time {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    fn cmp(&self, other: &Time) -> std::cmp::Ordering {
+        self.partial_cmp(other)
+            .expect("simulation times are never NaN")
+    }
+}
+
+/// Splits a task's trace across `n` datapath lanes: compute work divides
+/// evenly (unrolled loop bodies), memory operations round-robin. Shared
+/// by the event-driven model and the cycle-accurate validator.
+pub(crate) fn distribute_over_lanes(trace: &Trace, n: usize) -> Vec<Vec<TraceOp>> {
+    let mut per_lane: Vec<Vec<TraceOp>> = vec![Vec::new(); n.max(1)];
+    let n = per_lane.len();
+    let push_compute = |lane: &mut Vec<TraceOp>, units: u64| {
+        if units == 0 {
+            return;
+        }
+        if let Some(TraceOp::Compute(prev)) = lane.last_mut() {
+            *prev += units;
+        } else {
+            lane.push(TraceOp::Compute(units));
+        }
+    };
+    let mut mem_rr = 0usize;
+    for op in trace.ops() {
+        match *op {
+            TraceOp::Compute(units) => {
+                let share = units / n as u64;
+                let rem = (units % n as u64) as usize;
+                for (j, lane) in per_lane.iter_mut().enumerate() {
+                    push_compute(lane, share + u64::from(j < rem));
+                }
+            }
+            mem_op => {
+                per_lane[mem_rr % n].push(mem_op);
+                mem_rr += 1;
+            }
+        }
+    }
+    per_lane
+}
+
+/// Simulates `tasks` running concurrently on the shared memory path.
+///
+/// Each task's operations are distributed round-robin over its lanes; each
+/// lane issues in order, limited by its outstanding-request window; all
+/// lanes of all tasks contend for the single one-beat-per-cycle port in
+/// ready-time order (FCFS — the AXI arbiter of the prototype).
+#[must_use]
+pub fn simulate_accel_system(tasks: &[AccelTask<'_>], bus: &BusConfig) -> AccelReport {
+    let mut lanes: Vec<Lane> = Vec::new();
+    for (t_idx, task) in tasks.iter().enumerate() {
+        let n = task.cfg.lanes.max(1) as usize;
+        for ops in distribute_over_lanes(task.trace, n) {
+            lanes.push(Lane {
+                task: t_idx,
+                ops,
+                next: 0,
+                time: task.start as f64,
+                inflight: VecDeque::new(),
+                cfg: task.cfg,
+            });
+        }
+    }
+
+    let latency = (bus.mem_latency + bus.checker_latency) as f64;
+    let mut bus_free = 0.0f64;
+    let mut bus_beats = 0u64;
+    let mut per_task: Vec<Cycles> = tasks.iter().map(|t| t.start).collect();
+
+    let mut heap: BinaryHeap<Reverse<(Time, usize)>> = lanes
+        .iter()
+        .enumerate()
+        .map(|(i, l)| Reverse((Time(l.time), i)))
+        .collect();
+
+    while let Some(Reverse((_, li))) = heap.pop() {
+        let lane = &mut lanes[li];
+        // Retire any compute leading up to the next memory operation.
+        while let Some(TraceOp::Compute(units)) = lane.ops.get(lane.next) {
+            lane.time += *units as f64 / lane.cfg.compute_per_cycle.max(1e-9);
+            lane.next += 1;
+        }
+        match lane.ops.get(lane.next) {
+            None => {
+                // Lane finished issuing: wait for its in-flight requests.
+                let drain = lane.inflight.back().copied().unwrap_or(lane.time);
+                let done = lane.time.max(drain).ceil() as Cycles;
+                per_task[lane.task] = per_task[lane.task].max(done);
+            }
+            Some(&op) => {
+                let beats = match op {
+                    TraceOp::Mem { bytes, .. } => bus.beats(u64::from(bytes)),
+                    TraceOp::Copy { bytes, .. } => 2 * bus.beats(bytes),
+                    TraceOp::Compute(_) => unreachable!("compute handled above"),
+                };
+                lane.next += 1;
+                let window = lane.cfg.outstanding.max(1) as usize;
+                let mut ready = lane.time;
+                if lane.inflight.len() >= window {
+                    ready = ready.max(lane.inflight.pop_front().expect("nonempty window"));
+                }
+                let grant = ready.max(bus_free);
+                bus_free = grant + beats as f64;
+                bus_beats += beats;
+                lane.inflight.push_back(grant + beats as f64 + latency);
+                lane.time = grant + beats as f64;
+                heap.push(Reverse((Time(lane.time), li)));
+            }
+        }
+    }
+
+    let makespan = per_task.iter().copied().max().unwrap_or(0);
+    AccelReport {
+        per_task,
+        makespan,
+        bus_beats,
+        bus_utilization: if makespan == 0 {
+            0.0
+        } else {
+            bus_beats as f64 / makespan as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(addr: u64) -> TraceOp {
+        TraceOp::Mem {
+            addr,
+            bytes: 4,
+            write: false,
+            object: 0,
+        }
+    }
+
+    fn compute_heavy_trace() -> Trace {
+        let mut t = Trace::new();
+        t.push(TraceOp::Compute(100_000));
+        t.push(mem(0));
+        t
+    }
+
+    fn mem_heavy_trace() -> Trace {
+        (0..10_000u64).map(|i| mem(i * 4096)).collect() // every access misses
+    }
+
+    #[test]
+    fn cpu_compute_time_scales_with_cpi() {
+        let t = compute_heavy_trace();
+        let base = simulate_cpu(&t, &CpuTiming::default());
+        let slow = simulate_cpu(
+            &t,
+            &CpuTiming {
+                cycles_per_unit: 2.0,
+                ..CpuTiming::default()
+            },
+        );
+        assert!(slow.cycles > base.cycles * 3 / 2);
+    }
+
+    #[test]
+    fn cpu_cache_captures_reuse() {
+        let t: Trace = (0..1000u64).map(|i| mem((i % 8) * 4)).collect();
+        let r = simulate_cpu(&t, &CpuTiming::default());
+        assert!(r.hits > 990, "repeated addresses should hit: {r:?}");
+        let uncached = simulate_cpu(
+            &t,
+            &CpuTiming {
+                cache: None,
+                ..CpuTiming::default()
+            },
+        );
+        assert!(uncached.cycles > r.cycles * 5);
+    }
+
+    #[test]
+    fn cheri_cpu_pays_per_op_but_wins_on_copies() {
+        let mut loads: Trace = (0..10_000u64).map(|i| mem(i % 512 * 4)).collect();
+        loads.push(TraceOp::Compute(100));
+        let cpu = CpuTiming::default();
+        let ccpu = CpuTiming::default().with_cheri();
+        assert!(simulate_cpu(&loads, &ccpu).cycles > simulate_cpu(&loads, &cpu).cycles);
+
+        let mut copies = Trace::new();
+        copies.push(TraceOp::Copy {
+            src: 0,
+            dst: 1 << 20,
+            bytes: 64 * 1024,
+        });
+        assert!(
+            simulate_cpu(&copies, &ccpu).cycles < simulate_cpu(&copies, &cpu).cycles,
+            "capability copy moves twice the bytes per instruction"
+        );
+    }
+
+    #[test]
+    fn accel_parallelism_speeds_up_compute() {
+        let t = compute_heavy_trace();
+        let bus = BusConfig::default();
+        let narrow = AccelTask {
+            trace: &t,
+            cfg: AccelTimingConfig {
+                lanes: 1,
+                compute_per_cycle: 1.0,
+                outstanding: 4,
+            },
+            start: 0,
+        };
+        let wide = AccelTask {
+            trace: &t,
+            cfg: AccelTimingConfig {
+                lanes: 8,
+                compute_per_cycle: 4.0,
+                outstanding: 4,
+            },
+            start: 0,
+        };
+        let slow = simulate_accel_system(&[narrow], &bus);
+        let fast = simulate_accel_system(&[wide], &bus);
+        assert!(slow.makespan > fast.makespan * 4);
+    }
+
+    #[test]
+    fn shared_bus_serializes_memory_bound_tasks() {
+        let t = mem_heavy_trace();
+        let bus = BusConfig::default();
+        let mk = |_| AccelTask {
+            trace: &t,
+            cfg: AccelTimingConfig::default(),
+            start: 0,
+        };
+        let one = simulate_accel_system(&[mk(0)], &bus);
+        let four: Vec<_> = (0..4).map(mk).collect();
+        let four = simulate_accel_system(&four, &bus);
+        // Four copies of the same memory-bound work cannot finish in much
+        // less than four times the bus beats.
+        assert!(four.makespan as f64 > one.makespan as f64 * 1.5);
+        assert!(four.bus_utilization > one.bus_utilization);
+    }
+
+    #[test]
+    fn checker_latency_is_small_for_pipelined_streams() {
+        let t = mem_heavy_trace();
+        let plain = simulate_accel_system(
+            &[AccelTask {
+                trace: &t,
+                cfg: AccelTimingConfig::default(),
+                start: 0,
+            }],
+            &BusConfig::default(),
+        );
+        let checked = simulate_accel_system(
+            &[AccelTask {
+                trace: &t,
+                cfg: AccelTimingConfig::default(),
+                start: 0,
+            }],
+            &BusConfig::default().with_checker(2),
+        );
+        assert!(checked.makespan >= plain.makespan);
+        let overhead = (checked.makespan - plain.makespan) as f64 / plain.makespan as f64;
+        assert!(
+            overhead < 0.10,
+            "pipelined checker must stay cheap, got {overhead}"
+        );
+    }
+
+    #[test]
+    fn start_offset_delays_completion() {
+        let t = compute_heavy_trace();
+        let bus = BusConfig::default();
+        let a = simulate_accel_system(
+            &[AccelTask {
+                trace: &t,
+                cfg: AccelTimingConfig::default(),
+                start: 0,
+            }],
+            &bus,
+        );
+        let b = simulate_accel_system(
+            &[AccelTask {
+                trace: &t,
+                cfg: AccelTimingConfig::default(),
+                start: 1000,
+            }],
+            &bus,
+        );
+        assert_eq!(b.makespan, a.makespan + 1000);
+    }
+
+    #[test]
+    fn empty_task_finishes_at_start() {
+        let t = Trace::new();
+        let r = simulate_accel_system(
+            &[AccelTask {
+                trace: &t,
+                cfg: AccelTimingConfig::default(),
+                start: 7,
+            }],
+            &BusConfig::default(),
+        );
+        assert_eq!(r.per_task, vec![7]);
+    }
+
+    #[test]
+    fn outstanding_window_throttles_latency_bound_lanes() {
+        let t = mem_heavy_trace();
+        let bus = BusConfig::default();
+        let tight = AccelTask {
+            trace: &t,
+            cfg: AccelTimingConfig {
+                lanes: 1,
+                compute_per_cycle: 1.0,
+                outstanding: 1,
+            },
+            start: 0,
+        };
+        let deep = AccelTask {
+            trace: &t,
+            cfg: AccelTimingConfig {
+                lanes: 1,
+                compute_per_cycle: 1.0,
+                outstanding: 16,
+            },
+            start: 0,
+        };
+        let slow = simulate_accel_system(&[tight], &bus);
+        let fast = simulate_accel_system(&[deep], &bus);
+        assert!(
+            slow.makespan > fast.makespan * 4,
+            "{} vs {}",
+            slow.makespan,
+            fast.makespan
+        );
+    }
+}
+
+#[cfg(test)]
+mod assoc_tests {
+    use super::*;
+
+    fn thrash_trace() -> Trace {
+        // Two addresses that collide in a direct-mapped 16 KiB cache.
+        (0..2000u64)
+            .map(|i| TraceOp::Mem {
+                addr: (i % 2) * 16 * 1024,
+                bytes: 8,
+                write: false,
+                object: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_way_associativity_absorbs_conflicts() {
+        let t = thrash_trace();
+        let dm = CpuTiming {
+            cache: Some(CacheConfig::direct_mapped(16 * 1024, 64)),
+            ..CpuTiming::default()
+        };
+        let assoc = CpuTiming {
+            cache: Some(CacheConfig {
+                size: 16 * 1024,
+                line: 64,
+                ways: 2,
+            }),
+            ..CpuTiming::default()
+        };
+        let r_dm = simulate_cpu(&t, &dm);
+        let r_assoc = simulate_cpu(&t, &assoc);
+        assert!(
+            r_dm.misses > 1900,
+            "ping-pong should thrash direct-mapped: {r_dm:?}"
+        );
+        assert!(r_assoc.misses <= 2, "two ways hold both lines: {r_assoc:?}");
+        assert!(r_assoc.cycles < r_dm.cycles / 5);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_way() {
+        // Three lines into a 2-way set: the least recently used goes.
+        let s = 16 * 1024u64;
+        let t: Trace = [0, s, 0, 2 * s, 0, s]
+            .into_iter()
+            .map(|addr| TraceOp::Mem {
+                addr,
+                bytes: 8,
+                write: false,
+                object: 0,
+            })
+            .collect();
+        let assoc = CpuTiming {
+            cache: Some(CacheConfig {
+                size: 16 * 1024,
+                line: 64,
+                ways: 2,
+            }),
+            ..CpuTiming::default()
+        };
+        let r = simulate_cpu(&t, &assoc);
+        // Misses: 0, s, 2s (evicts s), then s again. Hits: 0 twice.
+        assert_eq!(r.misses, 4, "{r:?}");
+        assert_eq!(r.hits, 2, "{r:?}");
+    }
+}

@@ -1,0 +1,175 @@
+//! # ioprotect — I/O memory-protection mechanisms
+//!
+//! The protection baselines the paper compares against (Tables 1 and 3,
+//! Figure 12), all behind one interface: [`IoProtection`].
+//!
+//! * [`NoProtection`] — the vanilla embedded system: every address
+//!   reachable by every device.
+//! * [`Iopmp`] — a RISC-V IOPMP: a handful of associatively-checked
+//!   regions (byte-granular, but expensive, so few).
+//! * [`Iommu`] — page-table-based translation/protection at 4 kB
+//!   granularity with an IOTLB.
+//! * [`Snpu`] — an sNPU-style accelerator-specific checker: per-task
+//!   bounds tailored to one architecture, with its own (non-CHERI)
+//!   capability mapping.
+//!
+//! The CapChecker itself (crate `capchecker`) implements the same trait so
+//! that the security harness can run identical attacks against every
+//! mechanism.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod iommu;
+mod iopmp;
+mod none;
+mod properties;
+mod snpu;
+
+pub use iommu::{Iommu, IommuConfig};
+pub use iopmp::{Iopmp, IopmpConfig};
+pub use none::NoProtection;
+pub use properties::{MechanismProperties, Scalability, Translation};
+pub use snpu::Snpu;
+
+use cheri::Capability;
+use hetsim::{Access, Denial, ObjectId, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// How finely a mechanism separates memory (coarsest to finest).
+///
+/// This is the `PG`/`TA`/`OB` axis of Table 3: page-level (IOMMU),
+/// task-level (IOPMP, sNPU, CapChecker-Coarse), object-level
+/// (CapChecker-Fine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Granularity {
+    /// No spatial enforcement at all.
+    Unprotected,
+    /// Memory pages (4 kB here).
+    Page,
+    /// A task's whole footprint.
+    Task,
+    /// Individual objects (pointer-level).
+    Object,
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Granularity::Unprotected => "none",
+            Granularity::Page => "PG",
+            Granularity::Task => "TA",
+            Granularity::Object => "OB",
+        })
+    }
+}
+
+/// Failure to install an authorization into a mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrantError {
+    /// No free entry/region; the caller must evict or stall (§5.3 ③).
+    TableFull,
+    /// The capability presented was invalid (untagged or sealed).
+    InvalidCapability,
+    /// The mechanism cannot express this authorization.
+    Unsupported,
+}
+
+impl fmt::Display for GrantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrantError::TableFull => write!(f, "no free protection entry"),
+            GrantError::InvalidCapability => write!(f, "capability is invalid"),
+            GrantError::Unsupported => write!(f, "authorization not expressible"),
+        }
+    }
+}
+
+impl Error for GrantError {}
+
+/// A hardware mechanism that vets device memory accesses.
+///
+/// The grant/revoke half is driven by trusted software (the driver); the
+/// check half sits on the data path and sees every [`Access`].
+pub trait IoProtection {
+    /// Short mechanism name (Table 1/3 column header).
+    fn name(&self) -> &'static str;
+
+    /// The qualitative property row of Table 1.
+    fn properties(&self) -> MechanismProperties;
+
+    /// The finest separation this instance provides.
+    fn granularity(&self) -> Granularity;
+
+    /// Authorizes `task` to use `cap`'s region for object `object`.
+    ///
+    /// Mechanisms that cannot hold capabilities approximate: the IOMMU
+    /// maps the *pages* the region touches, the IOPMP installs a region
+    /// register, sNPU widens the task's bounds. That approximation is
+    /// exactly the `b ⊆ c` slack of the paper's formalization (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// See [`GrantError`].
+    fn grant(&mut self, task: TaskId, object: ObjectId, cap: &Capability)
+        -> Result<(), GrantError>;
+
+    /// Removes every authorization held by `task` (task teardown).
+    fn revoke_task(&mut self, task: TaskId);
+
+    /// Vets one access on the data path.
+    ///
+    /// # Errors
+    ///
+    /// A [`Denial`] naming the failed check; the system treats it as the
+    /// mechanism's exception.
+    fn check(&mut self, access: &Access) -> Result<(), Denial>;
+
+    /// Hardware entries currently occupied (Figure 12's y-axis).
+    fn entries_in_use(&self) -> usize;
+
+    /// Maps a granted request's address to the physical address the memory
+    /// controller should see. Identity for pure protection mechanisms; the
+    /// CapChecker's Coarse mode strips its object-ID bits here, and an
+    /// IOMMU would translate.
+    fn translate(&self, addr: u64) -> u64 {
+        addr
+    }
+}
+
+pub(crate) fn require_valid(cap: &Capability) -> Result<(), GrantError> {
+    if !cap.is_valid() || cap.is_sealed() {
+        return Err(GrantError::InvalidCapability);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_orders_coarse_to_fine() {
+        assert!(Granularity::Unprotected < Granularity::Page);
+        assert!(Granularity::Page < Granularity::Task);
+        assert!(Granularity::Task < Granularity::Object);
+    }
+
+    #[test]
+    fn grant_error_messages() {
+        assert!(GrantError::TableFull.to_string().contains("entry"));
+        assert!(GrantError::InvalidCapability
+            .to_string()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn sealed_or_untagged_caps_rejected_by_helper() {
+        let sealed = Capability::root().seal(77).unwrap();
+        assert_eq!(require_valid(&sealed), Err(GrantError::InvalidCapability));
+        let untagged = Capability::root().clear_tag();
+        assert_eq!(require_valid(&untagged), Err(GrantError::InvalidCapability));
+        assert_eq!(require_valid(&Capability::root()), Ok(()));
+    }
+}

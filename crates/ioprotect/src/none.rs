@@ -1,0 +1,62 @@
+//! The absence of protection: the baseline embedded system.
+
+use crate::{GrantError, Granularity, IoProtection, MechanismProperties};
+use cheri::Capability;
+use hetsim::{Access, Denial, ObjectId, TaskId};
+
+/// No protection at all: every device reaches all of physical memory,
+/// including the OS — "the whole memory … is reachable by the attacker"
+/// (§2). Grants are accepted and ignored.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProtection;
+
+impl NoProtection {
+    /// Creates the (stateless) mechanism.
+    #[must_use]
+    pub fn new() -> NoProtection {
+        NoProtection
+    }
+}
+
+impl IoProtection for NoProtection {
+    fn name(&self) -> &'static str {
+        "No method"
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        MechanismProperties::none()
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::Unprotected
+    }
+
+    fn grant(&mut self, _: TaskId, _: ObjectId, _: &Capability) -> Result<(), GrantError> {
+        Ok(())
+    }
+
+    fn revoke_task(&mut self, _: TaskId) {}
+
+    fn check(&mut self, _: &Access) -> Result<(), Denial> {
+        Ok(())
+    }
+
+    fn entries_in_use(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::MasterId;
+
+    #[test]
+    fn everything_passes() {
+        let mut p = NoProtection::new();
+        let a = Access::write(MasterId(0), TaskId(1), u64::MAX, 1);
+        assert!(p.check(&a).is_ok());
+        assert_eq!(p.entries_in_use(), 0);
+        assert_eq!(p.granularity(), Granularity::Unprotected);
+    }
+}

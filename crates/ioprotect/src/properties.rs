@@ -1,0 +1,203 @@
+//! Qualitative mechanism properties — the rows of Table 1.
+
+use std::fmt;
+
+/// Whether a mechanism's entry count scales with realistic workloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scalability {
+    /// Entry count or area makes large workloads impractical.
+    No,
+    /// Scales, with caveats (the paper marks CHERI "semi": entries scale
+    /// with live *pointers*, not bytes, but the table is finite).
+    Semi,
+    /// Scales freely.
+    Yes,
+}
+
+impl fmt::Display for Scalability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scalability::No => "no",
+            Scalability::Semi => "semi",
+            Scalability::Yes => "yes",
+        })
+    }
+}
+
+/// Whether a mechanism provides address translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Translation {
+    /// Pure protection, identity addressing.
+    No,
+    /// Translation is inherent (IOMMU).
+    Yes,
+    /// Translation can be layered independently (CHERI deconflates
+    /// protection from translation).
+    Optional,
+}
+
+impl fmt::Display for Translation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Translation::No => "no",
+            Translation::Yes => "yes",
+            Translation::Optional => "optional",
+        })
+    }
+}
+
+/// One column of Table 1: the qualitative comparison of device-side
+/// protection methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MechanismProperties {
+    /// Mechanism name.
+    pub name: &'static str,
+    /// Does it enforce spatial memory safety at all?
+    pub spatial_enforcement: bool,
+    /// Enforcement granularity in bytes (`None` when not enforcing).
+    pub granularity_bytes: Option<u64>,
+    /// Does it share the CPU's object representation (same `c` mapping)?
+    pub common_object_representation: bool,
+    /// Are its authorizations unforgeable by the protected devices?
+    pub unforgeable: bool,
+    /// Entry/area scalability.
+    pub scalability: Scalability,
+    /// Address translation support.
+    pub address_translation: Translation,
+    /// Cheap enough for microcontroller-class systems?
+    pub microcontroller_suitable: bool,
+    /// Appropriate for application processors?
+    pub app_processor_suitable: bool,
+}
+
+impl MechanismProperties {
+    /// The "No method" column.
+    #[must_use]
+    pub fn none() -> MechanismProperties {
+        MechanismProperties {
+            name: "No method",
+            spatial_enforcement: false,
+            granularity_bytes: None,
+            common_object_representation: false,
+            unforgeable: false,
+            scalability: Scalability::Yes,
+            address_translation: Translation::No,
+            microcontroller_suitable: true,
+            app_processor_suitable: true,
+        }
+    }
+
+    /// The IOPMP column.
+    #[must_use]
+    pub fn iopmp() -> MechanismProperties {
+        MechanismProperties {
+            name: "IOPMP",
+            spatial_enforcement: true,
+            granularity_bytes: Some(1),
+            common_object_representation: false,
+            unforgeable: false,
+            scalability: Scalability::No,
+            address_translation: Translation::No,
+            microcontroller_suitable: true,
+            app_processor_suitable: false,
+        }
+    }
+
+    /// The IOMMU column.
+    #[must_use]
+    pub fn iommu() -> MechanismProperties {
+        MechanismProperties {
+            name: "IOMMU",
+            spatial_enforcement: true,
+            granularity_bytes: Some(4096),
+            common_object_representation: false,
+            unforgeable: false,
+            scalability: Scalability::Yes,
+            address_translation: Translation::Yes,
+            microcontroller_suitable: false,
+            app_processor_suitable: true,
+        }
+    }
+
+    /// The CHERI (CapChecker) column.
+    #[must_use]
+    pub fn cheri() -> MechanismProperties {
+        MechanismProperties {
+            name: "CHERI",
+            spatial_enforcement: true,
+            granularity_bytes: Some(1),
+            common_object_representation: true,
+            unforgeable: true,
+            scalability: Scalability::Semi,
+            address_translation: Translation::Optional,
+            microcontroller_suitable: true,
+            app_processor_suitable: true,
+        }
+    }
+
+    /// The four columns of Table 1, in the paper's order.
+    #[must_use]
+    pub fn table1() -> [MechanismProperties; 4] {
+        [
+            MechanismProperties::none(),
+            MechanismProperties::iopmp(),
+            MechanismProperties::iommu(),
+            MechanismProperties::cheri(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let [none, iopmp, iommu, cheri] = MechanismProperties::table1();
+
+        // Spatial enforcement row: ✗ ✓ ✓ ✓
+        assert!(!none.spatial_enforcement);
+        assert!(
+            iopmp.spatial_enforcement && iommu.spatial_enforcement && cheri.spatial_enforcement
+        );
+
+        // Granularity row: – 1 4096 1
+        assert_eq!(none.granularity_bytes, None);
+        assert_eq!(iopmp.granularity_bytes, Some(1));
+        assert_eq!(iommu.granularity_bytes, Some(4096));
+        assert_eq!(cheri.granularity_bytes, Some(1));
+
+        // Common object representation and unforgeability: only CHERI.
+        for m in [none, iopmp, iommu] {
+            assert!(!m.common_object_representation);
+            assert!(!m.unforgeable);
+        }
+        assert!(cheri.common_object_representation && cheri.unforgeable);
+
+        // Scalability: ✓ ✗ ✓ semi
+        assert_eq!(none.scalability, Scalability::Yes);
+        assert_eq!(iopmp.scalability, Scalability::No);
+        assert_eq!(iommu.scalability, Scalability::Yes);
+        assert_eq!(cheri.scalability, Scalability::Semi);
+
+        // Translation: ✗ ✗ ✓ optional
+        assert_eq!(iommu.address_translation, Translation::Yes);
+        assert_eq!(cheri.address_translation, Translation::Optional);
+
+        // Suitability rows.
+        assert!(none.microcontroller_suitable && iopmp.microcontroller_suitable);
+        assert!(!iommu.microcontroller_suitable && cheri.microcontroller_suitable);
+        assert!(!iopmp.app_processor_suitable);
+        assert!(
+            none.app_processor_suitable
+                && iommu.app_processor_suitable
+                && cheri.app_processor_suitable
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Scalability::Semi.to_string(), "semi");
+        assert_eq!(Translation::Optional.to_string(), "optional");
+    }
+}

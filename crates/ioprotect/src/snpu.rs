@@ -1,0 +1,188 @@
+//! An sNPU-style accelerator-specific protection model.
+//!
+//! sNPU (Feng et al., ISCA'24) integrates bounds checking *inside* one NPU
+//! architecture: each task gets a guarded window over the memory it may
+//! touch, using a capability mapping private to the accelerator. That is
+//! effective within the NPU, but it is a *different* capability system
+//! from the CPU's — the protection-heterogeneity problem of §4.2
+//! (`c_p ≠ c_a`). The model here captures both the strength (task-level
+//! windows) and the weakness (no common object representation, forgeable
+//! from the CPU's point of view).
+
+use crate::{
+    require_valid, GrantError, Granularity, IoProtection, MechanismProperties, Scalability,
+    Translation,
+};
+use cheri::{Capability, Perms};
+use hetsim::{Access, AccessKind, Denial, DenyReason, ObjectId, TaskId};
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug)]
+struct Window {
+    base: u64,
+    end: u128,
+    read: bool,
+    write: bool,
+}
+
+/// Task-granularity protection tailored to a single accelerator
+/// architecture.
+///
+/// Each task owns one contiguous window that grows to cover every buffer
+/// granted to it (the scratchpad-window idiom). Accesses anywhere inside
+/// the window pass — including between the task's own buffers and through
+/// any allocation gaps the window spans, which is why Table 3 scores it
+/// "TA".
+#[derive(Clone, Debug, Default)]
+pub struct Snpu {
+    windows: HashMap<TaskId, Window>,
+}
+
+impl Snpu {
+    /// Creates the checker with no task windows.
+    #[must_use]
+    pub fn new() -> Snpu {
+        Snpu::default()
+    }
+}
+
+impl IoProtection for Snpu {
+    fn name(&self) -> &'static str {
+        "sNPU"
+    }
+
+    fn properties(&self) -> MechanismProperties {
+        MechanismProperties {
+            name: "sNPU",
+            spatial_enforcement: true,
+            granularity_bytes: Some(1),
+            common_object_representation: false,
+            unforgeable: false,
+            scalability: Scalability::Semi,
+            address_translation: Translation::No,
+            microcontroller_suitable: true,
+            app_processor_suitable: false,
+        }
+    }
+
+    fn granularity(&self) -> Granularity {
+        Granularity::Task
+    }
+
+    fn grant(&mut self, task: TaskId, _: ObjectId, cap: &Capability) -> Result<(), GrantError> {
+        require_valid(cap)?;
+        let read = cap.perms().contains(Perms::LOAD);
+        let write = cap.perms().contains(Perms::STORE);
+        let w = self.windows.entry(task).or_insert(Window {
+            base: cap.base(),
+            end: cap.top(),
+            read,
+            write,
+        });
+        w.base = w.base.min(cap.base());
+        w.end = w.end.max(cap.top());
+        w.read |= read;
+        w.write |= write;
+        Ok(())
+    }
+
+    fn revoke_task(&mut self, task: TaskId) {
+        self.windows.remove(&task);
+    }
+
+    fn check(&mut self, access: &Access) -> Result<(), Denial> {
+        let Some(w) = self.windows.get(&access.task) else {
+            return Err(Denial {
+                access: *access,
+                reason: DenyReason::NoEntry,
+            });
+        };
+        let end = access.addr as u128 + access.len as u128;
+        if access.addr < w.base || end > w.end {
+            return Err(Denial {
+                access: *access,
+                reason: DenyReason::OutOfBounds,
+            });
+        }
+        let allowed = match access.kind {
+            AccessKind::Read => w.read,
+            AccessKind::Write => w.write,
+        };
+        if !allowed {
+            return Err(Denial {
+                access: *access,
+                reason: DenyReason::MissingPermission,
+            });
+        }
+        Ok(())
+    }
+
+    fn entries_in_use(&self) -> usize {
+        self.windows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::MasterId;
+
+    fn rw_cap(base: u64, len: u64) -> Capability {
+        Capability::root()
+            .set_bounds(base, len)
+            .unwrap()
+            .and_perms(Perms::RW)
+            .unwrap()
+    }
+
+    fn read(task: u32, addr: u64, len: u64) -> Access {
+        Access::read(MasterId(0), TaskId(task), addr, len)
+    }
+
+    #[test]
+    fn window_separates_tasks() {
+        let mut s = Snpu::new();
+        s.grant(TaskId(1), ObjectId(0), &rw_cap(0x1000, 0x100))
+            .unwrap();
+        s.grant(TaskId(2), ObjectId(0), &rw_cap(0x8000, 0x100))
+            .unwrap();
+        assert!(s.check(&read(1, 0x1000, 4)).is_ok());
+        assert!(s.check(&read(1, 0x8000, 4)).is_err());
+        assert!(s.check(&read(2, 0x8000, 4)).is_ok());
+    }
+
+    #[test]
+    fn window_spans_gaps_between_buffers() {
+        // The task-granularity weakness: two buffers widen one window, and
+        // the unrelated gap between them becomes reachable.
+        let mut s = Snpu::new();
+        s.grant(TaskId(1), ObjectId(0), &rw_cap(0x1000, 0x100))
+            .unwrap();
+        s.grant(TaskId(1), ObjectId(1), &rw_cap(0x3000, 0x100))
+            .unwrap();
+        assert!(
+            s.check(&read(1, 0x2000, 4)).is_ok(),
+            "gap inside window is exposed"
+        );
+        assert_eq!(s.entries_in_use(), 1);
+    }
+
+    #[test]
+    fn no_window_means_no_access() {
+        let mut s = Snpu::new();
+        assert_eq!(
+            s.check(&read(5, 0, 4)).unwrap_err().reason,
+            DenyReason::NoEntry
+        );
+    }
+
+    #[test]
+    fn revoke_closes_the_window() {
+        let mut s = Snpu::new();
+        s.grant(TaskId(1), ObjectId(0), &rw_cap(0x1000, 0x100))
+            .unwrap();
+        s.revoke_task(TaskId(1));
+        assert!(s.check(&read(1, 0x1000, 4)).is_err());
+        assert_eq!(s.entries_in_use(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Per-benchmark HLS timing profiles.
+//!
+//! These are the structural parameters the paper's Vitis HLS flow fixes
+//! when it builds each accelerator ("the hardware optimizations of
+//! accelerators are determined by the automated HLS tool", §6): datapath
+//! lanes, retired operations per lane-cycle, and the memory-level
+//! parallelism each lane sustains — plus the scalar CPU's cost per work
+//! unit, which is dominated by floating-point strength for the FP
+//! benchmarks (Flute-class cores have no wide FPU).
+//!
+//! The values are calibrated to reproduce Figure 7's *bands*: backprop and
+//! viterbi in the thousands, most benchmarks solidly above 1×, and the
+//! four memory-bound kernels (md_knn, stencil2d, bfs_bulk, bfs_queue)
+//! below 1× — not the VCU118's absolute cycle counts.
+
+use crate::Benchmark;
+
+/// Timing profile of one benchmark on the CPU and on its HLS accelerator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KernelProfile {
+    /// CPU cycles per kernel work unit (FP-heavy kernels cost more on a
+    /// scalar soft-core).
+    pub cpu_cycles_per_unit: f64,
+    /// Parallel datapath lanes in the accelerator.
+    pub lanes: u32,
+    /// Work units retired per lane per cycle once the pipeline fills.
+    pub compute_per_cycle: f64,
+    /// Outstanding memory requests per lane.
+    pub outstanding: u32,
+}
+
+const fn profile_of(
+    cpu_cycles_per_unit: f64,
+    lanes: u32,
+    compute_per_cycle: f64,
+    outstanding: u32,
+) -> KernelProfile {
+    KernelProfile {
+        cpu_cycles_per_unit,
+        lanes,
+        compute_per_cycle,
+        outstanding,
+    }
+}
+
+/// The profile for `bench`.
+#[must_use]
+pub fn profile(bench: Benchmark) -> KernelProfile {
+    match bench {
+        // Crypto: bit-level parallelism pipelines superbly.
+        Benchmark::Aes => profile_of(1.5, 4, 16.0, 4),
+        // FP training with sigmoids: very expensive per unit on the CPU,
+        // very wide on the accelerator.
+        Benchmark::Backprop => profile_of(20.0, 32, 16.0, 8),
+        // Graph traversal: data-dependent loads, no pipelining to speak of.
+        Benchmark::BfsBulk => profile_of(1.2, 1, 2.0, 4),
+        Benchmark::BfsQueue => profile_of(1.2, 1, 2.0, 4),
+        // FP butterflies, streamed in place.
+        Benchmark::FftStrided => profile_of(6.0, 8, 4.0, 8),
+        Benchmark::FftTranspose => profile_of(6.0, 8, 4.0, 8),
+        // Single-precision MACs with a hardware FMA: cheap per unit.
+        Benchmark::GemmBlocked => profile_of(1.0, 4, 8.0, 4),
+        Benchmark::GemmNcubed => profile_of(1.0, 4, 8.0, 4),
+        // Byte matching.
+        Benchmark::Kmp => profile_of(1.2, 4, 4.0, 16),
+        // FP pair interactions from BRAM.
+        Benchmark::MdGrid => profile_of(8.0, 16, 8.0, 8),
+        // Neighbor-list gathers: the memory-bound, small-latency outlier.
+        Benchmark::MdKnn => profile_of(1.0, 1, 4.0, 2),
+        // Integer DP.
+        Benchmark::Nw => profile_of(1.0, 4, 4.0, 8),
+        // Comparison-bound.
+        Benchmark::SortMerge => profile_of(1.5, 4, 2.0, 16),
+        Benchmark::SortRadix => profile_of(1.5, 4, 2.0, 8),
+        // Sparse gathers.
+        Benchmark::SpmvCrs => profile_of(4.0, 4, 2.0, 4),
+        Benchmark::SpmvEllpack => profile_of(4.0, 4, 2.0, 4),
+        // Tap streaming beats the FPU only when the cache helps: CPU wins.
+        Benchmark::Stencil2d => profile_of(1.5, 1, 4.0, 2),
+        Benchmark::Stencil3d => profile_of(4.0, 8, 4.0, 8),
+        // FP trellis from BRAM.
+        Benchmark::Viterbi => profile_of(25.0, 32, 16.0, 8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_has_a_sane_profile() {
+        for b in Benchmark::ALL {
+            let p = profile(b);
+            assert!(p.cpu_cycles_per_unit >= 1.0, "{b}");
+            assert!(p.lanes >= 1 && p.lanes <= 64, "{b}");
+            assert!(p.compute_per_cycle >= 1.0, "{b}");
+            assert!(p.outstanding >= 1, "{b}");
+        }
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_have_narrow_accelerators() {
+        for b in [
+            Benchmark::MdKnn,
+            Benchmark::Stencil2d,
+            Benchmark::BfsBulk,
+            Benchmark::BfsQueue,
+        ] {
+            let p = profile(b);
+            assert!(p.lanes <= 2, "{b} should not be wide");
+        }
+    }
+
+    #[test]
+    fn flagship_speedup_benchmarks_are_wide_and_fp_heavy() {
+        for b in [Benchmark::Backprop, Benchmark::Viterbi] {
+            let p = profile(b);
+            assert!(p.cpu_cycles_per_unit >= 20.0, "{b}");
+            assert!(p.lanes as f64 * p.compute_per_cycle >= 256.0, "{b}");
+        }
+    }
+}

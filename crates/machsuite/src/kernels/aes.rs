@@ -1,0 +1,189 @@
+//! `aes` — AES-128 counter-mode-style chained encryption.
+//!
+//! One 128-byte buffer: a 16-byte key followed by seven 16-byte blocks.
+//! The kernel expands the key schedule into registers, then repeatedly
+//! re-encrypts the blocks (a chained keystream generator), touching memory
+//! only to load the initial state and store the final one — the classic
+//! compute-bound crypto accelerator.
+
+use super::{get_u64, set_u64};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const BLOCKS: usize = 7;
+/// Chained encryption passes (the keystream length).
+const PASSES: usize = 256;
+/// Work units per AES round: 16 S-box lookups, MixColumns, AddRoundKey.
+const ROUND_UNITS: u64 = 60;
+
+#[rustfmt::skip]
+const SBOX: [u8; 256] = [
+    0x63,0x7c,0x77,0x7b,0xf2,0x6b,0x6f,0xc5,0x30,0x01,0x67,0x2b,0xfe,0xd7,0xab,0x76,
+    0xca,0x82,0xc9,0x7d,0xfa,0x59,0x47,0xf0,0xad,0xd4,0xa2,0xaf,0x9c,0xa4,0x72,0xc0,
+    0xb7,0xfd,0x93,0x26,0x36,0x3f,0xf7,0xcc,0x34,0xa5,0xe5,0xf1,0x71,0xd8,0x31,0x15,
+    0x04,0xc7,0x23,0xc3,0x18,0x96,0x05,0x9a,0x07,0x12,0x80,0xe2,0xeb,0x27,0xb2,0x75,
+    0x09,0x83,0x2c,0x1a,0x1b,0x6e,0x5a,0xa0,0x52,0x3b,0xd6,0xb3,0x29,0xe3,0x2f,0x84,
+    0x53,0xd1,0x00,0xed,0x20,0xfc,0xb1,0x5b,0x6a,0xcb,0xbe,0x39,0x4a,0x4c,0x58,0xcf,
+    0xd0,0xef,0xaa,0xfb,0x43,0x4d,0x33,0x85,0x45,0xf9,0x02,0x7f,0x50,0x3c,0x9f,0xa8,
+    0x51,0xa3,0x40,0x8f,0x92,0x9d,0x38,0xf5,0xbc,0xb6,0xda,0x21,0x10,0xff,0xf3,0xd2,
+    0xcd,0x0c,0x13,0xec,0x5f,0x97,0x44,0x17,0xc4,0xa7,0x7e,0x3d,0x64,0x5d,0x19,0x73,
+    0x60,0x81,0x4f,0xdc,0x22,0x2a,0x90,0x88,0x46,0xee,0xb8,0x14,0xde,0x5e,0x0b,0xdb,
+    0xe0,0x32,0x3a,0x0a,0x49,0x06,0x24,0x5c,0xc2,0xd3,0xac,0x62,0x91,0x95,0xe4,0x79,
+    0xe7,0xc8,0x37,0x6d,0x8d,0xd5,0x4e,0xa9,0x6c,0x56,0xf4,0xea,0x65,0x7a,0xae,0x08,
+    0xba,0x78,0x25,0x2e,0x1c,0xa6,0xb4,0xc6,0xe8,0xdd,0x74,0x1f,0x4b,0xbd,0x8b,0x8a,
+    0x70,0x3e,0xb5,0x66,0x48,0x03,0xf6,0x0e,0x61,0x35,0x57,0xb9,0x86,0xc1,0x1d,0x9e,
+    0xe1,0xf8,0x98,0x11,0x69,0xd9,0x8e,0x94,0x9b,0x1e,0x87,0xe9,0xce,0x55,0x28,0xdf,
+    0x8c,0xa1,0x89,0x0d,0xbf,0xe6,0x42,0x68,0x41,0x99,0x2d,0x0f,0xb0,0x54,0xbb,0x16,
+];
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+fn expand_key(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut rk = [[0u8; 16]; 11];
+    rk[0] = *key;
+    for r in 1..11 {
+        let prev = rk[r - 1];
+        let mut t = [prev[13], prev[14], prev[15], prev[12]];
+        for b in &mut t {
+            *b = SBOX[*b as usize];
+        }
+        t[0] ^= RCON[r - 1];
+        for c in 0..4 {
+            for row in 0..4 {
+                let w = if c == 0 {
+                    t[row]
+                } else {
+                    rk[r][(c - 1) * 4 + row]
+                };
+                rk[r][c * 4 + row] = prev[c * 4 + row] ^ w;
+            }
+        }
+    }
+    rk
+}
+
+fn encrypt_block(block: &mut [u8; 16], rk: &[[u8; 16]; 11]) {
+    for (i, b) in block.iter_mut().enumerate() {
+        *b ^= rk[0][i];
+    }
+    for round in 1..11 {
+        // SubBytes.
+        for b in block.iter_mut() {
+            *b = SBOX[*b as usize];
+        }
+        // ShiftRows.
+        let s = *block;
+        for c in 0..4 {
+            for r in 0..4 {
+                block[c * 4 + r] = s[((c + r) % 4) * 4 + r];
+            }
+        }
+        // MixColumns (skipped in the last round).
+        if round < 10 {
+            let s = *block;
+            for c in 0..4 {
+                let col = &s[c * 4..c * 4 + 4];
+                let all = col[0] ^ col[1] ^ col[2] ^ col[3];
+                for r in 0..4 {
+                    block[c * 4 + r] = col[r] ^ all ^ xtime(col[r] ^ col[(r + 1) % 4]);
+                }
+            }
+        }
+        // AddRoundKey.
+        for (i, b) in block.iter_mut().enumerate() {
+            *b ^= rk[round][i];
+        }
+    }
+}
+
+fn run_passes(data: &mut [u8; 128]) {
+    let key: [u8; 16] = data[..16].try_into().expect("key slice");
+    let rk = expand_key(&key);
+    let mut blocks = [[0u8; 16]; BLOCKS];
+    for (i, blk) in blocks.iter_mut().enumerate() {
+        blk.copy_from_slice(&data[16 + i * 16..32 + i * 16]);
+    }
+    for _ in 0..PASSES {
+        for blk in &mut blocks {
+            encrypt_block(blk, &rk);
+        }
+    }
+    for (i, blk) in blocks.iter().enumerate() {
+        data[16 + i * 16..32 + i * 16].copy_from_slice(blk);
+    }
+}
+
+pub(crate) fn init(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xae5);
+    let mut block = vec![0u8; 128];
+    rng.fill(block.as_mut_slice());
+    vec![block]
+}
+
+pub(crate) fn kernel(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    // DMA the whole buffer in (key + blocks), 8 bytes per beat.
+    let mut data = [0u8; 128];
+    for i in 0..16 {
+        let w = eng.load_u64(0, i as u64)?;
+        data[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+    }
+    eng.compute(200); // key expansion
+    eng.compute((PASSES * BLOCKS) as u64 * 10 * ROUND_UNITS);
+    run_passes(&mut data);
+    // Stream the keystream back out (the key words are unchanged).
+    for i in 2..16 {
+        eng.store_u64(0, i as u64, get_u64(&data, i))?;
+    }
+    Ok(())
+}
+
+pub(crate) fn reference(bufs: &mut [Vec<u8>]) {
+    let mut data = [0u8; 128];
+    data.copy_from_slice(&bufs[0]);
+    run_passes(&mut data);
+    // The kernel stores only the block words back; key bytes stay as-is
+    // (they are unchanged by run_passes anyway).
+    let mut out = bufs[0].clone();
+    for i in 2..16 {
+        set_u64(&mut out, i, get_u64(&data, i));
+    }
+    bufs[0] = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips_197_vector() {
+        // FIPS-197 appendix C.1: AES-128, key 000102…0f, plaintext
+        // 00112233445566778899aabbccddeeff.
+        let key: [u8; 16] = (0..16u8).collect::<Vec<_>>().try_into().unwrap();
+        let mut block: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        encrypt_block(&mut block, &expand_key(&key));
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn chaining_changes_every_block() {
+        let mut data = [0u8; 128];
+        let before = data;
+        run_passes(&mut data);
+        assert_ne!(&data[16..], &before[16..]);
+        assert_eq!(&data[..16], &before[..16], "key must be untouched");
+    }
+}

@@ -1,0 +1,275 @@
+//! `backprop` — one epoch of SGD on a 4-32-8 MLP.
+//!
+//! The weights stream into accelerator BRAM once, the whole training set
+//! streams through, and the updated weights stream back — so the kernel is
+//! overwhelmingly compute-bound, which is why the paper reports a
+//! four-digit speedup (the CPU pays dearly for every `exp`).
+
+use super::{get_f32, set_f32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const IN: usize = 4;
+const HID: usize = 32;
+const OUT: usize = 8;
+const SAMPLES: usize = 652;
+/// SGD epochs per task invocation (the training set streams through the
+/// accelerator once per epoch).
+const EPOCHS: usize = 8;
+
+/// Work units for one sigmoid (polynomial/exp pipeline).
+const SIGMOID_UNITS: u64 = 8;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+struct Net {
+    w1: [f32; IN * HID],
+    w2: [f32; HID * OUT],
+    b1: [f32; HID],
+    b2: [f32; OUT],
+}
+
+/// One SGD step; shared verbatim by kernel and reference so the results
+/// match bit-for-bit.
+fn train_sample(net: &mut Net, lr: f32, x: &[f32; IN], y: f32) {
+    let mut h = [0f32; HID];
+    for (j, hj) in h.iter_mut().enumerate() {
+        let mut acc = net.b1[j];
+        for (i, xi) in x.iter().enumerate() {
+            acc += net.w1[i * HID + j] * xi;
+        }
+        *hj = sigmoid(acc);
+    }
+    let mut o = [0f32; OUT];
+    for (k, ok) in o.iter_mut().enumerate() {
+        let mut acc = net.b2[k];
+        for (j, hj) in h.iter().enumerate() {
+            acc += net.w2[j * OUT + k] * hj;
+        }
+        *ok = sigmoid(acc);
+    }
+    let target = (y as usize) % OUT;
+    let mut delta_o = [0f32; OUT];
+    for k in 0..OUT {
+        let t = if k == target { 1.0 } else { 0.0 };
+        delta_o[k] = (o[k] - t) * o[k] * (1.0 - o[k]);
+    }
+    let mut delta_h = [0f32; HID];
+    for j in 0..HID {
+        let mut acc = 0.0;
+        for k in 0..OUT {
+            acc += net.w2[j * OUT + k] * delta_o[k];
+        }
+        delta_h[j] = acc * h[j] * (1.0 - h[j]);
+    }
+    for j in 0..HID {
+        for k in 0..OUT {
+            net.w2[j * OUT + k] -= lr * delta_o[k] * h[j];
+        }
+        net.b1[j] -= lr * delta_h[j];
+    }
+    for k in 0..OUT {
+        net.b2[k] -= lr * delta_o[k];
+    }
+    for i in 0..IN {
+        for j in 0..HID {
+            net.w1[i * HID + j] -= lr * delta_h[j] * x[i];
+        }
+    }
+}
+
+fn sample_units() -> u64 {
+    // Forward MACs + sigmoids + backward MACs + updates.
+    let fwd = (IN * HID + HID * OUT) as u64 * 2;
+    let sig = (HID + OUT) as u64 * SIGMOID_UNITS;
+    let bwd = (HID * OUT) as u64 * 2 + (OUT + HID) as u64 * 4;
+    let upd = (HID * OUT + IN * HID) as u64 * 3 + (HID + OUT) as u64 * 2;
+    fwd + sig + bwd + upd
+}
+
+pub(crate) fn init(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xbac);
+    let mut f32_buf = |n: usize, lo: f32, hi: f32| {
+        let mut v = vec![0u8; n * 4];
+        for i in 0..n {
+            set_f32(&mut v, i, rng.gen_range(lo..hi));
+        }
+        v
+    };
+    let mut hyper = vec![0u8; 12];
+    set_f32(&mut hyper, 0, 0.05); // learning rate
+    let w1 = f32_buf(IN * HID, -0.5, 0.5);
+    let w2 = f32_buf(HID * OUT, -0.5, 0.5);
+    let b1 = f32_buf(HID, -0.1, 0.1);
+    let b2 = f32_buf(OUT, -0.1, 0.1);
+    let train_x = f32_buf(SAMPLES * IN, -1.0, 1.0);
+    let mut train_y = vec![0u8; SAMPLES * 4];
+    for s in 0..SAMPLES {
+        set_f32(&mut train_y, s, rng.gen_range(0..OUT as u32) as f32);
+    }
+    vec![hyper, w1, w2, b1, b2, train_x, train_y]
+}
+
+pub(crate) fn kernel(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let lr = eng.load_f32(0, 0)?;
+
+    // Stream the network parameters into BRAM.
+    let mut net = Net {
+        w1: [0.0; IN * HID],
+        w2: [0.0; HID * OUT],
+        b1: [0.0; HID],
+        b2: [0.0; OUT],
+    };
+    for i in 0..IN * HID {
+        net.w1[i] = eng.load_f32(1, i as u64)?;
+    }
+    for i in 0..HID * OUT {
+        net.w2[i] = eng.load_f32(2, i as u64)?;
+    }
+    for (j, b) in net.b1.iter_mut().enumerate() {
+        *b = eng.load_f32(3, j as u64)?;
+    }
+    for (k, b) in net.b2.iter_mut().enumerate() {
+        *b = eng.load_f32(4, k as u64)?;
+    }
+
+    let units = sample_units();
+    for _ in 0..EPOCHS {
+        for s in 0..SAMPLES {
+            let mut x = [0f32; IN];
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi = eng.load_f32(5, (s * IN + i) as u64)?;
+            }
+            let y = eng.load_f32(6, s as u64)?;
+            eng.compute(units);
+            train_sample(&mut net, lr, &x, y);
+        }
+    }
+
+    // Stream the trained parameters back.
+    for (i, w) in net.w1.iter().enumerate() {
+        eng.store_f32(1, i as u64, *w)?;
+    }
+    for (i, w) in net.w2.iter().enumerate() {
+        eng.store_f32(2, i as u64, *w)?;
+    }
+    for (j, b) in net.b1.iter().enumerate() {
+        eng.store_f32(3, j as u64, *b)?;
+    }
+    for (k, b) in net.b2.iter().enumerate() {
+        eng.store_f32(4, k as u64, *b)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn reference(bufs: &mut [Vec<u8>]) {
+    let lr = get_f32(&bufs[0], 0);
+    let mut net = Net {
+        w1: [0.0; IN * HID],
+        w2: [0.0; HID * OUT],
+        b1: [0.0; HID],
+        b2: [0.0; OUT],
+    };
+    for i in 0..IN * HID {
+        net.w1[i] = get_f32(&bufs[1], i);
+    }
+    for i in 0..HID * OUT {
+        net.w2[i] = get_f32(&bufs[2], i);
+    }
+    for j in 0..HID {
+        net.b1[j] = get_f32(&bufs[3], j);
+    }
+    for k in 0..OUT {
+        net.b2[k] = get_f32(&bufs[4], k);
+    }
+    for _ in 0..EPOCHS {
+        for s in 0..SAMPLES {
+            let mut x = [0f32; IN];
+            for (i, xi) in x.iter_mut().enumerate() {
+                *xi = get_f32(&bufs[5], s * IN + i);
+            }
+            let y = get_f32(&bufs[6], s);
+            train_sample(&mut net, lr, &x, y);
+        }
+    }
+    for (i, w) in net.w1.iter().enumerate() {
+        set_f32(&mut bufs[1], i, *w);
+    }
+    for (i, w) in net.w2.iter().enumerate() {
+        set_f32(&mut bufs[2], i, *w);
+    }
+    for (j, b) in net.b1.iter().enumerate() {
+        set_f32(&mut bufs[3], j, *b);
+    }
+    for (k, b) in net.b2.iter().enumerate() {
+        set_f32(&mut bufs[4], k, *b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut bufs = init(7);
+        let before = bufs.clone();
+        reference(&mut bufs);
+        assert_ne!(bufs[1], before[1], "weights must move");
+
+        // Measure mean squared error before and after on the train set.
+        let mse = |bufs: &[Vec<u8>]| -> f32 {
+            let mut net = Net {
+                w1: [0.0; IN * HID],
+                w2: [0.0; HID * OUT],
+                b1: [0.0; HID],
+                b2: [0.0; OUT],
+            };
+            for i in 0..IN * HID {
+                net.w1[i] = get_f32(&bufs[1], i);
+            }
+            for i in 0..HID * OUT {
+                net.w2[i] = get_f32(&bufs[2], i);
+            }
+            for j in 0..HID {
+                net.b1[j] = get_f32(&bufs[3], j);
+            }
+            for k in 0..OUT {
+                net.b2[k] = get_f32(&bufs[4], k);
+            }
+            let mut total = 0.0;
+            for s in 0..SAMPLES {
+                let mut x = [0f32; IN];
+                for (i, xi) in x.iter_mut().enumerate() {
+                    *xi = get_f32(&bufs[5], s * IN + i);
+                }
+                let target = (get_f32(&bufs[6], s) as usize) % OUT;
+                let mut h = [0f32; HID];
+                for (j, hj) in h.iter_mut().enumerate() {
+                    let mut acc = net.b1[j];
+                    for (i, xi) in x.iter().enumerate() {
+                        acc += net.w1[i * HID + j] * xi;
+                    }
+                    *hj = sigmoid(acc);
+                }
+                for k in 0..OUT {
+                    let mut acc = net.b2[k];
+                    for (j, hj) in h.iter().enumerate() {
+                        acc += net.w2[j * OUT + k] * hj;
+                    }
+                    let o = sigmoid(acc);
+                    let t = if k == target { 1.0 } else { 0.0 };
+                    total += (o - t) * (o - t);
+                }
+            }
+            total / SAMPLES as f32
+        };
+        assert!(
+            mse(&bufs) < mse(&before),
+            "one epoch should reduce training loss"
+        );
+    }
+}

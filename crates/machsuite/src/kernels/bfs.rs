@@ -1,0 +1,193 @@
+//! `bfs_bulk` / `bfs_queue` — breadth-first search over a CSR graph.
+//!
+//! 512 nodes, 4096 edges. The data-dependent edge and level loads are
+//! exactly the accesses an accelerator cannot cache or burst, which is why
+//! both variants are memory-bound and end up *slower* than the CPU in the
+//! paper's Figure 7.
+
+use super::{get_u32, set_u32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 512;
+const EDGES: usize = 4096;
+const DEGREE: usize = EDGES / NODES;
+const MAX_HORIZONS: usize = 128;
+const UNVISITED: u32 = u32::MAX;
+
+pub(crate) fn init(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xbf5);
+    let start = 0u32;
+
+    let mut params = vec![0u8; 40];
+    set_u32(&mut params, 0, start);
+    set_u32(&mut params, 1, NODES as u32);
+    set_u32(&mut params, 2, EDGES as u32);
+
+    let mut nodes = vec![0u8; NODES * 8];
+    let mut edges = vec![0u8; EDGES * 4];
+    for n in 0..NODES {
+        set_u32(&mut nodes, n * 2, (n * DEGREE) as u32);
+        set_u32(&mut nodes, n * 2 + 1, ((n + 1) * DEGREE) as u32);
+        for d in 0..DEGREE {
+            set_u32(&mut edges, n * DEGREE + d, rng.gen_range(0..NODES as u32));
+        }
+    }
+
+    let mut level = vec![0u8; NODES * 4];
+    for n in 0..NODES {
+        set_u32(&mut level, n, if n as u32 == start { 0 } else { UNVISITED });
+    }
+    let level_counts = vec![0u8; 128 * 4];
+    vec![params, nodes, edges, level, level_counts]
+}
+
+pub(crate) fn kernel_bulk(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let n_nodes = eng.load_u32(0, 1)? as u64;
+    eng.store_u32(4, 0, 1)?; // the start node is the whole of horizon 0
+    for horizon in 0..MAX_HORIZONS as u32 {
+        let mut found = 0u32;
+        for n in 0..n_nodes {
+            let lvl = eng.load_u32(3, n)?;
+            eng.compute(1);
+            if lvl != horizon {
+                continue;
+            }
+            let begin = eng.load_u32(1, n * 2)? as u64;
+            let end = eng.load_u32(1, n * 2 + 1)? as u64;
+            for e in begin..end {
+                let tgt = eng.load_u32(2, e)? as u64;
+                let tlvl = eng.load_u32(3, tgt)?;
+                eng.compute(2);
+                if tlvl == UNVISITED {
+                    eng.store_u32(3, tgt, horizon + 1)?;
+                    found += 1;
+                }
+            }
+        }
+        if found == 0 {
+            break;
+        }
+        eng.store_u32(4, u64::from(horizon) + 1, found)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn kernel_queue(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let start = eng.load_u32(0, 0)? as u64;
+    // The worklist lives in accelerator BRAM: only graph state is DMA.
+    let mut queue = std::collections::VecDeque::with_capacity(NODES);
+    let mut counts = [0u32; MAX_HORIZONS];
+    counts[0] = 1;
+    queue.push_back(start);
+    let mut max_level = 0u32;
+    while let Some(n) = queue.pop_front() {
+        let lvl = eng.load_u32(3, n)?;
+        let begin = eng.load_u32(1, n * 2)? as u64;
+        let end = eng.load_u32(1, n * 2 + 1)? as u64;
+        for e in begin..end {
+            let tgt = eng.load_u32(2, e)? as u64;
+            let tlvl = eng.load_u32(3, tgt)?;
+            eng.compute(2);
+            if tlvl == UNVISITED {
+                eng.store_u32(3, tgt, lvl + 1)?;
+                counts[(lvl + 1) as usize] += 1;
+                max_level = max_level.max(lvl + 1);
+                queue.push_back(tgt);
+            }
+        }
+    }
+    for h in 0..=max_level {
+        eng.store_u32(4, u64::from(h), counts[h as usize])?;
+    }
+    Ok(())
+}
+
+fn reference_levels(bufs: &mut [Vec<u8>]) -> [u32; MAX_HORIZONS] {
+    let start = get_u32(&bufs[0], 0) as usize;
+    let mut counts = [0u32; MAX_HORIZONS];
+    counts[0] = 1;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        let lvl = get_u32(&bufs[3], n);
+        let begin = get_u32(&bufs[1], n * 2) as usize;
+        let end = get_u32(&bufs[1], n * 2 + 1) as usize;
+        for e in begin..end {
+            let tgt = get_u32(&bufs[2], e) as usize;
+            if get_u32(&bufs[3], tgt) == UNVISITED {
+                let (level, counts_ref) = (&mut bufs[3], &mut counts);
+                set_u32(level, tgt, lvl + 1);
+                counts_ref[(lvl + 1) as usize] += 1;
+                queue.push_back(tgt);
+            }
+        }
+    }
+    counts
+}
+
+pub(crate) fn reference_bulk(bufs: &mut [Vec<u8>]) {
+    let counts = reference_levels(bufs);
+    // The bulk kernel stores counts[h] for every non-empty horizon.
+    set_u32(&mut bufs[4], 0, 1);
+    for (h, c) in counts.iter().enumerate().skip(1) {
+        if *c > 0 {
+            set_u32(&mut bufs[4], h, *c);
+        }
+    }
+}
+
+pub(crate) fn reference_queue(bufs: &mut [Vec<u8>]) {
+    let counts = reference_levels(bufs);
+    let max_level = (0..MAX_HORIZONS)
+        .rev()
+        .find(|h| counts[*h] > 0)
+        .unwrap_or(0);
+    for (h, c) in counts.iter().enumerate().take(max_level + 1) {
+        set_u32(&mut bufs[4], h, *c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_levels_are_shortest_paths() {
+        let mut bufs = init(3);
+        reference_bulk(&mut bufs);
+        // Level of the start node is 0, and every reached node's level is
+        // one more than some predecessor's.
+        assert_eq!(get_u32(&bufs[3], 0), 0);
+        for n in 0..NODES {
+            let lvl = get_u32(&bufs[3], n);
+            if lvl == UNVISITED || lvl == 0 {
+                continue;
+            }
+            let mut has_pred = false;
+            for m in 0..NODES {
+                if get_u32(&bufs[3], m) + 1 == lvl {
+                    let b = get_u32(&bufs[1], m * 2) as usize;
+                    let e = get_u32(&bufs[1], m * 2 + 1) as usize;
+                    if (b..e).any(|i| get_u32(&bufs[2], i) as usize == n) {
+                        has_pred = true;
+                        break;
+                    }
+                }
+            }
+            assert!(has_pred, "node {n} at level {lvl} has no predecessor");
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_reached_nodes() {
+        let mut bufs = init(9);
+        reference_queue(&mut bufs);
+        let reached = (0..NODES)
+            .filter(|n| get_u32(&bufs[3], *n) != UNVISITED)
+            .count() as u32;
+        let counted: u32 = (0..128).map(|h| get_u32(&bufs[4], h)).sum();
+        assert_eq!(counted, reached);
+    }
+}

@@ -1,0 +1,240 @@
+//! `fft_strided` / `fft_transpose` — radix-2 FFTs.
+//!
+//! *Strided* streams a 1024-point transform in place through memory with a
+//! twiddle ROM in buffers (the MachSuite strided loop nest); *transpose*
+//! pulls a 512-point signal entirely into BRAM, transforms locally, and
+//! streams it back.
+
+use super::{get_f32, set_f32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N_STRIDED: usize = 1024;
+const N_TRANSPOSE: usize = 512;
+/// Work units per butterfly (complex mul + two complex adds).
+const BUTTERFLY_UNITS: u64 = 10;
+
+fn bit_reverse(i: usize, bits: u32) -> usize {
+    (i as u32).reverse_bits().wrapping_shr(32 - bits) as usize
+}
+
+fn rand_signal(rng: &mut SmallRng, n: usize) -> Vec<u8> {
+    let mut v = vec![0u8; n * 4];
+    for i in 0..n {
+        set_f32(&mut v, i, rng.gen_range(-1.0f32..1.0));
+    }
+    v
+}
+
+pub(crate) fn init_strided(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xff7);
+    let real = rand_signal(&mut rng, N_STRIDED);
+    let imag = rand_signal(&mut rng, N_STRIDED);
+    let mut real_twid = vec![0u8; N_STRIDED * 4];
+    let mut imag_twid = vec![0u8; N_STRIDED * 4];
+    for i in 0..N_STRIDED / 2 {
+        let ang = -2.0 * std::f32::consts::PI * i as f32 / N_STRIDED as f32;
+        set_f32(&mut real_twid, i, ang.cos());
+        set_f32(&mut imag_twid, i, ang.sin());
+    }
+    let work = vec![0u8; N_STRIDED * 4];
+    vec![real, imag, real_twid, imag_twid, work.clone(), work]
+}
+
+pub(crate) fn init_transpose(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xff8);
+    vec![
+        rand_signal(&mut rng, N_TRANSPOSE),
+        rand_signal(&mut rng, N_TRANSPOSE),
+    ]
+}
+
+/// Decimation-in-frequency pass structure shared by kernel and reference.
+fn dif_spans(n: usize) -> impl Iterator<Item = usize> {
+    std::iter::successors(Some(n / 2), |s| if *s > 1 { Some(s / 2) } else { None })
+}
+
+pub(crate) fn kernel_strided(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let n = N_STRIDED;
+    for span in dif_spans(n) {
+        let twid_step = n / (2 * span);
+        for base in (0..n).step_by(2 * span) {
+            for j in 0..span {
+                let a = (base + j) as u64;
+                let b = (base + j + span) as u64;
+                let ra = eng.load_f32(0, a)?;
+                let ia = eng.load_f32(1, a)?;
+                let rb = eng.load_f32(0, b)?;
+                let ib = eng.load_f32(1, b)?;
+                let tw = (j * twid_step) as u64;
+                let wr = eng.load_f32(2, tw)?;
+                let wi = eng.load_f32(3, tw)?;
+                eng.compute(BUTTERFLY_UNITS);
+                let (sr, si) = (ra - rb, ia - ib);
+                eng.store_f32(0, a, ra + rb)?;
+                eng.store_f32(1, a, ia + ib)?;
+                eng.store_f32(0, b, sr * wr - si * wi)?;
+                eng.store_f32(1, b, sr * wi + si * wr)?;
+            }
+        }
+    }
+    // DIF leaves results bit-reversed: reorder through the work buffers…
+    for i in 0..n {
+        let r = eng.load_f32(0, i as u64)?;
+        let im = eng.load_f32(1, i as u64)?;
+        let d = bit_reverse(i, 10) as u64;
+        eng.store_f32(4, d, r)?;
+        eng.store_f32(5, d, im)?;
+    }
+    // …and bulk-copy the sorted spectrum back (DMA burst).
+    eng.copy(0, 0, 4, 0, (n * 4) as u64)?;
+    eng.copy(1, 0, 5, 0, (n * 4) as u64)?;
+    Ok(())
+}
+
+pub(crate) fn reference_strided(bufs: &mut [Vec<u8>]) {
+    let n = N_STRIDED;
+    for span in dif_spans(n) {
+        let twid_step = n / (2 * span);
+        for base in (0..n).step_by(2 * span) {
+            for j in 0..span {
+                let (a, b) = (base + j, base + j + span);
+                let (ra, ia) = (get_f32(&bufs[0], a), get_f32(&bufs[1], a));
+                let (rb, ib) = (get_f32(&bufs[0], b), get_f32(&bufs[1], b));
+                let tw = j * twid_step;
+                let (wr, wi) = (get_f32(&bufs[2], tw), get_f32(&bufs[3], tw));
+                let (sr, si) = (ra - rb, ia - ib);
+                set_f32(&mut bufs[0], a, ra + rb);
+                set_f32(&mut bufs[1], a, ia + ib);
+                set_f32(&mut bufs[0], b, sr * wr - si * wi);
+                set_f32(&mut bufs[1], b, sr * wi + si * wr);
+            }
+        }
+    }
+    for i in 0..n {
+        let d = bit_reverse(i, 10);
+        let r = get_f32(&bufs[0], i);
+        let im = get_f32(&bufs[1], i);
+        set_f32(&mut bufs[4], d, r);
+        set_f32(&mut bufs[5], d, im);
+    }
+    bufs[0] = bufs[4].clone();
+    bufs[1] = bufs[5].clone();
+}
+
+/// In-place local FFT used by the transpose variant (DIT after an explicit
+/// bit-reversal), with twiddles computed on the fly — identical code on
+/// both paths keeps the bits equal.
+fn local_fft(re: &mut [f32], im: &mut [f32]) {
+    let n = re.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = bit_reverse(i, bits);
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    while len <= n {
+        for base in (0..n).step_by(len) {
+            for j in 0..len / 2 {
+                let ang = -2.0 * std::f32::consts::PI * j as f32 / len as f32;
+                let (wr, wi) = (ang.cos(), ang.sin());
+                let (a, b) = (base + j, base + j + len / 2);
+                let (tr, ti) = (re[b] * wr - im[b] * wi, re[b] * wi + im[b] * wr);
+                re[b] = re[a] - tr;
+                im[b] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+            }
+        }
+        len *= 2;
+    }
+}
+
+/// Chained transforms per invocation (a spectral-iteration pipeline):
+/// each pass streams the signal in, transforms in BRAM, streams it out.
+const TRANSPOSE_PASSES: usize = 8;
+
+pub(crate) fn kernel_transpose(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let n = N_TRANSPOSE;
+    for _ in 0..TRANSPOSE_PASSES {
+        let mut re = vec![0f32; n];
+        let mut im = vec![0f32; n];
+        for i in 0..n {
+            re[i] = eng.load_f32(0, i as u64)?;
+            im[i] = eng.load_f32(1, i as u64)?;
+        }
+        eng.compute((n as u64 / 2) * 9 * BUTTERFLY_UNITS + n as u64);
+        local_fft(&mut re, &mut im);
+        for i in 0..n {
+            eng.store_f32(0, i as u64, re[i])?;
+            eng.store_f32(1, i as u64, im[i])?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn reference_transpose(bufs: &mut [Vec<u8>]) {
+    let n = N_TRANSPOSE;
+    for _ in 0..TRANSPOSE_PASSES {
+        let mut re = vec![0f32; n];
+        let mut im = vec![0f32; n];
+        for i in 0..n {
+            re[i] = get_f32(&bufs[0], i);
+            im[i] = get_f32(&bufs[1], i);
+        }
+        local_fft(&mut re, &mut im);
+        for i in 0..n {
+            set_f32(&mut bufs[0], i, re[i]);
+            set_f32(&mut bufs[1], i, im[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference DFT for spot checks.
+    fn dft(re: &[f32], im: &[f32], k: usize) -> (f32, f32) {
+        let n = re.len();
+        let mut acc = (0f64, 0f64);
+        for t in 0..n {
+            let ang = -2.0 * std::f64::consts::PI * (k * t % n) as f64 / n as f64;
+            acc.0 += re[t] as f64 * ang.cos() - im[t] as f64 * ang.sin();
+            acc.1 += re[t] as f64 * ang.sin() + im[t] as f64 * ang.cos();
+        }
+        (acc.0 as f32, acc.1 as f32)
+    }
+
+    #[test]
+    fn strided_matches_dft() {
+        let mut bufs = init_strided(5);
+        let re_in: Vec<f32> = (0..N_STRIDED).map(|i| get_f32(&bufs[0], i)).collect();
+        let im_in: Vec<f32> = (0..N_STRIDED).map(|i| get_f32(&bufs[1], i)).collect();
+        reference_strided(&mut bufs);
+        for k in [0usize, 1, 17, 511, 1023] {
+            let (er, ei) = dft(&re_in, &im_in, k);
+            let (gr, gi) = (get_f32(&bufs[0], k), get_f32(&bufs[1], k));
+            assert!((er - gr).abs() < 0.05, "k={k}: re {gr} vs {er}");
+            assert!((ei - gi).abs() < 0.05, "k={k}: im {gi} vs {ei}");
+        }
+    }
+
+    #[test]
+    fn transpose_local_fft_matches_dft() {
+        let bufs = init_transpose(5);
+        let mut re: Vec<f32> = (0..N_TRANSPOSE).map(|i| get_f32(&bufs[0], i)).collect();
+        let mut im: Vec<f32> = (0..N_TRANSPOSE).map(|i| get_f32(&bufs[1], i)).collect();
+        let (re_in, im_in) = (re.clone(), im.clone());
+        local_fft(&mut re, &mut im);
+        for k in [0usize, 3, 255, 511] {
+            let (er, ei) = dft(&re_in, &im_in, k);
+            assert!((er - re[k]).abs() < 0.05, "k={k}: re {} vs {er}", re[k]);
+            assert!((ei - im[k]).abs() < 0.05, "k={k}: im {} vs {ei}", im[k]);
+        }
+    }
+}

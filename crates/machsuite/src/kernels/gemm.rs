@@ -1,0 +1,147 @@
+//! `gemm_ncubed` / `gemm_blocked` — 64×64 single-precision matrix multiply.
+//!
+//! *ncubed* is the naive triple loop: two loads per multiply-accumulate,
+//! so on the accelerator it is interconnect-bound (the workload of the
+//! Figure 11 parallelism sweep). *blocked* packs panels with bulk copies
+//! (the BLIS idiom), holds the accumulator in BRAM, and streams the result
+//! out once — its heavy `memcpy` traffic is what lets the CHERI CPU's
+//! 128-bit capability-copy instruction beat the plain CPU (Figure 10g).
+
+use super::{get_f32, set_f32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 64;
+const BLOCK: usize = 8;
+
+pub(crate) fn init(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e33);
+    let mut mat = || {
+        let mut v = vec![0u8; N * N * 4];
+        for i in 0..N * N {
+            set_f32(&mut v, i, rng.gen_range(-1.0f32..1.0));
+        }
+        v
+    };
+    let a = mat();
+    let b = mat();
+    let c = vec![0u8; N * N * 4];
+    vec![a, b, c]
+}
+
+pub(crate) fn kernel_ncubed(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    for i in 0..N as u64 {
+        for j in 0..N as u64 {
+            let mut acc = 0f32;
+            for k in 0..N as u64 {
+                let a = eng.load_f32(0, i * N as u64 + k)?;
+                let b = eng.load_f32(1, k * N as u64 + j)?;
+                eng.compute(2);
+                acc += a * b;
+            }
+            eng.store_f32(2, i * N as u64 + j, acc)?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn kernel_blocked(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    // Full C accumulator in BRAM (16 KiB), streamed out once at the end;
+    // until then the C buffer doubles as the packing scratchpad:
+    // bytes [0, 2048) hold the packed B panel, [4096, 6144) the A panel.
+    let mut acc = vec![0f32; N * N];
+    for jb in 0..N / BLOCK {
+        // Pack the B column panel (64 rows × 8 cols) contiguously.
+        for r in 0..N as u64 {
+            eng.copy(
+                2,
+                r * (BLOCK as u64 * 4),
+                1,
+                (r * N as u64 + (jb * BLOCK) as u64) * 4,
+                BLOCK as u64 * 4,
+            )?;
+        }
+        let mut bp = [0f32; N * BLOCK];
+        for (t, v) in bp.iter_mut().enumerate() {
+            *v = eng.load_f32(2, t as u64)?;
+        }
+        for ib in 0..N / BLOCK {
+            // Pack the A row panel (8 rows × 64 cols).
+            for rr in 0..BLOCK as u64 {
+                eng.copy(
+                    2,
+                    4096 / 4 * 4 + rr * (N as u64 * 4),
+                    0,
+                    ((ib as u64 * BLOCK as u64 + rr) * N as u64) * 4,
+                    N as u64 * 4,
+                )?;
+            }
+            let mut ap = [0f32; BLOCK * N];
+            for (t, v) in ap.iter_mut().enumerate() {
+                *v = eng.load_f32(2, 1024 + t as u64)?;
+            }
+            for ii in 0..BLOCK {
+                let i = ib * BLOCK + ii;
+                for jj in 0..BLOCK {
+                    let j = jb * BLOCK + jj;
+                    let mut sum = 0f32;
+                    eng.compute(2 * N as u64);
+                    for k in 0..N {
+                        sum += ap[ii * N + k] * bp[k * BLOCK + jj];
+                    }
+                    acc[i * N + j] = sum;
+                }
+            }
+        }
+    }
+    for (t, v) in acc.iter().enumerate() {
+        eng.store_f32(2, t as u64, *v)?;
+    }
+    Ok(())
+}
+
+/// Both variants compute C = A·B with identical accumulation order
+/// (ascending k, starting from zero), so they share one reference.
+fn reference(bufs: &mut [Vec<u8>]) {
+    let mut c = vec![0u8; N * N * 4];
+    for i in 0..N {
+        for j in 0..N {
+            let mut acc = 0f32;
+            for k in 0..N {
+                acc += get_f32(&bufs[0], i * N + k) * get_f32(&bufs[1], k * N + j);
+            }
+            set_f32(&mut c, i * N + j, acc);
+        }
+    }
+    bufs[2] = c;
+}
+
+pub(crate) fn reference_ncubed(bufs: &mut [Vec<u8>]) {
+    reference(bufs);
+}
+
+pub(crate) fn reference_blocked(bufs: &mut [Vec<u8>]) {
+    reference(bufs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_matrix_is_matrix() {
+        let mut bufs = init(1);
+        // Overwrite A with the identity.
+        for i in 0..N {
+            for k in 0..N {
+                set_f32(&mut bufs[0], i * N + k, if i == k { 1.0 } else { 0.0 });
+            }
+        }
+        let b_before = bufs[1].clone();
+        reference(&mut bufs);
+        for t in 0..N * N {
+            assert_eq!(get_f32(&bufs[2], t), get_f32(&b_before, t));
+        }
+    }
+}

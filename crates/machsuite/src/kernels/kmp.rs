@@ -1,0 +1,137 @@
+//! `kmp` — Knuth-Morris-Pratt substring search.
+//!
+//! A 4-byte pattern scanned over a 64824-byte text (the MachSuite sizes).
+//! The failure table is built in registers and exported; the scan streams
+//! the text byte by byte.
+
+#[cfg(test)]
+use super::{get_u32, get_u64};
+use super::{set_u32, set_u64};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const PATTERN_LEN: usize = 4;
+const TEXT_LEN: usize = 64824;
+const ALPHABET: &[u8] = b"abcd";
+
+pub(crate) fn init(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x3322);
+    let pattern: Vec<u8> = (0..PATTERN_LEN)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+        .collect();
+    let next = vec![0u8; PATTERN_LEN * 4];
+    let text: Vec<u8> = (0..TEXT_LEN)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+        .collect();
+    let n_matches = vec![0u8; 8];
+    vec![pattern, next, text, n_matches]
+}
+
+fn failure_table(pattern: &[u8; PATTERN_LEN]) -> [u32; PATTERN_LEN] {
+    let mut next = [0u32; PATTERN_LEN];
+    let mut k = 0usize;
+    for q in 1..PATTERN_LEN {
+        while k > 0 && pattern[k] != pattern[q] {
+            k = next[k - 1] as usize;
+        }
+        if pattern[k] == pattern[q] {
+            k += 1;
+        }
+        next[q] = k as u32;
+    }
+    next
+}
+
+pub(crate) fn kernel(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let mut pattern = [0u8; PATTERN_LEN];
+    for (i, p) in pattern.iter_mut().enumerate() {
+        *p = eng.load_u8(0, i as u64)?;
+    }
+    eng.compute(PATTERN_LEN as u64 * 4);
+    let next = failure_table(&pattern);
+    for (q, n) in next.iter().enumerate() {
+        eng.store_u32(1, q as u64, *n)?;
+    }
+
+    let mut q = 0usize;
+    let mut matches = 0u64;
+    for i in 0..TEXT_LEN as u64 {
+        let c = eng.load_u8(2, i)?;
+        eng.compute(2);
+        while q > 0 && pattern[q] != c {
+            eng.compute(1);
+            q = next[q - 1] as usize;
+        }
+        if pattern[q] == c {
+            q += 1;
+        }
+        if q == PATTERN_LEN {
+            matches += 1;
+            q = next[q - 1] as usize;
+        }
+    }
+    eng.store_u64(3, 0, matches)?;
+    Ok(())
+}
+
+pub(crate) fn reference(bufs: &mut [Vec<u8>]) {
+    let pattern: [u8; PATTERN_LEN] = bufs[0][..PATTERN_LEN].try_into().expect("pattern size");
+    let next = failure_table(&pattern);
+    for (qi, n) in next.iter().enumerate() {
+        set_u32(&mut bufs[1], qi, *n);
+    }
+    let mut q = 0usize;
+    let mut matches = 0u64;
+    for i in 0..TEXT_LEN {
+        let c = bufs[2][i];
+        while q > 0 && pattern[q] != c {
+            q = next[q - 1] as usize;
+        }
+        if pattern[q] == c {
+            q += 1;
+        }
+        if q == PATTERN_LEN {
+            matches += 1;
+            q = next[q - 1] as usize;
+        }
+    }
+    set_u64(&mut bufs[3], 0, matches);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_overlapping_occurrences() {
+        let mut bufs = init(0);
+        bufs[0] = b"aaaa".to_vec();
+        bufs[2] = vec![b'a'; TEXT_LEN];
+        reference(&mut bufs);
+        assert_eq!(get_u64(&bufs[3], 0), (TEXT_LEN - PATTERN_LEN + 1) as u64);
+    }
+
+    #[test]
+    fn matches_naive_search() {
+        let mut bufs = init(11);
+        let pattern = bufs[0].clone();
+        let text = bufs[2].clone();
+        reference(&mut bufs);
+        let naive = text
+            .windows(PATTERN_LEN)
+            .filter(|w| *w == &pattern[..])
+            .count() as u64;
+        assert_eq!(get_u64(&bufs[3], 0), naive);
+    }
+
+    #[test]
+    fn failure_table_is_standard() {
+        assert_eq!(failure_table(b"abab"), [0, 0, 1, 2]);
+        assert_eq!(failure_table(b"aaaa"), [0, 1, 2, 3]);
+        assert_eq!(failure_table(b"abcd"), [0, 0, 0, 0]);
+        let mut bufs = init(4);
+        reference(&mut bufs);
+        assert_eq!(get_u32(&bufs[1], 0), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! `md_knn` / `md_grid` — Lennard-Jones molecular dynamics force kernels.
+//!
+//! *knn* walks a precomputed neighbor list with data-dependent position
+//! loads the accelerator cannot cache — the paper's small-latency,
+//! memory-bound outlier (large *percentage* CapChecker overhead in
+//! Figure 8 because the fixed capability-install cost dominates).
+//! *grid* bins atoms into cells, pulls positions into BRAM once, and is
+//! compute-bound.
+
+use super::{get_f32, get_u32, set_f32, set_u32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+// ---- knn ----
+
+/// Atoms stored in the buffers (Table 2 sizes).
+const KNN_ATOMS: usize = 1024;
+/// Neighbors per atom.
+const KNN_NEIGHBORS: usize = 4;
+/// Atoms processed per task invocation (one timestep slice — keeps the
+/// absolute latency in the few-thousand-cycle range the paper reports).
+const KNN_PROCESS: usize = 32;
+/// Work units per pair interaction (r², 1/r⁶, force magnitude).
+const LJ_UNITS: u64 = 12;
+
+fn lj_force(dx: f32, dy: f32, dz: f32) -> (f32, f32) {
+    let r2 = dx * dx + dy * dy + dz * dz + 0.01;
+    let inv_r2 = 1.0 / r2;
+    let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    let force = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+    let energy = 4.0 * inv_r6 * (inv_r6 - 1.0);
+    (force, energy)
+}
+
+pub(crate) fn init_knn(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x3d12);
+    let mut coords = || {
+        let mut v = vec![0u8; KNN_ATOMS * 4];
+        for i in 0..KNN_ATOMS {
+            set_f32(&mut v, i, rng.gen_range(0.0f32..16.0));
+        }
+        v
+    };
+    let mut params = vec![0u8; 1024];
+    set_f32(&mut params, 0, 2.5); // cutoff (decorative: LJ applied to all)
+    let x = coords();
+    let y = coords();
+    let z = coords();
+    let mut nl = vec![0u8; KNN_ATOMS * KNN_NEIGHBORS * 4];
+    for i in 0..KNN_ATOMS * KNN_NEIGHBORS {
+        set_u32(&mut nl, i, rng.gen_range(0..KNN_ATOMS as u32));
+    }
+    let force = vec![0u8; KNN_ATOMS * 4];
+    let energy = vec![0u8; KNN_ATOMS * 4];
+    vec![params, x, y, z, nl, force, energy]
+}
+
+pub(crate) fn kernel_knn(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let _cutoff = eng.load_f32(0, 0)?;
+    for i in 0..KNN_PROCESS as u64 {
+        let xi = eng.load_f32(1, i)?;
+        let yi = eng.load_f32(2, i)?;
+        let zi = eng.load_f32(3, i)?;
+        let mut f = 0f32;
+        let mut e = 0f32;
+        for n in 0..KNN_NEIGHBORS as u64 {
+            let j = eng.load_u32(4, i * KNN_NEIGHBORS as u64 + n)? as u64;
+            let xj = eng.load_f32(1, j)?;
+            let yj = eng.load_f32(2, j)?;
+            let zj = eng.load_f32(3, j)?;
+            eng.compute(LJ_UNITS);
+            let (df, de) = lj_force(xi - xj, yi - yj, zi - zj);
+            f += df;
+            e += de;
+        }
+        eng.store_f32(5, i, f)?;
+        eng.store_f32(6, i, e)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn reference_knn(bufs: &mut [Vec<u8>]) {
+    for i in 0..KNN_PROCESS {
+        let (xi, yi, zi) = (
+            get_f32(&bufs[1], i),
+            get_f32(&bufs[2], i),
+            get_f32(&bufs[3], i),
+        );
+        let mut f = 0f32;
+        let mut e = 0f32;
+        for n in 0..KNN_NEIGHBORS {
+            let j = get_u32(&bufs[4], i * KNN_NEIGHBORS + n) as usize;
+            let (xj, yj, zj) = (
+                get_f32(&bufs[1], j),
+                get_f32(&bufs[2], j),
+                get_f32(&bufs[3], j),
+            );
+            let (df, de) = lj_force(xi - xj, yi - yj, zi - zj);
+            f += df;
+            e += de;
+        }
+        set_f32(&mut bufs[5], i, f);
+        set_f32(&mut bufs[6], i, e);
+    }
+}
+
+// ---- grid ----
+
+/// Cells per axis.
+const GRID_DIM: usize = 4;
+const GRID_CELLS: usize = GRID_DIM * GRID_DIM * GRID_DIM;
+/// Slots per cell in the bin table.
+const GRID_SLOTS: usize = 10;
+/// Atoms.
+const GRID_ATOMS: usize = 160;
+/// Domain edge length.
+const GRID_EDGE: f32 = 4.0;
+const EMPTY: u32 = u32::MAX;
+
+fn cell_of(x: f32, y: f32, z: f32) -> usize {
+    let clamp = |v: f32| (v.clamp(0.0, GRID_EDGE - 1e-3) as usize).min(GRID_DIM - 1);
+    (clamp(x) * GRID_DIM + clamp(y)) * GRID_DIM + clamp(z)
+}
+
+pub(crate) fn init_grid(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x3d13);
+    let mut position = vec![0u8; GRID_ATOMS * 16];
+    let mut bin_counts = vec![0u8; GRID_CELLS * 4];
+    let mut bin_atoms = vec![0u8; GRID_CELLS * GRID_SLOTS * 4];
+    for s in 0..GRID_CELLS * GRID_SLOTS {
+        set_u32(&mut bin_atoms, s, EMPTY);
+    }
+    for a in 0..GRID_ATOMS {
+        // Rejection-free placement: pick a cell with a free slot.
+        loop {
+            let x = rng.gen_range(0.0f32..GRID_EDGE);
+            let y = rng.gen_range(0.0f32..GRID_EDGE);
+            let z = rng.gen_range(0.0f32..GRID_EDGE);
+            let c = cell_of(x, y, z);
+            let count = get_u32(&bin_counts, c) as usize;
+            if count < GRID_SLOTS {
+                set_f32(&mut position, a * 4, x);
+                set_f32(&mut position, a * 4 + 1, y);
+                set_f32(&mut position, a * 4 + 2, z);
+                set_u32(&mut bin_atoms, c * GRID_SLOTS + count, a as u32);
+                set_u32(&mut bin_counts, c, count as u32 + 1);
+                break;
+            }
+        }
+    }
+    let force = vec![0u8; GRID_ATOMS * 16];
+    let vel = vec![0u8; GRID_ATOMS * 4];
+    vec![
+        bin_counts,
+        bin_atoms,
+        position,
+        force,
+        vel.clone(),
+        vel.clone(),
+        vel,
+    ]
+}
+
+struct GridState {
+    counts: [u32; GRID_CELLS],
+    atoms: [u32; GRID_CELLS * GRID_SLOTS],
+    pos: [[f32; 3]; GRID_ATOMS],
+}
+
+fn grid_forces(st: &GridState) -> [[f32; 3]; GRID_ATOMS] {
+    let mut forces = [[0f32; 3]; GRID_ATOMS];
+    for cx in 0..GRID_DIM {
+        for cy in 0..GRID_DIM {
+            for cz in 0..GRID_DIM {
+                let c = (cx * GRID_DIM + cy) * GRID_DIM + cz;
+                for s in 0..st.counts[c] as usize {
+                    let i = st.atoms[c * GRID_SLOTS + s] as usize;
+                    let pi = st.pos[i];
+                    let mut acc = [0f32; 3];
+                    // Neighboring cells, clamped at the walls.
+                    for nx in cx.saturating_sub(1)..=(cx + 1).min(GRID_DIM - 1) {
+                        for ny in cy.saturating_sub(1)..=(cy + 1).min(GRID_DIM - 1) {
+                            for nz in cz.saturating_sub(1)..=(cz + 1).min(GRID_DIM - 1) {
+                                let n = (nx * GRID_DIM + ny) * GRID_DIM + nz;
+                                for t in 0..st.counts[n] as usize {
+                                    let j = st.atoms[n * GRID_SLOTS + t] as usize;
+                                    if j == i {
+                                        continue;
+                                    }
+                                    let pj = st.pos[j];
+                                    let (df, _) =
+                                        lj_force(pi[0] - pj[0], pi[1] - pj[1], pi[2] - pj[2]);
+                                    acc[0] += df * (pi[0] - pj[0]);
+                                    acc[1] += df * (pi[1] - pj[1]);
+                                    acc[2] += df * (pi[2] - pj[2]);
+                                }
+                            }
+                        }
+                    }
+                    forces[i] = acc;
+                }
+            }
+        }
+    }
+    forces
+}
+
+fn grid_pair_count(st: &GridState) -> u64 {
+    let mut pairs = 0u64;
+    for cx in 0..GRID_DIM {
+        for cy in 0..GRID_DIM {
+            for cz in 0..GRID_DIM {
+                let c = (cx * GRID_DIM + cy) * GRID_DIM + cz;
+                let mut neigh = 0u64;
+                for nx in cx.saturating_sub(1)..=(cx + 1).min(GRID_DIM - 1) {
+                    for ny in cy.saturating_sub(1)..=(cy + 1).min(GRID_DIM - 1) {
+                        for nz in cz.saturating_sub(1)..=(cz + 1).min(GRID_DIM - 1) {
+                            let n = (nx * GRID_DIM + ny) * GRID_DIM + nz;
+                            neigh += u64::from(st.counts[n]);
+                        }
+                    }
+                }
+                pairs += u64::from(st.counts[c]) * neigh;
+            }
+        }
+    }
+    pairs
+}
+
+fn load_grid_state(eng: &mut dyn Engine) -> Result<GridState, ExecFault> {
+    let mut st = GridState {
+        counts: [0; GRID_CELLS],
+        atoms: [0; GRID_CELLS * GRID_SLOTS],
+        pos: [[0.0; 3]; GRID_ATOMS],
+    };
+    for c in 0..GRID_CELLS {
+        st.counts[c] = eng.load_u32(0, c as u64)?;
+    }
+    for s in 0..GRID_CELLS * GRID_SLOTS {
+        st.atoms[s] = eng.load_u32(1, s as u64)?;
+    }
+    for a in 0..GRID_ATOMS {
+        for d in 0..3 {
+            st.pos[a][d] = eng.load_f32(2, (a * 4 + d) as u64)?;
+        }
+    }
+    Ok(st)
+}
+
+/// MD timesteps per task invocation: state stays in BRAM, forces stream
+/// out once at the end.
+const GRID_STEPS: usize = 32;
+/// Integration step (tiny, to keep the toy dynamics tame).
+const GRID_DT: f32 = 1e-5;
+
+/// One velocity-free Euler step, clamped to the domain; shared by kernel
+/// and reference for bit-equality.
+fn grid_step(st: &mut GridState) -> [[f32; 3]; GRID_ATOMS] {
+    let forces = grid_forces(st);
+    for (a, f) in forces.iter().enumerate() {
+        for d in 0..3 {
+            let moved = st.pos[a][d] + f[d].clamp(-100.0, 100.0) * GRID_DT;
+            st.pos[a][d] = moved.clamp(0.0, GRID_EDGE);
+        }
+    }
+    forces
+}
+
+pub(crate) fn kernel_grid(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let mut st = load_grid_state(eng)?;
+    let mut forces = [[0f32; 3]; GRID_ATOMS];
+    for _ in 0..GRID_STEPS {
+        eng.compute(grid_pair_count(&st) * LJ_UNITS);
+        forces = grid_step(&mut st);
+    }
+    for (a, f) in forces.iter().enumerate() {
+        for d in 0..3 {
+            eng.store_f32(3, (a * 4 + d) as u64, f[d])?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn reference_grid(bufs: &mut [Vec<u8>]) {
+    let mut st = GridState {
+        counts: [0; GRID_CELLS],
+        atoms: [0; GRID_CELLS * GRID_SLOTS],
+        pos: [[0.0; 3]; GRID_ATOMS],
+    };
+    for c in 0..GRID_CELLS {
+        st.counts[c] = get_u32(&bufs[0], c);
+    }
+    for s in 0..GRID_CELLS * GRID_SLOTS {
+        st.atoms[s] = get_u32(&bufs[1], s);
+    }
+    for a in 0..GRID_ATOMS {
+        for d in 0..3 {
+            st.pos[a][d] = get_f32(&bufs[2], a * 4 + d);
+        }
+    }
+    let mut forces = [[0f32; 3]; GRID_ATOMS];
+    for _ in 0..GRID_STEPS {
+        forces = grid_step(&mut st);
+    }
+    for (a, f) in forces.iter().enumerate() {
+        for d in 0..3 {
+            set_f32(&mut bufs[3], a * 4 + d, f[d]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lj_force_is_repulsive_up_close() {
+        let (f, e) = lj_force(0.1, 0.0, 0.0);
+        assert!(f > 0.0, "close atoms repel");
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn knn_forces_are_finite() {
+        let mut bufs = init_knn(2);
+        reference_knn(&mut bufs);
+        for i in 0..KNN_PROCESS {
+            assert!(get_f32(&bufs[5], i).is_finite());
+            assert!(get_f32(&bufs[6], i).is_finite());
+        }
+    }
+
+    #[test]
+    fn grid_bins_are_consistent() {
+        let bufs = init_grid(2);
+        let mut seen = 0;
+        for c in 0..GRID_CELLS {
+            let cnt = get_u32(&bufs[0], c) as usize;
+            assert!(cnt <= GRID_SLOTS);
+            for s in 0..cnt {
+                let a = get_u32(&bufs[1], c * GRID_SLOTS + s) as usize;
+                assert!(a < GRID_ATOMS);
+                // The atom's position really falls in this cell.
+                let (x, y, z) = (
+                    get_f32(&bufs[2], a * 4),
+                    get_f32(&bufs[2], a * 4 + 1),
+                    get_f32(&bufs[2], a * 4 + 2),
+                );
+                assert_eq!(cell_of(x, y, z), c);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, GRID_ATOMS);
+    }
+
+    #[test]
+    fn grid_forces_nonzero_somewhere() {
+        let mut bufs = init_grid(5);
+        reference_grid(&mut bufs);
+        let any = (0..GRID_ATOMS).any(|a| get_f32(&bufs[3], a * 4) != 0.0);
+        assert!(any);
+    }
+}

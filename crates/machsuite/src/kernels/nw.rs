@@ -1,0 +1,241 @@
+//! `nw` — Needleman-Wunsch global sequence alignment.
+//!
+//! Two 128-symbol sequences, a full 129×129 integer DP matrix with
+//! backtrack pointers (the Table 2 66564-byte buffers), and traceback into
+//! gap-padded aligned outputs.
+
+use super::{get_u32, set_u32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const LEN: usize = 128;
+const DIM: usize = LEN + 1;
+const MATCH: i32 = 1;
+const MISMATCH: i32 = -1;
+const GAP: i32 = -1;
+/// Gap marker in the aligned outputs.
+const GAP_SYM: u32 = u32::MAX;
+/// Backtrack pointer encoding.
+const PTR_DIAG: u32 = 0;
+const PTR_UP: u32 = 1;
+const PTR_LEFT: u32 = 2;
+
+pub(crate) fn init(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7711);
+    let mut seq = || {
+        let mut v = vec![0u8; LEN * 4];
+        for i in 0..LEN {
+            set_u32(&mut v, i, rng.gen_range(0..4));
+        }
+        v
+    };
+    let seq_a = seq();
+    let seq_b = seq();
+    let matrix = vec![0u8; DIM * DIM * 4];
+    let back_ptr = vec![0u8; DIM * DIM * 4];
+    let aligned = vec![0u8; (2 * LEN + 2) * 4];
+    vec![seq_a, seq_b, matrix, back_ptr, aligned.clone(), aligned]
+}
+
+pub(crate) fn kernel(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    // Sequences fit comfortably in BRAM.
+    let mut a = [0u32; LEN];
+    let mut b = [0u32; LEN];
+    for i in 0..LEN {
+        a[i] = eng.load_u32(0, i as u64)?;
+        b[i] = eng.load_u32(1, i as u64)?;
+    }
+
+    // Border initialisation.
+    for j in 0..DIM as u64 {
+        eng.store_i32(2, j, j as i32 * GAP)?;
+        eng.store_u32(3, j, PTR_LEFT)?;
+    }
+    for i in 1..DIM as u64 {
+        eng.store_i32(2, i * DIM as u64, i as i32 * GAP)?;
+        eng.store_u32(3, i * DIM as u64, PTR_UP)?;
+    }
+
+    // DP with the previous row held in registers; the full matrix is still
+    // written out (it is an output of the MachSuite kernel).
+    let mut prev = [0i32; DIM];
+    for (j, p) in prev.iter_mut().enumerate() {
+        *p = j as i32 * GAP;
+    }
+    for i in 1..DIM {
+        let mut left = i as i32 * GAP;
+        for j in 1..DIM {
+            eng.compute(6);
+            let score = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
+            let diag = prev[j - 1] + score;
+            let up = prev[j] + GAP;
+            let lft = left + GAP;
+            let (best, ptr) = if diag >= up && diag >= lft {
+                (diag, PTR_DIAG)
+            } else if up >= lft {
+                (up, PTR_UP)
+            } else {
+                (lft, PTR_LEFT)
+            };
+            eng.store_i32(2, (i * DIM + j) as u64, best)?;
+            eng.store_u32(3, (i * DIM + j) as u64, ptr)?;
+            prev[j - 1] = left;
+            left = best;
+        }
+        prev[DIM - 1] = left;
+    }
+
+    // Traceback from (LEN, LEN).
+    let (mut i, mut j) = (LEN, LEN);
+    let mut out = Vec::with_capacity(2 * LEN);
+    while i > 0 || j > 0 {
+        let ptr = if i == 0 {
+            PTR_LEFT
+        } else if j == 0 {
+            PTR_UP
+        } else {
+            eng.load_u32(3, (i * DIM + j) as u64)?
+        };
+        eng.compute(2);
+        match ptr {
+            PTR_DIAG => {
+                out.push((a[i - 1], b[j - 1]));
+                i -= 1;
+                j -= 1;
+            }
+            PTR_UP => {
+                out.push((a[i - 1], GAP_SYM));
+                i -= 1;
+            }
+            _ => {
+                out.push((GAP_SYM, b[j - 1]));
+                j -= 1;
+            }
+        }
+    }
+    for (k, (ca, cb)) in out.iter().rev().enumerate() {
+        eng.store_u32(4, k as u64, *ca)?;
+        eng.store_u32(5, k as u64, *cb)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn reference(bufs: &mut [Vec<u8>]) {
+    let a: Vec<u32> = (0..LEN).map(|i| get_u32(&bufs[0], i)).collect();
+    let b: Vec<u32> = (0..LEN).map(|i| get_u32(&bufs[1], i)).collect();
+    for j in 0..DIM {
+        set_u32(&mut bufs[2], j, (j as i32 * GAP) as u32);
+        set_u32(&mut bufs[3], j, PTR_LEFT);
+    }
+    for i in 1..DIM {
+        set_u32(&mut bufs[2], i * DIM, (i as i32 * GAP) as u32);
+        set_u32(&mut bufs[3], i * DIM, PTR_UP);
+    }
+    for i in 1..DIM {
+        for j in 1..DIM {
+            let score = if a[i - 1] == b[j - 1] {
+                MATCH
+            } else {
+                MISMATCH
+            };
+            let diag = get_u32(&bufs[2], (i - 1) * DIM + j - 1) as i32 + score;
+            let up = get_u32(&bufs[2], (i - 1) * DIM + j) as i32 + GAP;
+            let lft = get_u32(&bufs[2], i * DIM + j - 1) as i32 + GAP;
+            let (best, ptr) = if diag >= up && diag >= lft {
+                (diag, PTR_DIAG)
+            } else if up >= lft {
+                (up, PTR_UP)
+            } else {
+                (lft, PTR_LEFT)
+            };
+            set_u32(&mut bufs[2], i * DIM + j, best as u32);
+            set_u32(&mut bufs[3], i * DIM + j, ptr);
+        }
+    }
+    let (mut i, mut j) = (LEN, LEN);
+    let mut out = Vec::new();
+    while i > 0 || j > 0 {
+        let ptr = if i == 0 {
+            PTR_LEFT
+        } else if j == 0 {
+            PTR_UP
+        } else {
+            get_u32(&bufs[3], i * DIM + j)
+        };
+        match ptr {
+            PTR_DIAG => {
+                out.push((a[i - 1], b[j - 1]));
+                i -= 1;
+                j -= 1;
+            }
+            PTR_UP => {
+                out.push((a[i - 1], GAP_SYM));
+                i -= 1;
+            }
+            _ => {
+                out.push((GAP_SYM, b[j - 1]));
+                j -= 1;
+            }
+        }
+    }
+    for (k, (ca, cb)) in out.iter().rev().enumerate() {
+        set_u32(&mut bufs[4], k, *ca);
+        set_u32(&mut bufs[5], k, *cb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_align_without_gaps() {
+        let mut bufs = init(3);
+        bufs[1] = bufs[0].clone();
+        reference(&mut bufs);
+        // Score at the corner = LEN matches.
+        assert_eq!(get_u32(&bufs[2], DIM * DIM - 1) as i32, LEN as i32 * MATCH);
+        for k in 0..LEN {
+            assert_eq!(get_u32(&bufs[4], k), get_u32(&bufs[5], k));
+            assert_ne!(get_u32(&bufs[4], k), GAP_SYM);
+        }
+    }
+
+    #[test]
+    fn aligned_outputs_project_back_to_inputs() {
+        let mut bufs = init(17);
+        reference(&mut bufs);
+        // Dropping gaps from aligned_a must reproduce seq_a (same for b).
+        let project = |buf: &[u8]| -> Vec<u32> {
+            (0..2 * LEN + 2)
+                .map(|k| get_u32(buf, k))
+                .take_while(|_| true)
+                .filter(|s| *s != GAP_SYM && *s != 0 || true)
+                .collect()
+        };
+        let _ = project; // alignment length varies; verify prefix instead:
+        let mut ai = 0usize;
+        let mut bi = 0usize;
+        for k in 0..2 * LEN + 2 {
+            let ca = get_u32(&bufs[4], k);
+            let cb = get_u32(&bufs[5], k);
+            if ca == 0 && cb == 0 && ai == LEN && bi == LEN {
+                break; // past the alignment
+            }
+            if ca != GAP_SYM && ai < LEN {
+                assert_eq!(ca, get_u32(&bufs[0], ai), "aligned_a[{k}]");
+                ai += 1;
+            }
+            if cb != GAP_SYM && bi < LEN {
+                assert_eq!(cb, get_u32(&bufs[1], bi), "aligned_b[{k}]");
+                bi += 1;
+            }
+        }
+        assert_eq!((ai, bi), (LEN, LEN));
+    }
+}

@@ -1,0 +1,229 @@
+//! `sort_merge` / `sort_radix` — 2048-element u32 sorts.
+//!
+//! Both ping-pong between the data and temp buffers, exactly mirroring
+//! the MachSuite structure: bottom-up merge (11 passes, finishing with a
+//! bulk copy back) and LSD radix with 2-bit digits (16 passes, landing in
+//! the data buffer).
+
+use super::{get_u32, set_u32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 2048;
+const RADIX_BITS: u32 = 2;
+const BUCKETS: usize = 1 << RADIX_BITS;
+const PASSES: u32 = 32 / RADIX_BITS;
+
+fn rand_data(seed: u64, salt: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ salt);
+    let mut v = vec![0u8; N * 4];
+    for i in 0..N {
+        set_u32(&mut v, i, rng.gen());
+    }
+    v
+}
+
+pub(crate) fn init_merge(seed: u64) -> Vec<Vec<u8>> {
+    vec![rand_data(seed, 0x50f1), vec![0u8; N * 4]]
+}
+
+pub(crate) fn init_radix(seed: u64) -> Vec<Vec<u8>> {
+    vec![
+        rand_data(seed, 0x50f2),
+        vec![0u8; N * 4],
+        vec![0u8; 16],
+        vec![0u8; 128],
+    ]
+}
+
+pub(crate) fn kernel_merge(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let mut src = 0usize; // object index of the current source
+    let mut width = 1usize;
+    while width < N {
+        let dst = 1 - src;
+        for lo in (0..N).step_by(2 * width) {
+            let mid = (lo + width).min(N);
+            let hi = (lo + 2 * width).min(N);
+            let (mut i, mut j) = (lo, mid);
+            for k in lo..hi {
+                eng.compute(2);
+                let take_left = if i >= mid {
+                    false
+                } else if j >= hi {
+                    true
+                } else {
+                    let a = eng.load_u32(src, i as u64)?;
+                    let b = eng.load_u32(src, j as u64)?;
+                    a <= b
+                };
+                let v = if take_left {
+                    let v = eng.load_u32(src, i as u64)?;
+                    i += 1;
+                    v
+                } else {
+                    let v = eng.load_u32(src, j as u64)?;
+                    j += 1;
+                    v
+                };
+                eng.store_u32(dst, k as u64, v)?;
+            }
+        }
+        src = dst;
+        width *= 2;
+    }
+    // 11 passes end with the sorted run in temp: burst it back.
+    if src == 1 {
+        eng.copy(0, 0, 1, 0, (N * 4) as u64)?;
+    }
+    Ok(())
+}
+
+pub(crate) fn reference_merge(bufs: &mut [Vec<u8>]) {
+    let mut src = 0usize;
+    let mut width = 1usize;
+    while width < N {
+        let dst = 1 - src;
+        for lo in (0..N).step_by(2 * width) {
+            let mid = (lo + width).min(N);
+            let hi = (lo + 2 * width).min(N);
+            let (mut i, mut j) = (lo, mid);
+            for k in lo..hi {
+                let take_left = if i >= mid {
+                    false
+                } else if j >= hi {
+                    true
+                } else {
+                    get_u32(&bufs[src], i) <= get_u32(&bufs[src], j)
+                };
+                let v = if take_left {
+                    let v = get_u32(&bufs[src], i);
+                    i += 1;
+                    v
+                } else {
+                    let v = get_u32(&bufs[src], j);
+                    j += 1;
+                    v
+                };
+                set_u32(&mut bufs[dst], k, v);
+            }
+        }
+        src = dst;
+        width *= 2;
+    }
+    if src == 1 {
+        bufs[0] = bufs[1].clone();
+    }
+}
+
+pub(crate) fn kernel_radix(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let mut src = 0usize;
+    for pass in 0..PASSES {
+        let dst = 1 - src;
+        let shift = pass * RADIX_BITS;
+        // Histogram.
+        let mut hist = [0u32; BUCKETS];
+        for i in 0..N as u64 {
+            let v = eng.load_u32(src, i)?;
+            eng.compute(2);
+            hist[((v >> shift) as usize) & (BUCKETS - 1)] += 1;
+        }
+        for (b, h) in hist.iter().enumerate() {
+            eng.store_u32(2, b as u64, *h)?;
+        }
+        // Exclusive scan.
+        let mut offs = [0u32; BUCKETS];
+        for b in 1..BUCKETS {
+            offs[b] = offs[b - 1] + hist[b - 1];
+        }
+        for (b, o) in offs.iter().enumerate() {
+            eng.store_u32(3, b as u64, *o)?;
+        }
+        // Scatter.
+        let mut cursor = offs;
+        for i in 0..N as u64 {
+            let v = eng.load_u32(src, i)?;
+            eng.compute(2);
+            let b = ((v >> shift) as usize) & (BUCKETS - 1);
+            eng.store_u32(dst, u64::from(cursor[b]), v)?;
+            cursor[b] += 1;
+        }
+        src = dst;
+    }
+    debug_assert_eq!(src, 0, "an even number of passes lands back in data");
+    Ok(())
+}
+
+pub(crate) fn reference_radix(bufs: &mut [Vec<u8>]) {
+    let mut src = 0usize;
+    for pass in 0..PASSES {
+        let dst = 1 - src;
+        let shift = pass * RADIX_BITS;
+        let mut hist = [0u32; BUCKETS];
+        for i in 0..N {
+            hist[((get_u32(&bufs[src], i) >> shift) as usize) & (BUCKETS - 1)] += 1;
+        }
+        for (b, h) in hist.iter().enumerate() {
+            set_u32(&mut bufs[2], b, *h);
+        }
+        let mut offs = [0u32; BUCKETS];
+        for b in 1..BUCKETS {
+            offs[b] = offs[b - 1] + hist[b - 1];
+        }
+        for (b, o) in offs.iter().enumerate() {
+            set_u32(&mut bufs[3], b, *o);
+        }
+        let mut cursor = offs;
+        for i in 0..N {
+            let v = get_u32(&bufs[src], i);
+            let b = ((v >> shift) as usize) & (BUCKETS - 1);
+            set_u32(&mut bufs[dst], cursor[b] as usize, v);
+            cursor[b] += 1;
+        }
+        src = dst;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_sorted(buf: &[u8]) -> bool {
+        (1..N).all(|i| get_u32(buf, i - 1) <= get_u32(buf, i))
+    }
+
+    #[test]
+    fn merge_sorts() {
+        let mut bufs = init_merge(8);
+        reference_merge(&mut bufs);
+        assert!(is_sorted(&bufs[0]));
+    }
+
+    #[test]
+    fn radix_sorts() {
+        let mut bufs = init_radix(8);
+        reference_radix(&mut bufs);
+        assert!(is_sorted(&bufs[0]));
+    }
+
+    #[test]
+    fn sorts_are_permutations() {
+        let mut bufs = init_merge(21);
+        let mut orig: Vec<u32> = (0..N).map(|i| get_u32(&bufs[0], i)).collect();
+        reference_merge(&mut bufs);
+        let mut sorted: Vec<u32> = (0..N).map(|i| get_u32(&bufs[0], i)).collect();
+        orig.sort_unstable();
+        assert_eq!(orig, {
+            sorted.sort_unstable();
+            sorted
+        });
+    }
+
+    #[test]
+    fn radix_histogram_totals_n() {
+        let mut bufs = init_radix(4);
+        reference_radix(&mut bufs);
+        let total: u32 = (0..BUCKETS).map(|b| get_u32(&bufs[2], b)).sum();
+        assert_eq!(total, N as u32);
+    }
+}

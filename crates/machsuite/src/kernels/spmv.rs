@@ -1,0 +1,190 @@
+//! `spmv_crs` / `spmv_ellpack` — sparse matrix-vector multiply.
+//!
+//! A 494-row sparse matrix (1666 non-zeros CRS; 494×10 ELLPACK) times a
+//! dense vector: the gather `x[col]` loads are data-dependent, making both
+//! variants latency-sensitive on a cacheless accelerator.
+
+use super::{get_f32, get_u32, set_f32, set_u32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: usize = 494;
+const NNZ: usize = 1666;
+const ELL_WIDTH: usize = 10;
+
+pub(crate) fn init_crs(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5b51);
+    let mut values = vec![0u8; NNZ * 4];
+    let mut cols = vec![0u8; NNZ * 4];
+    let mut row_ptr = vec![0u8; (ROWS + 1) * 4];
+    // Distribute NNZ entries over rows: floor(nnz/rows) each plus the
+    // remainder spread over the first rows.
+    let base = NNZ / ROWS;
+    let extra = NNZ % ROWS;
+    let mut at = 0usize;
+    for r in 0..ROWS {
+        set_u32(&mut row_ptr, r, at as u32);
+        let count = base + usize::from(r < extra);
+        for _ in 0..count {
+            set_f32(&mut values, at, rng.gen_range(-1.0f32..1.0));
+            set_u32(&mut cols, at, rng.gen_range(0..ROWS as u32));
+            at += 1;
+        }
+    }
+    set_u32(&mut row_ptr, ROWS, at as u32);
+    assert_eq!(at, NNZ);
+
+    let mut x = vec![0u8; ROWS * 4];
+    for i in 0..ROWS {
+        set_f32(&mut x, i, rng.gen_range(-1.0f32..1.0));
+    }
+    let y = vec![0u8; ROWS * 4];
+    vec![values, cols, row_ptr, x, y]
+}
+
+pub(crate) fn init_ellpack(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5b52);
+    let mut nzval = vec![0u8; ROWS * ELL_WIDTH * 4];
+    let mut cols = vec![0u8; ROWS * ELL_WIDTH * 4];
+    for i in 0..ROWS * ELL_WIDTH {
+        // A zero value models ELLPACK padding; ~30% of slots are padding.
+        let v = if rng.gen_range(0..10) < 3 {
+            0.0
+        } else {
+            rng.gen_range(-1.0f32..1.0)
+        };
+        set_f32(&mut nzval, i, v);
+        set_u32(&mut cols, i, rng.gen_range(0..ROWS as u32));
+    }
+    let mut x = vec![0u8; ROWS * 4];
+    for i in 0..ROWS {
+        set_f32(&mut x, i, rng.gen_range(-1.0f32..1.0));
+    }
+    let y = vec![0u8; ROWS * 4];
+    vec![nzval, cols, x, y]
+}
+
+/// Power-method iterations per invocation: y = A·x, then x ← y.
+const ITERATIONS: usize = 4;
+
+pub(crate) fn kernel_crs(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    for it in 0..ITERATIONS {
+        if it > 0 {
+            eng.copy(3, 0, 4, 0, ROWS as u64 * 4)?;
+        }
+        let mut begin = eng.load_u32(2, 0)? as u64;
+        for r in 0..ROWS as u64 {
+            let end = eng.load_u32(2, r + 1)? as u64;
+            let mut acc = 0f32;
+            for e in begin..end {
+                let v = eng.load_f32(0, e)?;
+                let c = eng.load_u32(1, e)? as u64;
+                let xv = eng.load_f32(3, c)?;
+                eng.compute(2);
+                acc += v * xv;
+            }
+            eng.store_f32(4, r, acc)?;
+            begin = end;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn reference_crs(bufs: &mut [Vec<u8>]) {
+    for it in 0..ITERATIONS {
+        if it > 0 {
+            let y = bufs[4].clone();
+            bufs[3] = y;
+        }
+        for r in 0..ROWS {
+            let begin = get_u32(&bufs[2], r) as usize;
+            let end = get_u32(&bufs[2], r + 1) as usize;
+            let mut acc = 0f32;
+            for e in begin..end {
+                acc += get_f32(&bufs[0], e) * get_f32(&bufs[3], get_u32(&bufs[1], e) as usize);
+            }
+            set_f32(&mut bufs[4], r, acc);
+        }
+    }
+}
+
+pub(crate) fn kernel_ellpack(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    for it in 0..ITERATIONS {
+        if it > 0 {
+            eng.copy(2, 0, 3, 0, ROWS as u64 * 4)?;
+        }
+        for r in 0..ROWS as u64 {
+            let mut acc = 0f32;
+            for s in 0..ELL_WIDTH as u64 {
+                let v = eng.load_f32(0, r * ELL_WIDTH as u64 + s)?;
+                let c = eng.load_u32(1, r * ELL_WIDTH as u64 + s)? as u64;
+                let xv = eng.load_f32(2, c)?;
+                eng.compute(2);
+                acc += v * xv;
+            }
+            eng.store_f32(3, r, acc)?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn reference_ellpack(bufs: &mut [Vec<u8>]) {
+    for it in 0..ITERATIONS {
+        if it > 0 {
+            let y = bufs[3].clone();
+            bufs[2] = y;
+        }
+        for r in 0..ROWS {
+            let mut acc = 0f32;
+            for s in 0..ELL_WIDTH {
+                let v = get_f32(&bufs[0], r * ELL_WIDTH + s);
+                let c = get_u32(&bufs[1], r * ELL_WIDTH + s) as usize;
+                acc += v * get_f32(&bufs[2], c);
+            }
+            set_f32(&mut bufs[3], r, acc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crs_structure_is_valid() {
+        let bufs = init_crs(6);
+        assert_eq!(get_u32(&bufs[2], 0), 0);
+        assert_eq!(get_u32(&bufs[2], ROWS), NNZ as u32);
+        for r in 0..ROWS {
+            assert!(get_u32(&bufs[2], r) <= get_u32(&bufs[2], r + 1));
+        }
+    }
+
+    #[test]
+    fn crs_matches_dense_multiply() {
+        let mut bufs = init_crs(6);
+        reference_crs(&mut bufs);
+        // Re-derive y for a few rows by hand.
+        for r in [0usize, 100, ROWS - 1] {
+            let begin = get_u32(&bufs[2], r) as usize;
+            let end = get_u32(&bufs[2], r + 1) as usize;
+            let mut acc = 0f32;
+            for e in begin..end {
+                acc += get_f32(&bufs[0], e) * get_f32(&bufs[3], get_u32(&bufs[1], e) as usize);
+            }
+            assert_eq!(get_f32(&bufs[4], r), acc);
+        }
+    }
+
+    #[test]
+    fn ellpack_padding_contributes_nothing() {
+        let mut bufs = init_ellpack(6);
+        // Zero all values in row 7: its y must be exactly 0.
+        for s in 0..ELL_WIDTH {
+            set_f32(&mut bufs[0], 7 * ELL_WIDTH + s, 0.0);
+        }
+        reference_ellpack(&mut bufs);
+        assert_eq!(get_f32(&bufs[3], 7), 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! `stencil2d` / `stencil3d` — dense stencil sweeps.
+//!
+//! *2d*: a 3×3 convolution over a 64×128 grid; *3d*: a 7-point stencil
+//! over 32×32×16 with boundary copy-through. Both stream every tap from
+//! memory on the accelerator (no line cache), which is why stencil2d is
+//! memory-bound in Figure 7.
+
+use super::{get_f32, set_f32};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS_2D: usize = 64;
+const COLS_2D: usize = 128;
+
+const NX: usize = 32;
+const NY: usize = 32;
+const NZ: usize = 16;
+
+pub(crate) fn init_2d(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x57e2);
+    let mut filter = vec![0u8; 9 * 4];
+    for i in 0..9 {
+        set_f32(&mut filter, i, rng.gen_range(-1.0f32..1.0));
+    }
+    let mut orig = vec![0u8; ROWS_2D * COLS_2D * 4];
+    for i in 0..ROWS_2D * COLS_2D {
+        set_f32(&mut orig, i, rng.gen_range(0.0f32..1.0));
+    }
+    let sol = vec![0u8; ROWS_2D * COLS_2D * 4];
+    vec![filter, orig, sol]
+}
+
+pub(crate) fn kernel_2d(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let mut filter = [0f32; 9];
+    for (i, f) in filter.iter_mut().enumerate() {
+        *f = eng.load_f32(0, i as u64)?;
+    }
+    for r in 0..ROWS_2D - 2 {
+        for c in 0..COLS_2D - 2 {
+            let mut acc = 0f32;
+            for k1 in 0..3 {
+                for k2 in 0..3 {
+                    let v = eng.load_f32(1, ((r + k1) * COLS_2D + c + k2) as u64)?;
+                    eng.compute(2);
+                    acc += filter[k1 * 3 + k2] * v;
+                }
+            }
+            eng.store_f32(2, (r * COLS_2D + c) as u64, acc)?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn reference_2d(bufs: &mut [Vec<u8>]) {
+    let filter: Vec<f32> = (0..9).map(|i| get_f32(&bufs[0], i)).collect();
+    for r in 0..ROWS_2D - 2 {
+        for c in 0..COLS_2D - 2 {
+            let mut acc = 0f32;
+            for k1 in 0..3 {
+                for k2 in 0..3 {
+                    acc += filter[k1 * 3 + k2] * get_f32(&bufs[1], (r + k1) * COLS_2D + c + k2);
+                }
+            }
+            set_f32(&mut bufs[2], r * COLS_2D + c, acc);
+        }
+    }
+}
+
+pub(crate) fn init_3d(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x57e3);
+    let mut coeffs = vec![0u8; 8];
+    set_f32(&mut coeffs, 0, rng.gen_range(0.0f32..2.0));
+    set_f32(&mut coeffs, 1, rng.gen_range(0.0f32..0.5));
+    let mut orig = vec![0u8; NX * NY * NZ * 4];
+    for i in 0..NX * NY * NZ {
+        set_f32(&mut orig, i, rng.gen_range(0.0f32..1.0));
+    }
+    let sol = vec![0u8; NX * NY * NZ * 4];
+    vec![coeffs, orig, sol]
+}
+
+fn idx3(x: usize, y: usize, z: usize) -> usize {
+    (x * NY + y) * NZ + z
+}
+
+pub(crate) fn kernel_3d(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let c0 = eng.load_f32(0, 0)?;
+    let c1 = eng.load_f32(0, 1)?;
+    // Boundary copy-through (the MachSuite idiom).
+    for x in 0..NX {
+        for y in 0..NY {
+            for z in 0..NZ {
+                let boundary =
+                    x == 0 || x == NX - 1 || y == 0 || y == NY - 1 || z == 0 || z == NZ - 1;
+                if boundary {
+                    let v = eng.load_f32(1, idx3(x, y, z) as u64)?;
+                    eng.store_f32(2, idx3(x, y, z) as u64, v)?;
+                }
+            }
+        }
+    }
+    for x in 1..NX - 1 {
+        for y in 1..NY - 1 {
+            for z in 1..NZ - 1 {
+                let center = eng.load_f32(1, idx3(x, y, z) as u64)?;
+                let mut sum = 0f32;
+                for (dx, dy, dz) in [
+                    (1i32, 0i32, 0i32),
+                    (-1, 0, 0),
+                    (0, 1, 0),
+                    (0, -1, 0),
+                    (0, 0, 1),
+                    (0, 0, -1),
+                ] {
+                    let n = idx3(
+                        (x as i32 + dx) as usize,
+                        (y as i32 + dy) as usize,
+                        (z as i32 + dz) as usize,
+                    );
+                    sum += eng.load_f32(1, n as u64)?;
+                }
+                eng.compute(10);
+                eng.store_f32(2, idx3(x, y, z) as u64, c0 * center + c1 * sum)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn reference_3d(bufs: &mut [Vec<u8>]) {
+    let c0 = get_f32(&bufs[0], 0);
+    let c1 = get_f32(&bufs[0], 1);
+    for x in 0..NX {
+        for y in 0..NY {
+            for z in 0..NZ {
+                let boundary =
+                    x == 0 || x == NX - 1 || y == 0 || y == NY - 1 || z == 0 || z == NZ - 1;
+                if boundary {
+                    let v = get_f32(&bufs[1], idx3(x, y, z));
+                    set_f32(&mut bufs[2], idx3(x, y, z), v);
+                }
+            }
+        }
+    }
+    for x in 1..NX - 1 {
+        for y in 1..NY - 1 {
+            for z in 1..NZ - 1 {
+                let center = get_f32(&bufs[1], idx3(x, y, z));
+                let mut sum = 0f32;
+                for (dx, dy, dz) in [
+                    (1i32, 0i32, 0i32),
+                    (-1, 0, 0),
+                    (0, 1, 0),
+                    (0, -1, 0),
+                    (0, 0, 1),
+                    (0, 0, -1),
+                ] {
+                    sum += get_f32(
+                        &bufs[1],
+                        idx3(
+                            (x as i32 + dx) as usize,
+                            (y as i32 + dy) as usize,
+                            (z as i32 + dz) as usize,
+                        ),
+                    );
+                }
+                set_f32(&mut bufs[2], idx3(x, y, z), c0 * center + c1 * sum);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_filter_reproduces_input_region() {
+        let mut bufs = init_2d(9);
+        // Filter = delta at the top-left tap.
+        for i in 0..9 {
+            set_f32(&mut bufs[0], i, if i == 0 { 1.0 } else { 0.0 });
+        }
+        reference_2d(&mut bufs);
+        for r in 0..ROWS_2D - 2 {
+            for c in 0..COLS_2D - 2 {
+                assert_eq!(
+                    get_f32(&bufs[2], r * COLS_2D + c),
+                    get_f32(&bufs[1], r * COLS_2D + c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stencil3d_boundary_is_copied() {
+        let mut bufs = init_3d(9);
+        reference_3d(&mut bufs);
+        assert_eq!(
+            get_f32(&bufs[2], idx3(0, 5, 5)),
+            get_f32(&bufs[1], idx3(0, 5, 5))
+        );
+        assert_eq!(
+            get_f32(&bufs[2], idx3(NX - 1, 0, NZ - 1)),
+            get_f32(&bufs[1], idx3(NX - 1, 0, NZ - 1))
+        );
+    }
+
+    #[test]
+    fn stencil3d_interior_uses_coefficients() {
+        let mut bufs = init_3d(9);
+        // c0 = 1, c1 = 0 makes the interior a copy too.
+        set_f32(&mut bufs[0], 0, 1.0);
+        set_f32(&mut bufs[0], 1, 0.0);
+        reference_3d(&mut bufs);
+        assert_eq!(
+            get_f32(&bufs[2], idx3(5, 5, 5)),
+            get_f32(&bufs[1], idx3(5, 5, 5))
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! `viterbi` — Viterbi decoding over a 64-state HMM, 64 observations.
+//!
+//! Log-space probabilities; the transition and emission matrices stream
+//! into BRAM once, then the 64×64×64 trellis is pure compute — the other
+//! four-digit-speedup benchmark alongside backprop.
+
+#[cfg(test)]
+use super::get_u64;
+use super::{get_f32, get_u32, set_f32, set_u32, set_u64};
+use hetsim::{Engine, ExecFault};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const STATES: usize = 64;
+const STEPS: usize = 64;
+/// Work units per trellis edge (add + compare + select).
+const EDGE_UNITS: u64 = 4;
+/// Sequences decoded per invocation (the model stays in BRAM; each pass
+/// decodes the observation window rotated by one step).
+const PASSES: usize = 8;
+
+pub(crate) fn init(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x71b1);
+    let mut logp = |n: usize| {
+        let mut v = vec![0u8; n * 4];
+        for i in 0..n {
+            // Negative log-likelihoods.
+            set_f32(&mut v, i, rng.gen_range(0.1f32..8.0));
+        }
+        v
+    };
+    let init_probs = logp(STATES);
+    let transition = logp(STATES * STATES);
+    let emission = logp(STATES * STATES);
+    let mut obs = vec![0u8; STEPS * 4];
+    for t in 0..STEPS {
+        set_u32(&mut obs, t, rng.gen_range(0..STATES as u32));
+    }
+    let path = vec![0u8; STEPS * 8];
+    vec![init_probs, transition, emission, obs, path]
+}
+
+struct Model {
+    init: [f32; STATES],
+    transition: Vec<f32>,
+    emission: Vec<f32>,
+    obs: [u32; STEPS],
+}
+
+/// Min-cost (negative-log) Viterbi over the observation window rotated by
+/// `rot`; shared by kernel and reference.
+fn decode(m: &Model, rot: usize) -> [u64; STEPS] {
+    let obs = |t: usize| m.obs[(t + rot) % STEPS] as usize;
+    let mut llike = [[0f32; STATES]; STEPS];
+    let mut psi = vec![[0u8; STATES]; STEPS];
+    for s in 0..STATES {
+        llike[0][s] = m.init[s] + m.emission[s * STATES + obs(0)];
+    }
+    for t in 1..STEPS {
+        for cur in 0..STATES {
+            let mut best = f32::INFINITY;
+            let mut arg = 0u8;
+            for prev in 0..STATES {
+                let cost = llike[t - 1][prev]
+                    + m.transition[prev * STATES + cur]
+                    + m.emission[cur * STATES + obs(t)];
+                if cost < best {
+                    best = cost;
+                    arg = prev as u8;
+                }
+            }
+            llike[t][cur] = best;
+            psi[t][cur] = arg;
+        }
+    }
+    let mut path = [0u64; STEPS];
+    let mut state = (0..STATES)
+        .min_by(|a, b| {
+            llike[STEPS - 1][*a]
+                .partial_cmp(&llike[STEPS - 1][*b])
+                .expect("finite")
+        })
+        .expect("states exist");
+    path[STEPS - 1] = state as u64;
+    for t in (1..STEPS).rev() {
+        state = psi[t][state] as usize;
+        path[t - 1] = state as u64;
+    }
+    path
+}
+
+pub(crate) fn kernel(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+    let mut m = Model {
+        init: [0.0; STATES],
+        transition: vec![0.0; STATES * STATES],
+        emission: vec![0.0; STATES * STATES],
+        obs: [0; STEPS],
+    };
+    for (s, v) in m.init.iter_mut().enumerate() {
+        *v = eng.load_f32(0, s as u64)?;
+    }
+    for i in 0..STATES * STATES {
+        m.transition[i] = eng.load_f32(1, i as u64)?;
+    }
+    for i in 0..STATES * STATES {
+        m.emission[i] = eng.load_f32(2, i as u64)?;
+    }
+    for (t, o) in m.obs.iter_mut().enumerate() {
+        *o = eng.load_u32(3, t as u64)?;
+    }
+    for pass in 0..PASSES {
+        eng.compute((STEPS as u64 - 1) * (STATES as u64) * (STATES as u64) * EDGE_UNITS);
+        let path = decode(&m, pass);
+        for (t, p) in path.iter().enumerate() {
+            eng.store_u64(4, t as u64, *p)?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn reference(bufs: &mut [Vec<u8>]) {
+    let mut m = Model {
+        init: [0.0; STATES],
+        transition: vec![0.0; STATES * STATES],
+        emission: vec![0.0; STATES * STATES],
+        obs: [0; STEPS],
+    };
+    for s in 0..STATES {
+        m.init[s] = get_f32(&bufs[0], s);
+    }
+    for i in 0..STATES * STATES {
+        m.transition[i] = get_f32(&bufs[1], i);
+        m.emission[i] = get_f32(&bufs[2], i);
+    }
+    for t in 0..STEPS {
+        m.obs[t] = get_u32(&bufs[3], t);
+    }
+    for pass in 0..PASSES {
+        let path = decode(&m, pass);
+        for (t, p) in path.iter().enumerate() {
+            set_u64(&mut bufs[4], t, *p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decoded_path_is_within_states() {
+        let mut bufs = init(12);
+        reference(&mut bufs);
+        for t in 0..STEPS {
+            assert!(get_u64(&bufs[4], t) < STATES as u64);
+        }
+    }
+
+    #[test]
+    fn forced_chain_is_recovered() {
+        // Free transitions s -> s+1, everything else expensive, emissions
+        // flat: the decoder must follow the chain from state 0 regardless
+        // of the observation window.
+        let mut bufs = init(12);
+        for i in 0..STATES * STATES {
+            set_f32(&mut bufs[1], i, 100.0);
+            set_f32(&mut bufs[2], i, 0.0);
+        }
+        for s in 0..STATES {
+            set_f32(&mut bufs[0], s, if s == 0 { 0.0 } else { 1000.0 });
+            set_f32(&mut bufs[1], s * STATES + (s + 1) % STATES, 0.0);
+        }
+        reference(&mut bufs);
+        for t in 0..STEPS {
+            assert_eq!(get_u64(&bufs[4], t), (t % STATES) as u64, "step {t}");
+        }
+    }
+}

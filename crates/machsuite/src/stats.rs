@@ -1,0 +1,120 @@
+//! Workload characterization: what each benchmark actually does on the
+//! memory interface.
+//!
+//! This is the quantitative backing for the calibration story in
+//! `accel.rs` — arithmetic intensity decides who accelerates (Figure 7)
+//! and read/write mix decides what the CapChecker sees.
+
+use crate::kernels::check_against_reference;
+use crate::Benchmark;
+use hetsim::{Trace, TraceOp};
+
+/// Summary of one benchmark's operation stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadStats {
+    /// Benchmark.
+    pub bench: Benchmark,
+    /// Discrete memory operations (copies count once).
+    pub mem_ops: u64,
+    /// Bytes moved (copies count both directions).
+    pub mem_bytes: u64,
+    /// Data-path work units.
+    pub compute_units: u64,
+    /// Store fraction of the discrete memory operations.
+    pub write_fraction: f64,
+    /// Bulk-copy bytes (the CHERI-CPU capability-copy opportunity).
+    pub copy_bytes: u64,
+    /// Work units per byte moved — the roofline x-axis.
+    pub arithmetic_intensity: f64,
+}
+
+/// Characterizes `bench` by running it (and, as a side effect, verifying
+/// it against its golden reference).
+///
+/// # Panics
+///
+/// Panics if the kernel diverges from its reference — the same invariant
+/// the test suite enforces.
+#[must_use]
+pub fn characterize(bench: Benchmark, seed: u64) -> WorkloadStats {
+    let trace = check_against_reference(bench, seed)
+        .unwrap_or_else(|e| panic!("characterization found a divergence: {e}"));
+    of_trace(bench, &trace)
+}
+
+/// Computes the summary from an existing trace.
+#[must_use]
+pub fn of_trace(bench: Benchmark, trace: &Trace) -> WorkloadStats {
+    let mut writes = 0u64;
+    let mut copy_bytes = 0u64;
+    for op in trace.ops() {
+        match op {
+            TraceOp::Mem { write: true, .. } => writes += 1,
+            TraceOp::Copy { bytes, .. } => copy_bytes += bytes,
+            _ => {}
+        }
+    }
+    let mem_ops = trace.mem_ops();
+    let mem_bytes = trace.mem_bytes();
+    WorkloadStats {
+        bench,
+        mem_ops,
+        mem_bytes,
+        compute_units: trace.compute_units(),
+        write_fraction: if mem_ops == 0 {
+            0.0
+        } else {
+            writes as f64 / mem_ops as f64
+        },
+        copy_bytes,
+        arithmetic_intensity: trace.compute_units() as f64 / mem_bytes.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intensity_separates_the_figure7_bands() {
+        // The four-digit-speedup benchmarks are an order of magnitude more
+        // compute-intense than the memory-bound ones.
+        let viterbi = characterize(Benchmark::Viterbi, 1).arithmetic_intensity;
+        let backprop = characterize(Benchmark::Backprop, 1).arithmetic_intensity;
+        let knn = characterize(Benchmark::MdKnn, 1).arithmetic_intensity;
+        let bfs = characterize(Benchmark::BfsBulk, 1).arithmetic_intensity;
+        assert!(viterbi > 50.0, "viterbi: {viterbi}");
+        assert!(backprop > 50.0, "backprop: {backprop}");
+        assert!(knn < 2.0, "md_knn: {knn}");
+        assert!(bfs < 2.0, "bfs_bulk: {bfs}");
+    }
+
+    #[test]
+    fn gemm_blocked_is_the_copy_heavy_one() {
+        let blocked = characterize(Benchmark::GemmBlocked, 1);
+        let ncubed = characterize(Benchmark::GemmNcubed, 1);
+        assert!(blocked.copy_bytes > 100_000, "{}", blocked.copy_bytes);
+        assert_eq!(ncubed.copy_bytes, 0);
+        // Packing slashes the discrete loads by an order of magnitude.
+        assert!(blocked.mem_ops * 5 < ncubed.mem_ops);
+    }
+
+    #[test]
+    fn sorts_write_roughly_as_much_as_they_read() {
+        let s = characterize(Benchmark::SortRadix, 1);
+        assert!(
+            s.write_fraction > 0.3 && s.write_fraction < 0.7,
+            "{}",
+            s.write_fraction
+        );
+    }
+
+    #[test]
+    fn every_benchmark_characterizes() {
+        for b in Benchmark::ALL {
+            let s = characterize(b, 2);
+            assert!(s.mem_ops > 0, "{b}");
+            assert!(s.compute_units > 0, "{b}");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Buffer specifications reproducing Table 2.
+//!
+//! Each benchmark runs with **eight accelerator instances** (independent
+//! users); the table's *buffer count* is the total across instances, and
+//! the min/max are over the per-instance buffer sizes. The CapChecker has
+//! 256 entries, which comfortably holds every row.
+
+use crate::Benchmark;
+
+/// Accelerator instances per benchmark (Table 2: "the accelerator has
+/// eight instances").
+pub const INSTANCES: usize = 8;
+
+/// One buffer of a benchmark instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferDef {
+    /// Role of the buffer in the kernel.
+    pub name: &'static str,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// Declares a `'static` buffer list.
+macro_rules! bufs {
+    ($($name:literal : $size:literal),* $(,)?) => {{
+        const LIST: &[BufferDef] = &[$(BufferDef { name: $name, size: $size }),*];
+        LIST
+    }};
+}
+
+/// Per-instance buffers for `bench`.
+#[must_use]
+pub fn buffers(bench: Benchmark) -> &'static [BufferDef] {
+    match bench {
+        Benchmark::Aes => bufs!["block": 128],
+        Benchmark::Backprop => bufs![
+            "hyper": 12,
+            "w1": 512,
+            "w2": 1024,
+            "b1": 128,
+            "b2": 32,
+            "train_x": 10432,
+            "train_y": 2608,
+        ],
+        Benchmark::BfsBulk | Benchmark::BfsQueue => bufs![
+            "params": 40,
+            "nodes": 4096,
+            "edges": 16384,
+            "level": 2048,
+            "level_counts": 512,
+        ],
+        Benchmark::FftStrided => bufs![
+            "real": 4096,
+            "imag": 4096,
+            "real_twid": 4096,
+            "imag_twid": 4096,
+            "work_real": 4096,
+            "work_imag": 4096,
+        ],
+        Benchmark::FftTranspose => bufs!["real": 2048, "imag": 2048],
+        Benchmark::GemmBlocked | Benchmark::GemmNcubed => {
+            bufs!["a": 16384, "b": 16384, "c": 16384]
+        }
+        Benchmark::Kmp => bufs!["pattern": 4, "next": 16, "text": 64824, "n_matches": 8],
+        Benchmark::MdGrid => bufs![
+            "bin_counts": 256,
+            "bin_atoms": 2560,
+            "position": 2560,
+            "force": 2560,
+            "vel_x": 640,
+            "vel_y": 640,
+            "vel_z": 640,
+        ],
+        Benchmark::MdKnn => bufs![
+            "params": 1024,
+            "pos_x": 4096,
+            "pos_y": 4096,
+            "pos_z": 4096,
+            "neighbors": 16384,
+            "force": 4096,
+            "energy": 4096,
+        ],
+        Benchmark::Nw => bufs![
+            "seq_a": 512,
+            "seq_b": 512,
+            "matrix": 66564,
+            "back_ptr": 66564,
+            "aligned_a": 1032,
+            "aligned_b": 1032,
+        ],
+        Benchmark::SortMerge => bufs!["data": 8192, "temp": 8192],
+        Benchmark::SortRadix => bufs!["data": 8192, "temp": 8192, "bucket": 16, "scan": 128],
+        Benchmark::SpmvCrs => bufs![
+            "values": 6664,
+            "cols": 6664,
+            "row_ptr": 1980,
+            "x": 1976,
+            "y": 1976,
+        ],
+        Benchmark::SpmvEllpack => bufs!["nzval": 19760, "cols": 19760, "x": 1976, "y": 1976],
+        Benchmark::Stencil2d => bufs!["filter": 36, "orig": 32768, "sol": 32768],
+        Benchmark::Stencil3d => bufs!["coeffs": 8, "orig": 65536, "sol": 65536],
+        Benchmark::Viterbi => bufs![
+            "init": 256,
+            "transition": 16384,
+            "emission": 16384,
+            "obs": 256,
+            "path": 512,
+        ],
+    }
+}
+
+/// One row of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Benchmark.
+    pub benchmark: Benchmark,
+    /// Total buffers across all instances.
+    pub buffer_count: usize,
+    /// Smallest per-instance buffer, bytes.
+    pub min_bytes: u64,
+    /// Largest per-instance buffer, bytes.
+    pub max_bytes: u64,
+}
+
+/// Computes the Table 2 row for `bench`.
+#[must_use]
+pub fn table2_row(bench: Benchmark) -> Table2Row {
+    let bufs = buffers(bench);
+    Table2Row {
+        benchmark: bench,
+        buffer_count: bufs.len() * INSTANCES,
+        min_bytes: bufs.iter().map(|b| b.size).min().unwrap_or(0),
+        max_bytes: bufs.iter().map(|b| b.size).max().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rows exactly as printed in the paper's Table 2.
+    const PAPER_TABLE2: [(&str, usize, u64, u64); 19] = [
+        ("aes", 8, 128, 128),
+        ("backprop", 56, 12, 10432),
+        ("bfs_bulk", 40, 40, 16384),
+        ("bfs_queue", 40, 40, 16384),
+        ("fft_strided", 48, 4096, 4096),
+        ("fft_transpose", 16, 2048, 2048),
+        ("gemm_blocked", 24, 16384, 16384),
+        ("gemm_ncubed", 24, 16384, 16384),
+        ("kmp", 32, 4, 64824),
+        ("md_grid", 56, 256, 2560),
+        ("md_knn", 56, 1024, 16384),
+        ("nw", 48, 512, 66564),
+        ("sort_merge", 16, 8192, 8192),
+        ("sort_radix", 32, 16, 8192),
+        ("spmv_crs", 40, 1976, 6664),
+        ("spmv_ellpack", 32, 1976, 19760),
+        ("stencil2d", 24, 36, 32768),
+        ("stencil3d", 24, 8, 65536),
+        ("viterbi", 40, 256, 16384),
+    ];
+
+    #[test]
+    fn table2_matches_the_paper_exactly() {
+        for (name, count, min, max) in PAPER_TABLE2 {
+            let bench: Benchmark = name.parse().unwrap();
+            let row = table2_row(bench);
+            assert_eq!(row.buffer_count, count, "{name}: buffer count");
+            assert_eq!(row.min_bytes, min, "{name}: min size");
+            assert_eq!(row.max_bytes, max, "{name}: max size");
+        }
+    }
+
+    #[test]
+    fn all_rows_fit_the_256_entry_capchecker() {
+        for b in Benchmark::ALL {
+            assert!(
+                table2_row(b).buffer_count <= 256,
+                "{b} would overflow the table"
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_names_are_unique_within_an_instance() {
+        for b in Benchmark::ALL {
+            let names: Vec<_> = buffers(b).iter().map(|d| d.name).collect();
+            let mut dedup = names.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), names.len(), "{b}: duplicate buffer names");
+        }
+    }
+}

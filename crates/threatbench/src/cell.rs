@@ -1,0 +1,73 @@
+//! Table 3 cell values.
+
+use ioprotect::Granularity;
+use std::fmt;
+
+/// One cell of Table 3: how a mechanism fares against a weakness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cell {
+    /// The weakness is not mitigated (✗).
+    NotProtected,
+    /// Mitigated at page granularity (PG).
+    Page,
+    /// Mitigated at task granularity (TA).
+    Task,
+    /// Mitigated at object granularity (OB) — the finest.
+    Object,
+    /// Fully mitigated, granularity not meaningful (✓).
+    Protected,
+    /// Out of scope for accelerators (NA).
+    NotApplicable,
+}
+
+impl Cell {
+    /// The paper's notation for the cell.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cell::NotProtected => "X",
+            Cell::Page => "PG",
+            Cell::Task => "TA",
+            Cell::Object => "OB",
+            Cell::Protected => "OK",
+            Cell::NotApplicable => "NA",
+        }
+    }
+}
+
+impl From<Granularity> for Cell {
+    fn from(g: Granularity) -> Cell {
+        match g {
+            Granularity::Unprotected => Cell::NotProtected,
+            Granularity::Page => Cell::Page,
+            Granularity::Task => Cell::Task,
+            Granularity::Object => Cell::Object,
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_match_the_paper() {
+        assert_eq!(Cell::NotProtected.symbol(), "X");
+        assert_eq!(Cell::Page.symbol(), "PG");
+        assert_eq!(Cell::Task.symbol(), "TA");
+        assert_eq!(Cell::Object.symbol(), "OB");
+        assert_eq!(Cell::NotApplicable.symbol(), "NA");
+    }
+
+    #[test]
+    fn granularity_conversion() {
+        assert_eq!(Cell::from(Granularity::Object), Cell::Object);
+        assert_eq!(Cell::from(Granularity::Unprotected), Cell::NotProtected);
+    }
+}

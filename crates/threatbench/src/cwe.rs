@@ -1,0 +1,241 @@
+//! Table 3: the CWE memory-safety weakness matrix.
+//!
+//! Rows marked *measured* are produced by running the executable attacks
+//! in [`crate::attacks`] against every mechanism; the remaining rows are
+//! the paper's analysis encoded as data (they concern software/driver
+//! properties or weaknesses with no accelerator analogue).
+
+use crate::attacks;
+use crate::cell::Cell;
+use crate::mechanisms::Mechanism;
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct CweRow {
+    /// CWE identifiers covered by the row.
+    pub ids: &'static [u32],
+    /// Weakness name (or group description).
+    pub name: &'static str,
+    /// The paper's group label, a–f.
+    pub group: char,
+    /// Cells in [`Mechanism::ALL`] order.
+    pub cells: [Cell; 6],
+    /// Whether the cells were measured by running attacks (vs. analysis).
+    pub measured: bool,
+}
+
+fn per_mechanism(f: impl Fn(Mechanism) -> Cell) -> [Cell; 6] {
+    let mut cells = [Cell::NotApplicable; 6];
+    for (i, m) in Mechanism::ALL.into_iter().enumerate() {
+        cells[i] = f(m);
+    }
+    cells
+}
+
+fn bool_cells(f: impl Fn(Mechanism) -> bool) -> [Cell; 6] {
+    per_mechanism(|m| {
+        if f(m) {
+            Cell::Protected
+        } else {
+            Cell::NotProtected
+        }
+    })
+}
+
+const fn all(cell: Cell) -> [Cell; 6] {
+    [cell; 6]
+}
+
+/// Builds the full Table 3, running the executable attacks.
+#[must_use]
+pub fn table3() -> Vec<CweRow> {
+    vec![
+        CweRow {
+            ids: &[
+                119, 120, 122, 123, 124, 125, 126, 127, 129, 131, 466, 680, 786, 787, 788, 805, 806,
+            ],
+            name: "Buffer overreads or overwrites",
+            group: 'a',
+            cells: per_mechanism(attacks::spatial_cell),
+            measured: true,
+        },
+        CweRow {
+            ids: &[761],
+            name: "Free of pointer not at start of buffer",
+            group: 'a',
+            // Only a capability carries its allocation base with it; the
+            // driver mirrors the parent capability off the shelf (§6.2).
+            cells: [
+                Cell::NotProtected,
+                Cell::NotProtected,
+                Cell::NotProtected,
+                Cell::NotProtected,
+                Cell::Task,
+                Cell::Object,
+            ],
+            measured: false,
+        },
+        CweRow {
+            ids: &[822],
+            name: "Untrusted pointer dereference",
+            group: 'a',
+            // Requires unforgeable provenance: only the CapChecker binds a
+            // pointer to the object it was issued for.
+            cells: [
+                Cell::NotProtected,
+                Cell::NotProtected,
+                Cell::NotProtected,
+                Cell::NotProtected,
+                Cell::Task,
+                Cell::Object,
+            ],
+            measured: false,
+        },
+        CweRow {
+            ids: &[823],
+            name: "Untrusted pointer offset",
+            group: 'a',
+            cells: per_mechanism(attacks::untrusted_offset_cell),
+            measured: true,
+        },
+        CweRow {
+            ids: &[416],
+            name: "Use after free / dangling pointer",
+            group: 'b',
+            cells: bool_cells(attacks::use_after_free_blocked),
+            measured: true,
+        },
+        CweRow {
+            ids: &[587],
+            name: "Assignment of a fixed address to a pointer",
+            group: 'b',
+            cells: bool_cells(attacks::fixed_address_blocked),
+            measured: true,
+        },
+        CweRow {
+            ids: &[824],
+            name: "Access of uninitialized pointer",
+            group: 'b',
+            cells: bool_cells(attacks::uninitialized_pointer_blocked),
+            measured: true,
+        },
+        CweRow {
+            ids: &[244],
+            name: "Heap inspection",
+            group: 'c',
+            cells: bool_cells(attacks::heap_inspection_prevented),
+            measured: true,
+        },
+        CweRow {
+            ids: &[415, 590, 690, 763],
+            name: "Double free / invalid release / unchecked NULL",
+            group: 'c',
+            // Temporal safety is the trusted driver's job for every
+            // mechanism alike (assumption 3).
+            cells: all(Cell::Protected),
+            measured: false,
+        },
+        CweRow {
+            ids: &[121, 562, 789],
+            name: "Stack-based weaknesses",
+            group: 'd',
+            // Accelerator "stack" objects live in internal registers and
+            // are never exposed to the CPU: not applicable.
+            cells: all(Cell::NotApplicable),
+            measured: false,
+        },
+        CweRow {
+            ids: &[134, 762],
+            name: "Format strings / mismatched memory routines",
+            group: 'e',
+            cells: all(Cell::NotApplicable),
+            measured: false,
+        },
+        CweRow {
+            ids: &[188, 198],
+            name: "Reliance on data/memory layout, byte ordering",
+            group: 'f',
+            cells: all(Cell::NotProtected),
+            measured: false,
+        },
+        CweRow {
+            ids: &[401, 825],
+            name: "Memory leak / expired pointer dereference",
+            group: 'f',
+            cells: all(Cell::NotProtected),
+            measured: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline cells of the paper's Table 3 for the measured rows.
+    #[test]
+    fn measured_rows_match_the_paper() {
+        let rows = table3();
+        let overreads = &rows[0];
+        assert_eq!(
+            overreads.cells,
+            [
+                Cell::NotProtected,
+                Cell::Task,
+                Cell::Page,
+                Cell::Task,
+                Cell::Task,
+                Cell::Object
+            ]
+        );
+        let group_b: Vec<&CweRow> = rows.iter().filter(|r| r.group == 'b').collect();
+        for row in group_b {
+            assert_eq!(
+                row.cells[0],
+                Cell::NotProtected,
+                "{}: no-method column",
+                row.name
+            );
+            for cell in &row.cells[1..] {
+                assert_eq!(*cell, Cell::Protected, "{}", row.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fine_is_never_coarser_than_coarse() {
+        let rank = |c: &Cell| match c {
+            Cell::NotProtected => 0,
+            Cell::Page => 1,
+            Cell::Task => 2,
+            Cell::Object => 3,
+            Cell::Protected => 4,
+            Cell::NotApplicable => 5,
+        };
+        for row in table3() {
+            if row.cells[5] == Cell::NotApplicable {
+                continue;
+            }
+            assert!(
+                rank(&row.cells[5]) >= rank(&row.cells[4]),
+                "{}: Fine ({}) must dominate Coarse ({})",
+                row.name,
+                row.cells[5],
+                row.cells[4]
+            );
+        }
+    }
+
+    #[test]
+    fn every_cwe_id_appears_once() {
+        let mut ids: Vec<u32> = table3()
+            .iter()
+            .flat_map(|r| r.ids.iter().copied())
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "duplicate CWE ids across rows");
+        assert!(n >= 30, "the paper's table covers 30+ CWE ids, got {n}");
+    }
+}

@@ -1,0 +1,161 @@
+//! The motivating attack of Figure 2.
+//!
+//! A video application runs a decoder task on the accelerator while an
+//! attacker launches a concurrent *eavesdropper* task. The eavesdropper
+//! attempts (1) an unauthorized read of the decoder's frame buffer — the
+//! screen-sharing theft of §2 — and (2) capability forging: overwriting a
+//! pointer capability the CPU keeps in memory, hoping the CPU will later
+//! dereference the attacker's bounds.
+
+use crate::mechanisms::Mechanism;
+use capchecker::TaskRequest;
+use cheri::{Capability, Perms};
+use hetsim::Denial;
+
+/// What the eavesdropper achieved.
+#[derive(Clone, Debug)]
+pub struct EavesdropperOutcome {
+    /// Bytes of the confidential frame the attacker obtained (empty when
+    /// the read was blocked).
+    pub stolen: Vec<u8>,
+    /// The denial the protection mechanism raised, if any.
+    pub denial: Option<Denial>,
+    /// Whether a *valid* (tagged) capability with attacker bits exists in
+    /// memory after the overwrite attempt.
+    pub capability_forged: bool,
+    /// Whether the system latched an exception for the CPU to see.
+    pub exception_visible: bool,
+}
+
+/// The secret pattern the decoder works on.
+pub const FRAME_SECRET: u8 = 0xC5;
+
+/// Runs the Figure 2 scenario on a system guarded by `mech`.
+#[must_use]
+pub fn run(mech: Mechanism) -> EavesdropperOutcome {
+    let mut sys = mech.system();
+
+    // The video app's decoder task, mid-call, with a confidential frame.
+    let decoder = sys
+        .allocate_task(&TaskRequest::accel("video decoder", "accel").rw_buffers([4096, 256]))
+        .expect("decoder allocates");
+    sys.write_buffer(decoder, 0, 0, &[FRAME_SECRET; 4096])
+        .expect("frame upload");
+    let decode = sys
+        .run_accel_task(decoder, |eng| {
+            // A slice of decode work (keeps the task plausibly "running").
+            for i in 0..64 {
+                let px = eng.load_u32(0, i)?;
+                eng.store_u32(1, i % 32, px ^ 0xff)?;
+            }
+            Ok(())
+        })
+        .expect("decoder runs");
+    if let Some(d) = decode.denial {
+        panic!("benign decoder was denied: {d}");
+    }
+
+    // The CPU task also keeps a capability to its frame in memory (a
+    // pointer spilled by the CHERI CPU), somewhere the eavesdropper's
+    // buffer write could reach if unprotected.
+    let frame_base = sys.cpu_layout(decoder).expect("layout").buffers[0].base;
+    let spilled_cap = Capability::root()
+        .set_bounds(frame_base, 4096)
+        .expect("bounds")
+        .and_perms(Perms::RW)
+        .expect("perms");
+    let cap_slot = sys.cpu_layout(decoder).expect("layout").buffers[1].base;
+    sys.memory_mut()
+        .write_capability(cap_slot, spilled_cap.compress(), true)
+        .expect("spill");
+
+    // The attacker's eavesdropper task.
+    let eavesdropper = sys
+        .allocate_task(&TaskRequest::accel("eavesdropper", "accel").rw_buffers([4096]))
+        .expect("eavesdropper allocates");
+    let own_base = sys.accel_layout(eavesdropper).expect("layout").buffers[0].base;
+
+    let frame_offset = frame_base.wrapping_sub(own_base);
+    let cap_offset = cap_slot.wrapping_sub(own_base);
+    let mut stolen = Vec::new();
+    let mut denial = None;
+    sys.run_accel_task(eavesdropper, |eng| {
+        // 1. Try to read the confidential frame.
+        for i in 0..8u64 {
+            match eng.load(0, frame_offset + i * 8, 8) {
+                Ok(w) => stolen.extend_from_slice(&w.to_le_bytes()),
+                Err(hetsim::ExecFault::Denied(d)) => {
+                    denial = Some(d);
+                    break;
+                }
+                Err(e) => panic!("unexpected platform fault: {e}"),
+            }
+        }
+        // 2. Try to overwrite the spilled capability with forged bits
+        //    granting the whole address space.
+        let forged = Capability::root().compress().bits();
+        let _ = eng.store(0, cap_offset, 8, forged as u64);
+        let _ = eng.store(0, cap_offset + 8, 8, (forged >> 64) as u64);
+        Ok(())
+    })
+    .expect("eavesdropper runs");
+
+    // Forging succeeded only if the slot now holds the attacker's bits
+    // AND still carries a valid tag.
+    let (bits, tag) = sys
+        .memory()
+        .read_capability(cap_slot)
+        .expect("cap slot readable");
+    let forged_bits = Capability::root().compress().bits();
+    let capability_forged = tag && bits.bits() == forged_bits;
+    let exception_visible = sys.checker().is_some_and(|c| c.exception_flag());
+
+    EavesdropperOutcome {
+        stolen,
+        denial,
+        capability_forged,
+        exception_visible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_protection_leaks_the_frame() {
+        let out = run(Mechanism::NoMethod);
+        assert!(!out.stolen.is_empty());
+        assert!(out.stolen.iter().all(|b| *b == FRAME_SECRET));
+        assert!(out.denial.is_none());
+    }
+
+    #[test]
+    fn capchecker_blocks_the_theft_and_reports() {
+        for mech in [Mechanism::CapFine, Mechanism::CapCoarse] {
+            let out = run(mech);
+            assert!(out.stolen.is_empty(), "{mech}: frame leaked");
+            assert!(out.denial.is_some(), "{mech}: no denial raised");
+            assert!(out.exception_visible, "{mech}: CPU never told");
+        }
+    }
+
+    #[test]
+    fn forged_capability_never_gains_a_tag() {
+        for mech in Mechanism::ALL {
+            let out = run(mech);
+            assert!(
+                !out.capability_forged,
+                "{mech}: forged capability survived with a tag"
+            );
+        }
+    }
+
+    #[test]
+    fn iommu_blocks_cross_task_but_iopmp_and_snpu_do_too() {
+        for mech in [Mechanism::Iommu, Mechanism::Iopmp, Mechanism::Snpu] {
+            let out = run(mech);
+            assert!(out.stolen.is_empty(), "{mech}");
+        }
+    }
+}

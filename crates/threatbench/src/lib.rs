@@ -1,0 +1,26 @@
+//! # threatbench — the paper's security evaluation, executable
+//!
+//! The paper evaluates the CapChecker against the CWE memory-safety
+//! weaknesses (Table 3) by *analysis*. This crate turns that analysis into
+//! code: each weakness group that can be exercised in the simulated system
+//! is an actual attack run against every protection mechanism, and the
+//! observed outcome — blocked at what granularity — fills the table cell.
+//!
+//! It also implements the motivating attack of Figure 2
+//! ([`eavesdropper`]): a malicious accelerator task that tries to read a
+//! concurrent video-decoder's buffers and to forge a capability by
+//! overwriting one in memory.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attacks;
+mod cell;
+pub mod cwe;
+pub mod eavesdropper;
+pub mod fuzz;
+mod mechanisms;
+
+pub use cell::Cell;
+pub use cwe::{table3, CweRow};
+pub use mechanisms::Mechanism;

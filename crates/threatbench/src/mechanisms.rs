@@ -1,0 +1,99 @@
+//! The six protection columns of Table 3 as buildable systems.
+
+use capchecker::{CheckerConfig, HeteroSystem, ProtectionChoice, SystemConfig};
+use ioprotect::{IommuConfig, IopmpConfig};
+use std::fmt;
+
+/// One column of Table 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// No protection at all.
+    NoMethod,
+    /// RISC-V IOPMP.
+    Iopmp,
+    /// 4 kB-page IOMMU.
+    Iommu,
+    /// sNPU-style task windows.
+    Snpu,
+    /// CapChecker, Coarse provenance.
+    CapCoarse,
+    /// CapChecker, Fine provenance.
+    CapFine,
+}
+
+impl Mechanism {
+    /// All six, in the paper's column order.
+    pub const ALL: [Mechanism; 6] = [
+        Mechanism::NoMethod,
+        Mechanism::Iopmp,
+        Mechanism::Iommu,
+        Mechanism::Snpu,
+        Mechanism::CapCoarse,
+        Mechanism::CapFine,
+    ];
+
+    /// Column header.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::NoMethod => "No Method",
+            Mechanism::Iopmp => "IOPMP",
+            Mechanism::Iommu => "IOMMU",
+            Mechanism::Snpu => "sNPU",
+            Mechanism::CapCoarse => "Coarse",
+            Mechanism::CapFine => "Fine",
+        }
+    }
+
+    /// The protection choice for a [`HeteroSystem`].
+    #[must_use]
+    pub fn choice(self) -> ProtectionChoice {
+        match self {
+            Mechanism::NoMethod => ProtectionChoice::None,
+            Mechanism::Iopmp => ProtectionChoice::Iopmp(IopmpConfig::default()),
+            Mechanism::Iommu => ProtectionChoice::Iommu(IommuConfig::default()),
+            Mechanism::Snpu => ProtectionChoice::Snpu,
+            Mechanism::CapCoarse => ProtectionChoice::CapChecker(CheckerConfig::coarse()),
+            Mechanism::CapFine => ProtectionChoice::CapChecker(CheckerConfig::fine()),
+        }
+    }
+
+    /// A small heterogeneous system guarded by this mechanism, with four
+    /// generic accelerator FUs available.
+    #[must_use]
+    pub fn system(self) -> HeteroSystem {
+        let mut sys = HeteroSystem::new(SystemConfig {
+            mem_size: 4 << 20,
+            protection: self.choice(),
+            ..SystemConfig::default()
+        });
+        sys.add_fus("accel", 4);
+        sys
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_build() {
+        for m in Mechanism::ALL {
+            let sys = m.system();
+            assert_eq!(sys.protection_entries(), 0, "{m}");
+        }
+    }
+
+    #[test]
+    fn checker_variants_expose_a_checker() {
+        assert!(Mechanism::CapFine.system().checker().is_some());
+        assert!(Mechanism::CapCoarse.system().checker().is_some());
+        assert!(Mechanism::Iommu.system().checker().is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! Lifting threat-model assumption 2 (the paper's first future-work
+//! direction): a task whose buffer needs grow *while it runs*. The
+//! accelerator still cannot allocate memory itself — it asks, and the
+//! trusted driver allocates, derives a fresh capability, imports it into
+//! the CapChecker, and loads a new base pointer between kernel phases.
+//!
+//! Run with: `cargo run --release --example dynamic_tasks`
+
+use cheri_hetero::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = HeteroSystem::new(SystemConfig::default());
+    sys.add_fus("stream", 1);
+
+    // Phase 0: the task starts with a single small input buffer.
+    let task = sys.allocate_task(&TaskRequest::accel("stream", "stream").rw_buffers([256]))?;
+    sys.write_buffer(task, 0, 0, &(0..=255u8).collect::<Vec<_>>())?;
+    println!(
+        "phase 0: {} buffer(s), {} table entries",
+        1,
+        sys.protection_entries()
+    );
+
+    // Phase 1: compute a histogram — but there is nowhere to put it yet.
+    // Any attempt to write beyond the input is refused:
+    let outcome = sys.run_accel_task(task, |eng| {
+        eng.store_u32(0, 64, 0xdead)?; // offset 256: out of bounds
+        Ok(())
+    })?;
+    println!(
+        "write past the only buffer: denied = {}",
+        !outcome.completed()
+    );
+
+    // The driver grows the task: a new output buffer, new capability,
+    // new table entry, new base pointer — while the task stays allocated.
+    let out_obj = sys.allocate_buffer(task, BufferSpec::rw(1024))?;
+    println!(
+        "phase 2: buffer {out_obj} allocated live; {} table entries; setup now {} cycles",
+        sys.protection_entries(),
+        sys.setup_cycles(task)?
+    );
+
+    // Phase 2: the histogram lands in the new buffer, fully checked.
+    let outcome = sys.run_accel_task(task, |eng| {
+        let mut hist = [0u32; 4];
+        for i in 0..256 {
+            let b = eng.load_u8(0, i)?;
+            hist[(b / 64) as usize] += 1;
+            eng.compute(2);
+        }
+        for (k, h) in hist.iter().enumerate() {
+            eng.store_u32(out_obj, k as u64, *h)?;
+        }
+        Ok(())
+    })?;
+    assert!(outcome.completed());
+    let mut word = [0u8; 4];
+    sys.read_buffer(task, out_obj, 0, &mut word)?;
+    println!("phase 2 completed; hist[0] = {}", u32::from_le_bytes(word));
+
+    // The grown capability is part of the provenance tree and dies with
+    // the task.
+    assert!(sys.tree().audit().is_none());
+    let report = sys.deallocate_task(task)?;
+    println!("deallocated; entries in use: {}", sys.protection_entries());
+    // The phase-1 denial was latched and reported, as it should be:
+    println!(
+        "report carries the phase-1 exception: {}",
+        report.exception.is_some()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build the paper's system, run a real accelerator workload
+//! through the CapChecker, then watch it stop a buggy task.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cheri_hetero::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's prototype: a CHERI CPU and a Fine-mode CapChecker with
+    // 256 capability-table entries guarding all accelerator DMA.
+    let mut sys = HeteroSystem::new(SystemConfig::default());
+    sys.add_fus("gemm_ncubed", 2);
+
+    // --- A well-behaved task: 64x64 matrix multiply on the accelerator.
+    let bench = Benchmark::GemmNcubed;
+    let task = sys.allocate_task(
+        &TaskRequest::accel("gemm", bench.name())
+            .rw_buffers(bench.buffers().iter().map(|b| b.size)),
+    )?;
+    for (obj, image) in bench.init(42).iter().enumerate() {
+        sys.write_buffer(task, obj, 0, image)?;
+    }
+    println!(
+        "driver setup took {} cycles (capability imports over MMIO)",
+        sys.setup_cycles(task)?
+    );
+
+    let outcome = sys.run_accel_task(task, |eng| bench.kernel(eng))?;
+    println!("gemm completed: {}", outcome.completed());
+
+    // Read a result element back on the CPU (capability-checked).
+    let mut word = [0u8; 4];
+    sys.read_buffer(task, 2, 0, &mut word)?;
+    println!("C[0][0] = {}", f32::from_bits(u32::from_le_bytes(word)));
+    let report = sys.deallocate_task(task)?;
+    println!(
+        "deallocated {:?}: exception = {:?}\n",
+        report.name, report.exception
+    );
+
+    // --- A buggy task: same accelerator class, but its loop bound runs
+    // one past the end of its buffer (the classic CWE-787).
+    let buggy = sys.allocate_task(&TaskRequest::accel("buggy", "gemm_ncubed").rw_buffers([256]))?;
+    let outcome = sys.run_accel_task(buggy, |eng| {
+        for i in 0..=64 {
+            // 64 u32s fit; index 64 does not.
+            eng.store_u32(0, i, i as u32)?;
+        }
+        Ok(())
+    })?;
+    println!("buggy task completed: {}", outcome.completed());
+    if let Some(denial) = outcome.denial {
+        println!("CapChecker raised: {denial}");
+    }
+    let checker = sys.checker().expect("this system has a CapChecker");
+    println!("global exception flag: {}", checker.exception_flag());
+
+    let report = sys.deallocate_task(buggy)?;
+    println!(
+        "driver report: offending objects {:?}, buffers scrubbed: {}",
+        report.offending_objects, report.scrubbed
+    );
+    Ok(())
+}

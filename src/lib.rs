@@ -1,0 +1,69 @@
+//! # cheri-hetero — adaptive CHERI compartmentalization for heterogeneous accelerators
+//!
+//! A full-system reproduction of *"Adaptive CHERI Compartmentalization
+//! for Heterogeneous Accelerators"* (ISCA 2025) as a Rust architectural
+//! simulator. The paper's FPGA prototype — a CHERI RISC-V CPU, AXI
+//! interconnect, tagged memory, HLS-generated MachSuite accelerators, and
+//! the **CapChecker** guarding accelerator DMA — is rebuilt here so that
+//! every table and figure of the evaluation can be regenerated in
+//! software.
+//!
+//! This crate is a facade: it re-exports the subsystem crates and offers a
+//! [`prelude`] for the common types.
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`cheri`] | Capability model: monotonic derivation, 128-bit compressed format, provenance tree |
+//! | [`hetsim`] | Simulation substrate: tagged memory, bus, engines, timing models |
+//! | [`machsuite`] | The 19 MachSuite benchmarks with golden references and HLS profiles |
+//! | [`ioprotect`] | Baselines: IOPMP, IOMMU, sNPU-style checker |
+//! | [`capchecker`] | **The contribution**: the CapChecker, driver, and system assembly |
+//! | [`fpgamodel`] | Analytical area/power model calibrated to the paper |
+//! | [`threatbench`] | Executable CWE attacks and the Table 3 matrix |
+//!
+//! # Quick start
+//!
+//! ```
+//! use cheri_hetero::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sys = HeteroSystem::new(SystemConfig::default());
+//! sys.add_fus("gemm_ncubed", 1);
+//!
+//! let bench = Benchmark::GemmNcubed;
+//! let task = sys.allocate_task(
+//!     &TaskRequest::accel("gemm", bench.name())
+//!         .rw_buffers(bench.buffers().iter().map(|b| b.size)),
+//! )?;
+//! for (obj, image) in bench.init(42).iter().enumerate() {
+//!     sys.write_buffer(task, obj, 0, image)?;
+//! }
+//! let outcome = sys.run_accel_task(task, |eng| bench.kernel(eng))?;
+//! assert!(outcome.completed());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use capchecker;
+pub use cheri;
+pub use fpgamodel;
+pub use hetsim;
+pub use ioprotect;
+pub use machsuite;
+pub use threatbench;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use capchecker::{
+        BufferSpec, CapChecker, CheckerConfig, CheckerMode, HeteroSystem, ProtectionChoice,
+        SystemConfig, SystemVariant, TaskOutcome, TaskReport, TaskRequest,
+    };
+    pub use cheri::{
+        CapFault, Capability, CapabilityTree, CompressedCapability, ObjectKind, Perms,
+    };
+    pub use hetsim::{Access, AccessKind, Denial, Engine, ExecFault, TaggedMemory, TaskId};
+    pub use ioprotect::{Granularity, IoProtection};
+    pub use machsuite::Benchmark;
+}

@@ -1,0 +1,39 @@
+//! Smoke tests over every experiment report: each regeneration target
+//! produces output containing its key markers (full runs happen in the
+//! release binaries; see EXPERIMENTS.md).
+
+use capcheri_bench::{fig12, fig7, fig8, fig9, table1, table2, table3};
+use machsuite::Benchmark;
+
+#[test]
+fn table_reports_render() {
+    let t1 = table1::report();
+    assert!(t1.contains("Table 1") && t1.contains("Unforgeability"));
+
+    let t2 = table2::report();
+    assert!(t2.contains("Table 2") && t2.contains("backprop") && t2.contains("10432"));
+
+    let t3 = table3::report();
+    assert!(t3.contains("Table 3") && t3.contains("OB") && t3.contains("Fine"));
+}
+
+#[test]
+fn figure_rows_have_sane_units() {
+    let r = fig7::row(Benchmark::Aes);
+    assert!(r.cpu_cycles > r.accel_cycles, "aes accelerates");
+
+    let o = fig8::row(Benchmark::SortMerge);
+    assert!(o.perf_overhead >= 0.0 && o.perf_overhead < 0.2);
+    assert!(o.area_overhead > 0.0 && o.area_overhead < 0.5);
+
+    let e = fig12::row(Benchmark::Stencil3d);
+    // Two 64 KiB buffers: 16 pages each vs one capability each.
+    assert!(e.iommu_entries >= e.capchecker_entries * 5);
+}
+
+#[test]
+fn one_mixed_system_renders() {
+    let row = fig9::row(1);
+    assert_eq!(row.mix.len(), fig9::TASKS_PER_SYSTEM);
+    assert!(row.checked_cycles >= row.base_cycles);
+}

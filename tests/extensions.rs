@@ -1,0 +1,307 @@
+//! Integration tests for the beyond-the-paper extensions: dynamic buffer
+//! growth (future work §8) and the cache-backed CapChecker (§5.2.3).
+
+use cheri_hetero::capchecker::{CachedCheckerConfig, DriverError};
+use cheri_hetero::prelude::*;
+
+#[test]
+fn dynamic_buffer_growth_full_lifecycle() {
+    let mut sys = HeteroSystem::new(SystemConfig::default());
+    sys.add_fus("k", 1);
+    let task = sys
+        .allocate_task(&TaskRequest::accel("k0", "k").rw_buffers([128]))
+        .unwrap();
+    assert_eq!(sys.protection_entries(), 1);
+
+    // Before growth: object 1 does not exist for this task.
+    let outcome = sys
+        .run_accel_task(task, |eng| {
+            eng.store_u32(0, 100, 1)?; // past 128 bytes
+            Ok(())
+        })
+        .unwrap();
+    assert!(!outcome.completed());
+
+    let obj = sys.allocate_buffer(task, BufferSpec::rw(512)).unwrap();
+    assert_eq!(obj, 1);
+    assert_eq!(sys.protection_entries(), 2);
+
+    // The new buffer is fully usable and checked.
+    let outcome = sys
+        .run_accel_task(task, |eng| {
+            for i in 0..128 {
+                eng.store_u32(obj, i, i as u32)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+    assert!(outcome.completed());
+    // …but its bounds are real:
+    let outcome = sys
+        .run_accel_task(task, |eng| eng.load_u32(obj, 128).map(|_| ()))
+        .unwrap();
+    assert!(!outcome.completed());
+
+    // The provenance tree stays consistent and everything dies together.
+    assert!(sys.tree().audit().is_none());
+    sys.deallocate_task(task).unwrap();
+    assert_eq!(sys.protection_entries(), 0);
+}
+
+#[test]
+fn dynamic_growth_respects_permissions() {
+    let mut sys = HeteroSystem::new(SystemConfig::default());
+    sys.add_fus("k", 1);
+    let task = sys
+        .allocate_task(&TaskRequest::accel("k0", "k").rw_buffers([64]))
+        .unwrap();
+    let ro = sys.allocate_buffer(task, BufferSpec::ro(64)).unwrap();
+    let outcome = sys
+        .run_accel_task(task, |eng| eng.store_u32(ro, 0, 1))
+        .unwrap();
+    assert!(
+        !outcome.completed(),
+        "read-only dynamic buffer must refuse writes"
+    );
+}
+
+#[test]
+fn dynamic_growth_fails_cleanly_for_dead_tasks() {
+    let mut sys = HeteroSystem::new(SystemConfig::default());
+    sys.add_fus("k", 1);
+    let task = sys
+        .allocate_task(&TaskRequest::accel("k0", "k").rw_buffers([64]))
+        .unwrap();
+    sys.deallocate_task(task).unwrap();
+    assert!(matches!(
+        sys.allocate_buffer(task, BufferSpec::rw(64)),
+        Err(DriverError::UnknownTask(_))
+    ));
+}
+
+#[test]
+fn cached_checker_system_runs_workloads_with_identical_results() {
+    let bench = Benchmark::SortMerge;
+    let mut results = Vec::new();
+    for protection in [
+        ProtectionChoice::CapChecker(CheckerConfig::fine()),
+        ProtectionChoice::CachedCapChecker(CachedCheckerConfig::default()),
+    ] {
+        let mut sys = HeteroSystem::new(SystemConfig {
+            protection,
+            ..SystemConfig::default()
+        });
+        sys.add_fus(bench.name(), 1);
+        let id = sys
+            .allocate_task(
+                &TaskRequest::accel("s", bench.name())
+                    .rw_buffers(bench.buffers().iter().map(|b| b.size)),
+            )
+            .unwrap();
+        for (obj, image) in bench.init(5).iter().enumerate() {
+            sys.write_buffer(id, obj, 0, image).unwrap();
+        }
+        let outcome = sys.run_accel_task(id, |eng| bench.kernel(eng)).unwrap();
+        assert!(outcome.completed());
+        let mut data = vec![0u8; 8192];
+        sys.read_buffer(id, 0, 0, &mut data).unwrap();
+        results.push(data);
+    }
+    assert_eq!(results[0], results[1], "cached and fixed tables must agree");
+}
+
+#[test]
+fn cached_checker_never_stalls_on_capacity() {
+    // 60 tasks x 5 buffers = 300 capabilities: beyond the fixed table's
+    // 256 entries, trivially held by the memory-backed variant.
+    let mut sys = HeteroSystem::new(SystemConfig {
+        protection: ProtectionChoice::CachedCapChecker(CachedCheckerConfig::default()),
+        ..SystemConfig::default()
+    });
+    sys.add_fus("k", 60);
+    let mut tasks = Vec::new();
+    for i in 0..60 {
+        tasks.push(
+            sys.allocate_task(&TaskRequest::accel(format!("t{i}"), "k").rw_buffers([64; 5]))
+                .unwrap_or_else(|e| panic!("task {i} stalled: {e}")),
+        );
+    }
+    // Every task's every buffer is reachable.
+    for &t in &tasks {
+        let out = sys
+            .run_accel_task(t, |eng| {
+                for obj in 0..5 {
+                    eng.store_u32(obj, 0, 7)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert!(out.completed());
+    }
+    for t in tasks {
+        sys.deallocate_task(t).unwrap();
+    }
+}
+
+#[test]
+fn fixed_table_stalls_where_cached_does_not() {
+    // The same 300-capability load against the fixed 256-entry table
+    // stalls — the exact contrast the §5.2.3 cache design buys.
+    let mut sys = HeteroSystem::new(SystemConfig::default());
+    sys.add_fus("k", 60);
+    let mut stalled = false;
+    for i in 0..60 {
+        match sys.allocate_task(&TaskRequest::accel(format!("t{i}"), "k").rw_buffers([64; 5])) {
+            Ok(_) => {}
+            Err(DriverError::ProtectionTableFull(_)) => {
+                stalled = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(
+        stalled,
+        "256-entry table must run out before 300 capabilities"
+    );
+}
+
+#[test]
+fn revocation_sweep_kills_spilled_capabilities_on_dealloc() {
+    use cheri::Capability;
+    let mut sys = HeteroSystem::new(SystemConfig::default());
+    sys.add_fus("k", 1);
+    let task = sys
+        .allocate_task(&TaskRequest::accel("k0", "k").rw_buffers([256]))
+        .unwrap();
+    let base = sys.cpu_layout(task).unwrap().buffers[0].base;
+
+    // The CPU spills a capability to the task's buffer somewhere else in
+    // memory (a saved pointer), plus an unrelated one.
+    let spill_at = 0x8000;
+    let into_buffer = Capability::root().set_bounds(base, 256).unwrap();
+    let unrelated = Capability::root().set_bounds(0x4000, 64).unwrap();
+    sys.memory_mut()
+        .write_capability(spill_at, into_buffer.compress(), true)
+        .unwrap();
+    sys.memory_mut()
+        .write_capability(spill_at + 16, unrelated.compress(), true)
+        .unwrap();
+
+    let report = sys.deallocate_task(task).unwrap();
+    assert_eq!(
+        report.capabilities_revoked, 1,
+        "exactly the dangling capability dies"
+    );
+    assert!(
+        !sys.memory().tag(spill_at),
+        "the dangling pointer is revoked"
+    );
+    assert!(
+        sys.memory().tag(spill_at + 16),
+        "the unrelated capability survives"
+    );
+}
+
+#[test]
+fn revocation_sweep_can_be_disabled() {
+    use cheri::Capability;
+    let mut sys = HeteroSystem::new(SystemConfig {
+        revocation_sweep: false,
+        ..SystemConfig::default()
+    });
+    sys.add_fus("k", 1);
+    let task = sys
+        .allocate_task(&TaskRequest::accel("k0", "k").rw_buffers([256]))
+        .unwrap();
+    let base = sys.cpu_layout(task).unwrap().buffers[0].base;
+    let cap = Capability::root().set_bounds(base, 256).unwrap();
+    sys.memory_mut()
+        .write_capability(0x8000, cap.compress(), true)
+        .unwrap();
+    let report = sys.deallocate_task(task).unwrap();
+    assert_eq!(report.capabilities_revoked, 0);
+    assert!(
+        sys.memory().tag(0x8000),
+        "without the sweep, the dangling cap lingers"
+    );
+}
+
+#[test]
+fn guard_regions_turn_contiguous_overflows_into_faults() {
+    // §5.2.3's safeguard: without guards, two buffers of one task can end
+    // up physically adjacent, so a contiguous overflow in a task-granular
+    // mode silently hits the neighbour. Guards put unmapped space between.
+    use capchecker::CheckerMode;
+    let _ = CheckerMode::Coarse; // the mode this safeguard is aimed at
+    let coarse = ProtectionChoice::CapChecker(CheckerConfig::coarse());
+
+    // Without guards: buffers are back-to-back…
+    let mut tight = HeteroSystem::new(SystemConfig {
+        protection: coarse,
+        ..SystemConfig::default()
+    });
+    tight.add_fus("k", 1);
+    let t = tight
+        .allocate_task(&TaskRequest::accel("t", "k").rw_buffers([64, 64]))
+        .unwrap();
+    let l = tight.cpu_layout(t).unwrap();
+    assert_eq!(l.buffers[0].end(), l.buffers[1].base, "no guards: adjacent");
+
+    // …with guards, there is a moat no capability covers.
+    let mut guarded = HeteroSystem::new(SystemConfig {
+        protection: coarse,
+        guard_bytes: 256,
+        ..SystemConfig::default()
+    });
+    guarded.add_fus("k", 1);
+    let g = guarded
+        .allocate_task(&TaskRequest::accel("g", "k").rw_buffers([64, 64]))
+        .unwrap();
+    let gl = guarded.cpu_layout(g).unwrap();
+    assert!(
+        gl.buffers[1].base >= gl.buffers[0].end() + 256,
+        "guard moat present"
+    );
+
+    // A sequential overflow from buffer 0 faults in the moat under any
+    // checker mode (the address carries buffer 0's object bits, and the
+    // moat is outside buffer 0's capability).
+    let outcome = guarded
+        .run_accel_task(g, |eng| {
+            for i in 0..32 {
+                eng.store_u32(0, i, i as u32)?; // i = 16.. overflows
+            }
+            Ok(())
+        })
+        .unwrap();
+    assert!(!outcome.completed(), "the moat catches the runaway store");
+}
+
+#[test]
+fn sub_object_capabilities_protect_struct_members() {
+    // §6.2: "CHERI on the CPU is able to derive capabilities to
+    // sub-objects, e.g. shrunk to individual struct members, and if
+    // passed from the CPU the CapChecker can protect those equally well."
+    use cheri_hetero::hetsim::{Access, MasterId, ObjectId, TaskId};
+    use cheri_hetero::ioprotect::IoProtection;
+
+    let mut checker = CapChecker::new(CheckerConfig::fine());
+    // A 256-byte struct at 0x1000; the accelerator is delegated only the
+    // 32-byte member at offset 64.
+    let whole = Capability::root().set_bounds(0x1000, 256).unwrap();
+    let member = whole
+        .set_bounds(0x1040, 32)
+        .unwrap()
+        .and_perms(Perms::RW)
+        .unwrap();
+    checker.grant(TaskId(1), ObjectId(0), &member).unwrap();
+
+    let inside = Access::read(MasterId(1), TaskId(1), 0x1040, 32).with_object(ObjectId(0));
+    assert!(checker.check(&inside).is_ok());
+    // The rest of the *same struct* is out of reach.
+    let sibling_field = Access::read(MasterId(1), TaskId(1), 0x1000, 8).with_object(ObjectId(0));
+    assert!(checker.check(&sibling_field).is_err());
+    let tail = Access::read(MasterId(1), TaskId(1), 0x1060, 8).with_object(ObjectId(0));
+    assert!(checker.check(&tail).is_err());
+}

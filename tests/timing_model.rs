@@ -1,0 +1,94 @@
+//! Ground-truth check: the event-driven timing model used by every figure
+//! agrees with the cycle-accurate reference simulator on real benchmark
+//! traces (not just synthetic ones).
+
+use capchecker::{HeteroSystem, SystemVariant, TaskRequest};
+use hetsim::timing::{simulate_accel_system, AccelTask, AccelTimingConfig, BusConfig};
+use hetsim::validate::simulate_accel_system_cycle_accurate;
+use hetsim::Trace;
+use machsuite::Benchmark;
+
+fn protected_trace(bench: Benchmark) -> Trace {
+    let mut sys = HeteroSystem::new(SystemVariant::CheriCpuCheriAccel.config());
+    sys.add_fus(bench.name(), 1);
+    let id = sys
+        .allocate_task(
+            &TaskRequest::accel("t", bench.name())
+                .rw_buffers(bench.buffers().iter().map(|b| b.size)),
+        )
+        .expect("allocates");
+    for (obj, image) in bench.init(0x717).iter().enumerate() {
+        sys.write_buffer(id, obj, 0, image).expect("init");
+    }
+    let outcome = sys
+        .run_accel_task(id, |eng| bench.kernel(eng))
+        .expect("runs");
+    assert!(outcome.completed());
+    sys.trace(id).expect("live").expect("ran").clone()
+}
+
+#[test]
+fn event_model_matches_cycle_accurate_on_real_kernels() {
+    // Small-to-medium kernels (the cycle-accurate model steps every cycle,
+    // so the multi-hundred-thousand-cycle ones stay in the event model).
+    for bench in [
+        Benchmark::Aes,
+        Benchmark::MdKnn,
+        Benchmark::SpmvCrs,
+        Benchmark::FftTranspose,
+    ] {
+        let trace = protected_trace(bench);
+        let p = bench.profile();
+        let task = AccelTask {
+            trace: &trace,
+            cfg: AccelTimingConfig {
+                lanes: p.lanes,
+                compute_per_cycle: p.compute_per_cycle,
+                outstanding: p.outstanding,
+            },
+            start: 0,
+        };
+        let bus = BusConfig::default().with_checker(1);
+        let fast = simulate_accel_system(std::slice::from_ref(&task), &bus);
+        let exact = simulate_accel_system_cycle_accurate(&[task], &bus);
+        let rel =
+            (fast.makespan as f64 - exact.makespan as f64).abs() / exact.makespan.max(1) as f64;
+        assert!(
+            rel < 0.15,
+            "{bench}: event {} vs cycle-accurate {} ({:.1}% apart)",
+            fast.makespan,
+            exact.makespan,
+            rel * 100.0
+        );
+        assert_eq!(
+            fast.bus_beats, exact.bus_beats,
+            "{bench}: traffic must be identical"
+        );
+    }
+}
+
+#[test]
+fn checker_overhead_sign_agrees_between_models() {
+    let bench = Benchmark::MdKnn;
+    let trace = protected_trace(bench);
+    let p = bench.profile();
+    let mk_task = || AccelTask {
+        trace: &trace,
+        cfg: AccelTimingConfig {
+            lanes: p.lanes,
+            compute_per_cycle: p.compute_per_cycle,
+            outstanding: p.outstanding,
+        },
+        start: 0,
+    };
+    for latency in [0u64, 1, 4] {
+        let bus = BusConfig::default().with_checker(latency);
+        let fast = simulate_accel_system(&[mk_task()], &bus).makespan;
+        let exact = simulate_accel_system_cycle_accurate(&[mk_task()], &bus).makespan;
+        let base_fast = simulate_accel_system(&[mk_task()], &BusConfig::default()).makespan;
+        let base_exact =
+            simulate_accel_system_cycle_accurate(&[mk_task()], &BusConfig::default()).makespan;
+        assert!(fast >= base_fast);
+        assert!(exact >= base_exact);
+    }
+}
