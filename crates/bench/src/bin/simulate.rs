@@ -4,8 +4,14 @@
 //!
 //! ```text
 //! simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]
-//!          [--tasks N] [--seed S]
+//!          [--tasks N] [--seed S] [--json] [--trace-out <path>]
 //! ```
+//!
+//! `--json` replaces the table with a machine-readable report on the
+//! `capcheri.bench_report.v1` schema; `--trace-out` writes a Chrome
+//! trace-event file (load it at <https://ui.perfetto.dev>). Both are
+//! byte-deterministic for a fixed benchmark, variant, task count, and
+//! seed.
 //!
 //! Examples:
 //!
@@ -17,6 +23,7 @@
 use capchecker::SystemVariant;
 use capcheri_bench::runner;
 use machsuite::Benchmark;
+use obs::report::{reports_to_json, BenchReport};
 use std::process::ExitCode;
 
 struct Options {
@@ -24,13 +31,15 @@ struct Options {
     variant: SystemVariant,
     tasks: usize,
     seed: u64,
+    json: bool,
+    trace_out: Option<String>,
 }
 
 fn usage() -> String {
     let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
     format!(
         "usage: simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]\n\
-         \x20               [--tasks N] [--seed S]\n\n\
+         \x20               [--tasks N] [--seed S] [--json] [--trace-out FILE]\n\n\
          benchmarks: {}",
         names.join(", ")
     )
@@ -42,6 +51,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         variant: SystemVariant::CheriCpuCheriAccel,
         tasks: 1,
         seed: 0xC0DE,
+        json: false,
+        trace_out: None,
     };
     let mut it = args.iter();
     let first = it.next().ok_or_else(usage)?;
@@ -78,8 +89,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--json" => opts.json = true,
+            "--trace-out" => opts.trace_out = Some(value(&mut it)?),
             other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
         }
+    }
+    if opts.trace_out.is_some() && opts.benches.len() > 1 {
+        return Err("--trace-out needs a single benchmark (events from \
+                    several runs would share one file)"
+            .to_owned());
     }
     Ok(opts)
 }
@@ -93,21 +111,49 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "{:<14} {:>12} {:>8} {:>12} {:>10} {:>9}",
-        "benchmark", "variant", "tasks", "cycles", "setup", "bus util"
-    );
-    for bench in opts.benches {
-        let r = runner::run_benchmark(bench, opts.variant, opts.tasks, opts.seed);
+    let observed = opts.json || opts.trace_out.is_some();
+    if !opts.json {
         println!(
-            "{:<14} {:>12} {:>8} {:>12} {:>10} {:>8.1}%",
-            bench.name(),
-            r.variant.label(),
-            r.tasks,
-            r.cycles,
-            r.setup_cycles,
-            r.bus_utilization * 100.0
+            "{:<14} {:>12} {:>8} {:>12} {:>10} {:>9}",
+            "benchmark", "variant", "tasks", "cycles", "setup", "bus util"
         );
+    }
+    let mut reports = Vec::new();
+    for bench in opts.benches {
+        let r = if observed {
+            let run = runner::run_benchmark_observed(bench, opts.variant, opts.tasks, opts.seed);
+            if let Some(path) = &opts.trace_out {
+                let json = obs::chrome::chrome_trace_json(&run.events.sorted_by_cycle());
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            reports.push(BenchReport {
+                bench: bench.name().to_owned(),
+                variant: run.result.variant.label().to_owned(),
+                tasks: run.result.tasks,
+                seed: opts.seed,
+                metrics: run.metrics,
+            });
+            run.result
+        } else {
+            runner::run_benchmark(bench, opts.variant, opts.tasks, opts.seed)
+        };
+        if !opts.json {
+            println!(
+                "{:<14} {:>12} {:>8} {:>12} {:>10} {:>8.1}%",
+                bench.name(),
+                r.variant.label(),
+                r.tasks,
+                r.cycles,
+                r.setup_cycles,
+                r.bus_utilization * 100.0
+            );
+        }
+    }
+    if opts.json {
+        println!("{}", reports_to_json(&reports));
     }
     ExitCode::SUCCESS
 }

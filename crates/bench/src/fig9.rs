@@ -139,7 +139,15 @@ mod tests {
     fn one_mixed_system_has_modest_overhead() {
         let r = row(0);
         assert_eq!(r.mix.len(), TASKS_PER_SYSTEM);
-        assert!(r.overhead >= 0.0);
+        // The checker delays task starts, which reorders FCFS bus
+        // arbitration; for some drawn mixes that reshuffling finishes a
+        // trailing task a fraction of a percent *earlier*, so tolerate a
+        // small negative overhead.
+        assert!(
+            r.overhead > -0.005,
+            "mixed overhead {} unexpectedly negative",
+            pct(r.overhead)
+        );
         assert!(
             r.overhead < 0.15,
             "mixed overhead {} too large",

@@ -3,10 +3,12 @@
 
 use capchecker::{HeteroSystem, SystemVariant, TaskRequest};
 use hetsim::timing::{
-    simulate_accel_system, simulate_cpu, AccelTask, AccelTimingConfig, BusConfig, CpuTiming,
+    simulate_accel_system_traced, simulate_cpu_traced, AccelTask, AccelTimingConfig, BusConfig,
+    CpuTiming,
 };
 use hetsim::{Cycles, Trace};
 use machsuite::Benchmark;
+use obs::{NullTracer, Registry, SharedTracer, Snapshot, TraceBuffer, Tracer};
 
 /// Pipeline depth the CapChecker adds to each request in the prototype.
 pub const CHECKER_PIPELINE_LATENCY: Cycles = 1;
@@ -29,6 +31,19 @@ pub struct RunResult {
     pub bus_utilization: f64,
 }
 
+/// [`run_benchmark`] plus the full observability take: the metrics
+/// snapshot and the recorded event trace.
+#[derive(Clone, Debug)]
+pub struct ObservedRun {
+    /// The same result the untraced path produces (bit-identical cycles:
+    /// both paths share one implementation).
+    pub result: RunResult,
+    /// The frozen metrics registry for this run.
+    pub metrics: Snapshot,
+    /// Every event the run recorded (driver, checker, bus, L1 domains).
+    pub events: TraceBuffer,
+}
+
 /// Builds the system, executes the kernel(s) functionally through the
 /// protected path, and costs the recorded trace(s) under the variant's
 /// timing model.
@@ -44,16 +59,53 @@ pub fn run_benchmark(
     tasks: usize,
     seed: u64,
 ) -> RunResult {
+    run_inner(bench, variant, tasks, seed, None).0
+}
+
+/// [`run_benchmark`] with tracing and metrics collection attached. The
+/// cycle results are bit-identical to the untraced run — the two entry
+/// points share one code path that differs only in the tracer it passes.
+///
+/// # Panics
+///
+/// As [`run_benchmark`].
+#[must_use]
+pub fn run_benchmark_observed(
+    bench: Benchmark,
+    variant: SystemVariant,
+    tasks: usize,
+    seed: u64,
+) -> ObservedRun {
+    let tracer = SharedTracer::new();
+    let (result, metrics) = run_inner(bench, variant, tasks, seed, Some(tracer.clone()));
+    ObservedRun {
+        result,
+        metrics: metrics.expect("observed runs always produce a snapshot"),
+        events: tracer.take(),
+    }
+}
+
+fn run_inner(
+    bench: Benchmark,
+    variant: SystemVariant,
+    tasks: usize,
+    seed: u64,
+    observe: Option<SharedTracer>,
+) -> (RunResult, Option<Snapshot>) {
     let tasks = if variant.uses_accelerator() {
         tasks.max(1)
     } else {
         1
     };
     let mut sys = HeteroSystem::new(variant.config());
+    if let Some(t) = &observe {
+        sys.set_tracer(t.clone());
+    }
     sys.add_fus(bench.name(), tasks);
 
     let mut traces: Vec<Trace> = Vec::with_capacity(tasks);
     let mut setups: Vec<Cycles> = Vec::with_capacity(tasks);
+    let mut ids = Vec::with_capacity(tasks);
     for t in 0..tasks {
         let req = if variant.uses_accelerator() {
             TaskRequest::accel(format!("{bench}#{t}"), bench.name())
@@ -86,10 +138,21 @@ pub fn run_benchmark(
                 .expect("kernel ran")
                 .clone(),
         );
+        ids.push(id);
     }
 
+    // One timing code path for both entry points: the only difference is
+    // whether the tracer is a recording handle or the null sink.
+    let mut shared = observe.clone();
+    let mut null = NullTracer;
+    let tracer: &mut dyn Tracer = match shared.as_mut() {
+        Some(t) => t,
+        None => &mut null,
+    };
+
+    let mut registry = observe.as_ref().map(|_| Registry::new());
     let profile = bench.profile();
-    if variant.uses_accelerator() {
+    let result = if variant.uses_accelerator() {
         let bus = if variant == SystemVariant::CheriCpuCheriAccel {
             BusConfig::default().with_checker(CHECKER_PIPELINE_LATENCY)
         } else {
@@ -108,7 +171,18 @@ pub fn run_benchmark(
                 start: *start,
             })
             .collect();
-        let report = simulate_accel_system(&accel_tasks, &bus);
+        let report = simulate_accel_system_traced(&accel_tasks, &bus, tracer);
+        if let Some(reg) = registry.as_mut() {
+            reg.counter_add("bus.beats", report.bus_beats);
+            for cycles in &report.per_task {
+                reg.observe("task.cycles", *cycles);
+            }
+            // Accelerator runs bypass the CPU's L1, so the hit rate is the
+            // reference costing of the first task's trace on the default
+            // CPU model (side-effect-free: a NullTracer, no new events).
+            let l1 = simulate_cpu_traced(&traces[0], &CpuTiming::default(), &mut NullTracer);
+            add_l1_metrics(reg, l1.hits, l1.misses);
+        }
         RunResult {
             bench,
             variant,
@@ -127,7 +201,10 @@ pub fn run_benchmark(
         } else {
             timing
         };
-        let report = simulate_cpu(&traces[0], &timing);
+        let report = simulate_cpu_traced(&traces[0], &timing, tracer);
+        if let Some(reg) = registry.as_mut() {
+            add_l1_metrics(reg, report.hits, report.misses);
+        }
         RunResult {
             bench,
             variant,
@@ -136,7 +213,38 @@ pub fn run_benchmark(
             setup_cycles: setups[0],
             bus_utilization: 0.0,
         }
+    };
+
+    // Figure 6 ②: return every task through the driver's deallocation
+    // path (evictions, register clears, scrub). Cycles were already
+    // costed from the traces, so this cannot perturb the results.
+    for id in ids {
+        sys.deallocate_task(id).expect("task is live");
     }
+
+    let snapshot = registry.map(|mut reg| {
+        reg.counter_add("cycles", result.cycles);
+        reg.counter_add("setup_cycles", result.setup_cycles);
+        reg.gauge_set("bus_utilization", result.bus_utilization);
+        sys.export_metrics(&mut reg);
+        reg.absorb(&machsuite::stats::of_trace(bench, &traces[0]), "workload.");
+        reg.snapshot()
+    });
+    (result, snapshot)
+}
+
+fn add_l1_metrics(reg: &mut Registry, hits: u64, misses: u64) {
+    reg.counter_add("l1.hits", hits);
+    reg.counter_add("l1.misses", misses);
+    let total = hits + misses;
+    reg.gauge_set(
+        "l1.hit_rate",
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        },
+    );
 }
 
 /// Convenience: cycles for `bench` under `variant` with one task.

@@ -1,0 +1,95 @@
+//! Observability guarantees: traced runs cost exactly what untraced runs
+//! cost, and every export is byte-deterministic for a fixed seed.
+
+use capchecker::SystemVariant;
+use capcheri_bench::runner::{run_benchmark, run_benchmark_observed};
+use machsuite::Benchmark;
+use obs::chrome::chrome_trace_json;
+use obs::json::validate;
+
+#[test]
+fn observed_runs_match_plain_runs_bit_for_bit() {
+    for variant in SystemVariant::ALL {
+        let plain = run_benchmark(Benchmark::Aes, variant, 2, 7);
+        let observed = run_benchmark_observed(Benchmark::Aes, variant, 2, 7);
+        assert_eq!(plain.cycles, observed.result.cycles, "{variant}");
+        assert_eq!(
+            plain.setup_cycles, observed.result.setup_cycles,
+            "{variant}"
+        );
+        assert_eq!(
+            plain.bus_utilization.to_bits(),
+            observed.result.bus_utilization.to_bits(),
+            "{variant}"
+        );
+    }
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_artifacts() {
+    let a = run_benchmark_observed(Benchmark::Aes, SystemVariant::CheriCpuCheriAccel, 2, 42);
+    let b = run_benchmark_observed(Benchmark::Aes, SystemVariant::CheriCpuCheriAccel, 2, 42);
+    assert_eq!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "metrics snapshots must be byte-identical"
+    );
+    assert_eq!(
+        chrome_trace_json(&a.events.sorted_by_cycle()),
+        chrome_trace_json(&b.events.sorted_by_cycle()),
+        "chrome traces must be byte-identical"
+    );
+}
+
+#[test]
+fn chrome_export_is_well_formed_with_monotone_timestamps() {
+    let run = run_benchmark_observed(Benchmark::Aes, SystemVariant::CheriCpuCheriAccel, 2, 1);
+    assert!(!run.events.is_empty(), "a run must record events");
+    let json = chrome_trace_json(&run.events.sorted_by_cycle());
+    validate(&json).expect("chrome trace must be valid JSON");
+    let mut last = 0u64;
+    let mut seen = 0usize;
+    for rest in json.split("\"ts\":").skip(1) {
+        let ts = rest
+            .bytes()
+            .take_while(u8::is_ascii_digit)
+            .fold(0u64, |acc, b| acc * 10 + u64::from(b - b'0'));
+        assert!(ts >= last, "ts must be monotonically non-decreasing");
+        last = ts;
+        seen += 1;
+    }
+    assert!(seen > 0, "the trace must carry timestamped events");
+}
+
+#[test]
+fn report_carries_the_required_metrics() {
+    let run = run_benchmark_observed(Benchmark::Aes, SystemVariant::CheriCpuCheriAccel, 4, 3);
+    let m = &run.metrics;
+    assert_eq!(m.counter("cycles"), Some(run.result.cycles));
+    assert_eq!(m.counter("setup_cycles"), Some(run.result.setup_cycles));
+    assert!(m.gauge("bus_utilization").is_some());
+    assert!(m.gauge("l1.hit_rate").is_some());
+    assert!(m.counter("checker.install_stalls").is_some());
+    assert!(m.counter("checker.evictions").is_some());
+    assert!(
+        m.counter("checker.evictions").unwrap() > 0,
+        "deallocation must evict the tasks' capabilities"
+    );
+    let json = m.to_json();
+    validate(&json).expect("metrics JSON must be valid");
+}
+
+#[test]
+fn driver_lifecycle_appears_in_the_event_stream() {
+    use obs::EventKind;
+    let run = run_benchmark_observed(Benchmark::Aes, SystemVariant::CheriCpuCheriAccel, 1, 5);
+    let events = run.events.events();
+    let has = |pred: &dyn Fn(&EventKind) -> bool| events.iter().any(|e| pred(&e.kind));
+    assert!(has(&|k| matches!(k, EventKind::DriverPhase { .. })));
+    assert!(has(&|k| matches!(k, EventKind::MmioCapInstall { .. })));
+    assert!(has(&|k| matches!(k, EventKind::CheckerCheck { .. })));
+    assert!(has(&|k| matches!(k, EventKind::CheckerEvict { .. })));
+    assert!(has(&|k| matches!(k, EventKind::BusGrant { .. })));
+    assert!(has(&|k| matches!(k, EventKind::TaskStart { .. })));
+    assert!(has(&|k| matches!(k, EventKind::TaskEnd { .. })));
+}

@@ -45,29 +45,7 @@ impl Default for CachedCheckerConfig {
     }
 }
 
-/// Cache hit/miss counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Requests whose capability was cached.
-    pub hits: u64,
-    /// Requests that walked the in-memory table.
-    pub misses: u64,
-    /// Total added latency from misses, in cycles.
-    pub miss_cycles: Cycles,
-}
-
-impl CacheStats {
-    /// Miss ratio over all lookups (0 when idle).
-    #[must_use]
-    pub fn miss_ratio(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.misses as f64 / total as f64
-        }
-    }
-}
+pub use obs::stats::CacheStats;
 
 /// The cache-backed CapChecker.
 ///

@@ -61,18 +61,7 @@ pub mod regs {
     pub const STATUS_INVALID: u64 = 2;
 }
 
-/// Running counters of the checker's data path.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CheckerStats {
-    /// Requests granted.
-    pub granted: u64,
-    /// Requests refused.
-    pub denied: u64,
-    /// Capabilities installed over the lifetime of the checker.
-    pub installs: u64,
-    /// Install attempts that found the table full.
-    pub install_stalls: u64,
-}
+pub use obs::stats::CheckerStats;
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Staging {
@@ -256,7 +245,9 @@ impl IoProtection for CapChecker {
     }
 
     fn revoke_task(&mut self, task: TaskId) {
+        let before = self.table.occupied();
         self.table.evict_task(task);
+        self.stats.evictions += (before - self.table.occupied()) as u64;
     }
 
     fn check(&mut self, access: &Access) -> Result<(), Denial> {

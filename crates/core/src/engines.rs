@@ -15,6 +15,7 @@ use hetsim::{
     TaskId, TaskLayout, Trace, TraceOp,
 };
 use ioprotect::IoProtection;
+use obs::{EventKind, SharedTracer, Tracer};
 use std::fmt;
 
 /// How the accelerator's memory interface exposes object identity.
@@ -39,6 +40,10 @@ pub struct ProtectedEngine<'a> {
     provenance: Provenance,
     trace: Trace,
     first_denial: Option<Denial>,
+    /// Optional event sink; check events are stamped with the request
+    /// index (the functional path has no cycle clock of its own).
+    tracer: Option<SharedTracer>,
+    requests: u64,
 }
 
 impl<'a> ProtectedEngine<'a> {
@@ -63,7 +68,17 @@ impl<'a> ProtectedEngine<'a> {
             provenance,
             trace: Trace::new(),
             first_denial: None,
+            tracer: None,
+            requests: 0,
         }
+    }
+
+    /// Attaches an event sink; every vetted request is recorded as a
+    /// checker-check event (plus an exception event when refused).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> ProtectedEngine<'a> {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The recorded trace so far.
@@ -104,7 +119,29 @@ impl<'a> ProtectedEngine<'a> {
             kind,
             object,
         };
-        if let Err(denial) = self.protection.check(&access) {
+        let verdict = self.protection.check(&access);
+        if let Some(tracer) = self.tracer.as_mut() {
+            let at = self.requests;
+            tracer.record(
+                at,
+                EventKind::CheckerCheck {
+                    task: self.task.0,
+                    object: obj as u16,
+                    granted: verdict.is_ok(),
+                },
+            );
+            if verdict.is_err() {
+                tracer.record(
+                    at,
+                    EventKind::CheckerException {
+                        task: self.task.0,
+                        object: obj as u16,
+                    },
+                );
+            }
+        }
+        self.requests += 1;
+        if let Err(denial) = verdict {
             self.first_denial.get_or_insert(denial);
             return Err(ExecFault::Denied(denial));
         }

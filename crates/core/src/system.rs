@@ -30,6 +30,7 @@ use ioprotect::{
     GrantError, Granularity, IoProtection, Iommu, IommuConfig, Iopmp, IopmpConfig, NoProtection,
     Snpu,
 };
+use obs::{EventKind, Phase, Registry, SharedTracer, Tracer};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -415,6 +416,12 @@ pub struct HeteroSystem {
     fus: Vec<Fu>,
     tasks: BTreeMap<TaskId, TaskState>,
     next_task: u32,
+    /// Optional event sink for driver-level events. Driver events are
+    /// stamped with [`HeteroSystem::driver_clock`], the accumulated
+    /// setup-cycle clock (MMIO writes and capability installs), which is
+    /// a separate virtual time domain from the timing models' cycles.
+    tracer: Option<SharedTracer>,
+    driver_clock: Cycles,
 }
 
 impl HeteroSystem {
@@ -439,7 +446,30 @@ impl HeteroSystem {
             fus: Vec::new(),
             tasks: BTreeMap::new(),
             next_task: 1,
+            tracer: None,
+            driver_clock: 0,
             config,
+        }
+    }
+
+    /// Attaches an event sink. Driver lifecycle events (Figure 6 phases,
+    /// MMIO capability installs, checker stalls/evictions) are recorded
+    /// against the driver's setup-cycle clock; kernel runs started after
+    /// this call also record per-request checker-check events.
+    pub fn set_tracer(&mut self, tracer: SharedTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The driver's accumulated setup-cycle clock (advances with MMIO
+    /// writes and capability installs).
+    #[must_use]
+    pub fn driver_clock(&self) -> Cycles {
+        self.driver_clock
+    }
+
+    fn record(&mut self, kind: EventKind) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(self.driver_clock, kind);
         }
     }
 
@@ -554,6 +584,10 @@ impl HeteroSystem {
 
         let id = TaskId(self.next_task);
         self.next_task += 1;
+        self.record(EventKind::DriverPhase {
+            task: id.0,
+            phase: Phase::Allocate,
+        });
 
         // Derive the task and buffer capabilities in the provenance tree.
         let span = buffers
@@ -594,6 +628,12 @@ impl HeteroSystem {
         // capability interconnect's register map (Figure 6 ③).
         let mut setup_cycles = 0;
         if fu.is_some() {
+            let install_cost = match &self.protection {
+                Protection::Checker(c) => c.config().install_cycles(),
+                Protection::Baseline(_) => 0,
+            };
+            let mut tracer = self.tracer.clone();
+            let mut clock = self.driver_clock;
             for (i, cap) in caps.iter().enumerate() {
                 let result = match &mut self.protection {
                     Protection::Checker(checker) => {
@@ -601,7 +641,22 @@ impl HeteroSystem {
                     }
                     Protection::Baseline(b) => b.grant(id, ObjectId(i as u16), cap),
                 };
+                clock += install_cost + self.config.mmio_write_cycles;
+                if let Some(t) = tracer.as_mut() {
+                    t.record(
+                        clock,
+                        EventKind::MmioCapInstall {
+                            task: id.0,
+                            object: i as u16,
+                            ok: result.is_ok(),
+                        },
+                    );
+                    if matches!(result, Err(GrantError::TableFull)) {
+                        t.record(clock, EventKind::CheckerStall { task: id.0 });
+                    }
+                }
                 if let Err(e) = result {
+                    self.driver_clock = clock;
                     self.protection.as_dyn().revoke_task(id);
                     for (base, size) in padded {
                         self.alloc.free(base, size);
@@ -616,6 +671,7 @@ impl HeteroSystem {
             // Control registers: one pointer per buffer plus start/config.
             setup_cycles += (caps.len() as Cycles + 2) * self.config.mmio_write_cycles;
         }
+        self.driver_clock += setup_cycles;
 
         // Load the accelerator's base pointers into its control registers.
         if let Some(fu_idx) = fu {
@@ -769,6 +825,11 @@ impl HeteroSystem {
             _ => Provenance::PerObjectPorts,
         };
         let master = MasterId(fu as u16 + 1);
+        self.record(EventKind::DriverPhase {
+            task: task.0,
+            phase: Phase::Execute,
+        });
+        let tracer = self.tracer.clone();
         let mut eng = ProtectedEngine::new(
             &mut self.mem,
             self.protection.as_dyn(),
@@ -777,6 +838,9 @@ impl HeteroSystem {
             task,
             provenance,
         );
+        if let Some(t) = tracer {
+            eng = eng.with_tracer(t);
+        }
         let result = kernel(&mut eng);
         let denial = eng.first_denial();
         let trace = eng.into_trace();
@@ -801,6 +865,10 @@ impl HeteroSystem {
         F: FnOnce(&mut dyn Engine) -> Result<(), ExecFault>,
     {
         let layout = self.cpu_layout(task)?;
+        self.record(EventKind::DriverPhase {
+            task: task.0,
+            phase: Phase::Execute,
+        });
         let st = self
             .tasks
             .get(&task)
@@ -852,6 +920,11 @@ impl HeteroSystem {
             .remove(&task)
             .ok_or(DriverError::UnknownTask(task))?;
 
+        self.record(EventKind::DriverPhase {
+            task: task.0,
+            phase: Phase::Deallocate,
+        });
+
         // Trace the offending pointers before evicting the entries.
         let offending_objects = match &self.protection {
             Protection::Checker(c) => c.exception_entries(task).iter().map(|e| e.object).collect(),
@@ -859,7 +932,17 @@ impl HeteroSystem {
         };
 
         // Evict the task's capabilities so new tasks can be allocated.
+        let entries_before = self.protection.as_dyn_ref().entries_in_use();
         self.protection.as_dyn().revoke_task(task);
+        let evicted = entries_before.saturating_sub(self.protection.as_dyn_ref().entries_in_use());
+        // The EVICT_TASK register write is one MMIO transaction.
+        self.driver_clock += self.config.mmio_write_cycles;
+        if evicted > 0 {
+            self.record(EventKind::CheckerEvict {
+                task: task.0,
+                entries: evicted as u64,
+            });
+        }
         if let Protection::Checker(c) = &mut self.protection {
             if st.fault.is_some() {
                 c.clear_exception_flag();
@@ -959,6 +1042,19 @@ impl HeteroSystem {
                 }
                 Protection::Baseline(b) => b.grant(task, ObjectId(obj as u16), &cap),
             };
+            let install_cost = match &self.protection {
+                Protection::Checker(c) => c.config().install_cycles(),
+                Protection::Baseline(_) => 0,
+            };
+            self.driver_clock += install_cost + self.config.mmio_write_cycles;
+            self.record(EventKind::MmioCapInstall {
+                task: task.0,
+                object: obj as u16,
+                ok: result.is_ok(),
+            });
+            if matches!(result, Err(GrantError::TableFull)) {
+                self.record(EventKind::CheckerStall { task: task.0 });
+            }
             if let Err(e) = result {
                 self.tree.revoke(node);
                 self.alloc.free(base, reserve);
@@ -1007,6 +1103,20 @@ impl HeteroSystem {
     #[must_use]
     pub fn protection_granularity(&self) -> Granularity {
         self.protection.as_dyn_ref().granularity()
+    }
+
+    /// Exports the system's counters into a metrics registry: checker
+    /// data-path stats (under `checker.`, when a CapChecker guards the
+    /// path), protection-entry occupancy, and the driver clock.
+    pub fn export_metrics(&self, registry: &mut Registry) {
+        if let Protection::Checker(c) = &self.protection {
+            registry.absorb(&c.stats(), "checker.");
+        }
+        registry.gauge_set(
+            "protection.entries_in_use",
+            self.protection_entries() as f64,
+        );
+        registry.counter_add("driver.clock_cycles", self.driver_clock);
     }
 }
 

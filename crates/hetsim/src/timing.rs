@@ -17,6 +17,7 @@
 
 use crate::ids::Cycles;
 use crate::trace::{Trace, TraceOp};
+use obs::{EventKind, NullTracer, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
@@ -173,6 +174,14 @@ impl Cache {
 /// Costs `trace` on the sequential CPU model.
 #[must_use]
 pub fn simulate_cpu(trace: &Trace, cfg: &CpuTiming) -> CpuReport {
+    simulate_cpu_traced(trace, cfg, &mut NullTracer)
+}
+
+/// [`simulate_cpu`] with every L1 lookup recorded as a cycle-stamped
+/// event. The untraced entry point calls this with a [`NullTracer`], so
+/// the two paths are one code path and cycle counts cannot diverge.
+#[must_use]
+pub fn simulate_cpu_traced(trace: &Trace, cfg: &CpuTiming, tracer: &mut dyn Tracer) -> CpuReport {
     let mut cache = cfg.cache.map(Cache::new);
     let mut cycles = 0.0f64;
     let mut report = CpuReport::default();
@@ -182,17 +191,19 @@ pub fn simulate_cpu(trace: &Trace, cfg: &CpuTiming) -> CpuReport {
         cycles += ch.setup_cycles as f64;
     }
 
-    let mut access = |addr: u64, report: &mut CpuReport| -> f64 {
+    let mut access = |addr: u64, report: &mut CpuReport, at: f64, tracer: &mut dyn Tracer| -> f64 {
         report.mem_ops += 1;
         let mut cost = cfg.issue_cycles + per_op_extra;
         match cache.as_mut() {
             Some(c) => {
-                if c.access(addr) {
+                let hit = c.access(addr);
+                if hit {
                     report.hits += 1;
                 } else {
                     report.misses += 1;
                     cost += cfg.miss_latency as f64;
                 }
+                tracer.record(at as u64, EventKind::L1Access { hit });
             }
             None => cost += cfg.miss_latency as f64,
         }
@@ -204,7 +215,7 @@ pub fn simulate_cpu(trace: &Trace, cfg: &CpuTiming) -> CpuReport {
             TraceOp::Compute(units) => {
                 cycles += units as f64 * cfg.cycles_per_unit * compute_factor
             }
-            TraceOp::Mem { addr, .. } => cycles += access(addr, &mut report),
+            TraceOp::Mem { addr, .. } => cycles += access(addr, &mut report, cycles, tracer),
             TraceOp::Copy { src, dst, bytes } => {
                 // memcpy moves line-sized bursts: read a line's worth of
                 // chunks, then write them (avoids pathological src/dst
@@ -215,10 +226,10 @@ pub fn simulate_cpu(trace: &Trace, cfg: &CpuTiming) -> CpuReport {
                 while at < bytes {
                     let span = burst.min(bytes - at);
                     for i in (0..span).step_by(width as usize) {
-                        cycles += access(src + at + i, &mut report);
+                        cycles += access(src + at + i, &mut report, cycles, tracer);
                     }
                     for i in (0..span).step_by(width as usize) {
-                        cycles += access(dst + at + i, &mut report);
+                        cycles += access(dst + at + i, &mut report, cycles, tracer);
                     }
                     at += span;
                 }
@@ -380,6 +391,19 @@ pub(crate) fn distribute_over_lanes(trace: &Trace, n: usize) -> Vec<Vec<TraceOp>
 /// ready-time order (FCFS — the AXI arbiter of the prototype).
 #[must_use]
 pub fn simulate_accel_system(tasks: &[AccelTask<'_>], bus: &BusConfig) -> AccelReport {
+    simulate_accel_system_traced(tasks, bus, &mut NullTracer)
+}
+
+/// [`simulate_accel_system`] with task start/end and every bus grant
+/// recorded as cycle-stamped events. The untraced entry point calls this
+/// with a [`NullTracer`], so timing results cannot diverge between the
+/// traced and untraced paths.
+#[must_use]
+pub fn simulate_accel_system_traced(
+    tasks: &[AccelTask<'_>],
+    bus: &BusConfig,
+    tracer: &mut dyn Tracer,
+) -> AccelReport {
     let mut lanes: Vec<Lane> = Vec::new();
     for (t_idx, task) in tasks.iter().enumerate() {
         let n = task.cfg.lanes.max(1) as usize;
@@ -399,6 +423,12 @@ pub fn simulate_accel_system(tasks: &[AccelTask<'_>], bus: &BusConfig) -> AccelR
     let mut bus_free = 0.0f64;
     let mut bus_beats = 0u64;
     let mut per_task: Vec<Cycles> = tasks.iter().map(|t| t.start).collect();
+
+    if tracer.enabled() {
+        for (t_idx, task) in tasks.iter().enumerate() {
+            tracer.record(task.start, EventKind::TaskStart { task: t_idx as u32 });
+        }
+    }
 
     let mut heap: BinaryHeap<Reverse<(Time, usize)>> = lanes
         .iter()
@@ -433,12 +463,29 @@ pub fn simulate_accel_system(tasks: &[AccelTask<'_>], bus: &BusConfig) -> AccelR
                     ready = ready.max(lane.inflight.pop_front().expect("nonempty window"));
                 }
                 let grant = ready.max(bus_free);
+                if tracer.enabled() {
+                    tracer.record(
+                        grant as u64,
+                        EventKind::BusGrant {
+                            lane: li as u32,
+                            task: lane.task as u32,
+                            beats,
+                            waited: (grant - ready) as u64,
+                        },
+                    );
+                }
                 bus_free = grant + beats as f64;
                 bus_beats += beats;
                 lane.inflight.push_back(grant + beats as f64 + latency);
                 lane.time = grant + beats as f64;
                 heap.push(Reverse((Time(lane.time), li)));
             }
+        }
+    }
+
+    if tracer.enabled() {
+        for (t_idx, done) in per_task.iter().enumerate() {
+            tracer.record(*done, EventKind::TaskEnd { task: t_idx as u32 });
         }
     }
 

@@ -30,14 +30,7 @@ struct PagePerms {
     write: bool,
 }
 
-/// Page-table statistics: how often the IOTLB had to walk.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct IotlbStats {
-    /// Requests answered from the IOTLB.
-    pub hits: u64,
-    /// Requests that required a page-table walk.
-    pub misses: u64,
-}
+pub use obs::stats::IotlbStats;
 
 /// An IOMMU: device accesses are checked (and notionally translated)
 /// against per-task page mappings.

@@ -8,6 +8,7 @@
 use crate::kernels::check_against_reference;
 use crate::Benchmark;
 use hetsim::{Trace, TraceOp};
+use obs::{MetricSource, Registry};
 
 /// Summary of one benchmark's operation stream.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -26,6 +27,20 @@ pub struct WorkloadStats {
     pub copy_bytes: u64,
     /// Work units per byte moved — the roofline x-axis.
     pub arithmetic_intensity: f64,
+}
+
+impl MetricSource for WorkloadStats {
+    fn export_metrics(&self, registry: &mut Registry, prefix: &str) {
+        registry.counter_add(format!("{prefix}mem_ops"), self.mem_ops);
+        registry.counter_add(format!("{prefix}mem_bytes"), self.mem_bytes);
+        registry.counter_add(format!("{prefix}compute_units"), self.compute_units);
+        registry.counter_add(format!("{prefix}copy_bytes"), self.copy_bytes);
+        registry.gauge_set(format!("{prefix}write_fraction"), self.write_fraction);
+        registry.gauge_set(
+            format!("{prefix}arithmetic_intensity"),
+            self.arithmetic_intensity,
+        );
+    }
 }
 
 /// Characterizes `bench` by running it (and, as a side effect, verifying

@@ -1,0 +1,192 @@
+//! The event taxonomy: everything the simulator can say about itself.
+
+use std::fmt;
+
+/// A driver lifecycle phase — Figure 6's state machine, as seen by the
+/// trusted driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Allocation ①: FU search, buffer allocation, capability import.
+    Allocate,
+    /// Kernel execution through the protected path.
+    Execute,
+    /// Deallocation ②: eviction, register clearing, scrub, report.
+    Deallocate,
+}
+
+impl Phase {
+    /// Stable lowercase label used in exports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Allocate => "allocate",
+            Phase::Execute => "execute",
+            Phase::Deallocate => "deallocate",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What happened. Each variant carries only plain integers so events are
+/// `Copy` and recording costs one `Vec` push.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// The shared interconnect granted a lane's request.
+    BusGrant {
+        /// Global lane index in the simulated system.
+        lane: u32,
+        /// Owning task (input order of the timing model).
+        task: u32,
+        /// Beats the grant occupies the bus for.
+        beats: u64,
+        /// Cycles the request waited behind other traffic (contention).
+        waited: u64,
+    },
+    /// One L1 data-cache lookup on the CPU model.
+    L1Access {
+        /// `true` on hit, `false` on miss.
+        hit: bool,
+    },
+    /// A task began issuing in the timing model.
+    TaskStart {
+        /// Task index (input order of the timing model).
+        task: u32,
+    },
+    /// A task's last operation drained.
+    TaskEnd {
+        /// Task index (input order of the timing model).
+        task: u32,
+    },
+    /// The protection mechanism vetted one request.
+    CheckerCheck {
+        /// Requesting task ID.
+        task: u32,
+        /// Object the request claimed.
+        object: u16,
+        /// `true` when the request was granted.
+        granted: bool,
+    },
+    /// A capability install found the table full (the hardware stall).
+    CheckerStall {
+        /// Task whose install stalled.
+        task: u32,
+    },
+    /// A task's entries were evicted from the capability table.
+    CheckerEvict {
+        /// Task whose entries were evicted.
+        task: u32,
+        /// Entries freed.
+        entries: u64,
+    },
+    /// The checker latched an exception (denied request).
+    CheckerException {
+        /// Offending task ID.
+        task: u32,
+        /// Object whose entry carries the exception bit.
+        object: u16,
+    },
+    /// The driver staged a capability over the MMIO import interface.
+    MmioCapInstall {
+        /// Destination task ID.
+        task: u32,
+        /// Destination object slot.
+        object: u16,
+        /// `true` when the commit reported `STATUS_OK`.
+        ok: bool,
+    },
+    /// The driver crossed a Figure 6 phase boundary for a task.
+    DriverPhase {
+        /// Task ID.
+        task: u32,
+        /// The phase being entered.
+        phase: Phase,
+    },
+}
+
+impl EventKind {
+    /// Stable event name used as the Chrome trace event `name`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::BusGrant { .. } => "bus_grant",
+            EventKind::L1Access { hit: true } => "l1_hit",
+            EventKind::L1Access { hit: false } => "l1_miss",
+            EventKind::TaskStart { .. } => "task_start",
+            EventKind::TaskEnd { .. } => "task_end",
+            EventKind::CheckerCheck { .. } => "checker_check",
+            EventKind::CheckerStall { .. } => "checker_stall",
+            EventKind::CheckerEvict { .. } => "checker_evict",
+            EventKind::CheckerException { .. } => "checker_exception",
+            EventKind::MmioCapInstall { .. } => "mmio_cap_install",
+            EventKind::DriverPhase { .. } => "driver_phase",
+        }
+    }
+
+    /// The track (Chrome trace "thread") the event renders on.
+    #[must_use]
+    pub fn track(&self) -> &'static str {
+        match self {
+            EventKind::BusGrant { .. } => "bus",
+            EventKind::L1Access { .. } => "l1",
+            EventKind::TaskStart { .. } | EventKind::TaskEnd { .. } => "tasks",
+            EventKind::CheckerCheck { .. }
+            | EventKind::CheckerStall { .. }
+            | EventKind::CheckerEvict { .. }
+            | EventKind::CheckerException { .. } => "checker",
+            EventKind::MmioCapInstall { .. } | EventKind::DriverPhase { .. } => "driver",
+        }
+    }
+}
+
+/// One recorded event: a virtual-cycle timestamp plus what happened.
+///
+/// Cycle stamps are per-source virtual time: the timing models stamp with
+/// simulated cycles, the driver stamps with its accumulated setup-cycle
+/// clock, and the functional checker path stamps with its request index.
+/// Exports keep the sources on separate tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Virtual-cycle timestamp.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_tracks_are_stable() {
+        let e = EventKind::BusGrant {
+            lane: 0,
+            task: 0,
+            beats: 1,
+            waited: 0,
+        };
+        assert_eq!(e.name(), "bus_grant");
+        assert_eq!(e.track(), "bus");
+        assert_eq!(EventKind::L1Access { hit: true }.name(), "l1_hit");
+        assert_eq!(EventKind::L1Access { hit: false }.name(), "l1_miss");
+        assert_eq!(
+            EventKind::DriverPhase {
+                task: 1,
+                phase: Phase::Allocate
+            }
+            .track(),
+            "driver"
+        );
+    }
+
+    #[test]
+    fn phase_labels_match_figure6() {
+        assert_eq!(Phase::Allocate.label(), "allocate");
+        assert_eq!(Phase::Execute.to_string(), "execute");
+        assert_eq!(Phase::Deallocate.label(), "deallocate");
+    }
+}

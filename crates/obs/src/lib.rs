@@ -1,0 +1,53 @@
+//! # obs — observability for the simulator
+//!
+//! A zero-dependency, deterministic observability layer shared by every
+//! crate in the workspace:
+//!
+//! * **Event tracing** ([`Tracer`], [`Event`], [`EventKind`]): structured,
+//!   cycle-stamped events — bus grants and contention, L1 hits/misses,
+//!   checker checks/stalls/evictions/exceptions, MMIO capability installs,
+//!   and the driver's Figure 6 state transitions. The default
+//!   [`NullTracer`] makes the instrumented and uninstrumented paths one
+//!   and the same code, so enabling tracing can never change a cycle
+//!   count.
+//! * **Metrics** ([`Registry`], [`Snapshot`], [`MetricSource`]): named
+//!   counters, gauges, and power-of-two histograms over `BTreeMap`s, so
+//!   iteration (and therefore every exported byte) is deterministic.
+//! * **Exporters** ([`chrome`], [`json`], [`report`]): Chrome
+//!   trace-event JSON loadable in Perfetto (`ui.perfetto.dev`), with
+//!   virtual cycles as timestamps, and a flat JSON metrics report — both
+//!   hand-rolled, no serde.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::{EventKind, Registry, TraceBuffer, Tracer};
+//!
+//! let mut buf = TraceBuffer::new();
+//! buf.record(10, EventKind::TaskStart { task: 1 });
+//! buf.record(42, EventKind::BusGrant { lane: 0, task: 1, beats: 2, waited: 3 });
+//! let trace_json = obs::chrome::chrome_trace_json(buf.events());
+//! assert!(trace_json.contains("traceEvents"));
+//!
+//! let mut reg = Registry::new();
+//! reg.counter_add("checker.granted", 7);
+//! reg.gauge_set("bus_utilization", 0.5);
+//! let snapshot = reg.snapshot();
+//! assert_eq!(snapshot.counter("checker.granted"), Some(7));
+//! obs::json::validate(&snapshot.to_json()).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chrome;
+mod event;
+pub mod json;
+mod metrics;
+pub mod report;
+pub mod stats;
+mod tracer;
+
+pub use event::{Event, EventKind, Phase};
+pub use metrics::{HistogramSnapshot, MetricSource, Registry, Snapshot};
+pub use tracer::{NullTracer, SharedTracer, TraceBuffer, Tracer};

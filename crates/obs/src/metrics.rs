@@ -1,0 +1,249 @@
+//! The metrics registry: named counters, gauges, and power-of-two
+//! histograms, with deterministic iteration and a frozen [`Snapshot`].
+
+use crate::json::JsonWriter;
+use std::collections::BTreeMap;
+
+/// Anything that can dump its counters into a [`Registry`].
+///
+/// The four legacy stats structs ([`crate::stats`]) implement this, so
+/// one call per component replaces the ad-hoc per-struct plumbing.
+pub trait MetricSource {
+    /// Writes this source's metrics under `prefix` (e.g. `"checker."`).
+    fn export_metrics(&self, registry: &mut Registry, prefix: &str);
+}
+
+/// A power-of-two histogram: sample `v` lands in bucket `bit_length(v)`,
+/// so bucket 0 holds zeros, bucket 1 holds `1`, bucket 2 holds `2..=3`…
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; 65],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+
+    fn observe(&mut self, sample: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(sample);
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+        self.buckets[(64 - sample.leading_zeros()) as usize] += 1;
+    }
+}
+
+/// Frozen summary of one histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples observed.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+}
+
+/// The live registry components write into.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn counter_add(&mut self, name: impl Into<String>, delta: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&mut self, name: impl Into<String>, sample: u64) {
+        self.histograms
+            .entry(name.into())
+            .or_insert_with(Histogram::new)
+            .observe(sample);
+    }
+
+    /// Pulls everything a [`MetricSource`] has to say, under `prefix`.
+    pub fn absorb(&mut self, source: &dyn MetricSource, prefix: &str) {
+        source.export_metrics(self, prefix);
+    }
+
+    /// Freezes the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| {
+                    (
+                        name.clone(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: if h.count == 0 { 0 } else { h.min },
+                            max: h.max,
+                            mean: if h.count == 0 {
+                                0.0
+                            } else {
+                                h.sum as f64 / h.count as f64
+                            },
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A frozen, ordered view of a [`Registry`] — the one type every exporter
+/// and report consumes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges, by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries, by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The named counter's value, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The named gauge's value, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Flat JSON: `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    /// Key order is the `BTreeMap` order, so the output is byte-stable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (name, value) in &self.counters {
+            w.key(name);
+            w.u64(*value);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, value) in &self.gauges {
+            w.key(name);
+            w.f64(*value);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (name, h) in &self.histograms {
+            w.key(name);
+            w.begin_object();
+            w.key("count");
+            w.u64(h.count);
+            w.key("sum");
+            w.u64(h.sum);
+            w.key("min");
+            w.u64(h.min);
+            w.key("max");
+            w.u64(h.max);
+            w.key("mean");
+            w.f64(h.mean);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Registry::new();
+        r.counter_add("x", 2);
+        r.counter_add("x", 3);
+        assert_eq!(r.snapshot().counter("x"), Some(5));
+        assert_eq!(r.snapshot().counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_summarizes() {
+        let mut r = Registry::new();
+        for v in [0u64, 1, 3, 8] {
+            r.observe("lat", v);
+        }
+        let s = r.snapshot();
+        let h = s.histograms["lat"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (4, 12, 0, 8));
+        assert!((h.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_json_is_ordered_and_valid() {
+        let mut r = Registry::new();
+        r.counter_add("b", 1);
+        r.counter_add("a", 2);
+        r.gauge_set("util", 0.25);
+        r.observe("h", 4);
+        let json = r.snapshot().to_json();
+        crate::json::validate(&json).unwrap();
+        // BTreeMap order: "a" before "b".
+        assert!(json.find("\"a\"").unwrap() < json.find("\"b\"").unwrap());
+        assert_eq!(json, r.snapshot().to_json(), "byte-stable");
+    }
+
+    #[test]
+    fn absorb_uses_the_prefix() {
+        struct One;
+        impl MetricSource for One {
+            fn export_metrics(&self, registry: &mut Registry, prefix: &str) {
+                registry.counter_add(format!("{prefix}n"), 1);
+            }
+        }
+        let mut r = Registry::new();
+        r.absorb(&One, "one.");
+        assert_eq!(r.snapshot().counter("one.n"), Some(1));
+    }
+}

@@ -1,0 +1,144 @@
+//! Machine-readable run reports — the `bench_report.json` schema.
+
+use crate::json::JsonWriter;
+use crate::metrics::Snapshot;
+
+/// Schema identifier stamped into every report.
+pub const BENCH_REPORT_SCHEMA: &str = "capcheri.bench_report.v1";
+
+/// One benchmark run: its identity plus the frozen metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name (e.g. `gemm_ncubed`).
+    pub bench: String,
+    /// System-variant label (e.g. `ccpu+caccel`).
+    pub variant: String,
+    /// Concurrent accelerator tasks.
+    pub tasks: usize,
+    /// The run's seed.
+    pub seed: u64,
+    /// The metrics snapshot.
+    pub metrics: Snapshot,
+}
+
+impl BenchReport {
+    fn write(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("schema");
+        w.string(BENCH_REPORT_SCHEMA);
+        w.key("bench");
+        w.string(&self.bench);
+        w.key("variant");
+        w.string(&self.variant);
+        w.key("tasks");
+        w.u64(self.tasks as u64);
+        w.key("seed");
+        w.u64(self.seed);
+        w.key("metrics");
+        // Snapshot::to_json is already a complete, validated value; splice
+        // it by reparsing would be wasteful — rebuild inline instead.
+        w.begin_object();
+        w.key("counters");
+        w.begin_object();
+        for (name, value) in &self.metrics.counters {
+            w.key(name);
+            w.u64(*value);
+        }
+        w.end_object();
+        w.key("gauges");
+        w.begin_object();
+        for (name, value) in &self.metrics.gauges {
+            w.key(name);
+            w.f64(*value);
+        }
+        w.end_object();
+        w.key("histograms");
+        w.begin_object();
+        for (name, h) in &self.metrics.histograms {
+            w.key(name);
+            w.begin_object();
+            w.key("count");
+            w.u64(h.count);
+            w.key("sum");
+            w.u64(h.sum);
+            w.key("min");
+            w.u64(h.min);
+            w.key("max");
+            w.u64(h.max);
+            w.key("mean");
+            w.f64(h.mean);
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.end_object();
+    }
+
+    /// This report as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write(&mut w);
+        w.finish()
+    }
+}
+
+/// Several reports as one JSON document:
+/// `{"schema":"...","runs":[...]}`.
+#[must_use]
+pub fn reports_to_json(reports: &[BenchReport]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string(BENCH_REPORT_SCHEMA);
+    w.key("runs");
+    w.begin_array();
+    for r in reports {
+        r.write(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample() -> BenchReport {
+        let mut reg = Registry::new();
+        reg.counter_add("cycles", 1234);
+        reg.counter_add("setup_cycles", 310);
+        reg.gauge_set("bus_utilization", 0.42);
+        BenchReport {
+            bench: "gemm_ncubed".to_owned(),
+            variant: "ccpu+caccel".to_owned(),
+            tasks: 4,
+            seed: 0xC0DE,
+            metrics: reg.snapshot(),
+        }
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let json = sample().to_json();
+        crate::json::validate(&json).unwrap();
+        for needle in [
+            "\"schema\":\"capcheri.bench_report.v1\"",
+            "\"bench\":\"gemm_ncubed\"",
+            "\"cycles\":1234",
+            "\"bus_utilization\":0.42",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn multi_report_wraps_in_runs() {
+        let json = reports_to_json(&[sample(), sample()]);
+        crate::json::validate(&json).unwrap();
+        assert_eq!(json.matches("\"bench\":\"gemm_ncubed\"").count(), 2);
+        assert!(json.contains("\"runs\":["));
+    }
+}

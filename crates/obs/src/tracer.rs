@@ -1,0 +1,180 @@
+//! Tracer plumbing: the recording trait, the no-op default, the in-memory
+//! buffer, and a shared handle for multi-owner wiring.
+
+use crate::event::{Event, EventKind};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Anything that can receive cycle-stamped events.
+///
+/// Instrumented code paths call [`Tracer::record`] unconditionally; with
+/// the default [`NullTracer`] the call is a no-op the optimizer removes.
+/// Code that must *build* something expensive before recording can gate
+/// on [`Tracer::enabled`].
+pub trait Tracer {
+    /// Records one event at the given virtual cycle.
+    fn record(&mut self, cycle: u64, kind: EventKind);
+
+    /// Whether recorded events go anywhere.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default tracer: drops everything, costs nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    #[inline]
+    fn record(&mut self, _cycle: u64, _kind: EventKind) {}
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<T: Tracer + ?Sized> Tracer for &mut T {
+    fn record(&mut self, cycle: u64, kind: EventKind) {
+        (**self).record(cycle, kind);
+    }
+
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// An in-memory event buffer, in recording order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceBuffer {
+    events: Vec<Event>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> TraceBuffer {
+        TraceBuffer::default()
+    }
+
+    /// The recorded events, in recording order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events sorted by cycle; the sort is stable, so same-cycle
+    /// events keep their recording order (export determinism).
+    #[must_use]
+    pub fn sorted_by_cycle(&self) -> Vec<Event> {
+        let mut out = self.events.clone();
+        out.sort_by_key(|e| e.cycle);
+        out
+    }
+}
+
+impl Tracer for TraceBuffer {
+    fn record(&mut self, cycle: u64, kind: EventKind) {
+        self.events.push(Event { cycle, kind });
+    }
+}
+
+/// A cloneable handle to one [`TraceBuffer`], for wiring a single trace
+/// through components that cannot share a `&mut` (the system, its
+/// engines, and the timing models).
+#[derive(Clone, Debug, Default)]
+pub struct SharedTracer(Rc<RefCell<TraceBuffer>>);
+
+impl SharedTracer {
+    /// A handle to a fresh, empty buffer.
+    #[must_use]
+    pub fn new() -> SharedTracer {
+        SharedTracer::default()
+    }
+
+    /// Copies the buffer out (the handle keeps recording).
+    #[must_use]
+    pub fn snapshot(&self) -> TraceBuffer {
+        self.0.borrow().clone()
+    }
+
+    /// Takes the buffer, leaving the handle empty.
+    #[must_use]
+    pub fn take(&self) -> TraceBuffer {
+        std::mem::take(&mut self.0.borrow_mut())
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+}
+
+impl Tracer for SharedTracer {
+    fn record(&mut self, cycle: u64, kind: EventKind) {
+        self.0.borrow_mut().record(cycle, kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_tracer_is_disabled_and_silent() {
+        let mut t = NullTracer;
+        assert!(!t.enabled());
+        t.record(1, EventKind::TaskStart { task: 0 });
+    }
+
+    #[test]
+    fn buffer_records_in_order() {
+        let mut b = TraceBuffer::new();
+        b.record(5, EventKind::TaskStart { task: 0 });
+        b.record(2, EventKind::TaskEnd { task: 0 });
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.events()[0].cycle, 5);
+        let sorted = b.sorted_by_cycle();
+        assert_eq!(sorted[0].cycle, 2);
+    }
+
+    #[test]
+    fn shared_tracer_clones_see_one_buffer() {
+        let mut a = SharedTracer::new();
+        let b = a.clone();
+        a.record(1, EventKind::TaskStart { task: 7 });
+        assert_eq!(b.len(), 1);
+        let taken = b.take();
+        assert_eq!(taken.len(), 1);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut b = TraceBuffer::new();
+        let r: &mut dyn Tracer = &mut b;
+        assert!(r.enabled());
+        r.record(0, EventKind::L1Access { hit: true });
+        assert_eq!(b.len(), 1);
+    }
+}
