@@ -5,6 +5,7 @@
 //! ```text
 //! simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]
 //!          [--tasks N] [--seed S] [--json] [--trace-out <path>]
+//! simulate faults [--spec SPEC] [--tasks N] [--seed S] [--fus N] [--json]
 //! ```
 //!
 //! `--json` replaces the table with a machine-readable report on the
@@ -13,15 +14,25 @@
 //! byte-deterministic for a fixed benchmark, variant, task count, and
 //! seed.
 //!
+//! The `faults` subcommand runs a deterministic fault-injection campaign
+//! against the recovering driver. `--spec` takes a declarative fault
+//! spec — `none`, `all:<rate>`, or `kind:rate,...` over the kinds
+//! `tag-flip`, `rogue-dma`, `garbled-dma`, `engine-hang`, `bus-stall`,
+//! `dropped-beat`, `cache-corrupt` — and `--json` emits the
+//! `capcheri.fault_campaign.v1` report, byte-identical for a fixed spec,
+//! seed, and task count.
+//!
 //! Examples:
 //!
 //! ```text
 //! cargo run --release -p capcheri-bench --bin simulate -- gemm_ncubed --tasks 4
 //! cargo run --release -p capcheri-bench --bin simulate -- all --variant ccpu
+//! cargo run --release -p capcheri-bench --bin simulate -- faults --spec all:0.8 --tasks 64
 //! ```
 
-use capchecker::SystemVariant;
+use capchecker::{run_campaign, CampaignConfig, SystemVariant};
 use capcheri_bench::runner;
+use hetsim::FaultSpec;
 use machsuite::Benchmark;
 use obs::report::{reports_to_json, BenchReport};
 use std::process::ExitCode;
@@ -39,10 +50,91 @@ fn usage() -> String {
     let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
     format!(
         "usage: simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]\n\
-         \x20               [--tasks N] [--seed S] [--json] [--trace-out FILE]\n\n\
-         benchmarks: {}",
-        names.join(", ")
+         \x20               [--tasks N] [--seed S] [--json] [--trace-out FILE]\n\
+         \x20      simulate faults [--spec none|all:RATE|kind:RATE,...] [--tasks N] [--seed S]\n\
+         \x20               [--fus N] [--json]\n\n\
+         benchmarks: {}\n\
+         fault kinds: {}",
+        names.join(", "),
+        obs::FaultKind::ALL
+            .iter()
+            .map(|k| k.label())
+            .collect::<Vec<_>>()
+            .join(", ")
     )
+}
+
+fn parse_faults(args: &[String]) -> Result<(CampaignConfig, bool), String> {
+    let mut config = CampaignConfig::default();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--spec" => {
+                config.spec = value(&mut it)?
+                    .parse::<FaultSpec>()
+                    .map_err(|e| format!("--spec: {e}"))?;
+            }
+            "--tasks" => {
+                config.tasks = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--fus" => {
+                config.fus = value(&mut it)?.parse().map_err(|e| format!("--fus: {e}"))?;
+            }
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok((config, json))
+}
+
+fn run_faults(config: &CampaignConfig, json: bool) -> ExitCode {
+    let report = match run_campaign(config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "fault campaign: {} tasks, seed {:#x}, spec {:?}",
+        report.tasks, report.seed, report.spec
+    );
+    println!("{:<16} {:>8}", "injected", "count");
+    for (kind, n) in report.injected_counts() {
+        println!("{kind:<16} {n:>8}");
+    }
+    println!("{:<18} {:>8}", "resolution", "count");
+    for (res, n) in report.resolution_counts() {
+        println!("{res:<18} {n:>8}");
+    }
+    println!(
+        "degraded: {}  quarantined fus: {}  denied checks: {}  \
+         corruption detected: {}  driver cycles: {}  events: {}",
+        report.degraded,
+        report.quarantined_fus,
+        report.denied_checks,
+        report.corruption_detected,
+        report.driver_cycles,
+        report.events
+    );
+    ExitCode::SUCCESS
 }
 
 fn parse(args: &[String]) -> Result<Options, String> {
@@ -104,6 +196,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("faults") {
+        return match parse_faults(&args[1..]) {
+            Ok((config, json)) => run_faults(&config, json),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse(&args) {
         Ok(o) => o,
         Err(msg) => {

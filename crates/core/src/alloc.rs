@@ -5,7 +5,48 @@
 //! paper's driver). This is a first-fit free-list allocator over the
 //! simulated DRAM with coalescing on free.
 
+use std::error::Error;
 use std::fmt;
+
+/// A rejected [`HeapAllocator::free`]: the driver tried to return a block
+/// it does not own, or one that is already (partly) free. The whole
+/// temporal-safety story rests on the driver (§6.2 group c), so these are
+/// typed errors a caller must handle rather than silent corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// `[block, block + size)` is not contained in the managed range.
+    ForeignFree {
+        /// Base of the offending block.
+        block: u64,
+        /// Size of the offending block.
+        size: u64,
+    },
+    /// `[block, block + size)` overlaps a block that is already free.
+    DoubleFree {
+        /// Base of the offending block.
+        block: u64,
+        /// Size of the offending block.
+        size: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::ForeignFree { block, size } => {
+                write!(f, "freeing [{block:#x}, +{size:#x}) outside the heap")
+            }
+            AllocError::DoubleFree { block, size } => {
+                write!(
+                    f,
+                    "double free: [{block:#x}, +{size:#x}) overlaps a free block"
+                )
+            }
+        }
+    }
+}
+
+impl Error for AllocError {}
 
 /// A first-fit heap over a contiguous physical range.
 #[derive(Clone)]
@@ -74,30 +115,27 @@ impl HeapAllocator {
 
     /// Returns `[block, block + size)` to the heap, coalescing neighbours.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block lies outside the managed range or overlaps a
-    /// free block (double free) — driver bugs are loud here because the
-    /// whole temporal-safety story rests on the driver (§6.2 group c).
-    pub fn free(&mut self, block: u64, size: u64) {
+    /// [`AllocError::ForeignFree`] if the block lies outside the managed
+    /// range; [`AllocError::DoubleFree`] if it overlaps a free block. The
+    /// heap is unchanged on error.
+    pub fn free(&mut self, block: u64, size: u64) -> Result<(), AllocError> {
         let size = size.max(1);
-        assert!(
-            block >= self.base && block + size <= self.base + self.size,
-            "freeing outside the heap"
-        );
+        if block < self.base || block + size > self.base + self.size {
+            return Err(AllocError::ForeignFree { block, size });
+        }
         let pos = self.free.partition_point(|(b, _)| *b < block);
         if let Some(&(nb, _)) = self.free.get(pos) {
-            assert!(
-                block + size <= nb,
-                "double free or overlap with next free block"
-            );
+            if block + size > nb {
+                return Err(AllocError::DoubleFree { block, size });
+            }
         }
         if pos > 0 {
             let (pb, ps) = self.free[pos - 1];
-            assert!(
-                pb + ps <= block,
-                "double free or overlap with previous free block"
-            );
+            if pb + ps > block {
+                return Err(AllocError::DoubleFree { block, size });
+            }
         }
         self.free.insert(pos, (block, size));
         // Coalesce with next, then previous.
@@ -110,6 +148,7 @@ impl HeapAllocator {
             self.free[pos - 1].1 += self.free[pos].1;
             self.free.remove(pos);
         }
+        Ok(())
     }
 }
 
@@ -146,7 +185,7 @@ mod tests {
         assert!(h.alloc(300, 1).is_none());
         let a = h.alloc(256, 1).unwrap();
         assert!(h.alloc(1, 1).is_none());
-        h.free(a, 256);
+        h.free(a, 256).unwrap();
         assert!(h.alloc(1, 1).is_some());
     }
 
@@ -156,27 +195,48 @@ mod tests {
         let a = h.alloc(0x100, 1).unwrap();
         let b = h.alloc(0x100, 1).unwrap();
         let c = h.alloc(0x100, 1).unwrap();
-        h.free(a, 0x100);
-        h.free(c, 0x100);
-        h.free(b, 0x100);
+        h.free(a, 0x100).unwrap();
+        h.free(c, 0x100).unwrap();
+        h.free(b, 0x100).unwrap();
         assert_eq!(h.largest_free(), 0x400);
         assert_eq!(h.free_bytes(), 0x400);
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_a_typed_error() {
         let mut h = HeapAllocator::new(0, 0x400);
         let a = h.alloc(0x100, 1).unwrap();
-        h.free(a, 0x100);
-        h.free(a, 0x100);
+        h.free(a, 0x100).unwrap();
+        let before = h.free_bytes();
+        assert!(matches!(
+            h.free(a, 0x100),
+            Err(AllocError::DoubleFree { block, size: 0x100 }) if block == a
+        ));
+        // Partial overlap with a free neighbour is a double free too.
+        let b = h.alloc(0x100, 1).unwrap();
+        assert!(matches!(
+            h.free(b + 0x80, 0x100),
+            Err(AllocError::DoubleFree { .. })
+        ));
+        assert_eq!(h.free_bytes(), before - 0x100, "heap unchanged on error");
     }
 
     #[test]
-    #[should_panic(expected = "outside the heap")]
-    fn foreign_free_panics() {
+    fn foreign_free_is_a_typed_error() {
         let mut h = HeapAllocator::new(0x1000, 0x400);
-        h.free(0, 0x10);
+        assert!(matches!(
+            h.free(0, 0x10),
+            Err(AllocError::ForeignFree {
+                block: 0,
+                size: 0x10
+            })
+        ));
+        // Straddling the end of the range is foreign as well.
+        assert!(matches!(
+            h.free(0x13f0, 0x20),
+            Err(AllocError::ForeignFree { .. })
+        ));
+        assert_eq!(h.free_bytes(), 0x400);
     }
 
     #[test]
@@ -187,7 +247,7 @@ mod tests {
             blocks.push((h.alloc(512 + i % 64, 16).unwrap(), 512 + i % 64));
         }
         for (b, s) in blocks {
-            h.free(b, s);
+            h.free(b, s).unwrap();
         }
         assert_eq!(h.free_bytes(), 1 << 20);
     }

@@ -47,6 +47,43 @@ impl Default for CachedCheckerConfig {
 
 pub use obs::stats::CacheStats;
 
+/// One hardware cache line: the compressed capability image plus an
+/// integrity checksum over it.
+///
+/// Holding the image (not just the key) is what makes the line a real
+/// microarchitectural asset: a bit flip in the cache SRAM corrupts the
+/// capability the checker would enforce. The checksum is the detection
+/// story — verified on every hit, and a mismatch is a fail-stop denial
+/// ([`DenyReason::InvalidTag`]) that also signals the driver to degrade
+/// to the uncached design.
+#[derive(Clone, Copy, Debug)]
+struct CacheLine {
+    key: (TaskId, ObjectId),
+    /// Compressed 128-bit capability image, as the SRAM would hold it.
+    bits: u128,
+    checksum: u64,
+}
+
+fn line_checksum(key: (TaskId, ObjectId), bits: u128) -> u64 {
+    // FNV-1a over the key and image; any storage bit flip misses this
+    // unless the flip is itself crafted, which SRAM noise is not.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut step = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in key.0 .0.to_le_bytes() {
+        step(b);
+    }
+    for b in key.1 .0.to_le_bytes() {
+        step(b);
+    }
+    for b in bits.to_le_bytes() {
+        step(b);
+    }
+    h
+}
+
 /// The cache-backed CapChecker.
 ///
 /// # Examples
@@ -76,10 +113,12 @@ pub struct CachedCapChecker {
     /// The memory-resident table (driver-owned; unbounded by hardware).
     backing: HashMap<(TaskId, ObjectId), Capability>,
     /// LRU cache: most recently used at the back.
-    cache: Vec<(TaskId, ObjectId)>,
+    cache: Vec<CacheLine>,
     stats: CacheStats,
     exception_flag: bool,
     exceptions: Vec<(TaskId, ObjectId)>,
+    /// Fault-injection: bits to flip in the next inserted line's image.
+    poison_next: Option<u128>,
 }
 
 impl CachedCapChecker {
@@ -93,7 +132,14 @@ impl CachedCapChecker {
             stats: CacheStats::default(),
             exception_flag: false,
             exceptions: Vec::new(),
+            poison_next: None,
         }
+    }
+
+    /// The configuration this checker was built with.
+    #[must_use]
+    pub fn config(&self) -> &CachedCheckerConfig {
+        &self.config
     }
 
     /// Cache counters.
@@ -128,32 +174,96 @@ impl CachedCapChecker {
             + self.stats.miss_ratio() * self.config.miss_penalty as f64
     }
 
-    fn touch(&mut self, key: (TaskId, ObjectId)) -> bool {
-        if let Some(pos) = self.cache.iter().position(|k| *k == key) {
-            self.cache.remove(pos);
-            self.cache.push(key);
-            self.stats.hits += 1;
-            true
-        } else {
-            self.stats.misses += 1;
-            self.stats.miss_cycles += self.config.miss_penalty;
-            if self.cache.len() >= self.config.cache_entries.max(1) {
-                self.cache.remove(0);
+    /// Clears the global exception flag (the driver's post-report reset,
+    /// mirroring the fixed design's MMIO register write).
+    pub fn clear_exception_flag(&mut self) {
+        self.exception_flag = false;
+    }
+
+    /// Corruption detections so far (checksum failures on cache hits).
+    #[must_use]
+    pub fn corruption_detected(&self) -> u64 {
+        self.stats.corruption_detected
+    }
+
+    /// Fault-injection hook: flips `flip` bits in the image of the cache
+    /// line at `slot` (LRU order, 0 = coldest) without updating its
+    /// checksum. Returns `false` when no such line exists.
+    pub fn corrupt_cache_slot(&mut self, slot: usize, flip: u128) -> bool {
+        match self.cache.get_mut(slot) {
+            Some(line) if flip != 0 => {
+                line.bits ^= flip;
+                true
             }
-            self.cache.push(key);
-            false
+            _ => false,
         }
     }
 
+    /// Fault-injection hook: arms a bit flip that lands on the next line
+    /// inserted into the cache (useful when the cache is still cold).
+    pub fn corrupt_next_insert(&mut self, flip: u128) {
+        if flip != 0 {
+            self.poison_next = Some(flip);
+        }
+    }
+
+    /// Looks `key` up in the cache, maintaining LRU order and hit/miss
+    /// accounting. Returns the capability to enforce, or `Err(())` on an
+    /// integrity failure (the line is dropped; the caller fail-stops).
+    #[allow(clippy::result_unit_err)]
+    fn lookup(&mut self, key: (TaskId, ObjectId)) -> Result<Option<Capability>, ()> {
+        if let Some(pos) = self.cache.iter().position(|l| l.key == key) {
+            let line = self.cache.remove(pos);
+            if line.checksum != line_checksum(line.key, line.bits) {
+                // Integrity failure: fail stop. The corrupted line is
+                // dropped so it cannot be consulted again.
+                self.stats.corruption_detected += 1;
+                return Err(());
+            }
+            self.stats.hits += 1;
+            self.cache.push(line);
+            // Enforce the cached image, not the backing entry — that is
+            // what hardware would do.
+            return Ok(Some(line.bits_capability()));
+        }
+        let Some(cap) = self.backing.get(&key).copied() else {
+            return Ok(None);
+        };
+        self.stats.misses += 1;
+        self.stats.miss_cycles += self.config.miss_penalty;
+        if self.cache.len() >= self.config.cache_entries.max(1) {
+            self.cache.remove(0);
+        }
+        let mut bits = cap.compress().bits();
+        if let Some(flip) = self.poison_next.take() {
+            bits ^= flip;
+        }
+        self.cache.push(CacheLine {
+            key,
+            bits,
+            // Checksum over the *uncorrupted* image: a poisoned insert
+            // models the SRAM flipping after the line was written.
+            checksum: line_checksum(key, cap.compress().bits()),
+        });
+        Ok(Some(cap))
+    }
+
     fn deny(&mut self, access: &Access, object: Option<ObjectId>, reason: DenyReason) -> Denial {
-        self.exception_flag = true;
         if let Some(obj) = object {
             self.exceptions.push((access.task, obj));
         }
-        Denial {
-            access: *access,
+        crate::exception::latch_denial(
+            &mut self.exception_flag,
+            &mut self.stats.denied,
+            access,
             reason,
-        }
+        )
+    }
+}
+
+impl CacheLine {
+    fn bits_capability(self) -> Capability {
+        cheri::CompressedCapability::from_bits(self.bits).decode(true)
     }
 }
 
@@ -184,6 +294,8 @@ impl IoProtection for CachedCapChecker {
         }
         // The backing table is memory-resident: no capacity stall, ever.
         self.backing.insert((task, object), *cap);
+        // A re-grant must not leave a stale image in the cache.
+        self.cache.retain(|l| l.key != (task, object));
         Ok(())
     }
 
@@ -191,7 +303,7 @@ impl IoProtection for CachedCapChecker {
         self.backing.retain(|(t, _), _| *t != task);
         // Shoot down cached entries (the IOTLB-invalidate analogue; skip
         // this and you get the Thunderclap-style stale-window bug).
-        self.cache.retain(|(t, _)| *t != task);
+        self.cache.retain(|l| l.key.0 != task);
     }
 
     fn check(&mut self, access: &Access) -> Result<(), Denial> {
@@ -205,10 +317,11 @@ impl IoProtection for CachedCapChecker {
                 (ObjectId(obj), phys)
             }
         };
-        let Some(cap) = self.backing.get(&(access.task, object)).copied() else {
-            return Err(self.deny(access, Some(object), DenyReason::NoEntry));
+        let cap = match self.lookup((access.task, object)) {
+            Ok(Some(cap)) => cap,
+            Ok(None) => return Err(self.deny(access, Some(object), DenyReason::NoEntry)),
+            Err(()) => return Err(self.deny(access, Some(object), DenyReason::InvalidTag)),
         };
-        self.touch((access.task, object));
         let needed = match access.kind {
             AccessKind::Read => cheri::Perms::LOAD,
             AccessKind::Write => cheri::Perms::STORE,
@@ -345,6 +458,45 @@ mod tests {
             c.check(&read(1, 64, 1)).unwrap();
         }
         assert!(c.effective_latency() > 40.0);
+    }
+
+    #[test]
+    fn corrupted_line_is_a_fail_stop_denial() {
+        let mut c = CachedCapChecker::new(CachedCheckerConfig::default());
+        c.grant(TaskId(1), ObjectId(0), &rw(0x1000, 64)).unwrap();
+        c.check(&read(1, 0x1000, 0)).unwrap(); // warm the line
+        assert!(c.corrupt_cache_slot(0, 1 << 70));
+        let denial = c.check(&read(1, 0x1000, 0)).unwrap_err();
+        assert_eq!(denial.reason, DenyReason::InvalidTag);
+        assert_eq!(c.corruption_detected(), 1);
+        assert!(c.exception_flag());
+        // The corrupted line was dropped: the next check walks the table
+        // and succeeds again — security never depended on the cache.
+        assert!(c.check(&read(1, 0x1000, 0)).is_ok());
+        assert_eq!(c.cache_stats().denied, 1);
+    }
+
+    #[test]
+    fn poisoned_insert_is_caught_on_first_hit() {
+        let mut c = CachedCapChecker::new(CachedCheckerConfig::default());
+        c.grant(TaskId(1), ObjectId(0), &rw(0x1000, 64)).unwrap();
+        c.corrupt_next_insert(0xFF);
+        c.check(&read(1, 0x1000, 0)).unwrap(); // miss: inserts poisoned line
+        let denial = c.check(&read(1, 0x1000, 0)).unwrap_err();
+        assert_eq!(denial.reason, DenyReason::InvalidTag);
+        assert_eq!(c.corruption_detected(), 1);
+    }
+
+    #[test]
+    fn corrupt_hooks_are_noops_without_targets() {
+        let mut c = CachedCapChecker::new(CachedCheckerConfig::default());
+        assert!(!c.corrupt_cache_slot(0, 1)); // empty cache
+        c.grant(TaskId(1), ObjectId(0), &rw(0x1000, 64)).unwrap();
+        c.check(&read(1, 0x1000, 0)).unwrap();
+        assert!(!c.corrupt_cache_slot(5, 1)); // no such slot
+        assert!(!c.corrupt_cache_slot(0, 0)); // zero flip mask
+        assert!(c.check(&read(1, 0x1000, 0)).is_ok());
+        assert_eq!(c.corruption_detected(), 0);
     }
 
     #[test]

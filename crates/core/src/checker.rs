@@ -178,15 +178,15 @@ impl CapChecker {
     }
 
     fn deny(&mut self, access: &Access, object: Option<ObjectId>, reason: DenyReason) -> Denial {
-        self.exception_flag = true;
-        self.stats.denied += 1;
         if let Some(obj) = object {
             self.table.mark_exception(access.task, obj);
         }
-        Denial {
-            access: *access,
+        crate::exception::latch_denial(
+            &mut self.exception_flag,
+            &mut self.stats.denied,
+            access,
             reason,
-        }
+        )
     }
 
     fn resolve_object(&self, access: &Access) -> Result<(ObjectId, u64), DenyReason> {

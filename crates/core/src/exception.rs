@@ -1,0 +1,49 @@
+//! The one place a checker denial is latched and counted.
+//!
+//! Both checker variants ([`crate::CapChecker`] and
+//! [`crate::CachedCapChecker`]) used to carry their own copy of this
+//! logic; sharing it guarantees the exception flag and the `denied`
+//! counter can never drift between the two designs, which is what lets
+//! the benches compare their denial accounting head-to-head.
+
+use hetsim::{Access, Denial, DenyReason};
+
+/// Latches the checker-global exception flag, bumps the shared `denied`
+/// counter, and builds the [`Denial`] handed back over the bus.
+///
+/// Per-design bookkeeping (the fixed table's per-entry exception bits,
+/// the cached design's exception list) stays with the caller — only the
+/// accounting every design must agree on lives here.
+pub(crate) fn latch_denial(
+    exception_flag: &mut bool,
+    denied: &mut u64,
+    access: &Access,
+    reason: DenyReason,
+) -> Denial {
+    *exception_flag = true;
+    *denied += 1;
+    Denial {
+        access: *access,
+        reason,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::{MasterId, TaskId};
+
+    #[test]
+    fn latch_sets_flag_and_counts() {
+        let mut flag = false;
+        let mut denied = 0;
+        let access = Access::read(MasterId(1), TaskId(7), 0x1000, 8);
+        let d = latch_denial(&mut flag, &mut denied, &access, DenyReason::NoEntry);
+        assert!(flag);
+        assert_eq!(denied, 1);
+        assert_eq!(d.reason, DenyReason::NoEntry);
+        assert_eq!(d.access.task, TaskId(7));
+        latch_denial(&mut flag, &mut denied, &access, DenyReason::InvalidTag);
+        assert_eq!(denied, 2);
+    }
+}

@@ -55,15 +55,21 @@ pub mod cached;
 pub mod checker;
 mod config;
 mod engines;
+mod exception;
+pub mod recovery;
 pub mod revoke;
 mod system;
 mod table;
 
-pub use alloc::HeapAllocator;
+pub use alloc::{AllocError, HeapAllocator};
 pub use cached::{CacheStats, CachedCapChecker, CachedCheckerConfig};
 pub use checker::{CapChecker, CheckerStats};
 pub use config::{CheckerConfig, CheckerMode};
 pub use engines::{CpuEngine, ProtectedEngine, Provenance};
+pub use recovery::{
+    run_campaign, CampaignConfig, CampaignReport, RecoveryOutcome, RecoveryPolicy, Resolution,
+    TaskRecord, WatchdogEngine,
+};
 pub use revoke::{sweep_revoked, SweepReport};
 pub use system::{
     BufferSpec, DriverError, HeteroSystem, ProtectionChoice, SystemConfig, SystemVariant,

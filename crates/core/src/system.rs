@@ -17,7 +17,8 @@
 //!   registers so the next task inherits nothing, scrub buffer data if an
 //!   exception was raised, release the FU, and report the exception.
 
-use crate::alloc::HeapAllocator;
+use crate::alloc::{AllocError, HeapAllocator};
+use crate::cached::CachedCapChecker;
 use crate::checker::CapChecker;
 use crate::config::{CheckerConfig, CheckerMode};
 use crate::engines::{CpuEngine, ProtectedEngine, Provenance};
@@ -30,7 +31,7 @@ use ioprotect::{
     GrantError, Granularity, IoProtection, Iommu, IommuConfig, Iopmp, IopmpConfig, NoProtection,
     Snpu,
 };
-use obs::{EventKind, Phase, Registry, SharedTracer, Tracer};
+use obs::{EventKind, FaultKind, Phase, Registry, SharedTracer, Tracer};
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
@@ -189,6 +190,20 @@ pub enum DriverError {
     /// A kernel access left simulated physical memory (platform bug, not a
     /// protection outcome).
     Platform(hetsim::MemError),
+    /// The heap rejected a free — the driver's own bookkeeping is corrupt
+    /// (double free or foreign block), which must surface, not be ignored.
+    Alloc(AllocError),
+    /// The per-task watchdog expired: the engine hung (or spun past its
+    /// cycle budget) and the driver aborted the kernel.
+    WatchdogTimeout {
+        /// The aborted task.
+        task: TaskId,
+        /// Watchdog operation budget consumed at abort time.
+        ops: u64,
+    },
+    /// The engine reported a transient transfer fault (e.g. a dropped bus
+    /// beat). The driver may retry the task.
+    TransientFault(FaultKind),
 }
 
 impl fmt::Display for DriverError {
@@ -206,6 +221,11 @@ impl fmt::Display for DriverError {
             DriverError::NotAnAcceleratorTask(t) => write!(f, "{t} has no functional unit"),
             DriverError::HostAccessOutOfBounds => write!(f, "host access outside the buffer"),
             DriverError::Platform(e) => write!(f, "platform fault: {e}"),
+            DriverError::Alloc(e) => write!(f, "allocator rejected a free: {e}"),
+            DriverError::WatchdogTimeout { task, ops } => {
+                write!(f, "watchdog aborted {task} after {ops} engine ops")
+            }
+            DriverError::TransientFault(k) => write!(f, "transient engine fault: {k}"),
         }
     }
 }
@@ -215,6 +235,12 @@ impl Error for DriverError {}
 impl From<cheri::CapFault> for DriverError {
     fn from(e: cheri::CapFault) -> DriverError {
         DriverError::Capability(e)
+    }
+}
+
+impl From<AllocError> for DriverError {
+    fn from(e: AllocError) -> DriverError {
+        DriverError::Alloc(e)
     }
 }
 
@@ -332,6 +358,9 @@ struct Fu {
     class: String,
     busy: Option<TaskId>,
     regs: RegisterFile,
+    /// Set when the driver has given up on this engine (repeated watchdog
+    /// aborts); the allocator never hands it out again.
+    quarantined: bool,
 }
 
 #[derive(Debug)]
@@ -350,6 +379,7 @@ struct TaskState {
 
 enum Protection {
     Checker(CapChecker),
+    Cached(CachedCapChecker),
     Baseline(Box<dyn IoProtection>),
 }
 
@@ -357,6 +387,7 @@ impl Protection {
     fn as_dyn(&mut self) -> &mut dyn IoProtection {
         match self {
             Protection::Checker(c) => c,
+            Protection::Cached(c) => c,
             Protection::Baseline(b) => b.as_mut(),
         }
     }
@@ -364,6 +395,7 @@ impl Protection {
     fn as_dyn_ref(&self) -> &dyn IoProtection {
         match self {
             Protection::Checker(c) => c,
+            Protection::Cached(c) => c,
             Protection::Baseline(b) => b.as_ref(),
         }
     }
@@ -434,9 +466,7 @@ impl HeteroSystem {
             ProtectionChoice::Iommu(c) => Protection::Baseline(Box::new(Iommu::new(c))),
             ProtectionChoice::Snpu => Protection::Baseline(Box::new(Snpu::new())),
             ProtectionChoice::CapChecker(c) => Protection::Checker(CapChecker::new(c)),
-            ProtectionChoice::CachedCapChecker(c) => {
-                Protection::Baseline(Box::new(crate::cached::CachedCapChecker::new(c)))
-            }
+            ProtectionChoice::CachedCapChecker(c) => Protection::Cached(CachedCapChecker::new(c)),
         };
         HeteroSystem {
             mem: TaggedMemory::new(config.mem_size),
@@ -467,7 +497,7 @@ impl HeteroSystem {
         self.driver_clock
     }
 
-    fn record(&mut self, kind: EventKind) {
+    pub(crate) fn record(&mut self, kind: EventKind) {
         if let Some(t) = self.tracer.as_mut() {
             t.record(self.driver_clock, kind);
         }
@@ -481,6 +511,7 @@ impl HeteroSystem {
                 class: class.to_owned(),
                 busy: None,
                 regs: RegisterFile::new(32),
+                quarantined: false,
             });
         }
     }
@@ -507,7 +538,25 @@ impl HeteroSystem {
     pub fn checker(&self) -> Option<&CapChecker> {
         match &self.protection {
             Protection::Checker(c) => Some(c),
-            Protection::Baseline(_) => None,
+            Protection::Cached(_) | Protection::Baseline(_) => None,
+        }
+    }
+
+    /// The cache-backed CapChecker, if this system runs one.
+    #[must_use]
+    pub fn cached_checker(&self) -> Option<&CachedCapChecker> {
+        match &self.protection {
+            Protection::Cached(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the cache-backed CapChecker (the fault harness's
+    /// corruption hooks live on it).
+    pub fn cached_checker_mut(&mut self) -> Option<&mut CachedCapChecker> {
+        match &mut self.protection {
+            Protection::Cached(c) => Some(c),
+            _ => None,
         }
     }
 
@@ -549,7 +598,7 @@ impl HeteroSystem {
                 let idx = self
                     .fus
                     .iter()
-                    .position(|f| f.busy.is_none() && &f.class == class)
+                    .position(|f| f.busy.is_none() && !f.quarantined && &f.class == class)
                     .ok_or_else(|| DriverError::NoFreeFu {
                         class: class.clone(),
                     })?;
@@ -573,7 +622,9 @@ impl HeteroSystem {
                 }
                 None => {
                     for (base, size) in padded {
-                        self.alloc.free(base, size);
+                        self.alloc
+                            .free(base, size)
+                            .expect("rollback frees blocks just allocated");
                     }
                     return Err(DriverError::OutOfMemory {
                         requested: spec.size,
@@ -630,7 +681,7 @@ impl HeteroSystem {
         if fu.is_some() {
             let install_cost = match &self.protection {
                 Protection::Checker(c) => c.config().install_cycles(),
-                Protection::Baseline(_) => 0,
+                Protection::Cached(_) | Protection::Baseline(_) => 0,
             };
             let mut tracer = self.tracer.clone();
             let mut clock = self.driver_clock;
@@ -639,6 +690,7 @@ impl HeteroSystem {
                     Protection::Checker(checker) => {
                         install_over_mmio(checker, id, ObjectId(i as u16), cap)
                     }
+                    Protection::Cached(c) => c.grant(id, ObjectId(i as u16), cap),
                     Protection::Baseline(b) => b.grant(id, ObjectId(i as u16), cap),
                 };
                 clock += install_cost + self.config.mmio_write_cycles;
@@ -659,7 +711,9 @@ impl HeteroSystem {
                     self.driver_clock = clock;
                     self.protection.as_dyn().revoke_task(id);
                     for (base, size) in padded {
-                        self.alloc.free(base, size);
+                        self.alloc
+                            .free(base, size)
+                            .expect("rollback frees blocks just allocated");
                     }
                     self.tree.revoke(task_node);
                     return Err(DriverError::ProtectionTableFull(e));
@@ -707,6 +761,9 @@ impl HeteroSystem {
     fn coarse_config(&self) -> Option<CheckerConfig> {
         match &self.protection {
             Protection::Checker(c) if c.mode() == CheckerMode::Coarse => Some(*c.config()),
+            Protection::Cached(c) if c.config().base.mode == CheckerMode::Coarse => {
+                Some(c.config().base)
+            }
             _ => None,
         }
     }
@@ -822,6 +879,9 @@ impl HeteroSystem {
         let layout = self.accel_layout(task)?;
         let provenance = match &self.protection {
             Protection::Checker(c) if c.mode() == CheckerMode::Coarse => Provenance::Opaque,
+            Protection::Cached(c) if c.config().base.mode == CheckerMode::Coarse => {
+                Provenance::Opaque
+            }
             _ => Provenance::PerObjectPorts,
         };
         let master = MasterId(fu as u16 + 1);
@@ -852,6 +912,8 @@ impl HeteroSystem {
         match result {
             Ok(()) | Err(ExecFault::Denied(_)) => Ok(TaskOutcome { denial }),
             Err(ExecFault::Mem(e)) => Err(DriverError::Platform(e)),
+            Err(ExecFault::Hung { ops }) => Err(DriverError::WatchdogTimeout { task, ops }),
+            Err(ExecFault::Transient { kind }) => Err(DriverError::TransientFault(kind)),
         }
     }
 
@@ -885,7 +947,9 @@ impl HeteroSystem {
                 st.fault = Some(d);
                 Ok(TaskOutcome { denial: Some(d) })
             }
-            Err(ExecFault::Mem(_)) => Ok(TaskOutcome { denial: None }),
+            Err(ExecFault::Mem(_) | ExecFault::Hung { .. } | ExecFault::Transient { .. }) => {
+                Ok(TaskOutcome { denial: None })
+            }
         }
     }
 
@@ -928,6 +992,17 @@ impl HeteroSystem {
         // Trace the offending pointers before evicting the entries.
         let offending_objects = match &self.protection {
             Protection::Checker(c) => c.exception_entries(task).iter().map(|e| e.object).collect(),
+            Protection::Cached(c) => {
+                let mut objs: Vec<ObjectId> = c
+                    .exceptions()
+                    .iter()
+                    .filter(|(t, _)| *t == task)
+                    .map(|&(_, o)| o)
+                    .collect();
+                objs.sort_unstable_by_key(|o| o.0);
+                objs.dedup();
+                objs
+            }
             Protection::Baseline(_) => Vec::new(),
         };
 
@@ -943,10 +1018,8 @@ impl HeteroSystem {
                 entries: evicted as u64,
             });
         }
-        if let Protection::Checker(c) = &mut self.protection {
-            if st.fault.is_some() {
-                c.clear_exception_flag();
-            }
+        if st.fault.is_some() {
+            self.clear_protection_exception();
         }
 
         // Clear the control registers: the next task mapped onto this FU
@@ -964,7 +1037,7 @@ impl HeteroSystem {
             self.mem
                 .scrub(base, size)
                 .expect("task buffers are in range");
-            self.alloc.free(base, size);
+            self.alloc.free(base, size)?;
         }
         let scrub = true;
         // Revoke any capability the CPU spilled into memory that still
@@ -1030,7 +1103,9 @@ impl HeteroSystem {
         ) {
             Ok(n) => n,
             Err(e) => {
-                self.alloc.free(base, reserve);
+                self.alloc
+                    .free(base, reserve)
+                    .expect("rollback frees the block just allocated");
                 return Err(DriverError::Capability(e));
             }
         };
@@ -1040,11 +1115,12 @@ impl HeteroSystem {
                 Protection::Checker(checker) => {
                     install_over_mmio(checker, task, ObjectId(obj as u16), &cap)
                 }
+                Protection::Cached(c) => c.grant(task, ObjectId(obj as u16), &cap),
                 Protection::Baseline(b) => b.grant(task, ObjectId(obj as u16), &cap),
             };
             let install_cost = match &self.protection {
                 Protection::Checker(c) => c.config().install_cycles(),
-                Protection::Baseline(_) => 0,
+                Protection::Cached(_) | Protection::Baseline(_) => 0,
             };
             self.driver_clock += install_cost + self.config.mmio_write_cycles;
             self.record(EventKind::MmioCapInstall {
@@ -1057,14 +1133,16 @@ impl HeteroSystem {
             }
             if let Err(e) = result {
                 self.tree.revoke(node);
-                self.alloc.free(base, reserve);
+                self.alloc
+                    .free(base, reserve)
+                    .expect("rollback frees the block just allocated");
                 return Err(DriverError::ProtectionTableFull(e));
             }
         }
         let coarse = self.coarse_config();
         let install = match &self.protection {
             Protection::Checker(c) => c.config().install_cycles(),
-            Protection::Baseline(_) => 0,
+            Protection::Cached(_) | Protection::Baseline(_) => 0,
         };
         let st = self.tasks.get_mut(&task).expect("existence checked above");
         st.buffers.push((base, spec.size));
@@ -1109,14 +1187,122 @@ impl HeteroSystem {
     /// data-path stats (under `checker.`, when a CapChecker guards the
     /// path), protection-entry occupancy, and the driver clock.
     pub fn export_metrics(&self, registry: &mut Registry) {
-        if let Protection::Checker(c) = &self.protection {
-            registry.absorb(&c.stats(), "checker.");
+        match &self.protection {
+            Protection::Checker(c) => registry.absorb(&c.stats(), "checker."),
+            Protection::Cached(c) => registry.absorb(&c.cache_stats(), "cache."),
+            Protection::Baseline(_) => {}
         }
         registry.gauge_set(
             "protection.entries_in_use",
             self.protection_entries() as f64,
         );
         registry.counter_add("driver.clock_cycles", self.driver_clock);
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery surface (the fault harness's driver-level actions).
+    // ------------------------------------------------------------------
+
+    /// Advances the driver's setup-cycle clock — retry backoff is modelled
+    /// as driver time spent waiting, so campaign reports account for it.
+    pub fn advance_clock(&mut self, cycles: Cycles) {
+        self.driver_clock += cycles;
+    }
+
+    /// Clears the protection mechanism's global exception flag (the
+    /// driver's pre-retry reset; on real hardware an MMIO register write).
+    pub fn clear_protection_exception(&mut self) {
+        match &mut self.protection {
+            Protection::Checker(c) => c.clear_exception_flag(),
+            Protection::Cached(c) => c.clear_exception_flag(),
+            Protection::Baseline(_) => {}
+        }
+    }
+
+    /// Clears a task's latched exception so a retry that completes is
+    /// reported clean. The retry policy, not this method, decides whether
+    /// the denial stays latched (retries exhausted) or is cleared.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`].
+    pub fn clear_task_fault(&mut self, task: TaskId) -> Result<(), DriverError> {
+        let st = self
+            .tasks
+            .get_mut(&task)
+            .ok_or(DriverError::UnknownTask(task))?;
+        st.fault = None;
+        Ok(())
+    }
+
+    /// The functional-unit index a task runs on (`None` for CPU tasks).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`].
+    pub fn task_fu(&self, task: TaskId) -> Result<Option<usize>, DriverError> {
+        Ok(self.state(task)?.fu)
+    }
+
+    /// Quarantines a functional unit: the driver has decided the engine is
+    /// faulty (repeated watchdog aborts) and will never schedule on it
+    /// again. `faults` is the abort count that tripped the policy.
+    ///
+    /// Returns `false` when `fu` is out of range.
+    pub fn quarantine_fu(&mut self, fu: usize, faults: u32) -> bool {
+        if fu >= self.fus.len() {
+            return false;
+        }
+        if !self.fus[fu].quarantined {
+            self.fus[fu].quarantined = true;
+            self.record(EventKind::EngineQuarantined {
+                fu: fu as u32,
+                faults,
+            });
+        }
+        true
+    }
+
+    /// How many functional units the driver has quarantined.
+    #[must_use]
+    pub fn quarantined_fus(&self) -> usize {
+        self.fus.iter().filter(|f| f.quarantined).count()
+    }
+
+    /// Graceful degradation: swaps a cache-backed CapChecker whose SRAM
+    /// has proven unreliable (checksum failures on hits) for the uncached
+    /// fixed-table design, re-granting every live task's capabilities over
+    /// the MMIO capability interconnect. Security never depended on the
+    /// cache — the backing table held ground truth — so this trades the
+    /// miss-latency win for predictability, losing no protection.
+    ///
+    /// Returns `(corruption detections, capabilities re-granted)`, or
+    /// `None` when the protection is not the cached variant.
+    pub fn degrade_to_uncached(&mut self) -> Option<(u64, u64)> {
+        let (detections, base) = match &self.protection {
+            Protection::Cached(c) => (c.corruption_detected(), c.config().base),
+            _ => return None,
+        };
+        let mut checker = CapChecker::new(base);
+        let mut regranted = 0u64;
+        let install = base.install_cycles() + self.config.mmio_write_cycles;
+        for (&id, st) in &self.tasks {
+            if st.fu.is_none() {
+                continue;
+            }
+            for (i, cap) in st.caps.iter().enumerate() {
+                self.driver_clock += install;
+                if install_over_mmio(&mut checker, id, ObjectId(i as u16), cap).is_ok() {
+                    regranted += 1;
+                }
+            }
+        }
+        self.protection = Protection::Checker(checker);
+        self.record(EventKind::CheckerDegraded {
+            detections,
+            regranted,
+        });
+        Some((detections, regranted))
     }
 }
 
@@ -1321,6 +1507,59 @@ mod tests {
                 "size {size} (padded {padded}, align {align}) must be exact"
             );
         }
+    }
+
+    #[test]
+    fn cached_system_runs_and_degrades_losslessly() {
+        let mut sys = HeteroSystem::new(SystemConfig {
+            protection: ProtectionChoice::CachedCapChecker(Default::default()),
+            ..SystemConfig::default()
+        });
+        sys.add_fus("k", 1);
+        let t = sys
+            .allocate_task(&TaskRequest::accel("k0", "k").rw_buffers([256, 256]))
+            .unwrap();
+        let run = |sys: &mut HeteroSystem| {
+            sys.run_accel_task(t, |eng| {
+                eng.store_u32(0, 0, 7)?;
+                eng.load_u32(0, 0).map(|_| ())
+            })
+            .unwrap()
+        };
+        assert!(run(&mut sys).completed());
+        assert!(sys.cached_checker().is_some());
+        assert!(sys.checker().is_none());
+        let (detections, regranted) = sys.degrade_to_uncached().unwrap();
+        assert_eq!(detections, 0);
+        assert_eq!(regranted, 2, "both live capabilities re-granted");
+        assert!(sys.checker().is_some(), "now the fixed-table design");
+        assert!(sys.degrade_to_uncached().is_none(), "degrade is one-way");
+        // The task keeps running under the degraded protection, and an
+        // overflow is still caught — no protection was lost.
+        assert!(run(&mut sys).completed());
+        let out = sys
+            .run_accel_task(t, |eng| eng.load_u32(0, 4096).map(|_| ()))
+            .unwrap();
+        assert!(!out.completed());
+    }
+
+    #[test]
+    fn quarantined_fus_are_never_rescheduled() {
+        let mut sys = fine_system();
+        let a = sys.allocate_task(&two_buffer_request()).unwrap();
+        let fu_a = sys.task_fu(a).unwrap().unwrap();
+        assert!(sys.quarantine_fu(fu_a, 3));
+        assert_eq!(sys.quarantined_fus(), 1);
+        sys.deallocate_task(a).unwrap();
+        // The freed-but-quarantined FU is skipped: the next task lands on
+        // the other engine, and a third request finds nothing.
+        let b = sys.allocate_task(&two_buffer_request()).unwrap();
+        assert_ne!(sys.task_fu(b).unwrap().unwrap(), fu_a);
+        assert!(matches!(
+            sys.allocate_task(&two_buffer_request()),
+            Err(DriverError::NoFreeFu { .. })
+        ));
+        assert!(!sys.quarantine_fu(99, 1), "out of range is reported");
     }
 
     #[test]

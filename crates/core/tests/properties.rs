@@ -48,13 +48,13 @@ proptest! {
                 HeapOp::FreeOldest => {
                     if !live.is_empty() {
                         let (base, size) = live.remove(0);
-                        heap.free(base, size);
+                        prop_assert!(heap.free(base, size).is_ok(), "live block must free");
                     }
                 }
             }
         }
         for (base, size) in live {
-            heap.free(base, size);
+            prop_assert!(heap.free(base, size).is_ok(), "live block must free");
         }
         prop_assert_eq!(heap.free_bytes(), total);
         prop_assert_eq!(heap.largest_free(), total);

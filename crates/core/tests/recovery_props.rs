@@ -1,0 +1,114 @@
+//! Property-based tests for the fault-injection campaign and the driver's
+//! recovery invariants.
+//!
+//! The unit tests in `recovery.rs` pin each fault kind to its expected
+//! resolution; these properties sweep arbitrary seeds, rates, and pool
+//! shapes and assert the guarantees that must hold *everywhere*:
+//!
+//! 1. Every submitted task ends in exactly one resolution — a task is
+//!    never silently lost, whatever the fault mix.
+//! 2. An injected fault never resolves as a plain clean completion: the
+//!    driver either denied it, retried past it, quarantined the engine,
+//!    or the task starved behind quarantined engines.
+//! 3. Campaigns are reproducible: the same configuration yields a
+//!    byte-identical JSON report.
+
+use capchecker::{run_campaign, CampaignConfig, Resolution};
+use hetsim::{FaultKind, FaultSpec};
+use proptest::prelude::*;
+
+fn config(tasks: u32, seed: u64, rate: f64, fus: usize) -> CampaignConfig {
+    CampaignConfig {
+        tasks,
+        seed,
+        spec: FaultSpec::uniform(rate),
+        fus,
+        ..CampaignConfig::default()
+    }
+}
+
+proptest! {
+    /// Whatever is injected, every task resolves exactly once and no
+    /// faulted task slips through as a clean completion.
+    #[test]
+    fn no_task_is_lost_and_no_fault_goes_unnoticed(
+        seed in 0u64..1 << 32,
+        rate in 0.0f64..1.0,
+        tasks in 1u32..24,
+        fus in 2usize..6,
+    ) {
+        let report = run_campaign(&config(tasks, seed, rate, fus))
+            .expect("campaign never wedges the driver");
+        prop_assert_eq!(report.records.len(), tasks as usize,
+            "one record per submitted task");
+        for r in &report.records {
+            if r.injected.is_some() {
+                prop_assert!(r.resolution != Resolution::Completed,
+                    "task {} absorbed {:?} without the driver noticing",
+                    r.index, r.injected);
+            }
+            if r.resolution == Resolution::Denied {
+                prop_assert!(r.denial.is_some(),
+                    "a denied task must latch why (task {})", r.index);
+            }
+        }
+        prop_assert!(report.quarantined_fus <= fus as u64,
+            "cannot quarantine more engines than exist");
+    }
+
+    /// A campaign with no faults armed completes every task cleanly on the
+    /// first attempt — the harness itself adds no spurious failures.
+    #[test]
+    fn fault_free_campaigns_are_clean(seed in 0u64..1 << 32, tasks in 1u32..24) {
+        let report = run_campaign(&config(tasks, seed, 0.0, 4)).unwrap();
+        for r in &report.records {
+            prop_assert_eq!(r.resolution, Resolution::Completed);
+            prop_assert_eq!(r.attempts, 1);
+            prop_assert!(r.injected.is_none());
+        }
+        prop_assert!(!report.degraded);
+        prop_assert_eq!(report.quarantined_fus, 0);
+    }
+
+    /// The same configuration produces a byte-identical report: the whole
+    /// campaign — fault draws, recovery decisions, metrics — is a pure
+    /// function of (tasks, seed, spec, policy, pool).
+    #[test]
+    fn same_config_same_report_bytes(
+        seed in 0u64..1 << 32,
+        rate in 0.0f64..1.0,
+        tasks in 1u32..16,
+    ) {
+        let cfg = config(tasks, seed, rate, 4);
+        let a = run_campaign(&cfg).unwrap().to_json();
+        let b = run_campaign(&cfg).unwrap().to_json();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Single-kind storms: arming exactly one fault kind at full rate
+    /// still resolves every task, and kinds that persist across retries
+    /// never yield a `retried-completed` lie on the first attempt.
+    #[test]
+    fn single_kind_storms_resolve_every_task(
+        seed in 0u64..1 << 32,
+        kind_index in 0usize..FaultKind::ALL.len(),
+    ) {
+        let kind = FaultKind::ALL[kind_index];
+        let mut spec = FaultSpec::none();
+        spec.set(kind, 1.0);
+        let cfg = CampaignConfig {
+            tasks: 8,
+            seed,
+            spec,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg).unwrap();
+        prop_assert_eq!(report.records.len(), 8);
+        for r in &report.records {
+            if r.resolution == Resolution::RetriedCompleted {
+                prop_assert!(r.attempts > 1,
+                    "retried-completed implies more than one attempt");
+            }
+        }
+    }
+}

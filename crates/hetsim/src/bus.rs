@@ -10,6 +10,55 @@ use cheri::CapFault;
 use std::error::Error;
 use std::fmt;
 
+/// Deterministic interconnect fault model: periodic grant stalls (a flaky
+/// arbiter withholding the bus) and dropped beats (transfers that must be
+/// retransmitted). Counter-based, not random, so a timing run with faults
+/// armed is exactly reproducible — the fault campaign's requirement.
+///
+/// All-zero (the default) means a healthy bus, and the timing models are
+/// bit-for-bit unchanged from the pre-fault code in that case.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BusFaultConfig {
+    /// Every `stall_every`-th grant is withheld (0 = never).
+    pub stall_every: u64,
+    /// Extra cycles a withheld grant waits.
+    pub stall_cycles: u64,
+    /// Every `drop_every`-th transfer loses its beats and retransmits,
+    /// doubling its bus occupancy (0 = never).
+    pub drop_every: u64,
+}
+
+impl BusFaultConfig {
+    /// A healthy bus (no stalls, no drops).
+    #[must_use]
+    pub fn healthy() -> BusFaultConfig {
+        BusFaultConfig::default()
+    }
+
+    /// `true` when any fault is armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.stall_every > 0 || self.drop_every > 0
+    }
+
+    /// Whether grant number `n` (1-based) is stalled, and for how long.
+    #[must_use]
+    pub fn stall_for(&self, n: u64) -> u64 {
+        if self.stall_every > 0 && n.is_multiple_of(self.stall_every) {
+            self.stall_cycles
+        } else {
+            0
+        }
+    }
+
+    /// Whether transfer number `n` (1-based) drops its beats and must
+    /// retransmit.
+    #[must_use]
+    pub fn drops(&self, n: u64) -> bool {
+        self.drop_every > 0 && n.is_multiple_of(self.drop_every)
+    }
+}
+
 /// Whether a request reads or writes memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AccessKind {

@@ -19,6 +19,18 @@ pub enum ExecFault {
     Denied(Denial),
     /// The access left simulated physical memory.
     Mem(MemError),
+    /// The engine stopped making progress and a watchdog expired. `ops`
+    /// is the operation budget the task had burned when it was aborted.
+    Hung {
+        /// Watchdog operation budget consumed at abort time.
+        ops: u64,
+    },
+    /// A transient interconnect fault (for example a dropped beat): the
+    /// transfer aborted cleanly and a retry is expected to succeed.
+    Transient {
+        /// Which fault aborted the transfer.
+        kind: obs::FaultKind,
+    },
 }
 
 impl fmt::Display for ExecFault {
@@ -26,6 +38,8 @@ impl fmt::Display for ExecFault {
         match self {
             ExecFault::Denied(d) => write!(f, "{d}"),
             ExecFault::Mem(e) => write!(f, "{e}"),
+            ExecFault::Hung { ops } => write!(f, "engine hung (watchdog expired after {ops} ops)"),
+            ExecFault::Transient { kind } => write!(f, "transient fault: {kind}"),
         }
     }
 }

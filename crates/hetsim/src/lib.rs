@@ -43,6 +43,7 @@
 
 mod bus;
 mod engine;
+pub mod fault;
 mod ids;
 mod memory;
 pub mod mmio;
@@ -50,8 +51,9 @@ pub mod timing;
 mod trace;
 pub mod validate;
 
-pub use bus::{Access, AccessKind, Denial, DenyReason};
+pub use bus::{Access, AccessKind, BusFaultConfig, Denial, DenyReason};
 pub use engine::{BufferRegion, DirectEngine, Engine, ExecFault, TaskLayout};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultyEngine, InjectedFault};
 pub use ids::{Cycles, FuId, MasterId, ObjectId, TaskId};
 pub use memory::{MemError, TaggedMemory};
 pub use trace::{Trace, TraceOp};

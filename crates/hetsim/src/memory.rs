@@ -210,6 +210,23 @@ impl TaggedMemory {
             .unwrap_or(false)
     }
 
+    /// Fault-injection hook: forces the tag bit covering `addr`'s granule
+    /// without going through the capability-aware store path, returning
+    /// the previous value. This is how the fault harness models a bit flip
+    /// in the shadow tag storage — no architectural operation can do this.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if `addr` is outside physical memory.
+    pub fn set_tag_raw(&mut self, addr: u64, value: bool) -> Result<bool, MemError> {
+        let granule = (addr / CAP_SIZE_BYTES) as usize;
+        let tag = self
+            .tags
+            .get_mut(granule)
+            .ok_or(MemError::OutOfRange { addr, len: 1 })?;
+        Ok(std::mem::replace(tag, value))
+    }
+
     /// Clears every tag whose granule intersects `[addr, addr + len)`.
     pub fn clear_tags(&mut self, addr: u64, len: u64) {
         if len == 0 {
@@ -347,6 +364,18 @@ mod tests {
         mem.read_bytes(0x100, &mut buf).unwrap();
         assert!(buf.iter().all(|b| *b == 0));
         assert_eq!(mem.tag_count(), 0);
+    }
+
+    #[test]
+    fn raw_tag_flips_bypass_the_store_path() {
+        let mut mem = TaggedMemory::new(1024);
+        assert!(!mem.tag(0x40));
+        assert_eq!(mem.set_tag_raw(0x44, true), Ok(false)); // mid-granule addr
+        assert!(mem.tag(0x40), "granule tag forged");
+        assert_eq!(mem.tag_count(), 1);
+        assert_eq!(mem.set_tag_raw(0x40, false), Ok(true));
+        assert_eq!(mem.tag_count(), 0);
+        assert!(mem.set_tag_raw(1 << 20, true).is_err());
     }
 
     #[test]

@@ -276,6 +276,8 @@ pub struct BusConfig {
     pub mem_latency: Cycles,
     /// Extra pipelined latency added by a checker on the path (0 = none).
     pub checker_latency: Cycles,
+    /// Deterministic interconnect faults (default: healthy).
+    pub faults: crate::bus::BusFaultConfig,
 }
 
 impl Default for BusConfig {
@@ -284,6 +286,7 @@ impl Default for BusConfig {
             beat_bytes: 8,
             mem_latency: 30,
             checker_latency: 0,
+            faults: crate::bus::BusFaultConfig::healthy(),
         }
     }
 }
@@ -293,6 +296,13 @@ impl BusConfig {
     #[must_use]
     pub fn with_checker(mut self, latency: Cycles) -> BusConfig {
         self.checker_latency = latency;
+        self
+    }
+
+    /// The same bus with an interconnect fault model armed.
+    #[must_use]
+    pub fn with_faults(mut self, faults: crate::bus::BusFaultConfig) -> BusConfig {
+        self.faults = faults;
         self
     }
 
@@ -422,6 +432,7 @@ pub fn simulate_accel_system_traced(
     let latency = (bus.mem_latency + bus.checker_latency) as f64;
     let mut bus_free = 0.0f64;
     let mut bus_beats = 0u64;
+    let mut grants = 0u64;
     let mut per_task: Vec<Cycles> = tasks.iter().map(|t| t.start).collect();
 
     if tracer.enabled() {
@@ -451,18 +462,26 @@ pub fn simulate_accel_system_traced(
                 per_task[lane.task] = per_task[lane.task].max(done);
             }
             Some(&op) => {
-                let beats = match op {
+                let mut beats = match op {
                     TraceOp::Mem { bytes, .. } => bus.beats(u64::from(bytes)),
                     TraceOp::Copy { bytes, .. } => 2 * bus.beats(bytes),
                     TraceOp::Compute(_) => unreachable!("compute handled above"),
                 };
                 lane.next += 1;
+                grants += 1;
+                // Interconnect faults: a dropped transfer retransmits
+                // (double occupancy); a stalled grant waits out the
+                // arbiter. Both are counter-periodic, so reproducible.
+                if bus.faults.drops(grants) {
+                    beats *= 2;
+                }
+                let stall = bus.faults.stall_for(grants) as f64;
                 let window = lane.cfg.outstanding.max(1) as usize;
                 let mut ready = lane.time;
                 if lane.inflight.len() >= window {
                     ready = ready.max(lane.inflight.pop_front().expect("nonempty window"));
                 }
-                let grant = ready.max(bus_free);
+                let grant = ready.max(bus_free) + stall;
                 if tracer.enabled() {
                     tracer.record(
                         grant as u64,
@@ -573,6 +592,34 @@ mod tests {
             simulate_cpu(&copies, &ccpu).cycles < simulate_cpu(&copies, &cpu).cycles,
             "capability copy moves twice the bytes per instruction"
         );
+    }
+
+    #[test]
+    fn bus_faults_slow_the_bus_deterministically() {
+        let t = mem_heavy_trace();
+        let task = |trace| AccelTask {
+            trace,
+            cfg: AccelTimingConfig::default(),
+            start: 0,
+        };
+        let healthy = simulate_accel_system(&[task(&t)], &BusConfig::default());
+        let faulty_bus = BusConfig::default().with_faults(crate::bus::BusFaultConfig {
+            stall_every: 10,
+            stall_cycles: 50,
+            drop_every: 7,
+        });
+        let faulty = simulate_accel_system(&[task(&t)], &faulty_bus);
+        assert!(
+            faulty.makespan > healthy.makespan,
+            "stalls and retransmissions must cost cycles"
+        );
+        assert!(
+            faulty.bus_beats > healthy.bus_beats,
+            "dropped beats are retransmitted"
+        );
+        // Same fault config, same result — counter-based, not random.
+        let again = simulate_accel_system(&[task(&t)], &faulty_bus);
+        assert_eq!(faulty, again);
     }
 
     #[test]

@@ -18,6 +18,8 @@ fn tid(track: &str) -> u64 {
         "checker" => 1,
         "bus" => 2,
         "l1" => 3,
+        "fault" => 5,
+        "recovery" => 6,
         _ => 4, // "tasks"
     }
 }
@@ -119,6 +121,51 @@ fn write_event(w: &mut JsonWriter, event: &Event) {
                     w.key("phase");
                     w.string(phase.label());
                 }
+                EventKind::FaultInjected { task, fault } => {
+                    w.key("task");
+                    w.u64(u64::from(task));
+                    w.key("fault");
+                    w.string(fault.label());
+                }
+                EventKind::WatchdogAbort { task, ops } => {
+                    w.key("task");
+                    w.u64(u64::from(task));
+                    w.key("ops");
+                    w.u64(ops);
+                }
+                EventKind::TaskRetry {
+                    task,
+                    attempt,
+                    backoff,
+                } => {
+                    w.key("task");
+                    w.u64(u64::from(task));
+                    w.key("attempt");
+                    w.u64(u64::from(attempt));
+                    w.key("backoff");
+                    w.u64(backoff);
+                }
+                EventKind::EngineQuarantined { fu, faults } => {
+                    w.key("fu");
+                    w.u64(u64::from(fu));
+                    w.key("faults");
+                    w.u64(u64::from(faults));
+                }
+                EventKind::CheckerDegraded {
+                    detections,
+                    regranted,
+                } => {
+                    w.key("detections");
+                    w.u64(detections);
+                    w.key("regranted");
+                    w.u64(regranted);
+                }
+                EventKind::TagAudit { task, cleared } => {
+                    w.key("task");
+                    w.u64(u64::from(task));
+                    w.key("cleared");
+                    w.u64(cleared);
+                }
             }
             w.end_object();
         }
@@ -173,7 +220,9 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     w.string("capcheri-sim");
     w.end_object();
     w.end_object();
-    for track in ["driver", "checker", "bus", "l1", "tasks"] {
+    for track in [
+        "driver", "checker", "bus", "l1", "tasks", "fault", "recovery",
+    ] {
         write_thread_name(&mut w, track);
     }
     for event in sorted {

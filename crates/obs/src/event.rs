@@ -32,6 +32,69 @@ impl fmt::Display for Phase {
     }
 }
 
+/// The fault taxonomy the fault-injection harness can draw from.
+///
+/// Lives here — not in `hetsim::fault` — because every layer that reports
+/// a fault (engines, memory, the cached checker, the driver) funnels it
+/// through the same [`EventKind::FaultInjected`] event, and the taxonomy
+/// must be shared without a dependency cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A forged tag bit set on a granule of `TaggedMemory`.
+    TagFlip,
+    /// An unsolicited engine store far outside any granted buffer.
+    RogueDma,
+    /// Corrupted address lines on the engine's own transfers (persistent).
+    GarbledDma,
+    /// The engine stops making progress (persistent until quarantined).
+    EngineHang,
+    /// A bus grant that never arrives — the transfer stalls forever.
+    BusStall,
+    /// A beat lost on the interconnect; the transfer aborts cleanly.
+    DroppedBeat,
+    /// Bit flips in a `CachedCapChecker` cache line.
+    CacheCorrupt,
+}
+
+impl FaultKind {
+    /// Every kind, in the stable order specs and reports use.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::TagFlip,
+        FaultKind::RogueDma,
+        FaultKind::GarbledDma,
+        FaultKind::EngineHang,
+        FaultKind::BusStall,
+        FaultKind::DroppedBeat,
+        FaultKind::CacheCorrupt,
+    ];
+
+    /// Stable kebab-case label used in specs, events, and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TagFlip => "tag-flip",
+            FaultKind::RogueDma => "rogue-dma",
+            FaultKind::GarbledDma => "garbled-dma",
+            FaultKind::EngineHang => "engine-hang",
+            FaultKind::BusStall => "bus-stall",
+            FaultKind::DroppedBeat => "dropped-beat",
+            FaultKind::CacheCorrupt => "cache-corrupt",
+        }
+    }
+
+    /// Parses a [`label`](FaultKind::label) back into the kind.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What happened. Each variant carries only plain integers so events are
 /// `Copy` and recording costs one `Vec` push.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -106,6 +169,51 @@ pub enum EventKind {
         /// The phase being entered.
         phase: Phase,
     },
+    /// The fault harness injected a fault into the running system.
+    FaultInjected {
+        /// Task the fault targets.
+        task: u32,
+        /// What was injected.
+        fault: FaultKind,
+    },
+    /// The per-task watchdog expired and the driver aborted the task.
+    WatchdogAbort {
+        /// Aborted task ID.
+        task: u32,
+        /// Operation budget the task had burned when aborted.
+        ops: u64,
+    },
+    /// The driver is re-running a task after a fault, with backoff.
+    TaskRetry {
+        /// Retried task ID.
+        task: u32,
+        /// Attempt number (2 = first retry).
+        attempt: u32,
+        /// Backoff the driver clock waited before this attempt.
+        backoff: u64,
+    },
+    /// The driver quarantined an FU that faulted repeatedly.
+    EngineQuarantined {
+        /// Quarantined FU index.
+        fu: u32,
+        /// Consecutive faults observed on it.
+        faults: u32,
+    },
+    /// The driver replaced a corrupted cached checker with the uncached
+    /// fixed-table checker, re-granting every live capability.
+    CheckerDegraded {
+        /// Corruption detections that triggered the downgrade.
+        detections: u64,
+        /// Capabilities re-granted into the replacement checker.
+        regranted: u64,
+    },
+    /// A driver tag audit cleared forged tags from a task's buffers.
+    TagAudit {
+        /// Audited task ID.
+        task: u32,
+        /// Forged tags found and cleared.
+        cleared: u64,
+    },
 }
 
 impl EventKind {
@@ -124,6 +232,12 @@ impl EventKind {
             EventKind::CheckerException { .. } => "checker_exception",
             EventKind::MmioCapInstall { .. } => "mmio_cap_install",
             EventKind::DriverPhase { .. } => "driver_phase",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::WatchdogAbort { .. } => "watchdog_abort",
+            EventKind::TaskRetry { .. } => "task_retry",
+            EventKind::EngineQuarantined { .. } => "engine_quarantined",
+            EventKind::CheckerDegraded { .. } => "checker_degraded",
+            EventKind::TagAudit { .. } => "tag_audit",
         }
     }
 
@@ -139,6 +253,12 @@ impl EventKind {
             | EventKind::CheckerEvict { .. }
             | EventKind::CheckerException { .. } => "checker",
             EventKind::MmioCapInstall { .. } | EventKind::DriverPhase { .. } => "driver",
+            EventKind::FaultInjected { .. } => "fault",
+            EventKind::WatchdogAbort { .. }
+            | EventKind::TaskRetry { .. }
+            | EventKind::EngineQuarantined { .. }
+            | EventKind::CheckerDegraded { .. }
+            | EventKind::TagAudit { .. } => "recovery",
         }
     }
 }
@@ -181,6 +301,28 @@ mod tests {
             .track(),
             "driver"
         );
+        let inject = EventKind::FaultInjected {
+            task: 3,
+            fault: FaultKind::RogueDma,
+        };
+        assert_eq!(inject.name(), "fault_injected");
+        assert_eq!(inject.track(), "fault");
+        let abort = EventKind::WatchdogAbort { task: 3, ops: 4096 };
+        assert_eq!(abort.name(), "watchdog_abort");
+        assert_eq!(abort.track(), "recovery");
+        assert_eq!(
+            EventKind::EngineQuarantined { fu: 1, faults: 2 }.track(),
+            "recovery"
+        );
+    }
+
+    #[test]
+    fn fault_labels_round_trip() {
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_label("no-such-fault"), None);
+        assert_eq!(FaultKind::EngineHang.to_string(), "engine-hang");
     }
 
     #[test]

@@ -48,6 +48,6 @@ pub mod report;
 pub mod stats;
 mod tracer;
 
-pub use event::{Event, EventKind, Phase};
+pub use event::{Event, EventKind, FaultKind, Phase};
 pub use metrics::{HistogramSnapshot, MetricSource, Registry, Snapshot};
 pub use tracer::{NullTracer, SharedTracer, TraceBuffer, Tracer};

@@ -41,6 +41,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Total added latency from misses, in cycles.
     pub miss_cycles: u64,
+    /// Requests refused (same accounting as [`CheckerStats::denied`]).
+    pub denied: u64,
+    /// Cache lines whose integrity checksum failed on a hit.
+    pub corruption_detected: u64,
 }
 
 impl CacheStats {
@@ -61,6 +65,11 @@ impl MetricSource for CacheStats {
         registry.counter_add(format!("{prefix}hits"), self.hits);
         registry.counter_add(format!("{prefix}misses"), self.misses);
         registry.counter_add(format!("{prefix}miss_cycles"), self.miss_cycles);
+        registry.counter_add(format!("{prefix}denied"), self.denied);
+        registry.counter_add(
+            format!("{prefix}corruption_detected"),
+            self.corruption_detected,
+        );
         registry.gauge_set(format!("{prefix}miss_ratio"), self.miss_ratio());
     }
 }
@@ -108,6 +117,7 @@ mod tests {
             hits: 3,
             misses: 1,
             miss_cycles: 35,
+            ..CacheStats::default()
         };
         assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);

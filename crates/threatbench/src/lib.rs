@@ -20,6 +20,7 @@ pub mod cwe;
 pub mod eavesdropper;
 pub mod fuzz;
 mod mechanisms;
+pub mod recovery;
 
 pub use cell::Cell;
 pub use cwe::{table3, CweRow};
