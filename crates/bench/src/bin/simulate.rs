@@ -4,9 +4,15 @@
 //!
 //! ```text
 //! simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]
-//!          [--tasks N] [--seed S] [--json] [--trace-out <path>]
+//!          [--tasks N] [--seed S] [--threads N] [--json] [--trace-out <path>]
 //! simulate faults [--spec SPEC] [--tasks N] [--seed S] [--fus N] [--json]
 //! ```
+//!
+//! `--threads N` fans independent benchmark cells out over a scoped
+//! worker pool (default: `CAPCHERI_THREADS` or the machine's available
+//! parallelism). Results are merged in benchmark order, so every output
+//! — table, `--json` report, `--trace-out` file — is byte-identical for
+//! any thread count.
 //!
 //! `--json` replaces the table with a machine-readable report on the
 //! `capcheri.bench_report.v1` schema; `--trace-out` writes a Chrome
@@ -42,6 +48,7 @@ struct Options {
     variant: SystemVariant,
     tasks: usize,
     seed: u64,
+    threads: usize,
     json: bool,
     trace_out: Option<String>,
 }
@@ -50,7 +57,7 @@ fn usage() -> String {
     let names: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
     format!(
         "usage: simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]\n\
-         \x20               [--tasks N] [--seed S] [--json] [--trace-out FILE]\n\
+         \x20               [--tasks N] [--seed S] [--threads N] [--json] [--trace-out FILE]\n\
          \x20      simulate faults [--spec none|all:RATE|kind:RATE,...] [--tasks N] [--seed S]\n\
          \x20               [--fus N] [--json]\n\n\
          benchmarks: {}\n\
@@ -143,6 +150,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         variant: SystemVariant::CheriCpuCheriAccel,
         tasks: 1,
         seed: 0xC0DE,
+        threads: perf::auto_threads(),
         json: false,
         trace_out: None,
     };
@@ -180,6 +188,12 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 opts.seed = value(&mut it)?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = value(&mut it)?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1);
             }
             "--json" => opts.json = true,
             "--trace-out" => opts.trace_out = Some(value(&mut it)?),
@@ -219,28 +233,46 @@ fn main() -> ExitCode {
             "benchmark", "variant", "tasks", "cycles", "setup", "bus util"
         );
     }
-    let mut reports = Vec::new();
-    for bench in opts.benches {
-        let r = if observed {
+    // Each cell runs on its own worker with its own registry and trace
+    // buffer; merging in benchmark order keeps every output byte-identical
+    // to a sequential run. A worker panic surfaces as one clean error.
+    let cells = perf::parallel_map(opts.threads, opts.benches.len(), |i| {
+        let bench = opts.benches[i];
+        if observed {
             let run = runner::run_benchmark_observed(bench, opts.variant, opts.tasks, opts.seed);
-            if let Some(path) = &opts.trace_out {
-                let json = obs::chrome::chrome_trace_json(&run.events.sorted_by_cycle());
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            reports.push(BenchReport {
+            let trace = opts
+                .trace_out
+                .is_some()
+                .then(|| obs::chrome::chrome_trace_json(&run.events.sorted_by_cycle()));
+            let report = BenchReport {
                 bench: bench.name().to_owned(),
                 variant: run.result.variant.label().to_owned(),
                 tasks: run.result.tasks,
                 seed: opts.seed,
                 metrics: run.metrics,
-            });
-            run.result
+            };
+            (run.result, Some(report), trace)
         } else {
-            runner::run_benchmark(bench, opts.variant, opts.tasks, opts.seed)
-        };
+            let r = runner::run_benchmark(bench, opts.variant, opts.tasks, opts.seed);
+            (r, None, None)
+        }
+    });
+    let cells = match cells {
+        Ok(c) => c,
+        Err(p) => {
+            eprintln!("{p}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut reports = Vec::new();
+    for (bench, (r, report, trace)) in opts.benches.iter().zip(cells) {
+        if let (Some(path), Some(json)) = (&opts.trace_out, trace) {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        reports.extend(report);
         if !opts.json {
             println!(
                 "{:<14} {:>12} {:>8} {:>12} {:>10} {:>8.1}%",

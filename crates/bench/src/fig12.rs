@@ -50,13 +50,27 @@ pub fn row(bench: Benchmark) -> EntriesRow {
 /// All rows.
 #[must_use]
 pub fn rows() -> Vec<EntriesRow> {
-    Benchmark::ALL.iter().map(|b| row(*b)).collect()
+    rows_threads(1)
+}
+
+/// [`rows`] fanned out over a worker pool; any thread count produces the
+/// same rows in the same order.
+#[must_use]
+pub fn rows_threads(threads: usize) -> Vec<EntriesRow> {
+    crate::fan_out(threads, Benchmark::ALL.len(), |i| row(Benchmark::ALL[i]))
 }
 
 /// Renders Figure 12.
 #[must_use]
 pub fn report() -> String {
-    let table_rows: Vec<Vec<String>> = rows()
+    report_threads(1)
+}
+
+/// [`report`] with its benchmark cells computed on `threads` workers —
+/// byte-identical output for any thread count.
+#[must_use]
+pub fn report_threads(threads: usize) -> String {
+    let table_rows: Vec<Vec<String>> = rows_threads(threads)
         .into_iter()
         .map(|r| {
             vec![

@@ -71,7 +71,14 @@ pub fn row(bench: Benchmark) -> OverheadRow {
 /// All rows plus geometric means.
 #[must_use]
 pub fn rows() -> Vec<OverheadRow> {
-    Benchmark::ALL.iter().map(|b| row(*b)).collect()
+    rows_threads(1)
+}
+
+/// [`rows`] fanned out over a worker pool; any thread count produces the
+/// same rows in the same order.
+#[must_use]
+pub fn rows_threads(threads: usize) -> Vec<OverheadRow> {
+    crate::fan_out(threads, Benchmark::ALL.len(), |i| row(Benchmark::ALL[i]))
 }
 
 /// Geometric-mean overheads `(perf, area, power)` across benchmarks.
@@ -90,7 +97,14 @@ pub fn geomeans(rows: &[OverheadRow]) -> (f64, f64, f64) {
 /// Renders Figure 8.
 #[must_use]
 pub fn report() -> String {
-    let rows = rows();
+    report_threads(1)
+}
+
+/// [`report`] with its benchmark cells computed on `threads` workers —
+/// byte-identical output for any thread count.
+#[must_use]
+pub fn report_threads(threads: usize) -> String {
+    let rows = rows_threads(threads);
     let mut table_rows: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -98,14 +98,38 @@ pub fn row(system_index: usize) -> MixedRow {
 /// All 20 systems.
 #[must_use]
 pub fn rows() -> Vec<MixedRow> {
-    (0..SYSTEMS).map(row).collect()
+    rows_threads(1)
+}
+
+/// [`rows`] fanned out over a worker pool; any thread count produces the
+/// same rows in the same order.
+#[must_use]
+pub fn rows_threads(threads: usize) -> Vec<MixedRow> {
+    crate::fan_out(threads, SYSTEMS, row)
+}
+
+/// Mean overhead across a set of measured systems.
+///
+/// Figure 9's headline number: individual systems can flip sign (see the
+/// note in [`row`]'s test), but the *mean* across the twenty mixes must
+/// stay positive — the checker never pays for itself.
+#[must_use]
+pub fn mean_overhead(rows: &[MixedRow]) -> f64 {
+    rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len().max(1) as f64
 }
 
 /// Renders Figure 9.
 #[must_use]
 pub fn report() -> String {
-    let rows = rows();
-    let mean = rows.iter().map(|r| r.overhead).sum::<f64>() / rows.len() as f64;
+    report_threads(1)
+}
+
+/// [`report`] with its system cells computed on `threads` workers —
+/// byte-identical output for any thread count.
+#[must_use]
+pub fn report_threads(threads: usize) -> String {
+    let rows = rows_threads(threads);
+    let mean = mean_overhead(&rows);
     let table_rows: Vec<Vec<String>> = rows
         .iter()
         .enumerate()
@@ -136,23 +160,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn one_mixed_system_has_modest_overhead() {
-        let r = row(0);
-        assert_eq!(r.mix.len(), TASKS_PER_SYSTEM);
-        // The checker delays task starts, which reorders FCFS bus
-        // arbitration; for some drawn mixes that reshuffling finishes a
-        // trailing task a fraction of a percent *earlier*, so tolerate a
-        // small negative overhead.
+    fn mean_overhead_across_all_systems_is_positive_and_modest() {
+        // Per-system overheads can flip sign: the checker delays task
+        // starts, which reorders FCFS bus arbitration, and for some drawn
+        // mixes that reshuffling finishes the trailing task a fraction of
+        // a percent *earlier*. That is a property of arbitration order,
+        // not of the checker being free, so no per-cell lower bound is
+        // meaningful. The claim Figure 9 actually makes is about the
+        // population: the mean overhead across the twenty mixes is
+        // positive (the checker costs something) and modest (it costs
+        // little).
+        let rows = rows_threads(perf::auto_threads());
+        assert_eq!(rows.len(), SYSTEMS);
+        for r in &rows {
+            assert_eq!(r.mix.len(), TASKS_PER_SYSTEM);
+            assert!(
+                r.overhead < 0.15,
+                "per-system overhead {} too large",
+                pct(r.overhead)
+            );
+        }
+        let mean = mean_overhead(&rows);
         assert!(
-            r.overhead > -0.005,
-            "mixed overhead {} unexpectedly negative",
-            pct(r.overhead)
+            mean > 0.0,
+            "mean overhead across {SYSTEMS} systems must be positive, got {}",
+            pct(mean)
         );
-        assert!(
-            r.overhead < 0.15,
-            "mixed overhead {} too large",
-            pct(r.overhead)
-        );
+        assert!(mean < 0.10, "mean overhead {} too large", pct(mean));
     }
 
     #[test]

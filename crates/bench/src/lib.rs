@@ -34,6 +34,20 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
+/// Runs `cells` independent experiment cells on a pool of `threads`
+/// scoped workers and returns the results in cell order — the figure
+/// modules' parallel backbone (see [`perf::parallel_map`] for the
+/// determinism contract). A worker panic resumes on the caller, so
+/// figure generation keeps plain panic semantics.
+#[must_use]
+pub fn fan_out<T, F>(threads: usize, cells: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    perf::parallel_map(threads, cells, f).unwrap_or_else(|p| p.resume())
+}
+
 /// Geometric mean of strictly positive samples.
 ///
 /// # Panics

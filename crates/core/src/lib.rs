@@ -67,10 +67,10 @@ pub use checker::{CapChecker, CheckerStats};
 pub use config::{CheckerConfig, CheckerMode};
 pub use engines::{CpuEngine, ProtectedEngine, Provenance};
 pub use recovery::{
-    run_campaign, CampaignConfig, CampaignReport, RecoveryOutcome, RecoveryPolicy, Resolution,
-    TaskRecord, WatchdogEngine,
+    run_campaign, run_campaign_grid, CampaignConfig, CampaignReport, RecoveryOutcome,
+    RecoveryPolicy, Resolution, TaskRecord, WatchdogEngine,
 };
-pub use revoke::{sweep_revoked, SweepReport};
+pub use revoke::{sweep_revoked, sweep_revoked_many, sweep_revoked_naive, SweepReport};
 pub use system::{
     BufferSpec, DriverError, HeteroSystem, ProtectionChoice, SystemConfig, SystemVariant,
     TaskOutcome, TaskReport, TaskRequest,

@@ -451,14 +451,11 @@ fn audit_task_tags(sys: &mut HeteroSystem, task: TaskId) -> Result<u64, DriverEr
 /// outside physical memory), which would be bugs, not fault outcomes.
 pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, DriverError> {
     let policy = config.policy;
-    // Campaign tasks use two tiny buffers, so a small physical memory
-    // keeps the per-deallocation revocation sweep (which scans every
-    // granule) proportionate — 64 MiB would dominate the campaign's cost
-    // without exercising anything extra.
+    // The revocation sweep walks the live-capability index, so campaigns
+    // run at the default physical memory size — sweep cost no longer
+    // scales with it.
     let mut sys = HeteroSystem::new(SystemConfig {
         protection: ProtectionChoice::CachedCapChecker(CachedCheckerConfig::default()),
-        mem_size: 2 << 20,
-        heap_base: 1 << 20,
         ..SystemConfig::default()
     });
     sys.add_fus("accel", config.fus);
@@ -661,6 +658,34 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, DriverErr
         corruption_detected,
         events: tracer.len() as u64,
     })
+}
+
+/// Runs a grid of fault campaigns on a scoped worker pool and returns the
+/// reports in `configs` order.
+///
+/// Each campaign owns its whole world — system, shared tracer, fault
+/// plan, metrics registry — so campaigns are the natural fan-out unit;
+/// *within* a campaign the tasks share FU-quarantine and degradation
+/// state and must stay sequential. For any `threads ≥ 1` the returned
+/// reports (and their [`CampaignReport::to_json`] bytes) are identical to
+/// calling [`run_campaign`] in a loop.
+///
+/// # Errors
+///
+/// The first [`DriverError`] in `configs` order, if any campaign fails.
+///
+/// # Panics
+///
+/// A panicking worker is resumed on the calling thread after every worker
+/// has been joined (no poisoned-lock cascade; see [`perf::WorkerPanic`]).
+pub fn run_campaign_grid(
+    configs: &[CampaignConfig],
+    threads: usize,
+) -> Result<Vec<CampaignReport>, DriverError> {
+    perf::parallel_map(threads, configs.len(), |i| run_campaign(&configs[i]))
+        .unwrap_or_else(|p| p.resume())
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]

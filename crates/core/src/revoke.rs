@@ -26,28 +26,64 @@ pub struct SweepReport {
     pub revoked: u64,
 }
 
-/// Returns `true` if `cap`'s authority intersects `[base, base + len)`.
-fn intersects(cap: &Capability, base: u64, len: u64) -> bool {
+/// Returns `true` if authority `[cap_base, cap_top)` intersects the
+/// revoked region `[base, base + len)`.
+fn bounds_intersect(cap_base: u64, cap_top: u128, base: u64, len: u64) -> bool {
     let lo = u128::from(base);
     let hi = lo + u128::from(len);
-    u128::from(cap.base()) < hi && cap.top() > lo
+    u128::from(cap_base) < hi && cap_top > lo
 }
 
-/// Sweeps all of `mem`, clearing the tag of every valid in-memory
-/// capability that could still authorize access to the revoked region.
+/// Returns `true` if `cap`'s authority intersects `[base, base + len)`.
+fn intersects(cap: &Capability, base: u64, len: u64) -> bool {
+    bounds_intersect(cap.base(), cap.top(), base, len)
+}
+
+/// Sweeps `mem`, clearing the tag of every valid in-memory capability
+/// that could still authorize access to the revoked region.
 ///
-/// This is the load-barrier-free, stop-the-world variant: correct and
-/// simple, O(memory). Production systems amortize it (CHERIoT's load
-/// filter, Cornucopia's epochs); the sweep's *effect* is identical.
+/// Cost is proportional to the number of live in-memory capabilities
+/// (via [`TaggedMemory::tagged_capabilities`]'s interval index), not to
+/// physical memory — production systems make the same move with amortized
+/// structures (CHERIoT's load filter, Cornucopia's epochs); the sweep's
+/// *effect* is identical, and [`sweep_revoked_naive`] plus a property
+/// test pin that equivalence.
 #[must_use]
 pub fn sweep_revoked(mem: &mut TaggedMemory, base: u64, len: u64) -> SweepReport {
     sweep_revoked_many(mem, &[(base, len)])
 }
 
-/// One pass over memory revoking capabilities into *any* of `regions`
-/// (a task's scattered buffers die in a single sweep).
+/// One pass over the live-capability index revoking capabilities into
+/// *any* of `regions` (a task's scattered buffers die in a single sweep).
 #[must_use]
 pub fn sweep_revoked_many(mem: &mut TaggedMemory, regions: &[(u64, u64)]) -> SweepReport {
+    let mut report = SweepReport::default();
+    let doomed: Vec<u64> = mem
+        .tagged_capabilities()
+        .filter(|(_, cap_base, cap_top)| {
+            report.granules_scanned += 1;
+            report.capabilities_found += 1;
+            regions
+                .iter()
+                .any(|(base, len)| bounds_intersect(*cap_base, *cap_top, *base, *len))
+        })
+        .map(|(addr, _, _)| addr)
+        .collect();
+    report.revoked = doomed.len() as u64;
+    for addr in doomed {
+        mem.clear_tags(addr, CAP_SIZE_BYTES);
+    }
+    report
+}
+
+/// The original stop-the-world sweep: every granule of physical memory is
+/// inspected, tagged granules are decoded, intersecting capabilities die.
+///
+/// O(memory) — kept as the reference the indexed [`sweep_revoked_many`]
+/// is property-tested against, and as documentation of what hardware
+/// without a tag-map index would actually do.
+#[must_use]
+pub fn sweep_revoked_naive(mem: &mut TaggedMemory, regions: &[(u64, u64)]) -> SweepReport {
     let mut report = SweepReport::default();
     let mut addr = 0u64;
     while addr + CAP_SIZE_BYTES <= mem.size() {

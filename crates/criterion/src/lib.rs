@@ -5,6 +5,12 @@
 //! machinery is replaced by a fixed-iteration timer that prints one line
 //! per benchmark: good enough to spot order-of-magnitude regressions and
 //! to keep `cargo bench` / `cargo test --benches` compiling and running.
+//!
+//! Beyond the drop-in API, the stub also *collects* its measurements:
+//! every run is recorded as a [`Sample`] retrievable via
+//! [`Criterion::samples`] and exportable as machine-readable JSON with
+//! [`samples_to_json`]. The perf-smoke harness builds its
+//! `BENCH_simulator.json` baseline from exactly these samples.
 
 #![warn(missing_docs)]
 
@@ -15,10 +21,53 @@ pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
 }
 
+/// One recorded measurement: a benchmark's label and its mean time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Group name (empty for ungrouped benchmarks).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean nanoseconds per iteration over the fixed sample.
+    pub nanos_per_iter: f64,
+}
+
+impl Sample {
+    /// `group/id`, or just `id` when ungrouped.
+    #[must_use]
+    pub fn label(&self) -> String {
+        if self.group.is_empty() {
+            self.id.clone()
+        } else {
+            format!("{}/{}", self.group, self.id)
+        }
+    }
+}
+
+/// Serializes samples as a deterministic-schema JSON document
+/// (`capcheri.bench_samples.v1`). The *values* are measurements and vary
+/// run to run; the shape never does.
+#[must_use]
+pub fn samples_to_json(samples: &[Sample]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"capcheri.bench_samples.v1\",\n  \"samples\": [");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"label\": \"{}\", \"ns_per_iter\": {:.1}}}",
+            s.label().replace('"', "'"),
+            s.nanos_per_iter
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 /// The benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    samples: Vec<Sample>,
 }
 
 impl Criterion {
@@ -32,7 +81,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
-            _criterion: self,
+            criterion: self,
         }
     }
 
@@ -41,8 +90,15 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one("", &id.into(), f);
+        let sample = run_one("", &id.into(), f);
+        self.samples.push(sample);
         self
+    }
+
+    /// Every measurement recorded so far, in run order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
     }
 }
 
@@ -50,7 +106,7 @@ impl Criterion {
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     name: String,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -69,7 +125,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&self.name, &id.into(), f);
+        let sample = run_one(&self.name, &id.into(), f);
+        self.criterion.samples.push(sample);
         self
     }
 
@@ -98,15 +155,20 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) -> Sample {
     let mut b = Bencher::default();
     f(&mut b);
-    let label = if group.is_empty() {
-        id.to_owned()
-    } else {
-        format!("{group}/{id}")
+    let sample = Sample {
+        group: group.to_owned(),
+        id: id.to_owned(),
+        nanos_per_iter: b.nanos_per_iter,
     };
-    println!("bench {label:<48} {:>14.0} ns/iter", b.nanos_per_iter);
+    println!(
+        "bench {:<48} {:>14.0} ns/iter",
+        sample.label(),
+        sample.nanos_per_iter
+    );
+    sample
 }
 
 /// Declares a group of benchmark functions as one callable.
@@ -151,5 +213,20 @@ mod tests {
         g.bench_function("inner", |b| b.iter(|| ran = true));
         g.finish();
         assert!(ran);
+    }
+
+    #[test]
+    fn samples_are_collected_and_exported() {
+        let mut c = Criterion::default();
+        c.bench_function("alpha", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("beta", |b| b.iter(|| 2 + 2));
+        g.finish();
+        assert_eq!(c.samples().len(), 2);
+        assert_eq!(c.samples()[0].label(), "alpha");
+        assert_eq!(c.samples()[1].label(), "grp/beta");
+        let json = samples_to_json(c.samples());
+        assert!(json.contains("capcheri.bench_samples.v1"));
+        assert!(json.contains("grp/beta"));
     }
 }

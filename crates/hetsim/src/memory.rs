@@ -8,6 +8,7 @@
 //! into forged ones".
 
 use cheri::{CompressedCapability, CAP_SIZE_BYTES};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -68,6 +69,13 @@ impl Error for MemError {}
 pub struct TaggedMemory {
     data: Vec<u8>,
     tags: Vec<bool>,
+    /// Capability interval index: granule address → decoded authority
+    /// `(base, top)` of the capability stored there, for every *set* tag.
+    /// Kept in lockstep with `tags` so revocation sweeps and audits walk
+    /// live capabilities instead of all of physical memory. The cached
+    /// bounds can never go stale: a granule's bytes are frozen while its
+    /// tag is set (every data write clears the tags it touches).
+    cap_index: BTreeMap<u64, (u64, u128)>,
 }
 
 impl TaggedMemory {
@@ -85,7 +93,19 @@ impl TaggedMemory {
         TaggedMemory {
             data: vec![0; size as usize],
             tags: vec![false; (size / CAP_SIZE_BYTES) as usize],
+            cap_index: BTreeMap::new(),
         }
+    }
+
+    /// Decodes the authority bounds of the capability bytes currently in
+    /// `addr`'s granule, for indexing. `addr` must be granule-aligned and
+    /// in range.
+    fn decode_bounds_at(&self, addr: u64) -> (u64, u128) {
+        let lo = addr as usize;
+        let mut raw = [0u8; CAP_SIZE_BYTES as usize];
+        raw.copy_from_slice(&self.data[lo..lo + CAP_SIZE_BYTES as usize]);
+        let cap = CompressedCapability::from_bits(u128::from_le_bytes(raw)).decode(true);
+        (cap.base(), cap.top())
     }
 
     /// Physical memory size in bytes.
@@ -198,6 +218,12 @@ impl TaggedMemory {
         let span = self.span(addr, CAP_SIZE_BYTES)?;
         self.data[span].copy_from_slice(&cap.bits().to_le_bytes());
         self.tags[(addr / CAP_SIZE_BYTES) as usize] = tag;
+        if tag {
+            let decoded = cap.decode(true);
+            self.cap_index.insert(addr, (decoded.base(), decoded.top()));
+        } else {
+            self.cap_index.remove(&addr);
+        }
         Ok(())
     }
 
@@ -224,25 +250,56 @@ impl TaggedMemory {
             .tags
             .get_mut(granule)
             .ok_or(MemError::OutOfRange { addr, len: 1 })?;
-        Ok(std::mem::replace(tag, value))
+        let previous = std::mem::replace(tag, value);
+        let granule_addr = granule as u64 * CAP_SIZE_BYTES;
+        if value {
+            // A forged tag makes whatever bytes sit there a "capability";
+            // index the bounds those bytes decode to, exactly as a sweep
+            // reading the granule would see them.
+            let bounds = self.decode_bounds_at(granule_addr);
+            self.cap_index.insert(granule_addr, bounds);
+        } else {
+            self.cap_index.remove(&granule_addr);
+        }
+        Ok(previous)
     }
 
     /// Clears every tag whose granule intersects `[addr, addr + len)`.
+    ///
+    /// Walks the capability index, not the span, so wide DMA writes and
+    /// scrubs pay per *set* tag in the range rather than per granule.
     pub fn clear_tags(&mut self, addr: u64, len: u64) {
         if len == 0 {
             return;
         }
-        let first = (addr / CAP_SIZE_BYTES) as usize;
         let last = ((addr + len - 1) / CAP_SIZE_BYTES) as usize;
-        for granule in first..=last.min(self.tags.len().saturating_sub(1)) {
-            self.tags[granule] = false;
+        let lo = (addr / CAP_SIZE_BYTES) * CAP_SIZE_BYTES;
+        let hi = last.min(self.tags.len().saturating_sub(1)) as u64 * CAP_SIZE_BYTES;
+        if lo > hi {
+            return;
+        }
+        let doomed: Vec<u64> = self.cap_index.range(lo..=hi).map(|(a, _)| *a).collect();
+        for granule_addr in doomed {
+            self.tags[(granule_addr / CAP_SIZE_BYTES) as usize] = false;
+            self.cap_index.remove(&granule_addr);
         }
     }
 
-    /// Number of set tags (used by audits and tests).
+    /// Number of set tags (used by audits and tests). O(1) via the index.
     #[must_use]
     pub fn tag_count(&self) -> usize {
-        self.tags.iter().filter(|t| **t).count()
+        self.cap_index.len()
+    }
+
+    /// The live tagged granules, in address order, as
+    /// `(granule address, authority base, authority top)`.
+    ///
+    /// This is the revocation sweep's fast path: cost proportional to the
+    /// number of valid in-memory capabilities, not to physical memory.
+    pub fn tagged_capabilities(&self) -> impl Iterator<Item = (u64, u64, u128)> + '_ {
+        self.cap_index
+            .iter()
+            .map(|(addr, (base, top))| (*addr, *base, *top))
     }
 
     /// Zeroes `[addr, addr + len)` and clears its tags — the driver's

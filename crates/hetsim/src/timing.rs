@@ -139,6 +139,12 @@ struct Cache {
     sets: usize,
     /// `sets × ways` tags; within a set, index 0 is least recently used.
     tags: Vec<u64>,
+    /// The line of the previous access — streaming kernels touch the same
+    /// line for many consecutive operations, and a repeat access is a hit
+    /// that leaves the LRU state untouched (the line is already in the
+    /// most-recently-used position, so the rotate is the identity). This
+    /// memo skips the set lookup entirely on that path.
+    last_line: Option<u64>,
 }
 
 impl Cache {
@@ -150,6 +156,7 @@ impl Cache {
             cfg,
             sets,
             tags: vec![u64::MAX; sets * ways],
+            last_line: None,
         }
     }
 
@@ -157,6 +164,10 @@ impl Cache {
     fn access(&mut self, addr: u64) -> bool {
         let ways = self.cfg.ways.max(1) as usize;
         let line_no = addr / self.cfg.line;
+        if self.last_line == Some(line_no) {
+            return true;
+        }
+        self.last_line = Some(line_no);
         let set = (line_no % self.sets as u64) as usize;
         let slice = &mut self.tags[set * ways..(set + 1) * ways];
         if let Some(pos) = slice.iter().position(|t| *t == line_no) {
@@ -347,7 +358,7 @@ struct Lane {
 }
 
 /// A totally ordered f64 for the event heap (times are never NaN).
-#[derive(PartialEq, PartialOrd)]
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
 struct Time(f64);
 impl Eq for Time {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
@@ -448,56 +459,75 @@ pub fn simulate_accel_system_traced(
         .collect();
 
     while let Some(Reverse((_, li))) = heap.pop() {
-        let lane = &mut lanes[li];
-        // Retire any compute leading up to the next memory operation.
-        while let Some(TraceOp::Compute(units)) = lane.ops.get(lane.next) {
-            lane.time += *units as f64 / lane.cfg.compute_per_cycle.max(1e-9);
-            lane.next += 1;
-        }
-        match lane.ops.get(lane.next) {
-            None => {
-                // Lane finished issuing: wait for its in-flight requests.
-                let drain = lane.inflight.back().copied().unwrap_or(lane.time);
-                let done = lane.time.max(drain).ceil() as Cycles;
-                per_task[lane.task] = per_task[lane.task].max(done);
-            }
-            Some(&op) => {
-                let mut beats = match op {
-                    TraceOp::Mem { bytes, .. } => bus.beats(u64::from(bytes)),
-                    TraceOp::Copy { bytes, .. } => 2 * bus.beats(bytes),
-                    TraceOp::Compute(_) => unreachable!("compute handled above"),
-                };
+        // Once popped, a lane keeps running inline for as long as no other
+        // lane is scheduled earlier (heap-bypass fast path below).
+        loop {
+            let lane = &mut lanes[li];
+            // Retire any compute leading up to the next memory operation.
+            while let Some(TraceOp::Compute(units)) = lane.ops.get(lane.next) {
+                lane.time += *units as f64 / lane.cfg.compute_per_cycle.max(1e-9);
                 lane.next += 1;
-                grants += 1;
-                // Interconnect faults: a dropped transfer retransmits
-                // (double occupancy); a stalled grant waits out the
-                // arbiter. Both are counter-periodic, so reproducible.
-                if bus.faults.drops(grants) {
-                    beats *= 2;
+            }
+            match lane.ops.get(lane.next) {
+                None => {
+                    // Lane finished issuing: wait for its in-flight requests.
+                    let drain = lane.inflight.back().copied().unwrap_or(lane.time);
+                    let done = lane.time.max(drain).ceil() as Cycles;
+                    per_task[lane.task] = per_task[lane.task].max(done);
+                    break;
                 }
-                let stall = bus.faults.stall_for(grants) as f64;
-                let window = lane.cfg.outstanding.max(1) as usize;
-                let mut ready = lane.time;
-                if lane.inflight.len() >= window {
-                    ready = ready.max(lane.inflight.pop_front().expect("nonempty window"));
+                Some(&op) => {
+                    let mut beats = match op {
+                        TraceOp::Mem { bytes, .. } => bus.beats(u64::from(bytes)),
+                        TraceOp::Copy { bytes, .. } => 2 * bus.beats(bytes),
+                        TraceOp::Compute(_) => unreachable!("compute handled above"),
+                    };
+                    lane.next += 1;
+                    grants += 1;
+                    // Interconnect faults: a dropped transfer retransmits
+                    // (double occupancy); a stalled grant waits out the
+                    // arbiter. Both are counter-periodic, so reproducible.
+                    if bus.faults.drops(grants) {
+                        beats *= 2;
+                    }
+                    let stall = bus.faults.stall_for(grants) as f64;
+                    let window = lane.cfg.outstanding.max(1) as usize;
+                    let mut ready = lane.time;
+                    if lane.inflight.len() >= window {
+                        ready = ready.max(lane.inflight.pop_front().expect("nonempty window"));
+                    }
+                    let grant = ready.max(bus_free) + stall;
+                    if tracer.enabled() {
+                        tracer.record(
+                            grant as u64,
+                            EventKind::BusGrant {
+                                lane: li as u32,
+                                task: lane.task as u32,
+                                beats,
+                                waited: (grant - ready) as u64,
+                            },
+                        );
+                    }
+                    bus_free = grant + beats as f64;
+                    bus_beats += beats;
+                    lane.inflight.push_back(grant + beats as f64 + latency);
+                    lane.time = grant + beats as f64;
+                    // Heap-bypass fast path: keys are unique ((time, lane)
+                    // with each lane in the heap at most once), so when
+                    // this lane's new key is smaller than the heap minimum
+                    // — or the heap is empty — a push followed by a pop
+                    // would hand the very same lane straight back.
+                    // Continue it inline instead of paying two heap
+                    // operations per contention-free memory op.
+                    let key = (Time(lane.time), li);
+                    match heap.peek() {
+                        Some(Reverse(min)) if *min < key => {
+                            heap.push(Reverse(key));
+                            break;
+                        }
+                        _ => {}
+                    }
                 }
-                let grant = ready.max(bus_free) + stall;
-                if tracer.enabled() {
-                    tracer.record(
-                        grant as u64,
-                        EventKind::BusGrant {
-                            lane: li as u32,
-                            task: lane.task as u32,
-                            beats,
-                            waited: (grant - ready) as u64,
-                        },
-                    );
-                }
-                bus_free = grant + beats as f64;
-                bus_beats += beats;
-                lane.inflight.push_back(grant + beats as f64 + latency);
-                lane.time = grant + beats as f64;
-                heap.push(Reverse((Time(lane.time), li)));
             }
         }
     }
@@ -729,6 +759,213 @@ mod tests {
             &BusConfig::default(),
         );
         assert_eq!(r.per_task, vec![7]);
+    }
+
+    /// The pre-memo LRU cache, kept verbatim as the reference the
+    /// memoized [`Cache`] must match access-for-access.
+    struct RefCache {
+        cfg: CacheConfig,
+        sets: usize,
+        tags: Vec<u64>,
+    }
+
+    impl RefCache {
+        fn new(cfg: CacheConfig) -> RefCache {
+            let ways = cfg.ways.max(1) as usize;
+            let lines = (cfg.size / cfg.line).max(1) as usize;
+            let sets = (lines / ways).max(1);
+            RefCache {
+                cfg,
+                sets,
+                tags: vec![u64::MAX; sets * ways],
+            }
+        }
+
+        fn access(&mut self, addr: u64) -> bool {
+            let ways = self.cfg.ways.max(1) as usize;
+            let line_no = addr / self.cfg.line;
+            let set = (line_no % self.sets as u64) as usize;
+            let slice = &mut self.tags[set * ways..(set + 1) * ways];
+            if let Some(pos) = slice.iter().position(|t| *t == line_no) {
+                slice[pos..].rotate_left(1);
+                true
+            } else {
+                slice.rotate_left(1);
+                slice[ways - 1] = line_no;
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn l1_memo_matches_reference_lru_access_for_access() {
+        for ways in [1u32, 2, 4] {
+            let cfg = CacheConfig {
+                size: 2048,
+                line: 64,
+                ways,
+            };
+            let mut memoized = Cache::new(cfg);
+            let mut reference = RefCache::new(cfg);
+            // Deterministic xorshift stream with repeat runs (the memo's
+            // fast path) interleaved with conflicting strides.
+            let mut x = 0x2545_f491_4f6c_dd1du64;
+            for _ in 0..5_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let addr = x % 16_384;
+                for _ in 0..=(x % 4) {
+                    assert_eq!(
+                        memoized.access(addr),
+                        reference.access(addr),
+                        "divergence at addr {addr:#x}, ways {ways}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pre-bypass event loop, kept verbatim: every memory op pays a
+    /// heap push + pop. The shipping loop's heap bypass must be
+    /// cycle-for-cycle identical to this.
+    fn simulate_accel_naive(tasks: &[AccelTask<'_>], bus: &BusConfig) -> AccelReport {
+        let mut lanes: Vec<Lane> = Vec::new();
+        for (t_idx, task) in tasks.iter().enumerate() {
+            let n = task.cfg.lanes.max(1) as usize;
+            for ops in distribute_over_lanes(task.trace, n) {
+                lanes.push(Lane {
+                    task: t_idx,
+                    ops,
+                    next: 0,
+                    time: task.start as f64,
+                    inflight: VecDeque::new(),
+                    cfg: task.cfg,
+                });
+            }
+        }
+        let latency = (bus.mem_latency + bus.checker_latency) as f64;
+        let mut bus_free = 0.0f64;
+        let mut bus_beats = 0u64;
+        let mut grants = 0u64;
+        let mut per_task: Vec<Cycles> = tasks.iter().map(|t| t.start).collect();
+        let mut heap: BinaryHeap<Reverse<(Time, usize)>> = lanes
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Reverse((Time(l.time), i)))
+            .collect();
+        while let Some(Reverse((_, li))) = heap.pop() {
+            let lane = &mut lanes[li];
+            while let Some(TraceOp::Compute(units)) = lane.ops.get(lane.next) {
+                lane.time += *units as f64 / lane.cfg.compute_per_cycle.max(1e-9);
+                lane.next += 1;
+            }
+            match lane.ops.get(lane.next) {
+                None => {
+                    let drain = lane.inflight.back().copied().unwrap_or(lane.time);
+                    let done = lane.time.max(drain).ceil() as Cycles;
+                    per_task[lane.task] = per_task[lane.task].max(done);
+                }
+                Some(&op) => {
+                    let mut beats = match op {
+                        TraceOp::Mem { bytes, .. } => bus.beats(u64::from(bytes)),
+                        TraceOp::Copy { bytes, .. } => 2 * bus.beats(bytes),
+                        TraceOp::Compute(_) => unreachable!("compute handled above"),
+                    };
+                    lane.next += 1;
+                    grants += 1;
+                    if bus.faults.drops(grants) {
+                        beats *= 2;
+                    }
+                    let stall = bus.faults.stall_for(grants) as f64;
+                    let window = lane.cfg.outstanding.max(1) as usize;
+                    let mut ready = lane.time;
+                    if lane.inflight.len() >= window {
+                        ready = ready.max(lane.inflight.pop_front().expect("nonempty window"));
+                    }
+                    let grant = ready.max(bus_free) + stall;
+                    bus_free = grant + beats as f64;
+                    bus_beats += beats;
+                    lane.inflight.push_back(grant + beats as f64 + latency);
+                    lane.time = grant + beats as f64;
+                    heap.push(Reverse((Time(lane.time), li)));
+                }
+            }
+        }
+        let makespan = per_task.iter().copied().max().unwrap_or(0);
+        AccelReport {
+            per_task,
+            makespan,
+            bus_beats,
+            bus_utilization: if makespan == 0 {
+                0.0
+            } else {
+                bus_beats as f64 / makespan as f64
+            },
+        }
+    }
+
+    #[test]
+    fn heap_bypass_is_cycle_for_cycle_identical_to_naive_loop() {
+        let single = mem_heavy_trace();
+        let mixed: Trace = (0..2_000u64)
+            .flat_map(|i| {
+                [
+                    TraceOp::Compute(7),
+                    TraceOp::Mem {
+                        addr: i * 64,
+                        bytes: 4,
+                        write: i % 3 == 0,
+                        object: 0,
+                    },
+                ]
+            })
+            .collect();
+        let faulty = BusConfig::default().with_faults(crate::bus::BusFaultConfig {
+            stall_every: 10,
+            stall_cycles: 50,
+            drop_every: 7,
+        });
+        let systems: Vec<(Vec<AccelTask<'_>>, BusConfig)> = vec![
+            (
+                vec![AccelTask {
+                    trace: &single,
+                    cfg: AccelTimingConfig::default(),
+                    start: 0,
+                }],
+                BusConfig::default(),
+            ),
+            (
+                (0..4)
+                    .map(|i| AccelTask {
+                        trace: if i % 2 == 0 { &single } else { &mixed },
+                        cfg: AccelTimingConfig {
+                            lanes: 1 + i,
+                            compute_per_cycle: 2.0,
+                            outstanding: 1 + i,
+                        },
+                        start: u64::from(i) * 100,
+                    })
+                    .collect(),
+                BusConfig::default().with_checker(2),
+            ),
+            (
+                vec![AccelTask {
+                    trace: &mixed,
+                    cfg: AccelTimingConfig::default(),
+                    start: 0,
+                }],
+                faulty,
+            ),
+        ];
+        for (tasks, bus) in systems {
+            assert_eq!(
+                simulate_accel_system(&tasks, &bus),
+                simulate_accel_naive(&tasks, &bus),
+                "bypass diverged on a {}-task system",
+                tasks.len()
+            );
+        }
     }
 
     #[test]

@@ -54,6 +54,24 @@ pub fn simulate_accel_system_cycle_accurate(
     tasks: &[AccelTask<'_>],
     bus: &BusConfig,
 ) -> AccelReport {
+    simulate_cycle_accurate_inner(tasks, bus, true)
+}
+
+/// The validator with the bulk-advance fast path disabled: `now` steps by
+/// exactly one cycle, always. Only the equivalence test should need this.
+#[must_use]
+pub fn simulate_accel_system_single_stepped(
+    tasks: &[AccelTask<'_>],
+    bus: &BusConfig,
+) -> AccelReport {
+    simulate_cycle_accurate_inner(tasks, bus, false)
+}
+
+fn simulate_cycle_accurate_inner(
+    tasks: &[AccelTask<'_>],
+    bus: &BusConfig,
+    bulk_advance: bool,
+) -> AccelReport {
     let mut lanes: Vec<LaneState> = Vec::new();
     for (t_idx, task) in tasks.iter().enumerate() {
         for ops in distribute_over_lanes(task.trace, task.cfg.lanes.max(1) as usize) {
@@ -133,7 +151,43 @@ pub fn simulate_accel_system_cycle_accurate(
                 }
             }
         }
-        now += 1;
+        // Bulk-advance fast path: between here and the next scheduled
+        // event — a compute block or bus occupancy ending (`busy_until`),
+        // an in-flight request completing, or the bus freeing up — every
+        // cycle is provably a no-op: nothing retires, no compute can
+        // start (a lane whose next op is compute started it this cycle),
+        // and no grant can happen (either the bus stays busy through the
+        // stretch, or it was free this cycle and every eligible request
+        // was already considered). Skipping straight to the earliest such
+        // event visits exactly the cycles where state can change, so the
+        // result is cycle-for-cycle identical to stepping — which the
+        // single-stepped equivalence test pins.
+        now = if bulk_advance {
+            let mut next = u64::MAX;
+            for lane in &lanes {
+                if lane.done {
+                    continue;
+                }
+                if lane.busy_until > now {
+                    next = next.min(lane.busy_until);
+                }
+                if let Some(c) = lane.inflight.front() {
+                    if *c > now {
+                        next = next.min(*c);
+                    }
+                }
+            }
+            if bus_free_at > now {
+                next = next.min(bus_free_at);
+            }
+            if next == u64::MAX {
+                now + 1
+            } else {
+                next.max(now + 1)
+            }
+        } else {
+            now + 1
+        };
     }
 
     let makespan = per_task.iter().copied().max().unwrap_or(0);
@@ -273,6 +327,65 @@ mod tests {
             start: 0,
         };
         agree_within(&[task], &BusConfig::default().with_checker(2), 0.10);
+    }
+
+    #[test]
+    fn bulk_advance_is_cycle_for_cycle_identical_to_stepping() {
+        let t1 = mixed_trace(1_000);
+        let t2 = mem_trace(1_500, 32);
+        let mut compute_heavy = Trace::new();
+        compute_heavy.push(TraceOp::Compute(100_000));
+        compute_heavy.push(TraceOp::Mem {
+            addr: 0,
+            bytes: 8,
+            write: false,
+            object: 0,
+        });
+        let systems: Vec<(Vec<AccelTask<'_>>, BusConfig)> = vec![
+            (
+                vec![AccelTask {
+                    trace: &compute_heavy,
+                    cfg: AccelTimingConfig {
+                        lanes: 1,
+                        compute_per_cycle: 1.0,
+                        outstanding: 1,
+                    },
+                    start: 3,
+                }],
+                BusConfig::default(),
+            ),
+            (
+                vec![
+                    AccelTask {
+                        trace: &t1,
+                        cfg: AccelTimingConfig {
+                            lanes: 4,
+                            compute_per_cycle: 2.0,
+                            outstanding: 4,
+                        },
+                        start: 100,
+                    },
+                    AccelTask {
+                        trace: &t2,
+                        cfg: AccelTimingConfig {
+                            lanes: 2,
+                            compute_per_cycle: 1.0,
+                            outstanding: 2,
+                        },
+                        start: 0,
+                    },
+                ],
+                BusConfig::default().with_checker(2),
+            ),
+        ];
+        for (tasks, bus) in systems {
+            assert_eq!(
+                simulate_accel_system_cycle_accurate(&tasks, &bus),
+                simulate_accel_system_single_stepped(&tasks, &bus),
+                "bulk advance diverged on a {}-task system",
+                tasks.len()
+            );
+        }
     }
 
     #[test]

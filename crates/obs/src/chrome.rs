@@ -166,6 +166,10 @@ fn write_event(w: &mut JsonWriter, event: &Event) {
                     w.key("cleared");
                     w.u64(cleared);
                 }
+                EventKind::WorkerPanic { worker } => {
+                    w.key("worker");
+                    w.u64(u64::from(worker));
+                }
             }
             w.end_object();
         }

@@ -214,6 +214,14 @@ pub enum EventKind {
         /// Forged tags found and cleared.
         cleared: u64,
     },
+    /// A parallel-harness worker thread panicked. Recorded by the worker
+    /// pool on the coordinating thread before the panic payload is
+    /// rethrown, so the failure is on the record even when the process
+    /// unwinds.
+    WorkerPanic {
+        /// Index of the panicking worker thread.
+        worker: u32,
+    },
 }
 
 impl EventKind {
@@ -238,6 +246,7 @@ impl EventKind {
             EventKind::EngineQuarantined { .. } => "engine_quarantined",
             EventKind::CheckerDegraded { .. } => "checker_degraded",
             EventKind::TagAudit { .. } => "tag_audit",
+            EventKind::WorkerPanic { .. } => "worker_panic",
         }
     }
 
@@ -259,6 +268,7 @@ impl EventKind {
             | EventKind::EngineQuarantined { .. }
             | EventKind::CheckerDegraded { .. }
             | EventKind::TagAudit { .. } => "recovery",
+            EventKind::WorkerPanic { .. } => "harness",
         }
     }
 }

@@ -84,10 +84,18 @@ pub fn survival_row(kind: FaultKind, tasks: u32, seed: u64) -> SurvivalRow {
 /// One survival row per fault kind, in [`FaultKind::ALL`] order.
 #[must_use]
 pub fn survival_table(tasks: u32, seed: u64) -> Vec<SurvivalRow> {
-    FaultKind::ALL
-        .iter()
-        .map(|&kind| survival_row(kind, tasks, seed))
-        .collect()
+    survival_table_threads(tasks, seed, 1)
+}
+
+/// [`survival_table`] with its per-kind campaigns fanned out over a
+/// worker pool — each campaign owns its whole system, so any thread count
+/// yields the identical table.
+#[must_use]
+pub fn survival_table_threads(tasks: u32, seed: u64, threads: usize) -> Vec<SurvivalRow> {
+    perf::parallel_map(threads, FaultKind::ALL.len(), |i| {
+        survival_row(FaultKind::ALL[i], tasks, seed)
+    })
+    .unwrap_or_else(|p| p.resume())
 }
 
 #[cfg(test)]
