@@ -6,6 +6,7 @@
 //! simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]
 //!          [--tasks N] [--seed S] [--threads N] [--json] [--trace-out <path>]
 //! simulate faults [--spec SPEC] [--tasks N] [--seed S] [--fus N] [--json]
+//! simulate conformance [--seed S] [--ops N] [--json]
 //! ```
 //!
 //! `--threads N` fans independent benchmark cells out over a scoped
@@ -28,12 +29,20 @@
 //! `capcheri.fault_campaign.v1` report, byte-identical for a fixed spec,
 //! seed, and task count.
 //!
+//! The `conformance` subcommand replays a seeded op stream through every
+//! checker implementation and the golden oracle, diffing each verdict,
+//! exception code, and the final tag state (see the `conformance`
+//! crate). Exit status is nonzero on any divergence; `--json` emits the
+//! `capcheri.conformance.v1` report; a divergent run prints a shrunk,
+//! ready-to-paste minimal reproducer.
+//!
 //! Examples:
 //!
 //! ```text
 //! cargo run --release -p capcheri-bench --bin simulate -- gemm_ncubed --tasks 4
 //! cargo run --release -p capcheri-bench --bin simulate -- all --variant ccpu
 //! cargo run --release -p capcheri-bench --bin simulate -- faults --spec all:0.8 --tasks 64
+//! cargo run --release -p capcheri-bench --bin simulate -- conformance --seed 1 --ops 10000
 //! ```
 
 use capchecker::{run_campaign, CampaignConfig, SystemVariant};
@@ -59,7 +68,8 @@ fn usage() -> String {
         "usage: simulate <benchmark|all> [--variant cpu|ccpu|cpu+accel|ccpu+accel|ccpu+caccel]\n\
          \x20               [--tasks N] [--seed S] [--threads N] [--json] [--trace-out FILE]\n\
          \x20      simulate faults [--spec none|all:RATE|kind:RATE,...] [--tasks N] [--seed S]\n\
-         \x20               [--fus N] [--json]\n\n\
+         \x20               [--fus N] [--json]\n\
+         \x20      simulate conformance [--seed S] [--ops N] [--json]\n\n\
          benchmarks: {}\n\
          fault kinds: {}",
         names.join(", "),
@@ -144,6 +154,46 @@ fn run_faults(config: &CampaignConfig, json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn parse_conformance(args: &[String]) -> Result<(u64, u64, bool), String> {
+    let (mut seed, mut ops, mut json) = (1u64, 10_000u64, false);
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                seed = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--ops" => ops = value(&mut it)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--json" => json = true,
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok((seed, ops, json))
+}
+
+fn run_conformance(seed: u64, ops: u64, json: bool) -> ExitCode {
+    let report = threatbench::fuzz::conformance_campaign(ops, seed);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.summary());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            eprintln!("conformance FAILED: an implementation diverged from the oracle");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         benches: Vec::new(),
@@ -210,6 +260,15 @@ fn parse(args: &[String]) -> Result<Options, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("conformance") {
+        return match parse_conformance(&args[1..]) {
+            Ok((seed, ops, json)) => run_conformance(seed, ops, json),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("faults") {
         return match parse_faults(&args[1..]) {
             Ok((config, json)) => run_faults(&config, json),

@@ -166,3 +166,129 @@ proptest! {
         prop_assert!(cap.check_access(cap.base(), 1, Perms::NONE).is_err());
     }
 }
+
+fn arb_otype() -> impl Strategy<Value = u32> {
+    // Mostly valid software otypes, plus the reserved encodings (0 =
+    // unsealed, 1 = sentry) and out-of-range values that must be refused.
+    prop_oneof![
+        6 => cheri::MIN_SEALED_OTYPE..=cheri::MAX_SEALED_OTYPE,
+        1 => 0u32..cheri::MIN_SEALED_OTYPE,
+        1 => (cheri::MAX_OTYPE + 1)..=u32::MAX,
+    ]
+}
+
+proptest! {
+    /// `seal` → `unseal` is the identity for every valid software otype,
+    /// including across a trip through the 128-bit memory format; the
+    /// reserved and out-of-range otypes are refused with
+    /// [`CapFault::InvalidObjectType`] and leave nothing sealed.
+    #[test]
+    fn seal_unseal_round_trips((base, len) in arb_region(), otype in arb_otype()) {
+        let cap = match Capability::root().set_bounds(base, len) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        match cap.seal(otype) {
+            Ok(sealed) => {
+                prop_assert!((cheri::MIN_SEALED_OTYPE..=cheri::MAX_SEALED_OTYPE)
+                    .contains(&otype));
+                prop_assert!(sealed.is_sealed());
+                prop_assert_eq!(sealed.otype(), cheri::OType::Sealed(otype));
+                // Sealed means frozen: no derivation, no dereference.
+                prop_assert_eq!(sealed.seal(otype).unwrap_err(), CapFault::SealViolation);
+                prop_assert_eq!(sealed.and_perms(Perms::ALL).unwrap_err(),
+                    CapFault::SealViolation);
+                prop_assert!(sealed.check_access(sealed.base(), 1, Perms::NONE).is_err());
+                // Unsealing restores the original exactly.
+                prop_assert_eq!(sealed.unseal().unwrap(), cap);
+                // And the memory format preserves the seal faithfully.
+                let thawed = sealed.compress().decode(true);
+                prop_assert_eq!(thawed, sealed);
+                prop_assert_eq!(thawed.unseal().unwrap(), cap);
+            }
+            Err(fault) => {
+                prop_assert_eq!(fault, CapFault::InvalidObjectType);
+                prop_assert!(otype < cheri::MIN_SEALED_OTYPE || otype > cheri::MAX_SEALED_OTYPE);
+            }
+        }
+    }
+
+    /// Sentry sealing round-trips too, and unsealing a never-sealed
+    /// capability is refused.
+    #[test]
+    fn sentry_round_trips((base, len) in arb_region()) {
+        let cap = match Capability::root().set_bounds(base, len) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let sentry = cap.seal_entry().unwrap();
+        prop_assert!(sentry.is_sealed());
+        prop_assert_eq!(sentry.otype(), cheri::OType::Sentry);
+        prop_assert_eq!(sentry.unseal().unwrap(), cap);
+        prop_assert_eq!(cap.unseal().unwrap_err(), CapFault::SealViolation);
+    }
+}
+
+/// One step of an arbitrary derivation chain.
+#[derive(Clone, Copy, Debug)]
+enum DeriveOp {
+    Narrow { off: u64, len: u64 },
+    Mask { bits: u16 },
+    Seal { otype: u32 },
+    Unseal,
+    Move { off: u64 },
+}
+
+fn arb_derive_ops() -> impl Strategy<Value = Vec<DeriveOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (any::<u64>(), any::<u64>()).prop_map(|(off, len)| DeriveOp::Narrow { off, len }),
+            3 => (0u16..0x1000).prop_map(|bits| DeriveOp::Mask { bits }),
+            1 => (2u32..1000).prop_map(|otype| DeriveOp::Seal { otype }),
+            1 => Just(DeriveOp::Unseal),
+            2 => any::<u64>().prop_map(|off| DeriveOp::Move { off }),
+        ],
+        1..24,
+    )
+}
+
+proptest! {
+    /// Global permission monotonicity: *no sequence of operations* ever
+    /// widens permissions or bounds beyond what the chain started with —
+    /// every intermediate (and the final) capability is dominated by the
+    /// starting one, whether each step succeeds or faults.
+    #[test]
+    fn no_operation_sequence_widens_authority(
+        (base, len) in arb_region(),
+        ops in arb_derive_ops(),
+    ) {
+        let origin = match Capability::root().set_bounds(base, len) {
+            Ok(c) => c.and_perms(Perms::ALL).unwrap(),
+            Err(_) => return Ok(()),
+        };
+        let mut cap = origin;
+        for op in ops {
+            let next = match op {
+                DeriveOp::Narrow { off, len } => {
+                    let span = (cap.length().min(u64::MAX as u128) as u64).max(1);
+                    cap.set_bounds(cap.base().wrapping_add(off % span), len % span)
+                }
+                DeriveOp::Mask { bits } => cap.and_perms(Perms::from_bits(bits)),
+                DeriveOp::Seal { otype } => cap.seal(otype),
+                DeriveOp::Unseal => cap.unseal(),
+                DeriveOp::Move { off } => {
+                    let span = (cap.length().min(u64::MAX as u128) as u64).max(1);
+                    cap.set_address(cap.base().wrapping_add(off % span))
+                }
+            };
+            if let Ok(derived) = next {
+                prop_assert!(origin.dominates(&derived),
+                    "{op:?} escaped [{:#x},{:#x}) {:?} -> [{:#x},{:#x}) {:?}",
+                    origin.base(), origin.top(), origin.perms(),
+                    derived.base(), derived.top(), derived.perms());
+                prop_assert!(cap.dominates(&derived), "{op:?} widened its own parent");
+                cap = derived;
+            }
+        }
+    }
+}

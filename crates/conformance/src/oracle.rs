@@ -1,0 +1,355 @@
+//! The golden oracle: an uncompressed, unoptimized interpreter of
+//! capability semantics.
+//!
+//! Everything here is written for *inspectability*, not speed: a flat
+//! `Vec` stands in for the capability table, a `BTreeMap` of granule
+//! addresses is the entire tag memory, and every check is straight-line
+//! `u128` arithmetic in the architectural order (tag → seal → perms →
+//! bounds). The oracle never touches the compressed encoding — it records
+//! the exact `base`/`top`/`perms` the granted [`cheri::Capability`]
+//! reports — so a codec bug cannot hide inside the reference model. The
+//! codec itself is pinned separately by [`crate::codec`].
+
+use cheri::{CapFault, Perms};
+use hetsim::{Access, AccessKind, DenyReason, ObjectId, TaskId};
+use ioprotect::GrantError;
+use std::collections::BTreeMap;
+
+/// What the oracle recorded about one granted capability: the exact
+/// uncompressed representation, nothing derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OracleCap {
+    /// Validity tag at grant time.
+    pub tag: bool,
+    /// Whether the capability was sealed at grant time.
+    pub sealed: bool,
+    /// Permission bits at grant time.
+    pub perms: Perms,
+    /// Lower bound (inclusive).
+    pub base: u64,
+    /// Upper bound (exclusive); `u128` so the full address space is a
+    /// legal region.
+    pub top: u128,
+}
+
+/// The verdict every implementation must agree on for one access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The access is allowed.
+    Granted,
+    /// The access is refused, with the architectural exception code.
+    Denied(DenyReason),
+}
+
+/// What the oracle knows about the byte content of one tagged-memory
+/// granule — tracked so a forged tag bit ([`Oracle::tag_flip`]) can only
+/// resurrect bounds the oracle already derived architecturally, keeping
+/// the reference model independent of the compressed codec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Content {
+    /// Never written, or overwritten by a capability-unaware store.
+    Unknown,
+    /// Holds the bit-pattern of a spilled capability with these bounds.
+    Spilled {
+        /// Lower bound of the spilled capability.
+        base: u64,
+        /// Upper bound of the spilled capability.
+        top: u128,
+    },
+}
+
+/// The golden reference model: a flat capability table plus a tiny flat
+/// tag memory.
+#[derive(Debug)]
+pub struct Oracle {
+    capacity: usize,
+    entries: Vec<(TaskId, ObjectId, OracleCap)>,
+    /// tag memory: granule address → authority bounds of the capability
+    /// whose tag is set there.
+    tags: BTreeMap<u64, (u64, u128)>,
+    /// byte content per granule that ever held a capability pattern.
+    content: BTreeMap<u64, Content>,
+    /// Latched exception flag (any denial since the last clear).
+    exception: bool,
+}
+
+impl Oracle {
+    /// A fresh oracle with a `capacity`-entry table (the hardware table
+    /// size the oracle mirrors).
+    #[must_use]
+    pub fn new(capacity: usize) -> Oracle {
+        Oracle {
+            capacity,
+            entries: Vec::new(),
+            tags: BTreeMap::new(),
+            content: BTreeMap::new(),
+            exception: false,
+        }
+    }
+
+    /// Installs a capability for `(task, object)`, exactly as the MMIO
+    /// import path must: reject anything untagged or sealed, replace an
+    /// existing entry in place, and stall only when the table is full.
+    ///
+    /// # Errors
+    ///
+    /// [`GrantError::InvalidCapability`] for untagged/sealed capabilities,
+    /// [`GrantError::TableFull`] when no entry is free.
+    pub fn grant(
+        &mut self,
+        task: TaskId,
+        object: ObjectId,
+        cap: &cheri::Capability,
+    ) -> Result<(), GrantError> {
+        if !cap.is_valid() || cap.is_sealed() {
+            return Err(GrantError::InvalidCapability);
+        }
+        let recorded = OracleCap {
+            tag: cap.is_valid(),
+            sealed: cap.is_sealed(),
+            perms: cap.perms(),
+            base: cap.base(),
+            top: cap.top(),
+        };
+        for entry in &mut self.entries {
+            if entry.0 == task && entry.1 == object {
+                entry.2 = recorded;
+                return Ok(());
+            }
+        }
+        if self.entries.len() >= self.capacity {
+            return Err(GrantError::TableFull);
+        }
+        self.entries.push((task, object, recorded));
+        Ok(())
+    }
+
+    /// Drops every table entry owned by `task`.
+    pub fn revoke_task(&mut self, task: TaskId) {
+        self.entries.retain(|(t, _, _)| *t != task);
+    }
+
+    /// Judges one Fine-mode access in the architectural order:
+    /// provenance → table entry → tag → seal → perms → bounds.
+    #[must_use]
+    pub fn check(&mut self, access: &Access) -> Verdict {
+        let verdict = self.judge(access);
+        if verdict != Verdict::Granted {
+            self.exception = true;
+        }
+        verdict
+    }
+
+    fn judge(&self, access: &Access) -> Verdict {
+        // Fine mode: hardware provenance identifies the object. Without
+        // it the request cannot be attributed.
+        let Some(object) = access.object else {
+            return Verdict::Denied(DenyReason::BadProvenance);
+        };
+        let Some((_, _, cap)) = self
+            .entries
+            .iter()
+            .find(|(t, o, _)| *t == access.task && *o == object)
+        else {
+            return Verdict::Denied(DenyReason::NoEntry);
+        };
+        if !cap.tag {
+            return Verdict::Denied(DenyReason::Capability(CapFault::TagViolation));
+        }
+        if cap.sealed {
+            return Verdict::Denied(DenyReason::Capability(CapFault::SealViolation));
+        }
+        let needed = match access.kind {
+            AccessKind::Read => Perms::LOAD,
+            AccessKind::Write => Perms::STORE,
+        };
+        if !cap.perms.contains(needed) {
+            return Verdict::Denied(DenyReason::Capability(CapFault::PermissionViolation {
+                missing: needed.intersect(!cap.perms),
+            }));
+        }
+        let lo = u128::from(access.addr);
+        let hi = lo + u128::from(access.len);
+        if !(access.addr >= cap.base && hi <= cap.top) {
+            return Verdict::Denied(DenyReason::Capability(CapFault::BoundsViolation {
+                addr: access.addr,
+                len: access.len,
+            }));
+        }
+        Verdict::Granted
+    }
+
+    /// Records a capability-aware store of a capability with bounds
+    /// `[base, top)` at `granule_addr`: tag set, content known.
+    pub fn spill(&mut self, granule_addr: u64, base: u64, top: u128) {
+        self.tags.insert(granule_addr, (base, top));
+        self.content
+            .insert(granule_addr, Content::Spilled { base, top });
+    }
+
+    /// Records a capability-unaware (DMA) write over `[addr, addr+len)`:
+    /// every intersecting granule loses its tag and its content becomes
+    /// unknown bytes.
+    pub fn dma_write(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = addr / 16 * 16;
+        let last = (addr + len - 1) / 16 * 16;
+        let mut g = first;
+        loop {
+            self.tags.remove(&g);
+            self.content.insert(g, Content::Unknown);
+            if g >= last {
+                break;
+            }
+            g += 16;
+        }
+    }
+
+    /// A software revocation sweep over `[base, base+len)`: clears the tag
+    /// of every in-memory capability whose authority intersects the
+    /// region (half-open on both sides, so merely-adjacent regions do not
+    /// intersect). Bytes are untouched — only tags die.
+    pub fn sweep(&mut self, base: u64, len: u64) {
+        let lo = u128::from(base);
+        let hi = lo + u128::from(len);
+        self.tags
+            .retain(|_, (cap_base, cap_top)| !(u128::from(*cap_base) < hi && *cap_top > lo));
+    }
+
+    /// A fault-injection tag flip at `granule_addr`: re-tags whatever
+    /// bytes sit there. Returns the bounds the forged capability decodes
+    /// to when the oracle knows the granule's content exactly (a spilled
+    /// capability whose bytes were never overwritten), or `None` — the
+    /// harness skips flips on unknown bytes so the reference model never
+    /// has to emulate the compressed decoder.
+    pub fn tag_flip(&mut self, granule_addr: u64) -> Option<(u64, u128)> {
+        match self.content.get(&granule_addr) {
+            Some(Content::Spilled { base, top }) => {
+                let bounds = (*base, *top);
+                self.tags.insert(granule_addr, bounds);
+                Some(bounds)
+            }
+            _ => None,
+        }
+    }
+
+    /// The tag memory: granule address → authority bounds, in address
+    /// order.
+    #[must_use]
+    pub fn tags(&self) -> &BTreeMap<u64, (u64, u128)> {
+        &self.tags
+    }
+
+    /// Live table entries (used by the harness to re-derive state).
+    #[must_use]
+    pub fn entries(&self) -> &[(TaskId, ObjectId, OracleCap)] {
+        &self.entries
+    }
+
+    /// The latched exception flag: `true` once any access was denied.
+    #[must_use]
+    pub fn exception_flag(&self) -> bool {
+        self.exception
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Capability;
+    use hetsim::MasterId;
+
+    fn cap(base: u64, len: u64, perms: Perms) -> Capability {
+        Capability::root()
+            .set_bounds(base, len)
+            .unwrap()
+            .and_perms(perms)
+            .unwrap()
+    }
+
+    fn read(task: u32, object: u16, addr: u64, len: u64) -> Access {
+        Access::read(MasterId(0), TaskId(task), addr, len).with_object(ObjectId(object))
+    }
+
+    #[test]
+    fn grant_check_deny_in_architectural_order() {
+        let mut o = Oracle::new(4);
+        o.grant(TaskId(1), ObjectId(0), &cap(0x1000, 64, Perms::LOAD))
+            .unwrap();
+
+        assert_eq!(o.check(&read(1, 0, 0x1000, 64)), Verdict::Granted);
+        assert_eq!(
+            o.check(&read(1, 1, 0x1000, 1)),
+            Verdict::Denied(DenyReason::NoEntry)
+        );
+        assert_eq!(
+            o.check(&read(1, 0, 0x1040, 1)),
+            Verdict::Denied(DenyReason::Capability(CapFault::BoundsViolation {
+                addr: 0x1040,
+                len: 1
+            }))
+        );
+        let write = Access::write(MasterId(0), TaskId(1), 0x1000, 8).with_object(ObjectId(0));
+        assert_eq!(
+            o.check(&write),
+            Verdict::Denied(DenyReason::Capability(CapFault::PermissionViolation {
+                missing: Perms::STORE
+            }))
+        );
+        let no_provenance = Access::read(MasterId(0), TaskId(1), 0x1000, 8);
+        assert_eq!(
+            o.check(&no_provenance),
+            Verdict::Denied(DenyReason::BadProvenance)
+        );
+        assert!(o.exception_flag());
+    }
+
+    #[test]
+    fn grant_rejects_sealed_and_untagged_and_fills_up() {
+        let mut o = Oracle::new(1);
+        let c = cap(0x1000, 64, Perms::RW);
+        assert_eq!(
+            o.grant(TaskId(0), ObjectId(0), &c.seal(4).unwrap()),
+            Err(GrantError::InvalidCapability)
+        );
+        assert_eq!(
+            o.grant(TaskId(0), ObjectId(0), &c.clear_tag()),
+            Err(GrantError::InvalidCapability)
+        );
+        o.grant(TaskId(0), ObjectId(0), &c).unwrap();
+        // Replacement in place is not a capacity event.
+        o.grant(TaskId(0), ObjectId(0), &c).unwrap();
+        assert_eq!(
+            o.grant(TaskId(0), ObjectId(1), &c),
+            Err(GrantError::TableFull)
+        );
+        o.revoke_task(TaskId(0));
+        o.grant(TaskId(0), ObjectId(1), &c).unwrap();
+    }
+
+    #[test]
+    fn tag_model_spill_write_sweep_flip() {
+        let mut o = Oracle::new(4);
+        o.spill(0x20, 0x1000, 0x1100);
+        assert_eq!(o.tags().get(&0x20), Some(&(0x1000, 0x1100)));
+
+        // Adjacent region: no intersection, tag survives.
+        o.sweep(0x1100, 0x100);
+        assert!(o.tags().contains_key(&0x20));
+        // Overlapping region: revoked.
+        o.sweep(0x10ff, 1);
+        assert!(!o.tags().contains_key(&0x20));
+
+        // A forged tag resurrects the spilled bounds...
+        assert_eq!(o.tag_flip(0x20), Some((0x1000, 0x1100)));
+        assert!(o.tags().contains_key(&0x20));
+        // ...but not once a DMA write destroyed the bytes.
+        o.dma_write(0x28, 4);
+        assert!(!o.tags().contains_key(&0x20));
+        assert_eq!(o.tag_flip(0x20), None);
+        // Unknown granules can't be flipped either.
+        assert_eq!(o.tag_flip(0x40), None);
+    }
+}

@@ -1,0 +1,231 @@
+//! The `capcheri.conformance.v1` machine-readable report.
+//!
+//! Byte-deterministic for a given `(seed, ops)` — CI diffs two runs and
+//! archives the artifact. Built with `obs`'s [`JsonWriter`] like every
+//! other report schema in the repo.
+
+use crate::codec::CodecReport;
+use crate::harness::{Divergence, OpCounts, RunOutcome};
+use obs::json::JsonWriter;
+use obs::Event;
+
+/// Schema identifier embedded in the report.
+pub const SCHEMA: &str = "capcheri.conformance.v1";
+
+/// Divergence entries included verbatim in the JSON (the rest are
+/// counted only, to bound artifact size on a badly broken build).
+const MAX_JSON_DIVERGENCES: usize = 25;
+
+/// Everything one `simulate conformance` run produced.
+#[derive(Debug)]
+pub struct ConformanceReport {
+    /// Stream seed.
+    pub seed: u64,
+    /// Requested stream length.
+    pub ops: u64,
+    /// Corpus composition.
+    pub counts: OpCounts,
+    /// Oracle-vs-implementation comparisons made.
+    pub checked: u64,
+    /// Accesses the oracle granted.
+    pub granted: u64,
+    /// Accesses the oracle denied.
+    pub denied: u64,
+    /// Sanctioned corruption fail-stops reconciled.
+    pub fail_stops: u64,
+    /// Op index at which the degrading subject switched to uncached.
+    pub degraded_at: Option<u64>,
+    /// Granules tagged in memory or the oracle at the end.
+    pub tag_granules: u64,
+    /// Final-tag-state disagreements.
+    pub tag_mismatches: u64,
+    /// Codec round-trip/idempotence sweep.
+    pub codec: CodecReport,
+    /// Every divergence, in stream order.
+    pub divergences: Vec<Divergence>,
+    /// Minimal reproducer as a paste-ready test, when divergences exist.
+    pub reproducer: Option<String>,
+    /// Obs events the run emitted.
+    pub events: Vec<Event>,
+}
+
+impl ConformanceReport {
+    /// `true` when every implementation agreed with the oracle
+    /// everywhere and the codec sweep was clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty() && self.tag_mismatches == 0 && self.codec.is_clean()
+    }
+
+    /// Assembles the report from a run outcome plus the codec sweep.
+    #[must_use]
+    pub fn assemble(
+        seed: u64,
+        ops: u64,
+        outcome: RunOutcome,
+        codec: CodecReport,
+        reproducer: Option<String>,
+    ) -> ConformanceReport {
+        ConformanceReport {
+            seed,
+            ops,
+            counts: outcome.counts,
+            checked: outcome.checked,
+            granted: outcome.granted,
+            denied: outcome.denied,
+            fail_stops: outcome.fail_stops,
+            degraded_at: outcome.degraded_at,
+            tag_granules: outcome.tag_granules,
+            tag_mismatches: outcome.tag_mismatches,
+            codec,
+            divergences: outcome.divergences,
+            reproducer,
+            events: outcome.events,
+        }
+    }
+
+    /// The `capcheri.conformance.v1` JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("schema");
+        w.string(SCHEMA);
+        w.key("seed");
+        w.u64(self.seed);
+        w.key("ops");
+        w.u64(self.ops);
+
+        w.key("corpus");
+        w.begin_object();
+        w.key("grants");
+        w.u64(self.counts.grants);
+        w.key("accesses");
+        w.u64(self.counts.accesses);
+        w.key("revokes");
+        w.u64(self.counts.revokes);
+        w.key("spills");
+        w.u64(self.counts.spills);
+        w.key("sweeps");
+        w.u64(self.counts.sweeps);
+        w.key("tag_flips");
+        w.u64(self.counts.tag_flips);
+        w.key("cache_corruptions");
+        w.u64(self.counts.cache_corruptions);
+        w.key("skipped");
+        w.u64(self.counts.skipped);
+        w.end_object();
+
+        w.key("agreement");
+        w.begin_object();
+        w.key("checked");
+        w.u64(self.checked);
+        w.key("granted");
+        w.u64(self.granted);
+        w.key("denied");
+        w.u64(self.denied);
+        w.key("fail_stops");
+        w.u64(self.fail_stops);
+        w.key("divergences");
+        w.u64(self.divergences.len() as u64);
+        w.end_object();
+
+        w.key("degraded");
+        w.bool(self.degraded_at.is_some());
+        w.key("degraded_at_op");
+        w.u64(self.degraded_at.unwrap_or(0));
+
+        w.key("tag_state");
+        w.begin_object();
+        w.key("granules");
+        w.u64(self.tag_granules);
+        w.key("mismatches");
+        w.u64(self.tag_mismatches);
+        w.end_object();
+
+        w.key("codec");
+        w.begin_object();
+        w.key("cases");
+        w.u64(self.codec.cases);
+        w.key("round_trip_failures");
+        w.u64(self.codec.round_trip_failures);
+        w.key("idempotence_failures");
+        w.u64(self.codec.idempotence_failures);
+        w.key("non_canonical");
+        w.u64(self.codec.non_canonical);
+        w.end_object();
+
+        w.key("divergence_list");
+        w.begin_array();
+        for d in self.divergences.iter().take(MAX_JSON_DIVERGENCES) {
+            w.begin_object();
+            w.key("op");
+            w.u64(d.op);
+            w.key("subject");
+            w.string(&d.subject);
+            w.key("expected");
+            w.string(&d.expected);
+            w.key("got");
+            w.string(&d.got);
+            w.end_object();
+        }
+        w.end_array();
+
+        if let Some(repro) = &self.reproducer {
+            w.key("reproducer");
+            w.string(repro);
+        }
+        w.end_object();
+        w.finish()
+    }
+
+    /// A short human-readable summary for terminal output.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut text = format!(
+            "conformance seed={} ops={}\n\
+             corpus: {} grants, {} accesses, {} revokes, {} spills, {} sweeps, \
+             {} tag flips, {} cache corruptions ({} skipped)\n\
+             agreement: {} checked, {} granted, {} denied, {} fail-stops\n\
+             degraded at op: {}\n\
+             tag state: {} granules, {} mismatches\n\
+             codec: {} cases, {} round-trip failures, {} idempotence failures \
+             ({} non-canonical skipped)\n\
+             divergences: {}\n",
+            self.seed,
+            self.ops,
+            self.counts.grants,
+            self.counts.accesses,
+            self.counts.revokes,
+            self.counts.spills,
+            self.counts.sweeps,
+            self.counts.tag_flips,
+            self.counts.cache_corruptions,
+            self.counts.skipped,
+            self.checked,
+            self.granted,
+            self.denied,
+            self.fail_stops,
+            self.degraded_at
+                .map_or_else(|| "never".to_string(), |at| at.to_string()),
+            self.tag_granules,
+            self.tag_mismatches,
+            self.codec.cases,
+            self.codec.round_trip_failures,
+            self.codec.idempotence_failures,
+            self.codec.non_canonical,
+            self.divergences.len(),
+        );
+        for d in self.divergences.iter().take(10) {
+            text.push_str(&format!(
+                "  op {} [{}]: expected {}, got {}\n",
+                d.op, d.subject, d.expected, d.got
+            ));
+        }
+        if let Some(repro) = &self.reproducer {
+            text.push_str("minimal reproducer (paste into a test):\n");
+            text.push_str(repro);
+        }
+        text
+    }
+}

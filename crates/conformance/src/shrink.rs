@@ -1,0 +1,105 @@
+//! Greedy delta-debugging shrinker for failing operation streams.
+//!
+//! The vendored `proptest` has no shrinking, so the conformance harness
+//! brings its own: remove chunks (halving the chunk size down to single
+//! ops), keeping any reduction that still fails, until a fixed point.
+//! Replay is fully deterministic ([`crate::harness::run_stream`] builds
+//! fresh state every time), so the predicate is pure.
+
+use crate::stream::Op;
+
+/// Shrinks `ops` to a locally minimal stream for which `still_fails`
+/// holds. `still_fails(ops)` must be `true` on entry; the result is
+/// 1-minimal (removing any single remaining op makes the failure
+/// disappear).
+#[must_use]
+pub fn shrink(ops: &[Op], still_fails: &dyn Fn(&[Op]) -> bool) -> Vec<Op> {
+    let mut current = ops.to_vec();
+    debug_assert!(still_fails(&current), "shrink needs a failing stream");
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Re-test the same position: the next chunk slid into it.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !reduced {
+                break;
+            }
+        } else {
+            chunk /= 2;
+        }
+    }
+    current
+}
+
+/// Formats a minimal failing stream as a ready-to-paste regression test.
+///
+/// [`Op`]'s fields are all plain integers/bools, so its `Debug` output —
+/// prefixed with `Op::` — is valid Rust constructor syntax.
+#[must_use]
+pub fn regression_test(ops: &[Op]) -> String {
+    let mut body = String::new();
+    body.push_str("#[test]\nfn conformance_regression() {\n    let ops = vec![\n");
+    for op in ops {
+        body.push_str(&format!("        conformance::Op::{op:?},\n"));
+    }
+    body.push_str(
+        "    ];\n    let outcome = conformance::run_ops(&ops);\n    \
+         assert!(outcome.is_clean(), \"{:#?}\", outcome.divergences);\n}\n",
+    );
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(task: u8) -> Op {
+        Op::RevokeTask { task }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let ops: Vec<Op> = (0..100).map(|i| op(i as u8)).collect();
+        // "Fails" iff task 73's op is present.
+        let fails = |ops: &[Op]| ops.iter().any(|o| matches!(o, Op::RevokeTask { task: 73 }));
+        let minimal = shrink(&ops, &fails);
+        assert_eq!(minimal, vec![op(73)]);
+    }
+
+    #[test]
+    fn shrinks_a_dependent_pair() {
+        let ops: Vec<Op> = (0..64).map(|i| op(i as u8)).collect();
+        // "Fails" only when both 5 and 40 survive, in order.
+        let fails = |ops: &[Op]| {
+            let five = ops
+                .iter()
+                .position(|o| matches!(o, Op::RevokeTask { task: 5 }));
+            let forty = ops
+                .iter()
+                .position(|o| matches!(o, Op::RevokeTask { task: 40 }));
+            matches!((five, forty), (Some(a), Some(b)) if a < b)
+        };
+        let minimal = shrink(&ops, &fails);
+        assert_eq!(minimal, vec![op(5), op(40)]);
+    }
+
+    #[test]
+    fn regression_test_is_paste_ready() {
+        let text = regression_test(&[Op::RevokeTask { task: 3 }]);
+        assert!(text.contains("conformance::Op::RevokeTask { task: 3 },"));
+        assert!(text.contains("fn conformance_regression()"));
+        assert!(text.contains("outcome.is_clean()"));
+    }
+}

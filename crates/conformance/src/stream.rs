@@ -1,0 +1,360 @@
+//! Deterministic, seed-reproducible operation streams.
+//!
+//! Every [`Op`] carries only plain integers and bools, so the `Debug`
+//! form of an op — prefixed with `Op::` — is a valid Rust expression.
+//! That is what makes a shrunk failing stream printable as a
+//! ready-to-paste regression test ([`crate::shrink::regression_test`]).
+
+use hetsim::{FaultKind, FaultPlan, FaultSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Distinct tasks the generator draws from.
+pub const TASKS: u8 = 6;
+/// Distinct objects per task.
+pub const OBJECTS: u8 = 16;
+/// Bytes reserved per `(task, object)` slot in simulated memory.
+pub const SLOT_BYTES: u64 = 0x1000;
+/// Where the object slots start; below this is the capability spill area.
+pub const SLOTS_BASE: u64 = 0x1_0000;
+/// One byte past the last object slot.
+pub const SLOTS_END: u64 = SLOTS_BASE + TASKS as u64 * OBJECTS as u64 * SLOT_BYTES;
+/// Simulated physical memory size.
+pub const MEM_BYTES: u64 = 0x8_0000;
+/// 16-byte granules addressable by spill/tag-flip ops.
+pub const GRANULES: u16 = (SLOTS_END / 16) as u16;
+
+/// The keyspace (`TASKS × OBJECTS` = 96 keys) is deliberately smaller
+/// than the checker's 256-entry table so a grant never stalls on
+/// capacity and all implementations stay in lockstep on every verdict;
+/// table-full semantics are pinned separately by unit tests.
+const _: () = assert!((TASKS as usize) * (OBJECTS as usize) <= 256);
+const _: () = assert!(SLOTS_END <= MEM_BYTES);
+
+/// One operation of a conformance stream.
+///
+/// Fields are plain integers/bools only — see the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Derive a capability from the root and install it for
+    /// `(task, object)` in every implementation.
+    Grant {
+        /// Destination task.
+        task: u8,
+        /// Destination object.
+        object: u8,
+        /// Requested lower bound.
+        base: u64,
+        /// Requested length in bytes (≥ 1).
+        len: u16,
+        /// Permission mask (`cheri::Perms` bits, ⊆ 0x0fff).
+        perms: u16,
+        /// Seal the capability first (every implementation must refuse).
+        seal: bool,
+        /// Clear the tag first (every implementation must refuse).
+        untagged: bool,
+    },
+    /// One DMA request, judged by every implementation and the oracle.
+    Access {
+        /// Requesting task.
+        task: u8,
+        /// Claimed object.
+        object: u8,
+        /// Whether hardware object provenance accompanies the request
+        /// (`false` forces a Fine-mode provenance fault).
+        provenance: bool,
+        /// `true` for a write, `false` for a read.
+        write: bool,
+        /// Target address.
+        addr: u64,
+        /// Length in bytes (1..=8).
+        len: u8,
+        /// Value stored on a granted write (clears tags it overlaps).
+        value: u64,
+    },
+    /// Evict every table entry the task owns, in every implementation.
+    RevokeTask {
+        /// Task to evict.
+        task: u8,
+    },
+    /// A capability-aware store: spill a fresh root-derived capability
+    /// with bounds `[base, base+len)` to granule `granule * 16`.
+    Spill {
+        /// Destination granule index.
+        granule: u16,
+        /// Lower bound of the spilled capability.
+        base: u64,
+        /// Length of the spilled capability (kept < 0x2000 so the
+        /// compressed encoding is exact and the oracle needs no codec).
+        len: u16,
+    },
+    /// A software revocation sweep over `[base, base+len)`.
+    Sweep {
+        /// Region base.
+        base: u64,
+        /// Region length.
+        len: u32,
+    },
+    /// Fault overlay: force the shadow tag bit of granule `granule * 16`
+    /// (applied only when the granule's bytes are a known spilled
+    /// capability; skipped otherwise).
+    TagFlip {
+        /// Target granule index.
+        granule: u16,
+    },
+    /// Fault overlay: flip bits in the cached checker's capability cache.
+    CacheCorrupt {
+        /// Cache slot to corrupt (`on_insert = false`).
+        slot: u8,
+        /// XOR mask applied to the cached image (never 0).
+        flip: u64,
+        /// Poison the next inserted line instead of a resident slot.
+        on_insert: bool,
+    },
+}
+
+/// Base address of the `(task, object)` slot.
+#[must_use]
+pub fn slot_base(task: u8, object: u8) -> u64 {
+    SLOTS_BASE + (u64::from(task) * u64::from(OBJECTS) + u64::from(object)) * SLOT_BYTES
+}
+
+/// Generates `n` ops, fully determined by `seed`.
+///
+/// The mix covers grants (including sealed/untagged ones every
+/// implementation must refuse), in/out/edge-of-bounds reads and writes,
+/// task revocations, capability spills, revocation sweeps,
+/// cache-pressure bursts cycling more keys than the cache holds, and
+/// fault overlays (tag flips, cache corruption) drawn from a seeded
+/// [`hetsim::FaultPlan`].
+#[must_use]
+pub fn generate(seed: u64, n: usize) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC04F_0441_5EED);
+    let spec: FaultSpec = "tag-flip:0.3,cache-corrupt:0.3"
+        .parse()
+        .expect("overlay spec is well-formed");
+    let mut plan = FaultPlan::new(spec, seed);
+    let mut ops = Vec::with_capacity(n);
+    // Rotation counter for cache-pressure bursts: cycling through all 96
+    // keys guarantees >16 distinct keys per burst, thrashing the cache.
+    let mut rot: u32 = 0;
+
+    while ops.len() < n {
+        // Fault overlays ride along every 8 ops, like the campaign
+        // harness samples its plan once per task window.
+        if ops.len() % 8 == 0 {
+            if let Some(injected) = plan.sample() {
+                match injected.kind {
+                    FaultKind::TagFlip => ops.push(Op::TagFlip {
+                        granule: rng.gen_range(0..GRANULES),
+                    }),
+                    FaultKind::CacheCorrupt => ops.push(Op::CacheCorrupt {
+                        slot: rng.gen_range(0..16u8),
+                        flip: rng.gen::<u64>() | 1,
+                        on_insert: rng.gen_bool(0.5),
+                    }),
+                    // The spec only arms the two memory-level kinds.
+                    _ => {}
+                }
+                continue;
+            }
+        }
+        let roll: u32 = rng.gen_range(0..100);
+        match roll {
+            0..=34 => ops.push(gen_grant(&mut rng)),
+            35..=74 => ops.push(gen_access(&mut rng)),
+            75..=79 => {
+                let task = rng.gen_range(0..TASKS);
+                ops.push(Op::RevokeTask { task });
+                // Half the time, model the full deallocation: revoke the
+                // table entries *and* sweep the task's region so spilled
+                // capabilities into it die too.
+                if rng.gen_bool(0.5) {
+                    ops.push(Op::Sweep {
+                        base: slot_base(task, 0),
+                        len: (u64::from(OBJECTS) * SLOT_BYTES) as u32,
+                    });
+                }
+            }
+            80..=87 => ops.push(Op::Spill {
+                granule: rng.gen_range(0..GRANULES),
+                base: rng.gen_range(0..SLOTS_END - 0x2000),
+                len: rng.gen_range(1..0x2000u16),
+            }),
+            88..=93 => ops.push(Op::Sweep {
+                base: rng.gen_range(0..SLOTS_END),
+                len: rng.gen_range(16..0x8000u32),
+            }),
+            _ => {
+                // Cache-pressure burst: touch 24 keys in rotation —
+                // more distinct keys than cache entries, so lines are
+                // evicted and re-filled under the diff.
+                for _ in 0..24 {
+                    if ops.len() >= n {
+                        break;
+                    }
+                    let task = (rot % u32::from(TASKS)) as u8;
+                    let object = ((rot / u32::from(TASKS)) % u32::from(OBJECTS)) as u8;
+                    rot = rot.wrapping_add(1);
+                    // Grant every 7th key: 7 is coprime with the 96-key
+                    // rotation, so the granted phase drifts and every key
+                    // is eventually both granted and re-read under
+                    // pressure (a fixed divisor of 96 would pin grants
+                    // and reads to disjoint keys forever).
+                    if rot.is_multiple_of(7) {
+                        ops.push(Op::Grant {
+                            task,
+                            object,
+                            base: slot_base(task, object),
+                            len: 0x100,
+                            perms: cheri::Perms::RW.bits(),
+                            seal: false,
+                            untagged: false,
+                        });
+                    } else {
+                        ops.push(Op::Access {
+                            task,
+                            object,
+                            provenance: true,
+                            write: false,
+                            addr: slot_base(task, object) + rng.gen_range(0..0x100u64),
+                            len: 1,
+                            value: 0,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    ops.truncate(n);
+    ops
+}
+
+fn gen_grant(rng: &mut SmallRng) -> Op {
+    let task = rng.gen_range(0..TASKS);
+    let object = rng.gen_range(0..OBJECTS);
+    // Half the grants cover the slot from its start — those are the ones
+    // in-slot accesses mostly land in, keeping the granted/denied mix
+    // healthy — and half start at a random offset to move the lower
+    // bounds edge around.
+    let (base, len) = if rng.gen_bool(0.5) {
+        (
+            slot_base(task, object),
+            rng.gen_range(0x200..(SLOT_BYTES / 2) as u16),
+        )
+    } else {
+        (
+            slot_base(task, object) + rng.gen_range(0..SLOT_BYTES / 2),
+            rng.gen_range(1..(SLOT_BYTES / 2) as u16),
+        )
+    };
+    let perms = match rng.gen_range(0..10u32) {
+        0..=3 => cheri::Perms::RW,
+        4..=5 => cheri::Perms::LOAD,
+        6 => cheri::Perms::STORE,
+        7 => cheri::Perms::ALL,
+        8 => cheri::Perms::GLOBAL | cheri::Perms::LOAD,
+        _ => cheri::Perms::NONE,
+    };
+    Op::Grant {
+        task,
+        object,
+        base,
+        len,
+        perms: perms.bits(),
+        seal: rng.gen_bool(0.05),
+        untagged: rng.gen_bool(0.05),
+    }
+}
+
+fn gen_access(rng: &mut SmallRng) -> Op {
+    let mut task = rng.gen_range(0..TASKS);
+    let mut object = rng.gen_range(0..OBJECTS);
+    let slot = slot_base(task, object);
+    let mut provenance = true;
+    let addr = match rng.gen_range(0..20u32) {
+        // Low in the slot: lands inside slot-start grants.
+        0..=5 => slot + rng.gen_range(0..0x200u64),
+        // Anywhere in the slot: exercises interior bounds edges.
+        6..=9 => slot + rng.gen_range(0..SLOT_BYTES - 16),
+        // Around the slot end: probes bounds edges (off-by-one country).
+        10..=12 => slot + SLOT_BYTES - 16 + rng.gen_range(0..32u64),
+        // Just below the slot.
+        13..=14 => slot.saturating_sub(rng.gen_range(1..64u64)),
+        // The spill area (never granted): NoEntry / bounds faults.
+        15..=16 => rng.gen_range(0..SLOTS_BASE),
+        // Missing provenance: the Fine-mode attribution fault.
+        17 => {
+            provenance = false;
+            slot + rng.gen_range(0..SLOT_BYTES)
+        }
+        // Unknown task or object: no table entry can match.
+        _ => {
+            if rng.gen_bool(0.5) {
+                task = TASKS + rng.gen_range(0..2u8);
+            } else {
+                object = OBJECTS + rng.gen_range(0..4u8);
+            }
+            slot + rng.gen_range(0..SLOT_BYTES)
+        }
+    };
+    Op::Access {
+        task,
+        object,
+        provenance,
+        write: rng.gen_bool(0.4),
+        addr,
+        len: rng.gen_range(1..=8u8),
+        value: rng.gen(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_seed_deterministic() {
+        assert_eq!(generate(7, 500), generate(7, 500));
+        assert_ne!(generate(7, 500), generate(8, 500));
+        assert_eq!(generate(7, 500).len(), 500);
+    }
+
+    #[test]
+    fn streams_cover_every_op_kind() {
+        let ops = generate(1, 4000);
+        let mut seen = [false; 7];
+        for op in &ops {
+            let i = match op {
+                Op::Grant { .. } => 0,
+                Op::Access { .. } => 1,
+                Op::RevokeTask { .. } => 2,
+                Op::Spill { .. } => 3,
+                Op::Sweep { .. } => 4,
+                Op::TagFlip { .. } => 5,
+                Op::CacheCorrupt { .. } => 6,
+            };
+            seen[i] = true;
+        }
+        assert_eq!(seen, [true; 7], "4000 ops should exercise every kind");
+    }
+
+    #[test]
+    fn debug_form_is_a_rust_expression() {
+        let op = Op::Access {
+            task: 1,
+            object: 2,
+            provenance: true,
+            write: false,
+            addr: 0x1000,
+            len: 4,
+            value: 9,
+        };
+        let printed = format!("Op::{op:?}");
+        assert_eq!(
+            printed,
+            "Op::Access { task: 1, object: 2, provenance: true, write: false, \
+             addr: 4096, len: 4, value: 9 }"
+        );
+    }
+}

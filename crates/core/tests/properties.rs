@@ -120,3 +120,78 @@ proptest! {
         prop_assert_eq!(got, cap);
     }
 }
+
+/// Hard-coded replay of the shrunk case recorded in
+/// `properties.proptest-regressions` (the seed itself is replayed
+/// automatically by the harness before every run; this pins the
+/// *concrete values* too, so the scenario survives even generator
+/// changes): 33 installs filling the 32-entry table exactly to capacity
+/// plus one rejected overflow, then evicting task 0.
+#[test]
+fn regression_eviction_at_exact_capacity() {
+    let installs: [(u32, u16); 33] = [
+        (2, 0),
+        (0, 2),
+        (2, 1),
+        (2, 2),
+        (2, 3),
+        (0, 3),
+        (2, 4),
+        (2, 5),
+        (5, 0),
+        (2, 9),
+        (1, 0),
+        (1, 7),
+        (1, 1),
+        (3, 2),
+        (2, 10),
+        (4, 0),
+        (0, 4),
+        (3, 0),
+        (0, 5),
+        (1, 2),
+        (1, 3),
+        (1, 6),
+        (0, 9),
+        (0, 7),
+        (0, 6),
+        (0, 8),
+        (3, 4),
+        (1, 4),
+        (3, 3),
+        (3, 1),
+        (1, 5),
+        (0, 10),
+        (0, 0),
+    ];
+    let evict_task = 0u32;
+    let mut table = CapabilityTable::new(32);
+    let mut model: Vec<(u32, u16)> = Vec::new();
+    for (task, object) in installs {
+        let cap = Capability::root()
+            .set_bounds(u64::from(task) * 0x10000 + u64::from(object) * 64, 64)
+            .unwrap()
+            .and_perms(Perms::RW)
+            .unwrap();
+        let existed = model.contains(&(task, object));
+        let had_room = model.len() < 32;
+        let inserted = table.install(TaskId(task), ObjectId(object), cap).is_some();
+        if inserted && !existed {
+            model.push((task, object));
+        }
+        assert_eq!(inserted, existed || had_room);
+        assert_eq!(table.occupied(), model.len());
+    }
+    // The 33rd install — (0, 0) into a full table — must be rejected.
+    assert_eq!(table.occupied(), 32);
+    assert!(table.lookup(TaskId(0), ObjectId(0)).is_none());
+    let expected_freed = model.iter().filter(|(t, _)| *t == evict_task).count();
+    assert_eq!(table.evict_task(TaskId(evict_task)), expected_freed);
+    assert_eq!(table.occupied(), 32 - expected_freed);
+    for (t, o) in &model {
+        assert_eq!(
+            table.lookup(TaskId(*t), ObjectId(*o)).is_some(),
+            *t != evict_task
+        );
+    }
+}

@@ -20,6 +20,7 @@ fn tid(track: &str) -> u64 {
         "l1" => 3,
         "fault" => 5,
         "recovery" => 6,
+        "conformance" => 7,
         _ => 4, // "tasks"
     }
 }
@@ -170,6 +171,16 @@ fn write_event(w: &mut JsonWriter, event: &Event) {
                     w.key("worker");
                     w.u64(u64::from(worker));
                 }
+                EventKind::ConformanceDivergence { op } => {
+                    w.key("op");
+                    w.u64(op);
+                }
+                EventKind::ConformanceComplete { ops, divergences } => {
+                    w.key("ops");
+                    w.u64(ops);
+                    w.key("divergences");
+                    w.u64(divergences);
+                }
             }
             w.end_object();
         }
@@ -225,7 +236,14 @@ pub fn chrome_trace_json(events: &[Event]) -> String {
     w.end_object();
     w.end_object();
     for track in [
-        "driver", "checker", "bus", "l1", "tasks", "fault", "recovery",
+        "driver",
+        "checker",
+        "bus",
+        "l1",
+        "tasks",
+        "fault",
+        "recovery",
+        "conformance",
     ] {
         write_thread_name(&mut w, track);
     }

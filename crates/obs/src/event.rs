@@ -222,6 +222,19 @@ pub enum EventKind {
         /// Index of the panicking worker thread.
         worker: u32,
     },
+    /// The differential conformance harness saw an implementation
+    /// disagree with the golden oracle on one operation.
+    ConformanceDivergence {
+        /// Index of the diverging operation in the stream.
+        op: u64,
+    },
+    /// A differential conformance run finished.
+    ConformanceComplete {
+        /// Operations replayed through every implementation.
+        ops: u64,
+        /// Total divergences found (0 on a clean run).
+        divergences: u64,
+    },
 }
 
 impl EventKind {
@@ -247,6 +260,8 @@ impl EventKind {
             EventKind::CheckerDegraded { .. } => "checker_degraded",
             EventKind::TagAudit { .. } => "tag_audit",
             EventKind::WorkerPanic { .. } => "worker_panic",
+            EventKind::ConformanceDivergence { .. } => "conformance_divergence",
+            EventKind::ConformanceComplete { .. } => "conformance_complete",
         }
     }
 
@@ -269,6 +284,9 @@ impl EventKind {
             | EventKind::CheckerDegraded { .. }
             | EventKind::TagAudit { .. } => "recovery",
             EventKind::WorkerPanic { .. } => "harness",
+            EventKind::ConformanceDivergence { .. } | EventKind::ConformanceComplete { .. } => {
+                "conformance"
+            }
         }
     }
 }
@@ -324,6 +342,15 @@ mod tests {
             EventKind::EngineQuarantined { fu: 1, faults: 2 }.track(),
             "recovery"
         );
+        let div = EventKind::ConformanceDivergence { op: 9 };
+        assert_eq!(div.name(), "conformance_divergence");
+        assert_eq!(div.track(), "conformance");
+        let done = EventKind::ConformanceComplete {
+            ops: 100,
+            divergences: 0,
+        };
+        assert_eq!(done.name(), "conformance_complete");
+        assert_eq!(done.track(), "conformance");
     }
 
     #[test]

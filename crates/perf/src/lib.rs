@@ -291,4 +291,50 @@ mod tests {
     fn auto_threads_is_at_least_one() {
         assert!(auto_threads() >= 1);
     }
+
+    #[test]
+    fn zero_threads_clamp_to_one_worker() {
+        assert_eq!(parallel_map(0, 4, |i| i + 1).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(parallel_map(0, 0, |i| i).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn more_threads_than_items_visits_each_index_exactly_once() {
+        let calls: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        let got = parallel_map(32, 3, |i| {
+            calls[i].fetch_add(1, Ordering::Relaxed);
+            i * 2
+        })
+        .unwrap();
+        assert_eq!(got, vec![0, 2, 4]);
+        for (i, c) in calls.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "cell {i} recomputed");
+        }
+    }
+
+    /// The worker claiming the final index has already banked every
+    /// earlier result; its panic must still discard the whole map and
+    /// surface the original (non-string) payload intact through
+    /// [`WorkerPanic::resume`].
+    #[test]
+    fn panic_on_the_last_index_carries_the_original_payload() {
+        #[derive(Debug, PartialEq)]
+        struct CellBlew(usize);
+
+        let cells = 9;
+        let err = parallel_map(4, cells, |i| {
+            if i == cells - 1 {
+                std::panic::panic_any(CellBlew(i));
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "<non-string panic payload>");
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || err.resume()))
+            .unwrap_err();
+        let blew = payload
+            .downcast::<CellBlew>()
+            .expect("resume re-raises the exact payload the worker threw");
+        assert_eq!(*blew, CellBlew(cells - 1));
+    }
 }

@@ -12,6 +12,14 @@
 //! * a fixed case count (256) with a deterministic per-test seed, so runs
 //!   are reproducible without a persistence file;
 //! * strategies generate values directly instead of building value trees.
+//!
+//! Like upstream, the harness honours `*.proptest-regressions` files:
+//! for a test file `tests/foo.rs`, seeds recorded in
+//! `tests/foo.proptest-regressions` (lines of the form `cc <hex>`, where
+//! the first 16 hex digits are the case's RNG seed) are replayed before
+//! any novel cases, so a once-failing case is re-checked on every
+//! `cargo test` run forever. When a novel case fails, the panic message
+//! includes the exact `cc` line to append. See DESIGN.md ("Testing").
 
 #![warn(missing_docs)]
 
@@ -369,22 +377,119 @@ pub mod collection {
 /// Number of cases each property runs.
 pub const CASES: u32 = 256;
 
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The regression file recording failures for a test source file:
+/// `tests/foo.rs` → `tests/foo.proptest-regressions` (upstream's
+/// convention). `source_file` is a `file!()` path, which is relative to
+/// the *workspace* root, while tests run with the *package* root as
+/// their working directory — so fall back to re-anchoring the
+/// `tests/…`/`src/…` suffix on `CARGO_MANIFEST_DIR` when the plain path
+/// does not resolve.
+fn regression_file(source_file: &str) -> Option<std::path::PathBuf> {
+    let recorded = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    if recorded.exists() {
+        return Some(recorded);
+    }
+    let manifest = std::env::var_os("CARGO_MANIFEST_DIR")?;
+    for anchor in ["tests/", "src/"] {
+        if let Some(pos) = source_file.rfind(anchor) {
+            let candidate = std::path::Path::new(&manifest)
+                .join(&source_file[pos..])
+                .with_extension("proptest-regressions");
+            if candidate.exists() {
+                return Some(candidate);
+            }
+        }
+    }
+    None
+}
+
+/// Parses `cc <hex…>` lines into replay seeds (the first 16 hex digits
+/// of each recorded hash are the failing case's RNG seed). Comment
+/// lines (`#`) and malformed lines are skipped, like upstream.
+fn regression_seeds(contents: &str) -> Vec<u64> {
+    contents
+        .lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest
+                .chars()
+                .take_while(char::is_ascii_alphanumeric)
+                .collect();
+            u64::from_str_radix(hex.get(0..16)?, 16).ok()
+        })
+        .collect()
+}
+
+/// The persistable `cc` line for a failing case: 16 hex digits of RNG
+/// seed followed by a 48-digit filler derived from the property name, so
+/// the line has upstream's 64-digit shape and stays greppable.
+fn cc_line(name: &str, seed: u64) -> String {
+    let filler = fnv1a(name);
+    format!(
+        "cc {seed:016x}{:016x}{:016x}{:016x} # seeds a failing case of {name}",
+        filler,
+        filler.rotate_left(21),
+        filler.rotate_left(42)
+    )
+}
+
 /// Drives one property: `CASES` deterministic cases seeded from the test
 /// name, panicking on the first failure.
-pub fn run_cases<F>(name: &str, mut case: F)
+pub fn run_cases<F>(name: &str, case: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
-    // FNV-1a over the name gives each property its own stream.
-    let mut seed = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.bytes() {
-        seed ^= u64::from(b);
-        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    for i in 0..CASES {
-        let mut rng = TestRng::new(seed ^ (u64::from(i) << 32));
+    run_seeds(name, &[], case);
+}
+
+/// [`run_cases`] plus regression replay: seeds recorded in the
+/// `*.proptest-regressions` file next to `source_file` (a `file!()`
+/// path) run *before* any novel cases. The [`proptest!`] macro calls
+/// this, so committed regression files replay on every `cargo test`.
+pub fn run_cases_persisted<F>(name: &str, source_file: &str, case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let recorded = regression_file(source_file)
+        .and_then(|path| std::fs::read_to_string(path).ok())
+        .map(|contents| regression_seeds(&contents))
+        .unwrap_or_default();
+    run_seeds(name, &recorded, case);
+}
+
+fn run_seeds<F>(name: &str, recorded: &[u64], mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for (i, seed) in recorded.iter().enumerate() {
+        let mut rng = TestRng::new(*seed);
         if let Err(e) = case(&mut rng) {
-            panic!("property {name} failed on case {i}: {e}");
+            panic!(
+                "property {name} failed replaying recorded regression {i} \
+                 (seed {seed:#018x}): {e}"
+            );
+        }
+    }
+    let name_seed = fnv1a(name);
+    for i in 0..CASES {
+        let seed = name_seed ^ (u64::from(i) << 32);
+        let mut rng = TestRng::new(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "property {name} failed on case {i}: {e}\n\
+                 to pin this case forever, append to the test file's \
+                 .proptest-regressions file:\n{}",
+                cc_line(name, seed)
+            );
         }
     }
 }
@@ -400,7 +505,7 @@ macro_rules! proptest {
     )*) => {$(
         $(#[$meta])*
         fn $name() {
-            $crate::run_cases(stringify!($name), |prop_rng| {
+            $crate::run_cases_persisted(stringify!($name), file!(), |prop_rng| {
                 $(let $pat = $crate::Strategy::generate(&($strat), prop_rng);)+
                 #[allow(unreachable_code)]
                 (|| -> ::std::result::Result<(), $crate::TestCaseError> {
@@ -520,5 +625,82 @@ mod tests {
     #[should_panic(expected = "property")]
     fn failures_panic_with_message() {
         crate::run_cases("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn regression_lines_parse_like_upstream() {
+        let contents = "\
+# Seeds for failure cases proptest has generated in the past.
+# It is recommended to check this file in to source control.
+cc 18515e164f0f1608855d8ebec3e81c61caf0c5b63d7cb09047dd8e8a5b15f233 # shrinks to x = 3
+cc 00000000000000ff0000000000000000000000000000000000000000000000aa
+not a cc line
+cc short";
+        assert_eq!(
+            crate::regression_seeds(contents),
+            vec![0x1851_5e16_4f0f_1608, 0x0000_0000_0000_00ff]
+        );
+    }
+
+    #[test]
+    fn cc_lines_round_trip_through_the_parser() {
+        let line = crate::cc_line("my_property", 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(crate::regression_seeds(&line), vec![0xDEAD_BEEF_0BAD_F00D]);
+        // Upstream shape: 64 hex digits after "cc ".
+        let hex: String = line
+            .strip_prefix("cc ")
+            .unwrap()
+            .chars()
+            .take_while(char::is_ascii_alphanumeric)
+            .collect();
+        assert_eq!(hex.len(), 64);
+    }
+
+    #[test]
+    fn recorded_seeds_replay_before_novel_cases() {
+        let mut first = None;
+        crate::run_seeds("replay_order", &[0x1234], |rng| {
+            first.get_or_insert(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, Some(TestRng::new(0x1234).next_u64()));
+    }
+
+    #[test]
+    #[should_panic(expected = "replaying recorded regression")]
+    fn replay_failures_name_the_recorded_seed() {
+        crate::run_seeds("replay_fails", &[0x1234], |_| {
+            Err(TestCaseError::fail("still broken"))
+        });
+    }
+
+    #[test]
+    fn regression_files_are_discovered_next_to_the_source() {
+        let dir = std::env::temp_dir().join("proptest-regression-discovery");
+        std::fs::create_dir_all(&dir).unwrap();
+        let recorded = dir.join("example.proptest-regressions");
+        std::fs::write(&recorded, "cc 00000000000000aa0000...\n").unwrap();
+        let source = dir.join("example.rs");
+        assert_eq!(
+            crate::regression_file(source.to_str().unwrap()),
+            Some(recorded.clone())
+        );
+        std::fs::remove_file(&recorded).unwrap();
+        assert_eq!(crate::regression_file(source.to_str().unwrap()), None);
+    }
+
+    #[test]
+    fn novel_failure_message_carries_a_persistable_cc_line() {
+        let panic = std::panic::catch_unwind(|| {
+            crate::run_seeds("emit_cc", &[], |_| Err(TestCaseError::fail("boom")));
+        })
+        .expect_err("property must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a String");
+        let cc: Vec<u64> = crate::regression_seeds(message);
+        assert_eq!(cc.len(), 1, "message embeds exactly one cc line");
+        // The embedded seed reproduces the failing case's RNG stream.
+        assert_eq!(cc[0], crate::fnv1a("emit_cc"));
     }
 }

@@ -174,11 +174,33 @@ pub fn campaign(mech: Mechanism, attempts: u64, seed: u64) -> CampaignReport {
     report
 }
 
+/// Runs a differential conformance campaign: the same seeded op streams
+/// this module's mechanism fuzzing is built on, but replayed through
+/// every checker implementation *and* the golden oracle, diffing each
+/// verdict (see the `conformance` crate).
+///
+/// Attack campaigns ask "does the mechanism uphold its policy?"; the
+/// conformance campaign asks "do all implementations of the mechanism
+/// agree with the spec?" — together they bound both design and
+/// implementation error.
+#[must_use]
+pub fn conformance_campaign(ops: u64, seed: u64) -> conformance::ConformanceReport {
+    conformance::run_conformance(seed, ops)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const ATTEMPTS: u64 = 400;
+
+    #[test]
+    fn conformance_campaign_is_clean_and_deterministic() {
+        let a = conformance_campaign(600, 0xF024);
+        let b = conformance_campaign(600, 0xF024);
+        assert!(a.is_clean(), "{}", a.summary());
+        assert_eq!(a.to_json(), b.to_json());
+    }
 
     #[test]
     fn every_mechanism_is_sound_and_complete_under_fuzzing() {
