@@ -1,0 +1,35 @@
+//! Repository lint runner: `cargo run -p capcheri-analyze --bin lint`.
+//!
+//! Walks the workspace for determinism and safety-hygiene findings (see
+//! [`capcheri_analyze::lint`]) and prints them sorted by file and line.
+//! Exits non-zero when any finding survives, so CI can gate on it.
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Default to the workspace root (two levels above this crate), or
+    // take an explicit root as the only argument.
+    let root = env::args().nth(1).map_or_else(
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    let findings = match capcheri_analyze::lint_paths(&root) {
+        Ok(findings) => findings,
+        Err(err) => {
+            eprintln!("lint: cannot walk {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,554 @@
+//! Abstract interpretation of conformance op streams.
+//!
+//! A conformance stream is a *static input*: every grant, revocation,
+//! and access is known ahead of time, so the capability table's state at
+//! each access is computable without running any implementation. This
+//! module interprets the stream over an abstract table — an independent
+//! re-statement of the architectural semantics, deliberately **not**
+//! calling into [`conformance::Oracle`], so the soundness tests that
+//! diff the two are meaningful — and predicts every verdict.
+//!
+//! From the predictions it derives per-pair [`PairSummary`]s (the
+//! least-privilege envelope: bounds actually spanned, permissions
+//! actually exercised) and a [`capchecker::StaticVerdictMap`]:
+//!
+//! * a pair is **safe** when every provenance-carrying access to it is
+//!   provably granted — then eliding its checks is position-insensitive
+//!   and sound;
+//! * a pair with any provable denial is **unsafe**: the denial becomes a
+//!   [`Finding`] (stale grant after revocation, permission mismatch,
+//!   bounds overrun…) and the runtime checker keeps judging every beat;
+//! * everything else stays **dynamic**.
+//!
+//! Accesses without hardware provenance are denied before the elision
+//! gate in the real checker, so they produce findings but never poison a
+//! pair's elidability.
+
+use crate::Finding;
+use capchecker::{StaticVerdict, StaticVerdictMap};
+use cheri::{CapFault, Perms};
+use conformance::{build_grant_cap, Op};
+use hetsim::{AccessKind, DenyReason, ObjectId, TaskId};
+use obs::EventKind;
+use std::collections::BTreeMap;
+
+/// The analyzer's model of one installed capability: the uncompressed
+/// facts the grant recorded, nothing derived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct AbstractCap {
+    perms: Perms,
+    base: u64,
+    top: u128,
+}
+
+/// Least-privilege summary of one `(task, object)` compartment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairSummary {
+    /// Task half of the key.
+    pub task: u8,
+    /// Object half of the key.
+    pub object: u8,
+    /// The pair's verdict (what goes into the verdict map).
+    pub verdict: StaticVerdict,
+    /// Provenance-carrying accesses to the pair.
+    pub accesses: u64,
+    /// Of those, provably granted.
+    pub granted: u64,
+    /// Of those, provably denied.
+    pub denied: u64,
+    /// Lowest address a granted access touched (`u64::MAX` if none).
+    pub lo: u64,
+    /// One past the highest address a granted access touched.
+    pub hi: u128,
+    /// Permissions granted accesses actually exercised.
+    pub used: Perms,
+}
+
+/// Everything one stream analysis produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamAnalysis {
+    /// Per-pair summaries, in key order.
+    pub pairs: Vec<PairSummary>,
+    /// Provable problems, in first-occurrence order.
+    pub findings: Vec<Finding>,
+    /// Accesses classified statically safe (provably granted, pair
+    /// elidable).
+    pub safe: u64,
+    /// Accesses that are provable violations.
+    pub flagged: u64,
+    /// Accesses left to the runtime checker (provably granted but the
+    /// pair is not elidable).
+    pub dynamic: u64,
+    /// Grant ops skipped because the capability was underivable (the
+    /// harness skips them identically).
+    pub skipped: u64,
+}
+
+impl StreamAnalysis {
+    /// The verdict map to install into a checker. Only classified pairs
+    /// appear; absent pairs default to dynamic.
+    #[must_use]
+    pub fn verdict_map(&self) -> StaticVerdictMap {
+        let mut map = StaticVerdictMap::new();
+        for p in &self.pairs {
+            map.set(
+                TaskId(u32::from(p.task)),
+                ObjectId(u16::from(p.object)),
+                p.verdict,
+            );
+        }
+        map
+    }
+
+    /// The summary event for tracing.
+    #[must_use]
+    pub fn event(&self) -> EventKind {
+        EventKind::AnalysisComplete {
+            safe: self.safe,
+            flagged: self.flagged,
+            dynamic: self.dynamic,
+        }
+    }
+}
+
+/// What the interpreter predicted for one access, kept for the second
+/// (classification) pass.
+#[derive(Clone, Copy, Debug)]
+struct Predicted {
+    key: (u8, u8),
+    provenance: bool,
+    /// Whether the pair had been granted at any point *before* this
+    /// access — what turns a `no-entry` denial into a stale-grant
+    /// (revocation-race) finding.
+    granted_before: bool,
+}
+
+/// Interprets `ops` over the abstract table and classifies every access.
+///
+/// The table model mirrors the architectural semantics exactly: grants
+/// reject sealed/untagged capabilities and replace in place, `capacity`
+/// is the hardware's 256 entries, revocation drops a task's entries, and
+/// judgment runs in the architectural order (provenance → entry → tag →
+/// seal → perms → bounds). Spills, sweeps, tag flips, and cache
+/// corruption never touch the table, so they cannot change a verdict —
+/// the conformance harness proves that independently.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn analyze_stream(ops: &[Op]) -> StreamAnalysis {
+    const CAPACITY: usize = 256;
+    let mut table: BTreeMap<(u8, u8), AbstractCap> = BTreeMap::new();
+    let mut ever_granted: BTreeMap<(u8, u8), bool> = BTreeMap::new();
+    let mut predictions: Vec<(u64, Predicted, DenyReason)> = Vec::new();
+    let mut granted_ok: Vec<(u64, Predicted, u64, u8, bool)> = Vec::new();
+    let mut skipped = 0u64;
+
+    for (index, op) in ops.iter().enumerate() {
+        let index = index as u64;
+        match *op {
+            Op::Grant {
+                task,
+                object,
+                base,
+                len,
+                perms,
+                seal,
+                untagged,
+            } => {
+                let Ok(cap) = build_grant_cap(base, len, perms, seal, untagged) else {
+                    skipped += 1;
+                    continue;
+                };
+                if !cap.is_valid() || cap.is_sealed() {
+                    // The import path refuses these; the table is
+                    // unchanged, so earlier grants stay authoritative.
+                    continue;
+                }
+                let key = (task, object);
+                if table.contains_key(&key) || table.len() < CAPACITY {
+                    table.insert(
+                        key,
+                        AbstractCap {
+                            perms: cap.perms(),
+                            base: cap.base(),
+                            top: cap.top(),
+                        },
+                    );
+                    ever_granted.insert(key, true);
+                }
+            }
+            Op::RevokeTask { task } => {
+                table.retain(|(t, _), _| *t != task);
+            }
+            Op::Access {
+                task,
+                object,
+                provenance,
+                write,
+                addr,
+                len,
+                value: _,
+            } => {
+                let key = (task, object);
+                let kind = if write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                let verdict = judge(&table, key, provenance, kind, addr, len);
+                let predicted = Predicted {
+                    key,
+                    provenance,
+                    granted_before: ever_granted.contains_key(&key),
+                };
+                match verdict {
+                    None => granted_ok.push((index, predicted, addr, len, write)),
+                    Some(reason) => predictions.push((index, predicted, reason)),
+                }
+            }
+            // No table effect; verdicts cannot change.
+            Op::Spill { .. } | Op::Sweep { .. } | Op::TagFlip { .. } | Op::CacheCorrupt { .. } => {}
+        }
+    }
+
+    // Pass 2: pair verdicts. Safe = at least one provenanced access and
+    // zero provenanced denials; any provenanced denial makes the pair
+    // unsafe (its checks stay on and the denial is a finding).
+    let mut summaries: BTreeMap<(u8, u8), PairSummary> = BTreeMap::new();
+    fn summary(
+        summaries: &mut BTreeMap<(u8, u8), PairSummary>,
+        key: (u8, u8),
+    ) -> &mut PairSummary {
+        summaries.entry(key).or_insert(PairSummary {
+            task: key.0,
+            object: key.1,
+            verdict: StaticVerdict::Dynamic,
+            accesses: 0,
+            granted: 0,
+            denied: 0,
+            lo: u64::MAX,
+            hi: 0,
+            used: Perms::NONE,
+        })
+    }
+    for &(_, p, addr, len, write) in &granted_ok {
+        if !p.provenance {
+            continue;
+        }
+        let s = summary(&mut summaries, p.key);
+        s.accesses += 1;
+        s.granted += 1;
+        s.lo = s.lo.min(addr);
+        s.hi = s.hi.max(u128::from(addr) + u128::from(len));
+        s.used = s.used | if write { Perms::STORE } else { Perms::LOAD };
+    }
+    for &(_, p, _) in &predictions {
+        if !p.provenance {
+            continue;
+        }
+        let s = summary(&mut summaries, p.key);
+        s.accesses += 1;
+        s.denied += 1;
+    }
+    for s in summaries.values_mut() {
+        s.verdict = if s.denied > 0 {
+            StaticVerdict::Unsafe
+        } else if s.granted > 0 {
+            StaticVerdict::Safe
+        } else {
+            StaticVerdict::Dynamic
+        };
+    }
+
+    // Access classes.
+    let mut safe = 0u64;
+    let mut flagged = 0u64;
+    let mut dynamic = 0u64;
+    for &(_, p, _, _, _) in &granted_ok {
+        let elidable = p.provenance
+            && summaries
+                .get(&p.key)
+                .is_some_and(|s| s.verdict == StaticVerdict::Safe);
+        if elidable {
+            safe += 1;
+        } else {
+            dynamic += 1;
+        }
+    }
+    flagged += predictions.len() as u64;
+
+    // Findings, deduplicated by (pair, category), first occurrence kept.
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut seen: BTreeMap<(u8, u8, &'static str), usize> = BTreeMap::new();
+    for &(index, p, reason) in &predictions {
+        let (category, detail) = describe(reason, p.granted_before);
+        match seen.entry((p.key.0, p.key.1, category)) {
+            std::collections::btree_map::Entry::Occupied(e) => {
+                findings[*e.get()].count += 1;
+            }
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(findings.len());
+                findings.push(Finding {
+                    category,
+                    subject: format!("task {} object {}", p.key.0, p.key.1),
+                    detail,
+                    op: Some(index),
+                    count: 1,
+                });
+            }
+        }
+    }
+
+    StreamAnalysis {
+        pairs: summaries.into_values().collect(),
+        findings,
+        safe,
+        flagged,
+        dynamic,
+        skipped,
+    }
+}
+
+/// The architectural judgment, restated: `None` = granted, `Some` = the
+/// denial reason.
+fn judge(
+    table: &BTreeMap<(u8, u8), AbstractCap>,
+    key: (u8, u8),
+    provenance: bool,
+    kind: AccessKind,
+    addr: u64,
+    len: u8,
+) -> Option<DenyReason> {
+    if !provenance {
+        return Some(DenyReason::BadProvenance);
+    }
+    let Some(cap) = table.get(&key) else {
+        return Some(DenyReason::NoEntry);
+    };
+    // Tag and seal are grant-time invariants here (the import path
+    // refuses both), so those arms are unreachable — kept for fidelity
+    // to the architectural order.
+    let needed = match kind {
+        AccessKind::Read => Perms::LOAD,
+        AccessKind::Write => Perms::STORE,
+    };
+    if !cap.perms.contains(needed) {
+        return Some(DenyReason::Capability(CapFault::PermissionViolation {
+            missing: needed.intersect(!cap.perms),
+        }));
+    }
+    let lo = u128::from(addr);
+    let hi = lo + u128::from(len);
+    if !(addr >= cap.base && hi <= cap.top) {
+        return Some(DenyReason::Capability(CapFault::BoundsViolation {
+            addr,
+            len: u64::from(len),
+        }));
+    }
+    None
+}
+
+fn describe(reason: DenyReason, was_ever_granted: bool) -> (&'static str, String) {
+    match reason {
+        DenyReason::BadProvenance => (
+            "bad-provenance",
+            "access without hardware object provenance".to_owned(),
+        ),
+        DenyReason::NoEntry if was_ever_granted => (
+            "stale-grant",
+            "access after the grant was revoked (revocation race)".to_owned(),
+        ),
+        DenyReason::NoEntry => ("no-entry", "access to a never-granted object".to_owned()),
+        DenyReason::Capability(CapFault::PermissionViolation { missing }) => (
+            "permission",
+            format!("grant lacks {missing:?} the access needs"),
+        ),
+        DenyReason::Capability(CapFault::BoundsViolation { addr, len }) => (
+            "bounds",
+            format!("access [{addr:#x}, +{len}) escapes the granted bounds"),
+        ),
+        DenyReason::Capability(CapFault::TagViolation) => {
+            ("tag", "table entry lost its tag".to_owned())
+        }
+        DenyReason::Capability(CapFault::SealViolation) => {
+            ("seal", "table entry is sealed".to_owned())
+        }
+        other => ("denied", format!("{other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri::Perms;
+
+    fn grant(task: u8, object: u8, base: u64, len: u16, perms: Perms) -> Op {
+        Op::Grant {
+            task,
+            object,
+            base,
+            len,
+            perms: perms.bits(),
+            seal: false,
+            untagged: false,
+        }
+    }
+
+    fn access(task: u8, object: u8, write: bool, addr: u64, len: u8) -> Op {
+        Op::Access {
+            task,
+            object,
+            provenance: true,
+            write,
+            addr,
+            len,
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn in_bounds_stream_is_fully_safe() {
+        let base = conformance::stream::slot_base(0, 0);
+        let ops = vec![
+            grant(0, 0, base, 0x100, Perms::RW),
+            access(0, 0, false, base, 8),
+            access(0, 0, true, base + 0xF8, 8),
+        ];
+        let a = analyze_stream(&ops);
+        assert_eq!((a.safe, a.flagged, a.dynamic), (2, 0, 0));
+        assert!(a.findings.is_empty());
+        let map = a.verdict_map();
+        assert!(map.is_safe(TaskId(0), ObjectId(0)));
+        let p = &a.pairs[0];
+        assert_eq!((p.lo, p.hi), (base, u128::from(base) + 0x100));
+        assert_eq!(p.used, Perms::RW);
+    }
+
+    #[test]
+    fn one_denial_poisons_the_pair_but_not_others() {
+        let b0 = conformance::stream::slot_base(0, 0);
+        let b1 = conformance::stream::slot_base(0, 1);
+        let ops = vec![
+            grant(0, 0, b0, 0x100, Perms::RW),
+            grant(0, 1, b1, 0x100, Perms::RW),
+            access(0, 0, false, b0, 8),
+            access(0, 0, false, b0 + 0x100, 1), // bounds overrun: provable
+            access(0, 1, false, b1, 8),
+        ];
+        let a = analyze_stream(&ops);
+        assert_eq!((a.safe, a.flagged, a.dynamic), (1, 1, 1));
+        let map = a.verdict_map();
+        assert!(!map.is_safe(TaskId(0), ObjectId(0)));
+        assert_eq!(
+            map.verdict(TaskId(0), ObjectId(0)),
+            StaticVerdict::Unsafe
+        );
+        assert!(map.is_safe(TaskId(0), ObjectId(1)));
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].category, "bounds");
+    }
+
+    #[test]
+    fn revocation_race_is_a_stale_grant_finding() {
+        let base = conformance::stream::slot_base(2, 3);
+        let ops = vec![
+            grant(2, 3, base, 0x100, Perms::RW),
+            access(2, 3, false, base, 4),
+            Op::RevokeTask { task: 2 },
+            access(2, 3, false, base, 4), // stale: provably denied
+        ];
+        let a = analyze_stream(&ops);
+        assert_eq!(a.flagged, 1);
+        assert_eq!(a.findings[0].category, "stale-grant");
+        assert_eq!(
+            a.verdict_map().verdict(TaskId(2), ObjectId(3)),
+            StaticVerdict::Unsafe
+        );
+    }
+
+    #[test]
+    fn missing_provenance_is_flagged_but_does_not_poison() {
+        let base = conformance::stream::slot_base(1, 0);
+        let ops = vec![
+            grant(1, 0, base, 0x100, Perms::RW),
+            access(1, 0, false, base, 4),
+            Op::Access {
+                task: 1,
+                object: 0,
+                provenance: false,
+                write: false,
+                addr: base,
+                len: 4,
+                value: 0,
+            },
+        ];
+        let a = analyze_stream(&ops);
+        // The provenance-less denial is flagged, but the pair stays safe:
+        // the real checker denies it before the elision gate.
+        assert_eq!((a.safe, a.flagged), (1, 1));
+        assert!(a.verdict_map().is_safe(TaskId(1), ObjectId(0)));
+        assert_eq!(a.findings[0].category, "bad-provenance");
+    }
+
+    #[test]
+    fn regrant_after_revoke_restores_safety_for_later_accesses() {
+        let base = conformance::stream::slot_base(0, 5);
+        let ops = vec![
+            grant(0, 5, base, 0x100, Perms::RW),
+            Op::RevokeTask { task: 0 },
+            grant(0, 5, base, 0x100, Perms::RW),
+            access(0, 5, true, base, 8),
+        ];
+        let a = analyze_stream(&ops);
+        assert_eq!((a.safe, a.flagged), (1, 0));
+        assert!(a.verdict_map().is_safe(TaskId(0), ObjectId(5)));
+    }
+
+    #[test]
+    fn rejected_regrant_keeps_the_old_capability_authoritative() {
+        let base = conformance::stream::slot_base(0, 0);
+        let ops = vec![
+            grant(0, 0, base, 0x100, Perms::RW),
+            // A sealed re-grant is refused by the import path...
+            Op::Grant {
+                task: 0,
+                object: 0,
+                base,
+                len: 8,
+                perms: Perms::LOAD.bits(),
+                seal: true,
+                untagged: false,
+            },
+            // ...so the original RW grant still authorizes this write.
+            access(0, 0, true, base + 0x80, 8),
+        ];
+        let a = analyze_stream(&ops);
+        assert_eq!((a.safe, a.flagged), (1, 0));
+    }
+
+    #[test]
+    fn permission_mismatch_is_provable() {
+        let base = conformance::stream::slot_base(3, 0);
+        let ops = vec![
+            grant(3, 0, base, 0x100, Perms::LOAD),
+            access(3, 0, true, base, 4),
+        ];
+        let a = analyze_stream(&ops);
+        assert_eq!(a.flagged, 1);
+        assert_eq!(a.findings[0].category, "permission");
+    }
+
+    #[test]
+    fn event_carries_the_class_counts() {
+        let base = conformance::stream::slot_base(0, 0);
+        let ops = vec![grant(0, 0, base, 0x100, Perms::RW), access(0, 0, false, base, 4)];
+        let a = analyze_stream(&ops);
+        assert_eq!(
+            a.event(),
+            EventKind::AnalysisComplete {
+                safe: 1,
+                flagged: 0,
+                dynamic: 0
+            }
+        );
+    }
+}

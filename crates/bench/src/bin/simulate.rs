@@ -7,6 +7,8 @@
 //!          [--tasks N] [--seed S] [--threads N] [--json] [--trace-out <path>]
 //! simulate faults [--spec SPEC] [--tasks N] [--seed S] [--fus N] [--json]
 //! simulate conformance [--seed S] [--ops N] [--json]
+//! simulate analyze [--lint] [--streams N] [--ops N] [--seed S] [--threads N]
+//!          [--json] [--out FILE]
 //! ```
 //!
 //! `--threads N` fans independent benchmark cells out over a scoped
@@ -35,6 +37,16 @@
 //! crate). Exit status is nonzero on any divergence; `--json` emits the
 //! `capcheri.conformance.v1` report; a divergent run prints a shrunk,
 //! ready-to-paste minimal reproducer.
+//!
+//! The `analyze` subcommand runs the static capability-flow analyzer
+//! over every benchmark configuration and reports the proved-safe ports,
+//! over-privileged default grants, and the measured cycle payoff of
+//! eliding the proved checks (`capcheri.staticreport.v1` with `--json`).
+//! `--streams N` additionally analyzes N seeded conformance op streams
+//! and *verifies* each verdict map by replaying the elided checkers
+//! against the golden oracle — an unsound map is a hard failure.
+//! `--lint` runs the repository lint pass (nondeterminism hazards,
+//! unsafe-audit) and fails on any finding.
 //!
 //! Examples:
 //!
@@ -69,7 +81,9 @@ fn usage() -> String {
          \x20               [--tasks N] [--seed S] [--threads N] [--json] [--trace-out FILE]\n\
          \x20      simulate faults [--spec none|all:RATE|kind:RATE,...] [--tasks N] [--seed S]\n\
          \x20               [--fus N] [--json]\n\
-         \x20      simulate conformance [--seed S] [--ops N] [--json]\n\n\
+         \x20      simulate conformance [--seed S] [--ops N] [--json]\n\
+         \x20      simulate analyze [--lint] [--streams N] [--ops N] [--seed S]\n\
+         \x20               [--threads N] [--json] [--out FILE]\n\n\
          benchmarks: {}\n\
          fault kinds: {}",
         names.join(", "),
@@ -194,6 +208,135 @@ fn run_conformance(seed: u64, ops: u64, json: bool) -> ExitCode {
     }
 }
 
+struct AnalyzeOptions {
+    lint: bool,
+    streams: u64,
+    ops: u64,
+    seed: u64,
+    threads: usize,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_analyze(args: &[String]) -> Result<AnalyzeOptions, String> {
+    let mut opts = AnalyzeOptions {
+        lint: false,
+        streams: 0,
+        // Short enough that the adversarial generator leaves some pairs
+        // denial-free, so verified runs actually exercise elision.
+        ops: 400,
+        seed: 1,
+        threads: perf::auto_threads(),
+        json: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--lint" => opts.lint = true,
+            "--streams" => {
+                opts.streams = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--streams: {e}"))?;
+            }
+            "--ops" => opts.ops = value(&mut it)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--seed" => {
+                opts.seed = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = value(&mut it)?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1);
+            }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value(&mut it)?),
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Analyzes `count` seeded op streams and replays each verdict map
+/// through the elided checkers against the golden oracle. Returns
+/// `false` if any replay diverges (an unsound verdict map).
+fn verify_streams(first_seed: u64, count: u64, ops: u64) -> bool {
+    let mut sound = true;
+    for i in 0..count {
+        let seed = first_seed.wrapping_add(i);
+        let stream = conformance::generate(seed, ops as usize);
+        let analysis = capcheri_analyze::analyze_stream(&stream);
+        let outcome = conformance::run_ops_elided(&stream, &analysis.verdict_map());
+        let ok = outcome.is_clean();
+        sound &= ok;
+        println!(
+            "stream seed {seed}: {} safe, {} flagged, {} dynamic; \
+             {} checks elided; oracle replay {}",
+            analysis.safe,
+            analysis.flagged,
+            analysis.dynamic,
+            outcome.elided,
+            if ok { "clean" } else { "DIVERGED" }
+        );
+        for f in &analysis.findings {
+            println!("  finding {f}");
+        }
+    }
+    sound
+}
+
+fn run_analyze(opts: &AnalyzeOptions) -> ExitCode {
+    if opts.lint {
+        let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        match capcheri_analyze::lint_paths(&root) {
+            Ok(findings) if findings.is_empty() => println!("lint: clean"),
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{f}");
+                }
+                eprintln!("lint: {} finding(s)", findings.len());
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("lint: cannot walk {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let rows = capcheri_bench::staticreport::rows_threads(opts.threads);
+    let unsafe_findings: usize = rows.iter().map(|r| r.run.analysis.findings.len()).sum();
+    let rendered = if opts.json {
+        capcheri_bench::staticreport::rows_to_json(&rows)
+    } else {
+        capcheri_bench::staticreport::render_rows(&rows)
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => println!("{rendered}"),
+    }
+    if unsafe_findings > 0 {
+        eprintln!("analyze: {unsafe_findings} statically-unsafe finding(s)");
+        return ExitCode::FAILURE;
+    }
+    if opts.streams > 0 && !verify_streams(opts.seed, opts.streams, opts.ops) {
+        eprintln!("analyze: an elided replay diverged from the oracle");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         benches: Vec::new(),
@@ -263,6 +406,15 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("conformance") {
         return match parse_conformance(&args[1..]) {
             Ok((seed, ops, json)) => run_conformance(seed, ops, json),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("analyze") {
+        return match parse_analyze(&args[1..]) {
+            Ok(opts) => run_analyze(&opts),
             Err(msg) => {
                 eprintln!("{msg}");
                 ExitCode::FAILURE

@@ -18,6 +18,10 @@
 //! | `fig12_entries` | Figure 12 — IOMMU vs CapChecker entry counts |
 //! | `all_experiments` | everything above, in order |
 //!
+//! Beyond the paper's artifacts, [`staticreport`] reports the static
+//! capability-flow analysis and the cycle payoff of check elision
+//! (`simulate analyze`).
+//!
 //! Simulations are deterministic: the same seeds produce the same rows.
 
 #![warn(missing_docs)]
@@ -30,6 +34,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod render;
 pub mod runner;
+pub mod staticreport;
 pub mod table1;
 pub mod table2;
 pub mod table3;

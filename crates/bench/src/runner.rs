@@ -1,7 +1,8 @@
 //! Runs one benchmark under one of the five §6.3 system configurations
 //! and costs it with the timing models.
 
-use capchecker::{HeteroSystem, SystemVariant, TaskRequest};
+use capchecker::{HeteroSystem, StaticVerdictMap, SystemVariant, TaskRequest};
+use capcheri_analyze::{analyze_benchmark, declared_perms, BenchAnalysis};
 use hetsim::timing::{
     simulate_accel_system_traced, simulate_cpu_traced, AccelTask, AccelTimingConfig, BusConfig,
     CpuTiming,
@@ -59,7 +60,58 @@ pub fn run_benchmark(
     tasks: usize,
     seed: u64,
 ) -> RunResult {
-    run_inner(bench, variant, tasks, seed, None).0
+    run_inner(bench, variant, tasks, seed, None, None).0
+}
+
+/// A checked run and its statically-elided twin, for the adaptive-elision
+/// figure.
+#[derive(Clone, Debug)]
+pub struct ElidedRun {
+    /// The static analysis that authorized the elision.
+    pub analysis: BenchAnalysis,
+    /// `ccpu+caccel` with every runtime check on the path.
+    pub checked: RunResult,
+    /// The same configuration with proved-safe checks elided: tasks get
+    /// least-privilege device grants, the verdict map is installed, and
+    /// — when every port is proved safe — the checker pipeline stage
+    /// drops off the bus path.
+    pub elided: RunResult,
+    /// Runtime checks the verdict map skipped (functional proof that the
+    /// elision actually happened).
+    pub checks_elided: u64,
+}
+
+impl ElidedRun {
+    /// Cycle speedup of the elided run over the checked one.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.checked.cycles as f64 / self.elided.cycles as f64
+    }
+}
+
+/// Runs `bench` under `ccpu+caccel` twice — fully checked, then with the
+/// static analyzer's proof installed — and reports both costs.
+///
+/// The elided run is only as trustworthy as the analysis; the
+/// conformance harness replays elided checkers against the golden oracle
+/// (`conformance::run_ops_elided`), so an unsound verdict map shows up
+/// there as a divergence rather than silently here.
+///
+/// # Panics
+///
+/// As [`run_benchmark`].
+#[must_use]
+pub fn run_benchmark_elided(bench: Benchmark, tasks: usize, seed: u64) -> ElidedRun {
+    let variant = SystemVariant::CheriCpuCheriAccel;
+    let analysis = analyze_benchmark(bench, seed);
+    let checked = run_inner(bench, variant, tasks, seed, None, None).0;
+    let (elided, _, checks_elided) = run_inner(bench, variant, tasks, seed, None, Some(&analysis));
+    ElidedRun {
+        analysis,
+        checked,
+        elided,
+        checks_elided,
+    }
 }
 
 /// [`run_benchmark`] with tracing and metrics collection attached. The
@@ -77,7 +129,7 @@ pub fn run_benchmark_observed(
     seed: u64,
 ) -> ObservedRun {
     let tracer = SharedTracer::new();
-    let (result, metrics) = run_inner(bench, variant, tasks, seed, Some(tracer.clone()));
+    let (result, metrics, _) = run_inner(bench, variant, tasks, seed, Some(tracer.clone()), None);
     ObservedRun {
         result,
         metrics: metrics.expect("observed runs always produce a snapshot"),
@@ -91,7 +143,8 @@ fn run_inner(
     tasks: usize,
     seed: u64,
     observe: Option<SharedTracer>,
-) -> (RunResult, Option<Snapshot>) {
+    elide: Option<&BenchAnalysis>,
+) -> (RunResult, Option<Snapshot>, u64) {
     let tasks = if variant.uses_accelerator() {
         tasks.max(1)
     } else {
@@ -103,19 +156,36 @@ fn run_inner(
     }
     sys.add_fus(bench.name(), tasks);
 
+    // Elision only applies where a checker exists to elide from.
+    let elide = elide.filter(|_| variant == SystemVariant::CheriCpuCheriAccel);
+
     let mut traces: Vec<Trace> = Vec::with_capacity(tasks);
     let mut setups: Vec<Cycles> = Vec::with_capacity(tasks);
     let mut ids = Vec::with_capacity(tasks);
+    let mut verdicts = StaticVerdictMap::new();
     for t in 0..tasks {
-        let req = if variant.uses_accelerator() {
+        let mut req = if variant.uses_accelerator() {
             TaskRequest::accel(format!("{bench}#{t}"), bench.name())
         } else {
             TaskRequest::cpu(format!("{bench}#{t}"))
         }
         .rw_buffers(bench.buffers().iter().map(|b| b.size));
+        if elide.is_some() {
+            // Least-privilege device grants: the host keeps RW staging
+            // access, the checker sees only the declared directions.
+            req = req.device_ports(declared_perms(bench));
+        }
         let id = sys
             .allocate_task(&req)
             .expect("workload fits the prototype system");
+        if let Some(analysis) = elide {
+            // Accumulate this task's proved pairs and (re)install the
+            // combined map before its kernel runs.
+            for (task, object, verdict) in analysis.verdict_map(id).iter() {
+                verdicts.set(task, object, verdict);
+            }
+            sys.install_static_verdicts(verdicts.clone());
+        }
         for (obj, image) in bench.init(seed.wrapping_add(t as u64)).iter().enumerate() {
             sys.write_buffer(id, obj, 0, image)
                 .expect("init data fits its buffer");
@@ -152,9 +222,17 @@ fn run_inner(
 
     let mut registry = observe.as_ref().map(|_| Registry::new());
     let profile = bench.profile();
+    let checks_elided = sys.checks_elided();
     let result = if variant.uses_accelerator() {
         let bus = if variant == SystemVariant::CheriCpuCheriAccel {
-            BusConfig::default().with_checker(CHECKER_PIPELINE_LATENCY)
+            // When the analyzer proved every port safe, the checker's
+            // pipeline stage drops off the request path — that cycle is
+            // the figure-level payoff of static elision.
+            if elide.is_some_and(BenchAnalysis::all_safe) {
+                BusConfig::default().with_checker(0)
+            } else {
+                BusConfig::default().with_checker(CHECKER_PIPELINE_LATENCY)
+            }
         } else {
             BusConfig::default()
         };
@@ -230,7 +308,7 @@ fn run_inner(
         reg.absorb(&machsuite::stats::of_trace(bench, &traces[0]), "workload.");
         reg.snapshot()
     });
-    (result, snapshot)
+    (result, snapshot, checks_elided)
 }
 
 fn add_l1_metrics(reg: &mut Registry, hits: u64, misses: u64) {
@@ -271,6 +349,31 @@ mod tests {
         let checked = run_benchmark(Benchmark::MdKnn, SystemVariant::CheriCpuCheriAccel, 1, 1);
         assert!(checked.setup_cycles > plain.setup_cycles);
         assert!(checked.cycles > plain.cycles);
+    }
+
+    #[test]
+    fn elided_run_skips_checks_and_saves_cycles() {
+        let run = run_benchmark_elided(Benchmark::GemmNcubed, 1, 1);
+        assert!(run.analysis.all_safe());
+        assert!(run.checks_elided > 0, "no check was actually elided");
+        assert!(
+            run.elided.cycles < run.checked.cycles,
+            "elision saved nothing: {} vs {}",
+            run.elided.cycles,
+            run.checked.cycles
+        );
+        assert!(run.speedup() > 1.0);
+        // Setup is untouched: the same number of capabilities installs,
+        // merely narrower ones.
+        assert_eq!(run.elided.setup_cycles, run.checked.setup_cycles);
+    }
+
+    #[test]
+    fn elided_runs_are_deterministic() {
+        let a = run_benchmark_elided(Benchmark::SpmvCrs, 2, 7);
+        let b = run_benchmark_elided(Benchmark::SpmvCrs, 2, 7);
+        assert_eq!(a.elided.cycles, b.elided.cycles);
+        assert_eq!(a.checks_elided, b.checks_elided);
     }
 
     #[test]

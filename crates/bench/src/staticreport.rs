@@ -1,0 +1,207 @@
+//! The static-analysis report: per-benchmark capability-flow analysis
+//! and the cycle payoff of eliding proved-safe checks.
+//!
+//! For every MachSuite benchmark this runs the static analyzer
+//! ([`capcheri_analyze::analyze_benchmark`]), audits the driver's
+//! default RW grant table against the declared port directions, then
+//! measures `ccpu+caccel` twice — fully checked and with the proof
+//! installed ([`runner::run_benchmark_elided`]) — reporting the checks
+//! skipped and the speedup. The machine-readable form is the
+//! `capcheri.staticreport.v1` schema; rows are produced in
+//! `Benchmark::ALL` order and every map the report touches is ordered,
+//! so output is byte-identical at any `--threads` count.
+
+use crate::runner::{self, ElidedRun};
+use capcheri_analyze::{audit_grants, default_grants};
+use machsuite::Benchmark;
+use obs::json::JsonWriter;
+
+/// Schema tag of the JSON form.
+pub const STATIC_REPORT_SCHEMA: &str = "capcheri.staticreport.v1";
+
+/// One benchmark's static-analysis row.
+#[derive(Clone, Debug)]
+pub struct StaticRow {
+    /// The measured pair of runs plus the analysis behind them.
+    pub run: ElidedRun,
+    /// Over-privilege findings against the default RW grant table (how
+    /// much narrower the least-privilege grants are).
+    pub over_privileged_grants: u64,
+}
+
+impl StaticRow {
+    /// Ports proved safe.
+    #[must_use]
+    pub fn safe_ports(&self) -> usize {
+        self.run
+            .analysis
+            .ports
+            .iter()
+            .filter(|p| p.verdict == capchecker::StaticVerdict::Safe)
+            .count()
+    }
+}
+
+/// Computes one row.
+#[must_use]
+pub fn row(bench: Benchmark) -> StaticRow {
+    let run = runner::run_benchmark_elided(bench, 1, 0xC0DE);
+    let over_privileged_grants = audit_grants(bench, &default_grants(bench, 0))
+        .iter()
+        .filter(|f| f.category == "over-privilege")
+        .count() as u64;
+    StaticRow {
+        run,
+        over_privileged_grants,
+    }
+}
+
+/// All 19 rows, sequentially.
+#[must_use]
+pub fn rows() -> Vec<StaticRow> {
+    rows_threads(1)
+}
+
+/// [`rows`] fanned out over a worker pool; any thread count produces the
+/// same rows in the same order.
+#[must_use]
+pub fn rows_threads(threads: usize) -> Vec<StaticRow> {
+    crate::fan_out(threads, Benchmark::ALL.len(), |i| row(Benchmark::ALL[i]))
+}
+
+/// Renders the report as a table.
+#[must_use]
+pub fn report() -> String {
+    report_threads(1)
+}
+
+/// [`report`] with its benchmark cells computed on `threads` workers —
+/// byte-identical output for any thread count.
+#[must_use]
+pub fn report_threads(threads: usize) -> String {
+    render_rows(&rows_threads(threads))
+}
+
+/// Renders already-computed rows as the text table.
+#[must_use]
+pub fn render_rows(all: &[StaticRow]) -> String {
+    let table_rows: Vec<Vec<String>> = all
+        .iter()
+        .map(|r| {
+            vec![
+                r.run.checked.bench.name().to_owned(),
+                format!("{}/{}", r.safe_ports(), r.run.analysis.ports.len()),
+                r.over_privileged_grants.to_string(),
+                r.run.checks_elided.to_string(),
+                r.run.checked.cycles.to_string(),
+                r.run.elided.cycles.to_string(),
+                crate::render::speedup(r.run.speedup()),
+            ]
+        })
+        .collect();
+    format!(
+        "Static capability-flow analysis: proved-safe ports and check elision\n\
+         (ccpu+caccel, one task; grants narrowed to declared directions)\n\n{}",
+        crate::render::table(
+            &[
+                "Benchmark",
+                "Safe ports",
+                "RW excess",
+                "Elided",
+                "Checked cyc",
+                "Elided cyc",
+                "Speedup",
+            ],
+            &table_rows
+        )
+    )
+}
+
+/// The `capcheri.staticreport.v1` JSON document for `rows`.
+#[must_use]
+pub fn rows_to_json(rows: &[StaticRow]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string(STATIC_REPORT_SCHEMA);
+    w.key("benchmarks");
+    w.begin_array();
+    for r in rows {
+        let a = &r.run.analysis;
+        w.begin_object();
+        w.key("bench");
+        w.string(a.bench.name());
+        w.key("all_safe");
+        w.bool(a.all_safe());
+        w.key("over_privileged_grants");
+        w.u64(r.over_privileged_grants);
+        w.key("checks_elided");
+        w.u64(r.run.checks_elided);
+        w.key("checked_cycles");
+        w.u64(r.run.checked.cycles);
+        w.key("elided_cycles");
+        w.u64(r.run.elided.cycles);
+        w.key("speedup");
+        w.f64(r.run.speedup());
+        w.key("ports");
+        w.begin_array();
+        for p in &a.ports {
+            w.begin_object();
+            w.key("name");
+            w.string(p.name);
+            w.key("mode");
+            w.string(p.mode.label());
+            w.key("verdict");
+            w.string(p.verdict.label());
+            w.key("read");
+            w.bool(p.read);
+            w.key("write");
+            w.bool(p.write);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("findings");
+        w.begin_array();
+        for f in &a.findings {
+            w.begin_object();
+            w.key("category");
+            w.string(f.category);
+            w.key("subject");
+            w.string(&f.subject);
+            w.key("detail");
+            w.string(&f.detail);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_benchmarks_all_prove_safe_and_gain() {
+        // A cheap representative subset (the golden test covers all 19).
+        for b in [Benchmark::Aes, Benchmark::GemmNcubed, Benchmark::SpmvCrs] {
+            let r = row(b);
+            assert!(r.run.analysis.all_safe(), "{b}");
+            assert!(r.run.checks_elided > 0, "{b}");
+            assert!(r.run.speedup() >= 1.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn json_is_valid_and_schema_tagged() {
+        let rows = vec![row(Benchmark::Aes)];
+        let json = rows_to_json(&rows);
+        obs::json::validate(&json).unwrap();
+        assert!(json.contains("\"schema\":\"capcheri.staticreport.v1\""));
+        assert!(json.contains("\"bench\":\"aes\""));
+        assert!(json.contains("\"verdict\":\"safe\""));
+    }
+}

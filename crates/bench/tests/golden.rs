@@ -13,7 +13,7 @@
 //!
 //! and commit the rewritten files — the diff *is* the review artifact.
 
-use capcheri_bench::{fig10, fig11, fig12, fig7, fig8, fig9, table1, table2, table3};
+use capcheri_bench::{fig10, fig11, fig12, fig7, fig8, fig9, staticreport, table1, table2, table3};
 use obs::json::JsonWriter;
 use std::fs;
 use std::path::PathBuf;
@@ -28,6 +28,7 @@ fn artifacts(threads: usize) -> Vec<(&'static str, &'static str, String)> {
         ("fig10", "figure", fig10::report_threads(threads)),
         ("fig11", "figure", fig11::report_threads(threads)),
         ("fig12", "figure", fig12::report_threads(threads)),
+        ("staticreport", "report", staticreport::report_threads(threads)),
         ("table1", "table", table1::report()),
         ("table2", "table", table2::report()),
         ("table3", "table", table3::report()),

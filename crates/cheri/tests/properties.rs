@@ -208,7 +208,7 @@ proptest! {
             }
             Err(fault) => {
                 prop_assert_eq!(fault, CapFault::InvalidObjectType);
-                prop_assert!(otype < cheri::MIN_SEALED_OTYPE || otype > cheri::MAX_SEALED_OTYPE);
+                prop_assert!(!(cheri::MIN_SEALED_OTYPE..=cheri::MAX_SEALED_OTYPE).contains(&otype));
             }
         }
     }

@@ -28,7 +28,10 @@
 
 use crate::oracle::{Oracle, Verdict};
 use crate::stream::{self, Op};
-use capchecker::{sweep_revoked, CachedCapChecker, CachedCheckerConfig, CapChecker, CheckerConfig};
+use capchecker::{
+    sweep_revoked, CachedCapChecker, CachedCheckerConfig, CapChecker, CheckerConfig,
+    StaticVerdictMap,
+};
 use cheri::{CapFault, Capability, Perms};
 use hetsim::{Access, DenyReason, MasterId, ObjectId, TaggedMemory, TaskId};
 use ioprotect::{GrantError, IoProtection};
@@ -72,6 +75,10 @@ pub trait Subject {
     /// The op index at which the subject degraded, if it did.
     fn degraded_at(&self) -> Option<u64> {
         None
+    }
+    /// Checks this subject skipped under a static verdict map.
+    fn checks_elided(&self) -> u64 {
+        0
     }
 }
 
@@ -230,6 +237,173 @@ impl Subject for CachedSubject {
 
     fn expected_exception_flag(&self) -> bool {
         self.expected_flag
+    }
+}
+
+/// The fixed-table checker running with a static verdict map installed.
+///
+/// This is how an analyzer result gets *proved* rather than trusted:
+/// pairs the map marks safe skip the per-beat check and answer
+/// `Granted` unchecked, and the harness diffs every one of those
+/// answers against the oracle. An unsound map — one that marks a pair
+/// safe whose stream contains a denial — shows up as an ordinary
+/// divergence.
+#[derive(Debug)]
+pub struct ElidedSubject {
+    checker: CapChecker,
+    expected_flag: bool,
+}
+
+impl ElidedSubject {
+    /// A Fine-mode checker with `map` installed.
+    #[must_use]
+    pub fn new(map: StaticVerdictMap) -> ElidedSubject {
+        let mut checker = CapChecker::new(CheckerConfig::fine());
+        checker.set_static_verdicts(map);
+        ElidedSubject {
+            checker,
+            expected_flag: false,
+        }
+    }
+}
+
+impl Subject for ElidedSubject {
+    fn name(&self) -> &'static str {
+        "CapChecker+elide"
+    }
+
+    fn grant(
+        &mut self,
+        task: TaskId,
+        object: ObjectId,
+        cap: &Capability,
+    ) -> Result<(), GrantError> {
+        IoProtection::grant(&mut self.checker, task, object, cap)
+    }
+
+    fn revoke_task(&mut self, task: TaskId) {
+        IoProtection::revoke_task(&mut self.checker, task);
+    }
+
+    fn check(&mut self, access: &Access) -> Checked {
+        let verdict = match self.checker.check(access) {
+            Ok(()) => Verdict::Granted,
+            Err(denial) => {
+                self.expected_flag = true;
+                Verdict::Denied(denial.reason)
+            }
+        };
+        Checked {
+            verdict,
+            fail_stop: false,
+        }
+    }
+
+    fn exception_flag(&self) -> bool {
+        self.checker.exception_flag()
+    }
+
+    fn expected_exception_flag(&self) -> bool {
+        self.expected_flag
+    }
+
+    fn checks_elided(&self) -> u64 {
+        self.checker.stats().elided
+    }
+}
+
+/// The cached checker with a static verdict map installed (and the
+/// usual fail-stop reconciliation for the pairs that still hit the
+/// cache). Elided accesses never touch the cache, so they are immune to
+/// injected corruption — which is itself a differential fact the oracle
+/// confirms: the verdict stays `Granted` either way.
+#[derive(Debug)]
+pub struct ElidedCachedSubject {
+    checker: CachedCapChecker,
+    expected_flag: bool,
+}
+
+impl ElidedCachedSubject {
+    /// A cached Fine-mode checker with `map` installed.
+    #[must_use]
+    pub fn new(map: StaticVerdictMap) -> ElidedCachedSubject {
+        let mut checker = CachedCapChecker::new(CachedCheckerConfig::default());
+        checker.set_static_verdicts(map);
+        ElidedCachedSubject {
+            checker,
+            expected_flag: false,
+        }
+    }
+}
+
+impl Subject for ElidedCachedSubject {
+    fn name(&self) -> &'static str {
+        "CachedCapChecker+elide"
+    }
+
+    fn grant(
+        &mut self,
+        task: TaskId,
+        object: ObjectId,
+        cap: &Capability,
+    ) -> Result<(), GrantError> {
+        IoProtection::grant(&mut self.checker, task, object, cap)
+    }
+
+    fn revoke_task(&mut self, task: TaskId) {
+        IoProtection::revoke_task(&mut self.checker, task);
+    }
+
+    fn check(&mut self, access: &Access) -> Checked {
+        let before = self.checker.corruption_detected();
+        match self.checker.check(access) {
+            Ok(()) => Checked {
+                verdict: Verdict::Granted,
+                fail_stop: false,
+            },
+            Err(denial)
+                if denial.reason == DenyReason::InvalidTag
+                    && self.checker.corruption_detected() > before =>
+            {
+                self.expected_flag = true;
+                let verdict = match self.checker.check(access) {
+                    Ok(()) => Verdict::Granted,
+                    Err(retry) => Verdict::Denied(retry.reason),
+                };
+                Checked {
+                    verdict,
+                    fail_stop: true,
+                }
+            }
+            Err(denial) => {
+                self.expected_flag = true;
+                Checked {
+                    verdict: Verdict::Denied(denial.reason),
+                    fail_stop: false,
+                }
+            }
+        }
+    }
+
+    fn corrupt_cache(&mut self, slot: u8, flip: u64, on_insert: bool) {
+        let flip = u128::from(flip) | (u128::from(flip) << 64);
+        if on_insert {
+            self.checker.corrupt_next_insert(flip);
+        } else {
+            let _hit = self.checker.corrupt_cache_slot(usize::from(slot), flip);
+        }
+    }
+
+    fn exception_flag(&self) -> bool {
+        self.checker.exception_flag()
+    }
+
+    fn expected_exception_flag(&self) -> bool {
+        self.expected_flag
+    }
+
+    fn checks_elided(&self) -> u64 {
+        self.checker.cache_stats().elided
     }
 }
 
@@ -451,6 +625,9 @@ pub struct RunOutcome {
     pub denied: u64,
     /// Sanctioned corruption fail-stops consumed across subjects.
     pub fail_stops: u64,
+    /// Checks skipped under a static verdict map, summed over subjects
+    /// (0 unless an elided subject ran).
+    pub elided: u64,
     /// Op index at which the degrading subject switched to uncached.
     pub degraded_at: Option<u64>,
     /// Granules carrying a tag in either the memory or the oracle at
@@ -490,7 +667,29 @@ pub fn run_ops(ops: &[Op]) -> RunOutcome {
     run_stream(ops, default_subjects(ops.len()))
 }
 
-fn build_grant_cap(
+/// Replays `ops` through elision-enabled subjects (plain and cached,
+/// both carrying `map`) and the oracle: the differential proof that the
+/// analyzer's verdict map is sound for this stream.
+#[must_use]
+pub fn run_ops_elided(ops: &[Op], map: &StaticVerdictMap) -> RunOutcome {
+    run_stream(
+        ops,
+        vec![
+            Box::new(ElidedSubject::new(map.clone())),
+            Box::new(ElidedCachedSubject::new(map.clone())),
+        ],
+    )
+}
+
+/// Builds the capability a [`Op::Grant`] would install — the one
+/// construction both the harness and the static analyzer use, so the
+/// analyzer's model can never drift from what actually enters a table.
+///
+/// # Errors
+///
+/// The [`CapFault`] of an underivable request (the harness skips such
+/// ops; the analyzer must too).
+pub fn build_grant_cap(
     base: u64,
     len: u16,
     perms: u16,
@@ -511,7 +710,17 @@ fn build_grant_cap(
     Ok(cap)
 }
 
-fn build_access(task: u8, object: u8, provenance: bool, write: bool, addr: u64, len: u8) -> Access {
+/// Builds the [`Access`] a [`Op::Access`] issues (shared with the
+/// static analyzer, like [`build_grant_cap`]).
+#[must_use]
+pub fn build_access(
+    task: u8,
+    object: u8,
+    provenance: bool,
+    write: bool,
+    addr: u64,
+    len: u8,
+) -> Access {
     let access = if write {
         Access::write(MasterId(0), TaskId(u32::from(task)), addr, u64::from(len))
     } else {
@@ -539,6 +748,7 @@ pub fn run_stream(ops: &[Op], mut subjects: Vec<Box<dyn Subject>>) -> RunOutcome
         granted: 0,
         denied: 0,
         fail_stops: 0,
+        elided: 0,
         degraded_at: None,
         tag_granules: 0,
         tag_mismatches: 0,
@@ -706,6 +916,7 @@ pub fn run_stream(ops: &[Op], mut subjects: Vec<Box<dyn Subject>>) -> RunOutcome
         if let Some(at) = subject.degraded_at() {
             out.degraded_at = Some(out.degraded_at.map_or(at, |prev: u64| prev.min(at)));
         }
+        out.elided += subject.checks_elided();
     }
 
     out.events.push(Event {

@@ -45,7 +45,8 @@ pub mod stream;
 
 pub use codec::{check as codec_check, CodecReport};
 pub use harness::{
-    default_subjects, run_ops, run_stream, CachedSubject, Checked, DegradingSubject, Divergence,
+    build_access, build_grant_cap, default_subjects, run_ops, run_ops_elided, run_stream,
+    CachedSubject, Checked, DegradingSubject, Divergence, ElidedCachedSubject, ElidedSubject,
     OpCounts, RunOutcome, Subject, UncachedSubject,
 };
 pub use oracle::{Oracle, OracleCap, Verdict};

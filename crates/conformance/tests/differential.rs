@@ -260,6 +260,90 @@ fn scratch_off_by_one_is_caught_and_shrunk() {
 }
 
 #[test]
+fn sound_verdict_map_elides_cleanly() {
+    use capchecker::{StaticVerdict, StaticVerdictMap};
+    let base = conformance::stream::slot_base(0, 0);
+    let ops = vec![
+        Op::Grant {
+            task: 0,
+            object: 0,
+            base,
+            len: 64,
+            perms: Perms::RW.bits(),
+            seal: false,
+            untagged: false,
+        },
+        Op::Access {
+            task: 0,
+            object: 0,
+            provenance: true,
+            write: false,
+            addr: base,
+            len: 4,
+            value: 0,
+        },
+        Op::Access {
+            task: 0,
+            object: 0,
+            provenance: true,
+            write: false,
+            addr: base + 32,
+            len: 8,
+            value: 0,
+        },
+    ];
+    let mut map = StaticVerdictMap::new();
+    map.set(TaskId(0), ObjectId(0), StaticVerdict::Safe);
+    let outcome = conformance::run_ops_elided(&ops, &map);
+    assert!(outcome.is_clean(), "{:#?}", outcome.divergences);
+    // Both elided subjects skipped both accesses.
+    assert_eq!(outcome.elided, 4);
+}
+
+#[test]
+fn unsound_verdict_map_is_caught_as_divergence() {
+    use capchecker::{StaticVerdict, StaticVerdictMap};
+    let base = conformance::stream::slot_base(0, 0);
+    let ops = vec![
+        Op::Grant {
+            task: 0,
+            object: 0,
+            base,
+            len: 64,
+            perms: Perms::LOAD.bits(), // read-only grant
+            seal: false,
+            untagged: false,
+        },
+        // A write the oracle denies — an unsound "safe" verdict elides
+        // the check and answers Granted instead.
+        Op::Access {
+            task: 0,
+            object: 0,
+            provenance: true,
+            write: true,
+            addr: base,
+            len: 4,
+            value: 7,
+        },
+    ];
+    let mut map = StaticVerdictMap::new();
+    map.set(TaskId(0), ObjectId(0), StaticVerdict::Safe);
+    let outcome = conformance::run_ops_elided(&ops, &map);
+    assert!(!outcome.is_clean(), "unsound elision must diverge");
+    assert!(outcome
+        .divergences
+        .iter()
+        .any(|d| d.subject == "CapChecker+elide"));
+    assert!(outcome
+        .divergences
+        .iter()
+        .any(|d| d.subject == "CachedCapChecker+elide"));
+    // The same stream without the map is clean: the bug is in the map,
+    // not the checkers.
+    assert!(run_ops(&ops).is_clean());
+}
+
+#[test]
 fn divergences_emit_obs_events() {
     let ops = generate(1, 1500);
     let outcome = run_stream(&ops, buggy_subjects(ops.len()));

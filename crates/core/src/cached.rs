@@ -18,6 +18,7 @@
 //! it: this is performance engineering, not security.
 
 use crate::config::{CheckerConfig, CheckerMode};
+use crate::elide::StaticVerdictMap;
 use cheri::Capability;
 use hetsim::{Access, AccessKind, Cycles, Denial, DenyReason, ObjectId, TaskId};
 use ioprotect::{GrantError, Granularity, IoProtection, MechanismProperties};
@@ -119,6 +120,7 @@ pub struct CachedCapChecker {
     exceptions: Vec<(TaskId, ObjectId)>,
     /// Fault-injection: bits to flip in the next inserted line's image.
     poison_next: Option<u128>,
+    static_verdicts: Option<StaticVerdictMap>,
 }
 
 impl CachedCapChecker {
@@ -133,7 +135,28 @@ impl CachedCapChecker {
             exception_flag: false,
             exceptions: Vec::new(),
             poison_next: None,
+            static_verdicts: None,
         }
+    }
+
+    /// Installs a static verdict map: accesses on statically-safe
+    /// `(task, object)` pairs bypass the cache and the table walk
+    /// entirely, counted in [`CacheStats::elided`]. Elided accesses
+    /// leave the LRU state untouched — the cache is reserved for the
+    /// traffic that still needs judging.
+    pub fn set_static_verdicts(&mut self, map: StaticVerdictMap) {
+        self.static_verdicts = Some(map);
+    }
+
+    /// Removes the verdict map; every beat is checked again.
+    pub fn clear_static_verdicts(&mut self) {
+        self.static_verdicts = None;
+    }
+
+    /// The installed verdict map, if any.
+    #[must_use]
+    pub fn static_verdicts(&self) -> Option<&StaticVerdictMap> {
+        self.static_verdicts.as_ref()
     }
 
     /// The configuration this checker was built with.
@@ -317,6 +340,12 @@ impl IoProtection for CachedCapChecker {
                 (ObjectId(obj), phys)
             }
         };
+        if let Some(map) = &self.static_verdicts {
+            if map.is_safe(access.task, object) {
+                self.stats.elided += 1;
+                return Ok(());
+            }
+        }
         let cap = match self.lookup((access.task, object)) {
             Ok(Some(cap)) => cap,
             Ok(None) => return Err(self.deny(access, Some(object), DenyReason::NoEntry)),
@@ -372,6 +401,50 @@ mod tests {
 
     fn read(task: u32, addr: u64, obj: u16) -> Access {
         Access::read(MasterId(1), TaskId(task), addr, 4).with_object(ObjectId(obj))
+    }
+
+    #[test]
+    fn static_verdicts_bypass_cache_and_leave_lru_untouched() {
+        use crate::elide::{StaticVerdict, StaticVerdictMap};
+        let mut c = CachedCapChecker::new(CachedCheckerConfig::default());
+        c.grant(TaskId(1), ObjectId(0), &rw(0x1000, 64)).unwrap();
+        c.grant(TaskId(1), ObjectId(1), &rw(0x2000, 64)).unwrap();
+        let mut map = StaticVerdictMap::new();
+        map.set(TaskId(1), ObjectId(0), StaticVerdict::Safe);
+        c.set_static_verdicts(map);
+
+        // Safe pair: no walk, no cache traffic, one elision.
+        assert!(c.check(&read(1, 0x1000, 0)).is_ok());
+        let s = c.cache_stats();
+        assert_eq!((s.elided, s.hits, s.misses), (1, 0, 0));
+
+        // Dynamic pair still walks and caches as before.
+        assert!(c.check(&read(1, 0x2000, 1)).is_ok());
+        assert!(c.check(&read(1, 0x2000, 1)).is_ok());
+        let s = c.cache_stats();
+        assert_eq!((s.elided, s.hits, s.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn elision_is_immune_to_cache_corruption() {
+        use crate::elide::{StaticVerdict, StaticVerdictMap};
+        let mut c = CachedCapChecker::new(CachedCheckerConfig::default());
+        c.grant(TaskId(1), ObjectId(0), &rw(0x1000, 64)).unwrap();
+        // Warm the line, then corrupt it.
+        assert!(c.check(&read(1, 0x1000, 0)).is_ok());
+        assert!(c.corrupt_cache_slot(0, 1));
+        // With a safe verdict the corrupt line is never consulted: the
+        // check it would have served was redundant by proof.
+        let mut map = StaticVerdictMap::new();
+        map.set(TaskId(1), ObjectId(0), StaticVerdict::Safe);
+        c.set_static_verdicts(map);
+        assert!(c.check(&read(1, 0x1000, 0)).is_ok());
+        assert_eq!(c.corruption_detected(), 0);
+        // Dropping the map re-exposes the corruption as a fail-stop.
+        c.clear_static_verdicts();
+        let denial = c.check(&read(1, 0x1000, 0)).unwrap_err();
+        assert_eq!(denial.reason, DenyReason::InvalidTag);
+        assert_eq!(c.corruption_detected(), 1);
     }
 
     #[test]

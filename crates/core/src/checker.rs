@@ -19,6 +19,7 @@
 //! interconnect, exposed here as an MMIO register map ([`regs`]).
 
 use crate::config::{CheckerConfig, CheckerMode};
+use crate::elide::StaticVerdictMap;
 use crate::table::{CapabilityTable, TableEntry};
 use cheri::{Capability, CompressedCapability, Perms};
 use hetsim::mmio::MmioDevice;
@@ -104,6 +105,7 @@ pub struct CapChecker {
     staging: Staging,
     exception_flag: bool,
     stats: CheckerStats,
+    static_verdicts: Option<StaticVerdictMap>,
 }
 
 impl CapChecker {
@@ -116,7 +118,27 @@ impl CapChecker {
             staging: Staging::default(),
             exception_flag: false,
             stats: CheckerStats::default(),
+            static_verdicts: None,
         }
+    }
+
+    /// Installs a static verdict map: per-beat checks are skipped for
+    /// `(task, object)` pairs the analyzer proved safe, each skip
+    /// counted in [`CheckerStats::elided`]. Unsafe and dynamic pairs
+    /// are judged exactly as before.
+    pub fn set_static_verdicts(&mut self, map: StaticVerdictMap) {
+        self.static_verdicts = Some(map);
+    }
+
+    /// Removes the verdict map; every beat is checked again.
+    pub fn clear_static_verdicts(&mut self) {
+        self.static_verdicts = None;
+    }
+
+    /// The installed verdict map, if any.
+    #[must_use]
+    pub fn static_verdicts(&self) -> Option<&StaticVerdictMap> {
+        self.static_verdicts.as_ref()
     }
 
     /// The hardware configuration.
@@ -255,6 +277,16 @@ impl IoProtection for CapChecker {
             Ok(pair) => pair,
             Err(reason) => return Err(self.deny(access, None, reason)),
         };
+        // Elision gate: provenance is already resolved, so a safe verdict
+        // covers exactly the stream the analyzer classified. Unresolved
+        // (no-provenance) requests never reach this point and are denied
+        // above regardless of any verdict.
+        if let Some(map) = &self.static_verdicts {
+            if map.is_safe(access.task, object) {
+                self.stats.elided += 1;
+                return Ok(());
+            }
+        }
         let Some(entry) = self.table.lookup(access.task, object) else {
             return Err(self.deny(access, Some(object), DenyReason::NoEntry));
         };
@@ -486,6 +518,40 @@ mod tests {
         assert_eq!(c.mmio_read(regs::GRANTED), 1);
         assert_eq!(c.mmio_read(regs::DENIED), 1);
         assert_eq!(c.mmio_read(regs::INSTALLS), 2);
+    }
+
+    #[test]
+    fn static_verdicts_elide_safe_pairs_only() {
+        use crate::elide::{StaticVerdict, StaticVerdictMap};
+        let mut c = fine_checker_with_two_buffers();
+        let mut map = StaticVerdictMap::new();
+        map.set(TaskId(1), ObjectId(0), StaticVerdict::Safe);
+        c.set_static_verdicts(map);
+
+        // Safe pair: granted without a table walk, counted as elided.
+        let ok = Access::read(MasterId(1), TaskId(1), 0x1000, 4).with_object(ObjectId(0));
+        assert!(c.check(&ok).is_ok());
+        assert_eq!(c.stats().elided, 1);
+        assert_eq!(c.stats().granted, 0);
+
+        // Dynamic pair (absent from the map): the full check runs.
+        let other = Access::read(MasterId(1), TaskId(1), 0x3000, 4).with_object(ObjectId(1));
+        assert!(c.check(&other).is_ok());
+        assert_eq!(c.stats().granted, 1);
+
+        // Elision never rescues a no-provenance request: Fine hardware
+        // cannot attribute it, verdict map or not.
+        let anon = Access::read(MasterId(1), TaskId(1), 0x1000, 4);
+        assert_eq!(
+            c.check(&anon).unwrap_err().reason,
+            DenyReason::BadProvenance
+        );
+
+        // Clearing the map restores full checking.
+        c.clear_static_verdicts();
+        assert!(c.check(&ok).is_ok());
+        assert_eq!(c.stats().elided, 1);
+        assert_eq!(c.stats().granted, 2);
     }
 
     #[test]

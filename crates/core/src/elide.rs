@@ -1,0 +1,143 @@
+//! Static check elision: the hardware side of the adaptive loop.
+//!
+//! The `capcheri-analyze` crate proves, ahead of simulation, which
+//! `(task, object)` streams can never fault — every access lands inside a
+//! live, correctly-permissioned capability on all paths. Its result is a
+//! [`StaticVerdictMap`]. The [`CapChecker`](crate::CapChecker) and
+//! [`CachedCapChecker`](crate::CachedCapChecker) accept the map and skip
+//! the per-beat table walk for pairs proved safe, counting each skip in
+//! their `elided` statistic.
+//!
+//! Soundness does **not** rest on trusting the analyzer: the conformance
+//! harness replays elided checkers against the golden oracle and diffs
+//! every verdict, so an unsound map shows up as a divergence, exactly
+//! like an implementation bug would.
+
+use hetsim::{ObjectId, TaskId};
+use std::collections::BTreeMap;
+
+/// The analyzer's judgment for one `(task, object)` access stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StaticVerdict {
+    /// Every access of the stream is provably inside a live,
+    /// correctly-permissioned capability on all paths — the per-beat
+    /// check is redundant and may be elided.
+    Safe,
+    /// At least one access is a provable violation (over-privileged or
+    /// stale grant, port aliasing, revocation race). Reported as a
+    /// finding; the runtime checker still judges every beat.
+    Unsafe,
+    /// Nothing provable either way — the runtime checker is required.
+    /// This is the default for pairs the analyzer never saw.
+    #[default]
+    Dynamic,
+}
+
+impl StaticVerdict {
+    /// Stable lowercase label used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StaticVerdict::Safe => "safe",
+            StaticVerdict::Unsafe => "unsafe",
+            StaticVerdict::Dynamic => "dynamic",
+        }
+    }
+}
+
+/// Per-`(task, object)` static verdicts, as installed into a checker.
+///
+/// Keys are ordered (`BTreeMap`), so iteration — and everything derived
+/// from it, reports included — is deterministic. Pairs absent from the
+/// map are [`StaticVerdict::Dynamic`]: elision is strictly opt-in.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StaticVerdictMap {
+    verdicts: BTreeMap<(u32, u16), StaticVerdict>,
+}
+
+impl StaticVerdictMap {
+    /// An empty map: every pair is dynamic, nothing is elided.
+    #[must_use]
+    pub fn new() -> StaticVerdictMap {
+        StaticVerdictMap::default()
+    }
+
+    /// Records the verdict for `(task, object)`.
+    pub fn set(&mut self, task: TaskId, object: ObjectId, verdict: StaticVerdict) {
+        self.verdicts.insert((task.0, object.0), verdict);
+    }
+
+    /// The verdict for `(task, object)` ([`StaticVerdict::Dynamic`] when
+    /// the analyzer never classified the pair).
+    #[must_use]
+    pub fn verdict(&self, task: TaskId, object: ObjectId) -> StaticVerdict {
+        self.verdicts
+            .get(&(task.0, object.0))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// `true` when the pair's checks may be skipped.
+    #[must_use]
+    pub fn is_safe(&self, task: TaskId, object: ObjectId) -> bool {
+        self.verdict(task, object) == StaticVerdict::Safe
+    }
+
+    /// Number of pairs proved safe.
+    #[must_use]
+    pub fn safe_pairs(&self) -> u64 {
+        self.verdicts
+            .values()
+            .filter(|v| **v == StaticVerdict::Safe)
+            .count() as u64
+    }
+
+    /// Classified pairs, in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, ObjectId, StaticVerdict)> + '_ {
+        self.verdicts
+            .iter()
+            .map(|(&(t, o), &v)| (TaskId(t), ObjectId(o), v))
+    }
+
+    /// `true` when no pair is classified.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_dynamic_and_elision_is_opt_in() {
+        let map = StaticVerdictMap::new();
+        assert_eq!(
+            map.verdict(TaskId(1), ObjectId(0)),
+            StaticVerdict::Dynamic
+        );
+        assert!(!map.is_safe(TaskId(1), ObjectId(0)));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn set_and_count() {
+        let mut map = StaticVerdictMap::new();
+        map.set(TaskId(1), ObjectId(0), StaticVerdict::Safe);
+        map.set(TaskId(1), ObjectId(1), StaticVerdict::Unsafe);
+        map.set(TaskId(2), ObjectId(0), StaticVerdict::Safe);
+        assert!(map.is_safe(TaskId(1), ObjectId(0)));
+        assert!(!map.is_safe(TaskId(1), ObjectId(1)));
+        assert_eq!(map.safe_pairs(), 2);
+        let keys: Vec<_> = map.iter().map(|(t, o, _)| (t.0, o.0)).collect();
+        assert_eq!(keys, vec![(1, 0), (1, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StaticVerdict::Safe.label(), "safe");
+        assert_eq!(StaticVerdict::Unsafe.label(), "unsafe");
+        assert_eq!(StaticVerdict::Dynamic.label(), "dynamic");
+    }
+}

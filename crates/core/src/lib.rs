@@ -54,6 +54,7 @@ mod alloc;
 pub mod cached;
 pub mod checker;
 mod config;
+pub mod elide;
 mod engines;
 mod exception;
 pub mod recovery;
@@ -64,6 +65,7 @@ mod table;
 pub use alloc::{AllocError, HeapAllocator};
 pub use cached::{CacheStats, CachedCapChecker, CachedCheckerConfig};
 pub use checker::{CapChecker, CheckerStats};
+pub use elide::{StaticVerdict, StaticVerdictMap};
 pub use config::{CheckerConfig, CheckerMode};
 pub use engines::{CpuEngine, ProtectedEngine, Provenance};
 pub use recovery::{

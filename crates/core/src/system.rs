@@ -21,6 +21,7 @@ use crate::alloc::{AllocError, HeapAllocator};
 use crate::cached::CachedCapChecker;
 use crate::checker::CapChecker;
 use crate::config::{CheckerConfig, CheckerMode};
+use crate::elide::StaticVerdictMap;
 use crate::engines::{CpuEngine, ProtectedEngine, Provenance};
 use cheri::{compressed, Capability, CapabilityTree, NodeId, ObjectKind, Perms};
 use hetsim::mmio::RegisterFile;
@@ -251,6 +252,12 @@ pub struct BufferSpec {
     pub size: u64,
     /// Permissions delegated to the task for this buffer.
     pub perms: Perms,
+    /// Least-privilege permissions installed into the *device-side*
+    /// protection mechanism, when tighter than `perms`. The host-side
+    /// capability (used by `write_buffer`/`read_buffer` to stage inputs
+    /// and read results) keeps `perms`; only the accelerator's checker
+    /// entry is narrowed. `None` installs `perms` unchanged.
+    pub device_perms: Option<Perms>,
 }
 
 impl BufferSpec {
@@ -260,6 +267,7 @@ impl BufferSpec {
         BufferSpec {
             size,
             perms: Perms::RW,
+            device_perms: None,
         }
     }
 
@@ -269,7 +277,16 @@ impl BufferSpec {
         BufferSpec {
             size,
             perms: Perms::LOAD,
+            device_perms: None,
         }
+    }
+
+    /// Narrows the device-side grant to `perms` (least privilege for the
+    /// accelerator) while the host keeps the original permissions.
+    #[must_use]
+    pub fn device(mut self, perms: Perms) -> BufferSpec {
+        self.device_perms = Some(perms);
+        self
     }
 }
 
@@ -317,6 +334,20 @@ impl TaskRequest {
     #[must_use]
     pub fn rw_buffers(mut self, sizes: impl IntoIterator<Item = u64>) -> TaskRequest {
         self.buffers.extend(sizes.into_iter().map(BufferSpec::rw));
+        self
+    }
+
+    /// Narrows the device-side grants of the already-added buffers to the
+    /// given per-port permissions, in buffer order (e.g. the analyzer's
+    /// least-privilege envelope from the declared port map). Host-side
+    /// permissions are untouched, so staging inputs and reading results
+    /// keep working. Extra permissions beyond the buffer count are
+    /// ignored; buffers past the iterator keep their full grant.
+    #[must_use]
+    pub fn device_ports(mut self, perms: impl IntoIterator<Item = Perms>) -> TaskRequest {
+        for (spec, p) in self.buffers.iter_mut().zip(perms) {
+            spec.device_perms = Some(p);
+        }
         self
     }
 }
@@ -370,6 +401,9 @@ struct TaskState {
     buffers: Vec<(u64, u64)>,
     padded: Vec<(u64, u64)>,
     caps: Vec<Capability>,
+    /// What was actually installed into the device-side protection: equal
+    /// to `caps` unless a buffer carried narrower `device_perms`.
+    device_caps: Vec<Capability>,
     dynamic_nodes: Vec<NodeId>,
     task_node: NodeId,
     setup_cycles: Cycles,
@@ -454,6 +488,10 @@ pub struct HeteroSystem {
     /// a separate virtual time domain from the timing models' cycles.
     tracer: Option<SharedTracer>,
     driver_clock: Cycles,
+    /// How many elided checks have already been attributed to a
+    /// deallocated task ([`EventKind::ChecksElided`]); the checker's
+    /// counter is cumulative, so events carry the delta.
+    elided_reported: u64,
 }
 
 impl HeteroSystem {
@@ -478,6 +516,7 @@ impl HeteroSystem {
             next_task: 1,
             tracer: None,
             driver_clock: 0,
+            elided_reported: 0,
             config,
         }
     }
@@ -557,6 +596,53 @@ impl HeteroSystem {
         match &mut self.protection {
             Protection::Cached(c) => Some(c),
             _ => None,
+        }
+    }
+
+    /// Installs the static analyzer's verdict map into the active
+    /// CapChecker (plain or cached): pairs proved safe skip the per-beat
+    /// check and count as `elided`. Returns `false` — and drops the map —
+    /// on baseline systems, which have no elision path.
+    ///
+    /// The map does not survive [`HeteroSystem::degrade_to_uncached`]:
+    /// after a degradation the caller must decide whether its proof still
+    /// holds for the replacement checker and re-install explicitly.
+    pub fn install_static_verdicts(&mut self, map: StaticVerdictMap) -> bool {
+        let safe_pairs = map.safe_pairs();
+        let installed = match &mut self.protection {
+            Protection::Checker(c) => {
+                c.set_static_verdicts(map);
+                true
+            }
+            Protection::Cached(c) => {
+                c.set_static_verdicts(map);
+                true
+            }
+            Protection::Baseline(_) => false,
+        };
+        if installed {
+            self.record(EventKind::StaticVerdictsInstalled { safe_pairs });
+        }
+        installed
+    }
+
+    /// The static verdict map installed into the active checker, if any.
+    #[must_use]
+    pub fn static_verdicts(&self) -> Option<&StaticVerdictMap> {
+        match &self.protection {
+            Protection::Checker(c) => c.static_verdicts(),
+            Protection::Cached(c) => c.static_verdicts(),
+            Protection::Baseline(_) => None,
+        }
+    }
+
+    /// Checks elided so far by the active checker (0 on baselines).
+    #[must_use]
+    pub fn checks_elided(&self) -> u64 {
+        match &self.protection {
+            Protection::Checker(c) => c.stats().elided,
+            Protection::Cached(c) => c.cache_stats().elided,
+            Protection::Baseline(_) => 0,
         }
     }
 
@@ -662,6 +748,7 @@ impl HeteroSystem {
                 })?
         };
         let mut caps = Vec::with_capacity(buffers.len());
+        let mut install_caps = Vec::with_capacity(buffers.len());
         for (i, (&(base, _), &psize)) in buffers.iter().zip(&cap_sizes).enumerate() {
             let perms = req.buffers[i].perms;
             let node = self.tree.derive(
@@ -670,7 +757,15 @@ impl HeteroSystem {
                 format!("{}:obj{}", req.name, i),
                 |c| c.set_bounds_exact(base, psize)?.and_perms(perms),
             )?;
-            caps.push(*self.tree.capability(node));
+            let cap = *self.tree.capability(node);
+            // The device-side grant may be narrower than the host-side
+            // capability (least privilege for the accelerator); the host
+            // keeps `cap` for staging and readback.
+            install_caps.push(match req.buffers[i].device_perms {
+                Some(device) => cap.and_perms(device)?,
+                None => cap,
+            });
+            caps.push(cap);
         }
 
         // ① step 3: import the capabilities into the protection mechanism
@@ -685,7 +780,7 @@ impl HeteroSystem {
             };
             let mut tracer = self.tracer.clone();
             let mut clock = self.driver_clock;
-            for (i, cap) in caps.iter().enumerate() {
+            for (i, cap) in install_caps.iter().enumerate() {
                 let result = match &mut self.protection {
                     Protection::Checker(checker) => {
                         install_over_mmio(checker, id, ObjectId(i as u16), cap)
@@ -748,6 +843,7 @@ impl HeteroSystem {
                 buffers,
                 padded,
                 caps,
+                device_caps: install_caps,
                 dynamic_nodes: Vec::new(),
                 task_node,
                 setup_cycles,
@@ -1018,6 +1114,18 @@ impl HeteroSystem {
                 entries: evicted as u64,
             });
         }
+        // Attribute checks elided since the last deallocation to this
+        // task (single-task runs; under multiplexing the split is an
+        // approximation, which the cumulative counter does not suffer).
+        let elided_total = self.checks_elided();
+        let elided_delta = elided_total.saturating_sub(self.elided_reported);
+        if elided_delta > 0 {
+            self.elided_reported = elided_total;
+            self.record(EventKind::ChecksElided {
+                task: task.0,
+                count: elided_delta,
+            });
+        }
         if st.fault.is_some() {
             self.clear_protection_exception();
         }
@@ -1110,13 +1218,26 @@ impl HeteroSystem {
             }
         };
         let cap = *self.tree.capability(node);
+        let device_cap = match spec.device_perms {
+            Some(device) => match cap.and_perms(device) {
+                Ok(c) => c,
+                Err(e) => {
+                    self.tree.revoke(node);
+                    self.alloc
+                        .free(base, reserve)
+                        .expect("rollback frees the block just allocated");
+                    return Err(DriverError::Capability(e));
+                }
+            },
+            None => cap,
+        };
         if self.tasks[&task].fu.is_some() {
             let result = match &mut self.protection {
                 Protection::Checker(checker) => {
-                    install_over_mmio(checker, task, ObjectId(obj as u16), &cap)
+                    install_over_mmio(checker, task, ObjectId(obj as u16), &device_cap)
                 }
-                Protection::Cached(c) => c.grant(task, ObjectId(obj as u16), &cap),
-                Protection::Baseline(b) => b.grant(task, ObjectId(obj as u16), &cap),
+                Protection::Cached(c) => c.grant(task, ObjectId(obj as u16), &device_cap),
+                Protection::Baseline(b) => b.grant(task, ObjectId(obj as u16), &device_cap),
             };
             let install_cost = match &self.protection {
                 Protection::Checker(c) => c.config().install_cycles(),
@@ -1148,6 +1269,7 @@ impl HeteroSystem {
         st.buffers.push((base, spec.size));
         st.padded.push((base, reserve));
         st.caps.push(cap);
+        st.device_caps.push(device_cap);
         st.dynamic_nodes.push(node);
         st.setup_cycles += self.config.mmio_write_cycles + install;
         if let Some(fu_idx) = st.fu {
@@ -1290,7 +1412,7 @@ impl HeteroSystem {
             if st.fu.is_none() {
                 continue;
             }
-            for (i, cap) in st.caps.iter().enumerate() {
+            for (i, cap) in st.device_caps.iter().enumerate() {
                 self.driver_clock += install;
                 if install_over_mmio(&mut checker, id, ObjectId(i as u16), cap).is_ok() {
                     regranted += 1;
@@ -1560,6 +1682,84 @@ mod tests {
             Err(DriverError::NoFreeFu { .. })
         ));
         assert!(!sys.quarantine_fu(99, 1), "out of range is reported");
+    }
+
+    #[test]
+    fn device_ports_narrow_checker_but_not_host() {
+        let mut sys = fine_system();
+        // Analyzer-style least privilege: port 0 is read-only for the
+        // accelerator, port 1 write-only.
+        let req = two_buffer_request().device_ports([Perms::LOAD, Perms::STORE]);
+        let t = sys.allocate_task(&req).unwrap();
+        // Host staging and readback keep the full RW capability.
+        assert!(sys.write_buffer(t, 0, 0, &[7; 16]).is_ok());
+        assert!(sys.write_buffer(t, 1, 0, &[0; 16]).is_ok());
+        let mut buf = [0u8; 4];
+        assert!(sys.read_buffer(t, 1, 0, &mut buf).is_ok());
+        // The declared direction completes...
+        let out = sys
+            .run_accel_task(t, |eng| {
+                let x = eng.load_u32(0, 0)?;
+                eng.store_u32(1, 0, x)
+            })
+            .unwrap();
+        assert!(out.completed());
+        sys.deallocate_task(t).unwrap();
+        // ...and a store through the read-only device port is denied.
+        let t = sys
+            .allocate_task(&two_buffer_request().device_ports([Perms::LOAD, Perms::STORE]))
+            .unwrap();
+        let out = sys.run_accel_task(t, |eng| eng.store_u32(0, 0, 1)).unwrap();
+        assert!(!out.completed(), "device-side grant must be narrowed");
+    }
+
+    #[test]
+    fn static_verdicts_install_elide_and_trace() {
+        use crate::elide::{StaticVerdict, StaticVerdictMap};
+        let mut sys = fine_system();
+        let tracer = SharedTracer::new();
+        sys.set_tracer(tracer.clone());
+        let t = sys.allocate_task(&two_buffer_request()).unwrap();
+        let mut map = StaticVerdictMap::new();
+        map.set(t, ObjectId(0), StaticVerdict::Safe);
+        assert!(sys.install_static_verdicts(map));
+        assert_eq!(sys.static_verdicts().unwrap().safe_pairs(), 1);
+        let out = sys
+            .run_accel_task(t, |eng| {
+                for i in 0..8 {
+                    eng.store_u32(0, i, i as u32)?; // elided
+                }
+                eng.store_u32(1, 0, 1) // fully checked
+            })
+            .unwrap();
+        assert!(out.completed());
+        assert_eq!(sys.checks_elided(), 8);
+        sys.deallocate_task(t).unwrap();
+        let events = tracer.snapshot();
+        let events = events.events();
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::StaticVerdictsInstalled { safe_pairs: 1 }));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == EventKind::ChecksElided { task: t.0, count: 8 }));
+        // Metrics carry the counter too.
+        let mut reg = Registry::new();
+        sys.export_metrics(&mut reg);
+        assert_eq!(reg.snapshot().counter("checker.elided"), Some(8));
+    }
+
+    #[test]
+    fn baseline_systems_refuse_verdict_maps() {
+        let mut sys = HeteroSystem::new(SystemConfig {
+            protection: ProtectionChoice::None,
+            ..SystemConfig::default()
+        });
+        let mut map = StaticVerdictMap::new();
+        map.set(TaskId(1), ObjectId(0), crate::elide::StaticVerdict::Safe);
+        assert!(!sys.install_static_verdicts(map));
+        assert!(sys.static_verdicts().is_none());
+        assert_eq!(sys.checks_elided(), 0);
     }
 
     #[test]

@@ -211,14 +211,7 @@ mod tests {
         let mut bufs = init(17);
         reference(&mut bufs);
         // Dropping gaps from aligned_a must reproduce seq_a (same for b).
-        let project = |buf: &[u8]| -> Vec<u32> {
-            (0..2 * LEN + 2)
-                .map(|k| get_u32(buf, k))
-                .take_while(|_| true)
-                .filter(|s| *s != GAP_SYM && *s != 0 || true)
-                .collect()
-        };
-        let _ = project; // alignment length varies; verify prefix instead:
+        // The alignment length varies, so verify the projected prefix:
         let mut ai = 0usize;
         let mut bi = 0usize;
         for k in 0..2 * LEN + 2 {

@@ -45,10 +45,12 @@
 
 mod accel;
 pub mod kernels;
+pub mod ports;
 pub mod stats;
 mod workload;
 
 pub use accel::KernelProfile;
+pub use ports::PortMode;
 pub use stats::WorkloadStats;
 pub use workload::{BufferDef, Table2Row, INSTANCES};
 

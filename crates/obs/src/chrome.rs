@@ -181,6 +181,28 @@ fn write_event(w: &mut JsonWriter, event: &Event) {
                     w.key("divergences");
                     w.u64(divergences);
                 }
+                EventKind::AnalysisComplete {
+                    safe,
+                    flagged,
+                    dynamic,
+                } => {
+                    w.key("safe");
+                    w.u64(safe);
+                    w.key("flagged");
+                    w.u64(flagged);
+                    w.key("dynamic");
+                    w.u64(dynamic);
+                }
+                EventKind::StaticVerdictsInstalled { safe_pairs } => {
+                    w.key("safe_pairs");
+                    w.u64(safe_pairs);
+                }
+                EventKind::ChecksElided { task, count } => {
+                    w.key("task");
+                    w.u64(u64::from(task));
+                    w.key("count");
+                    w.u64(count);
+                }
             }
             w.end_object();
         }

@@ -235,6 +235,30 @@ pub enum EventKind {
         /// Total divergences found (0 on a clean run).
         divergences: u64,
     },
+    /// The static capability-flow analyzer finished classifying a
+    /// workload's potential accesses.
+    AnalysisComplete {
+        /// Accesses proved safe on all paths (elidable).
+        safe: u64,
+        /// Provable violations found (over-privilege, staleness,
+        /// aliasing).
+        flagged: u64,
+        /// Accesses that need the runtime checker.
+        dynamic: u64,
+    },
+    /// The driver installed a static verdict map into the active
+    /// protection mechanism, enabling check elision.
+    StaticVerdictsInstalled {
+        /// `(task, object)` pairs the map marks statically safe.
+        safe_pairs: u64,
+    },
+    /// A task retired with per-beat checks elided by static verdicts.
+    ChecksElided {
+        /// Retiring task ID.
+        task: u32,
+        /// Checks skipped so far on the active mechanism.
+        count: u64,
+    },
 }
 
 impl EventKind {
@@ -262,6 +286,9 @@ impl EventKind {
             EventKind::WorkerPanic { .. } => "worker_panic",
             EventKind::ConformanceDivergence { .. } => "conformance_divergence",
             EventKind::ConformanceComplete { .. } => "conformance_complete",
+            EventKind::AnalysisComplete { .. } => "analysis_complete",
+            EventKind::StaticVerdictsInstalled { .. } => "static_verdicts_installed",
+            EventKind::ChecksElided { .. } => "checks_elided",
         }
     }
 
@@ -287,6 +314,9 @@ impl EventKind {
             EventKind::ConformanceDivergence { .. } | EventKind::ConformanceComplete { .. } => {
                 "conformance"
             }
+            EventKind::AnalysisComplete { .. }
+            | EventKind::StaticVerdictsInstalled { .. }
+            | EventKind::ChecksElided { .. } => "analysis",
         }
     }
 }
@@ -351,6 +381,19 @@ mod tests {
         };
         assert_eq!(done.name(), "conformance_complete");
         assert_eq!(done.track(), "conformance");
+        let analyzed = EventKind::AnalysisComplete {
+            safe: 10,
+            flagged: 0,
+            dynamic: 2,
+        };
+        assert_eq!(analyzed.name(), "analysis_complete");
+        assert_eq!(analyzed.track(), "analysis");
+        let installed = EventKind::StaticVerdictsInstalled { safe_pairs: 3 };
+        assert_eq!(installed.name(), "static_verdicts_installed");
+        assert_eq!(installed.track(), "analysis");
+        let elided = EventKind::ChecksElided { task: 1, count: 64 };
+        assert_eq!(elided.name(), "checks_elided");
+        assert_eq!(elided.track(), "analysis");
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub struct CheckerStats {
     pub install_stalls: u64,
     /// Entries removed by task revocation (Figure 6 ② eviction).
     pub evictions: u64,
+    /// Requests skipped because a static verdict map proved them safe.
+    pub elided: u64,
 }
 
 impl MetricSource for CheckerStats {
@@ -29,6 +31,7 @@ impl MetricSource for CheckerStats {
         registry.counter_add(format!("{prefix}installs"), self.installs);
         registry.counter_add(format!("{prefix}install_stalls"), self.install_stalls);
         registry.counter_add(format!("{prefix}evictions"), self.evictions);
+        registry.counter_add(format!("{prefix}elided"), self.elided);
     }
 }
 
@@ -45,6 +48,9 @@ pub struct CacheStats {
     pub denied: u64,
     /// Cache lines whose integrity checksum failed on a hit.
     pub corruption_detected: u64,
+    /// Requests that bypassed the cache because a static verdict map
+    /// proved them safe.
+    pub elided: u64,
 }
 
 impl CacheStats {
@@ -70,6 +76,7 @@ impl MetricSource for CacheStats {
             format!("{prefix}corruption_detected"),
             self.corruption_detected,
         );
+        registry.counter_add(format!("{prefix}elided"), self.elided);
         registry.gauge_set(format!("{prefix}miss_ratio"), self.miss_ratio());
     }
 }
@@ -102,6 +109,7 @@ mod tests {
             installs: 3,
             install_stalls: 2,
             evictions: 4,
+            elided: 6,
         };
         let mut r = Registry::new();
         r.absorb(&s, "checker.");
@@ -109,6 +117,7 @@ mod tests {
         assert_eq!(snap.counter("checker.granted"), Some(5));
         assert_eq!(snap.counter("checker.install_stalls"), Some(2));
         assert_eq!(snap.counter("checker.evictions"), Some(4));
+        assert_eq!(snap.counter("checker.elided"), Some(6));
     }
 
     #[test]
