@@ -98,9 +98,7 @@ impl BenchAnalysis {
     /// running the benchmark with checks elided.
     #[must_use]
     pub fn all_safe(&self) -> bool {
-        self.ports
-            .iter()
-            .all(|p| p.verdict == StaticVerdict::Safe)
+        self.ports.iter().all(|p| p.verdict == StaticVerdict::Safe)
     }
 
     /// The verdict map to install for `task` before simulation.

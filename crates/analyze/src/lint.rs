@@ -140,9 +140,7 @@ fn lex(source: &str) -> Lexed {
                 }
                 blank(&mut code);
             }
-            b'r' | b'b'
-                if is_raw_string_start(b, i) =>
-            {
+            b'r' | b'b' if is_raw_string_start(b, i) => {
                 // Raw string: r"..."/r#"..."# (optionally b-prefixed).
                 let mut j = i;
                 if b[j] == b'b' {
@@ -300,8 +298,12 @@ pub fn lint_source(file: &str, source: &str) -> Vec<LintFinding> {
             );
         }
         if hash_map
-            && [".values(", ".keys(", ".iter("].iter().any(|m| code.contains(m))
-            && [".sum(", ".product(", ".fold("].iter().any(|m| code.contains(m))
+            && [".values(", ".keys(", ".iter("]
+                .iter()
+                .any(|m| code.contains(m))
+            && [".sum(", ".product(", ".fold("]
+                .iter()
+                .any(|m| code.contains(m))
         {
             push(
                 "nd-unordered-reduction",
@@ -475,11 +477,9 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let findings = lint_paths(&root).unwrap();
         assert!(
-            findings
-                .iter()
-                .all(|f| !f.file.starts_with("crates/rand")
-                    && !f.file.starts_with("crates/proptest")
-                    && !f.file.starts_with("crates/criterion")),
+            findings.iter().all(|f| !f.file.starts_with("crates/rand")
+                && !f.file.starts_with("crates/proptest")
+                && !f.file.starts_with("crates/criterion")),
             "vendored findings leaked"
         );
     }

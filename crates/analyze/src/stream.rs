@@ -214,10 +214,7 @@ pub fn analyze_stream(ops: &[Op]) -> StreamAnalysis {
     // zero provenanced denials; any provenanced denial makes the pair
     // unsafe (its checks stay on and the denial is a finding).
     let mut summaries: BTreeMap<(u8, u8), PairSummary> = BTreeMap::new();
-    fn summary(
-        summaries: &mut BTreeMap<(u8, u8), PairSummary>,
-        key: (u8, u8),
-    ) -> &mut PairSummary {
+    fn summary(summaries: &mut BTreeMap<(u8, u8), PairSummary>, key: (u8, u8)) -> &mut PairSummary {
         summaries.entry(key).or_insert(PairSummary {
             task: key.0,
             object: key.1,
@@ -438,10 +435,7 @@ mod tests {
         assert_eq!((a.safe, a.flagged, a.dynamic), (1, 1, 1));
         let map = a.verdict_map();
         assert!(!map.is_safe(TaskId(0), ObjectId(0)));
-        assert_eq!(
-            map.verdict(TaskId(0), ObjectId(0)),
-            StaticVerdict::Unsafe
-        );
+        assert_eq!(map.verdict(TaskId(0), ObjectId(0)), StaticVerdict::Unsafe);
         assert!(map.is_safe(TaskId(0), ObjectId(1)));
         assert_eq!(a.findings.len(), 1);
         assert_eq!(a.findings[0].category, "bounds");
@@ -540,7 +534,10 @@ mod tests {
     #[test]
     fn event_carries_the_class_counts() {
         let base = conformance::stream::slot_base(0, 0);
-        let ops = vec![grant(0, 0, base, 0x100, Perms::RW), access(0, 0, false, base, 4)];
+        let ops = vec![
+            grant(0, 0, base, 0x100, Perms::RW),
+            access(0, 0, false, base, 4),
+        ];
         let a = analyze_stream(&ops);
         assert_eq!(
             a.event(),

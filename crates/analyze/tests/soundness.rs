@@ -132,9 +132,7 @@ fn flagged_stream_shrinks_to_a_paste_ready_repro() {
         minimal.len()
     );
     assert!(minimal.iter().any(|op| matches!(op, Op::Grant { .. })));
-    assert!(minimal
-        .iter()
-        .any(|op| matches!(op, Op::RevokeTask { .. })));
+    assert!(minimal.iter().any(|op| matches!(op, Op::RevokeTask { .. })));
 
     let repro = regression_test(&minimal);
     eprintln!("shrunk stale-grant reproducer:\n{repro}");

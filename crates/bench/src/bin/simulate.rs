@@ -9,6 +9,8 @@
 //! simulate conformance [--seed S] [--ops N] [--json]
 //! simulate analyze [--lint] [--streams N] [--ops N] [--seed S] [--threads N]
 //!          [--json] [--out FILE]
+//! simulate profile <benchmark|all> [--variant V] [--tasks N] [--seed S]
+//!          [--threads N] [--json] [--out FILE]
 //! ```
 //!
 //! `--threads N` fans independent benchmark cells out over a scoped
@@ -38,6 +40,14 @@
 //! `capcheri.conformance.v1` report; a divergent run prints a shrunk,
 //! ready-to-paste minimal reproducer.
 //!
+//! The `profile` subcommand reruns a benchmark with the hierarchical
+//! span profiler and check attribution attached and prints where every
+//! simulated cycle went — the span tree, profiler histograms, and hot
+//! `(task, object)` check pairs. `--json` emits the
+//! `capcheri.profile.v1` report, which serializes only cycle-domain
+//! quantities and is therefore byte-identical for any `--threads`
+//! value; `--out FILE` writes the report to a file instead of stdout.
+//!
 //! The `analyze` subcommand runs the static capability-flow analyzer
 //! over every benchmark configuration and reports the proved-safe ports,
 //! over-privileged default grants, and the measured cycle payoff of
@@ -58,6 +68,7 @@
 //! ```
 
 use capchecker::{run_campaign, CampaignConfig, SystemVariant};
+use capcheri_bench::profile::ProfileReport;
 use capcheri_bench::runner;
 use hetsim::FaultSpec;
 use machsuite::Benchmark;
@@ -83,6 +94,8 @@ fn usage() -> String {
          \x20               [--fus N] [--json]\n\
          \x20      simulate conformance [--seed S] [--ops N] [--json]\n\
          \x20      simulate analyze [--lint] [--streams N] [--ops N] [--seed S]\n\
+         \x20               [--threads N] [--json] [--out FILE]\n\
+         \x20      simulate profile <benchmark|all> [--variant V] [--tasks N] [--seed S]\n\
          \x20               [--threads N] [--json] [--out FILE]\n\n\
          benchmarks: {}\n\
          fault kinds: {}",
@@ -337,6 +350,106 @@ fn run_analyze(opts: &AnalyzeOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct ProfileOptions {
+    benches: Vec<Benchmark>,
+    variant: SystemVariant,
+    tasks: usize,
+    seed: u64,
+    threads: usize,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_profile(args: &[String]) -> Result<ProfileOptions, String> {
+    let mut opts = ProfileOptions {
+        benches: Vec::new(),
+        variant: SystemVariant::CheriCpuCheriAccel,
+        tasks: 1,
+        seed: 0xC0DE,
+        threads: perf::auto_threads(),
+        json: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    let first = it.next().ok_or_else(usage)?;
+    if first == "all" {
+        opts.benches = Benchmark::ALL.to_vec();
+    } else {
+        opts.benches.push(
+            first
+                .parse::<Benchmark>()
+                .map_err(|e| format!("{e}\n\n{}", usage()))?,
+        );
+    }
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--variant" => {
+                let v = value(&mut it)?;
+                opts.variant = SystemVariant::ALL
+                    .into_iter()
+                    .find(|x| x.label() == v)
+                    .ok_or_else(|| format!("unknown variant {v:?}"))?;
+            }
+            "--tasks" => {
+                opts.tasks = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = value(&mut it)?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1);
+            }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value(&mut it)?),
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_profile(opts: &ProfileOptions) -> ExitCode {
+    // One profiled run per worker; index-ordered merge makes the output
+    // byte-identical for any --threads value (the profile serializes
+    // only simulated quantities — see capcheri_bench::profile).
+    let reports = perf::parallel_map(opts.threads, opts.benches.len(), |i| {
+        ProfileReport::collect(opts.benches[i], opts.variant, opts.tasks, opts.seed)
+    });
+    let reports = match reports {
+        Ok(r) => r,
+        Err(p) => {
+            eprintln!("{p}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = if opts.json {
+        capcheri_bench::profile::reports_to_json(&reports)
+    } else {
+        capcheri_bench::profile::render_all(&reports)
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         benches: Vec::new(),
@@ -415,6 +528,15 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("analyze") {
         return match parse_analyze(&args[1..]) {
             Ok(opts) => run_analyze(&opts),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        return match parse_profile(&args[1..]) {
+            Ok(opts) => run_profile(&opts),
             Err(msg) => {
                 eprintln!("{msg}");
                 ExitCode::FAILURE

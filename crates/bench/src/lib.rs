@@ -32,6 +32,7 @@ pub mod fig12;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod profile;
 pub mod render;
 pub mod runner;
 pub mod staticreport;

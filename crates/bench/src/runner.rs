@@ -1,15 +1,18 @@
 //! Runs one benchmark under one of the five §6.3 system configurations
 //! and costs it with the timing models.
 
-use capchecker::{HeteroSystem, StaticVerdictMap, SystemVariant, TaskRequest};
+use capchecker::{CheckAttribution, HeteroSystem, StaticVerdictMap, SystemVariant, TaskRequest};
 use capcheri_analyze::{analyze_benchmark, declared_perms, BenchAnalysis};
 use hetsim::timing::{
-    simulate_accel_system_traced, simulate_cpu_traced, AccelTask, AccelTimingConfig, BusConfig,
-    CpuTiming,
+    simulate_accel_system_prof, simulate_cpu_prof, simulate_cpu_traced, AccelTask,
+    AccelTimingConfig, BusConfig, CpuTiming,
 };
 use hetsim::{Cycles, Trace};
 use machsuite::Benchmark;
-use obs::{NullTracer, Registry, SharedTracer, Snapshot, TraceBuffer, Tracer};
+use obs::{
+    NullProfiler, NullTracer, ProfileSnapshot, Profiler, Registry, SharedTracer, Snapshot,
+    SpanProfiler, TraceBuffer, Tracer,
+};
 
 /// Pipeline depth the CapChecker adds to each request in the prototype.
 pub const CHECKER_PIPELINE_LATENCY: Cycles = 1;
@@ -60,7 +63,7 @@ pub fn run_benchmark(
     tasks: usize,
     seed: u64,
 ) -> RunResult {
-    run_inner(bench, variant, tasks, seed, None, None).0
+    run_inner(bench, variant, tasks, seed, None, None, &mut NullProfiler).result
 }
 
 /// A checked run and its statically-elided twin, for the adaptive-elision
@@ -104,13 +107,21 @@ impl ElidedRun {
 pub fn run_benchmark_elided(bench: Benchmark, tasks: usize, seed: u64) -> ElidedRun {
     let variant = SystemVariant::CheriCpuCheriAccel;
     let analysis = analyze_benchmark(bench, seed);
-    let checked = run_inner(bench, variant, tasks, seed, None, None).0;
-    let (elided, _, checks_elided) = run_inner(bench, variant, tasks, seed, None, Some(&analysis));
+    let checked = run_inner(bench, variant, tasks, seed, None, None, &mut NullProfiler).result;
+    let elided = run_inner(
+        bench,
+        variant,
+        tasks,
+        seed,
+        None,
+        Some(&analysis),
+        &mut NullProfiler,
+    );
     ElidedRun {
         analysis,
         checked,
-        elided,
-        checks_elided,
+        elided: elided.result,
+        checks_elided: elided.checks_elided,
     }
 }
 
@@ -129,12 +140,82 @@ pub fn run_benchmark_observed(
     seed: u64,
 ) -> ObservedRun {
     let tracer = SharedTracer::new();
-    let (result, metrics, _) = run_inner(bench, variant, tasks, seed, Some(tracer.clone()), None);
+    let inner = run_inner(
+        bench,
+        variant,
+        tasks,
+        seed,
+        Some(tracer.clone()),
+        None,
+        &mut NullProfiler,
+    );
     ObservedRun {
-        result,
-        metrics: metrics.expect("observed runs always produce a snapshot"),
+        result: inner.result,
+        metrics: inner
+            .metrics
+            .expect("observed runs always produce a snapshot"),
         events: tracer.take(),
     }
+}
+
+/// [`run_benchmark`] plus the profiling take: the deterministic span
+/// tree, check attribution, and the metrics snapshot.
+#[derive(Clone, Debug)]
+pub struct ProfiledRun {
+    /// The same result the unprofiled path produces (bit-identical
+    /// cycles: all entry points share one implementation).
+    pub result: RunResult,
+    /// The frozen metrics registry for this run.
+    pub metrics: Snapshot,
+    /// The span tree and profiler histograms — everything serialized
+    /// from it derives from simulated quantities, so it is byte-stable.
+    pub profile: ProfileSnapshot,
+    /// Per-master / per-`(task, object)` check attribution (`None` on
+    /// baseline variants, which have no checker to attribute).
+    pub attribution: Option<CheckAttribution>,
+}
+
+/// [`run_benchmark`] with the span profiler and check attribution
+/// enabled. Cycle results stay bit-identical to the unprofiled run.
+///
+/// # Panics
+///
+/// As [`run_benchmark`].
+#[must_use]
+pub fn run_benchmark_profiled(
+    bench: Benchmark,
+    variant: SystemVariant,
+    tasks: usize,
+    seed: u64,
+) -> ProfiledRun {
+    let tracer = SharedTracer::new();
+    let mut prof = SpanProfiler::new();
+    let inner = run_inner(
+        bench,
+        variant,
+        tasks,
+        seed,
+        Some(tracer.clone()),
+        None,
+        &mut prof,
+    );
+    ProfiledRun {
+        result: inner.result,
+        metrics: inner
+            .metrics
+            .expect("observed runs always produce a snapshot"),
+        profile: prof.snapshot(),
+        attribution: inner.attribution,
+    }
+}
+
+/// Everything one inner run can produce; the public entry points each
+/// surface the slice they promise.
+struct InnerRun {
+    result: RunResult,
+    metrics: Option<Snapshot>,
+    checks_elided: u64,
+    attribution: Option<CheckAttribution>,
 }
 
 fn run_inner(
@@ -144,7 +225,8 @@ fn run_inner(
     seed: u64,
     observe: Option<SharedTracer>,
     elide: Option<&BenchAnalysis>,
-) -> (RunResult, Option<Snapshot>, u64) {
+    prof: &mut dyn Profiler,
+) -> InnerRun {
     let tasks = if variant.uses_accelerator() {
         tasks.max(1)
     } else {
@@ -155,6 +237,9 @@ fn run_inner(
         sys.set_tracer(t.clone());
     }
     sys.add_fus(bench.name(), tasks);
+    if prof.enabled() {
+        sys.enable_check_attribution();
+    }
 
     // Elision only applies where a checker exists to elide from.
     let elide = elide.filter(|_| variant == SystemVariant::CheriCpuCheriAccel);
@@ -249,7 +334,7 @@ fn run_inner(
                 start: *start,
             })
             .collect();
-        let report = simulate_accel_system_traced(&accel_tasks, &bus, tracer);
+        let report = simulate_accel_system_prof(&accel_tasks, &bus, tracer, prof);
         if let Some(reg) = registry.as_mut() {
             reg.counter_add("bus.beats", report.bus_beats);
             for cycles in &report.per_task {
@@ -279,7 +364,7 @@ fn run_inner(
         } else {
             timing
         };
-        let report = simulate_cpu_traced(&traces[0], &timing, tracer);
+        let report = simulate_cpu_prof(&traces[0], &timing, tracer, prof);
         if let Some(reg) = registry.as_mut() {
             add_l1_metrics(reg, report.hits, report.misses);
         }
@@ -296,6 +381,7 @@ fn run_inner(
     // Figure 6 ②: return every task through the driver's deallocation
     // path (evictions, register clears, scrub). Cycles were already
     // costed from the traces, so this cannot perturb the results.
+    let attribution = sys.check_attribution().cloned();
     for id in ids {
         sys.deallocate_task(id).expect("task is live");
     }
@@ -304,11 +390,20 @@ fn run_inner(
         reg.counter_add("cycles", result.cycles);
         reg.counter_add("setup_cycles", result.setup_cycles);
         reg.gauge_set("bus_utilization", result.bus_utilization);
+        if let Some(t) = &observe {
+            reg.counter_add("trace.recorded", t.recorded());
+            reg.counter_add("trace.dropped_events", t.dropped());
+        }
         sys.export_metrics(&mut reg);
         reg.absorb(&machsuite::stats::of_trace(bench, &traces[0]), "workload.");
         reg.snapshot()
     });
-    (result, snapshot, checks_elided)
+    InnerRun {
+        result,
+        metrics: snapshot,
+        checks_elided,
+        attribution,
+    }
 }
 
 fn add_l1_metrics(reg: &mut Registry, hits: u64, misses: u64) {

@@ -28,7 +28,11 @@ fn artifacts(threads: usize) -> Vec<(&'static str, &'static str, String)> {
         ("fig10", "figure", fig10::report_threads(threads)),
         ("fig11", "figure", fig11::report_threads(threads)),
         ("fig12", "figure", fig12::report_threads(threads)),
-        ("staticreport", "report", staticreport::report_threads(threads)),
+        (
+            "staticreport",
+            "report",
+            staticreport::report_threads(threads),
+        ),
         ("table1", "table", table1::report()),
         ("table2", "table", table2::report()),
         ("table3", "table", table3::report()),

@@ -17,6 +17,7 @@
 //! same exception reporting), which is exactly why the paper could defer
 //! it: this is performance engineering, not security.
 
+use crate::attrib::CheckAttribution;
 use crate::config::{CheckerConfig, CheckerMode};
 use crate::elide::StaticVerdictMap;
 use cheri::Capability;
@@ -121,6 +122,7 @@ pub struct CachedCapChecker {
     /// Fault-injection: bits to flip in the next inserted line's image.
     poison_next: Option<u128>,
     static_verdicts: Option<StaticVerdictMap>,
+    attrib: Option<CheckAttribution>,
 }
 
 impl CachedCapChecker {
@@ -136,7 +138,21 @@ impl CachedCapChecker {
             exceptions: Vec::new(),
             poison_next: None,
             static_verdicts: None,
+            attrib: None,
         }
+    }
+
+    /// Starts per-master / per-`(task, object)` check attribution,
+    /// including hit/miss/stall accounting per capability pair.
+    /// Off by default: the data path then pays one `None` test per check.
+    pub fn enable_attribution(&mut self) {
+        self.attrib = Some(CheckAttribution::new());
+    }
+
+    /// The attribution collected so far, if enabled.
+    #[must_use]
+    pub fn attribution(&self) -> Option<&CheckAttribution> {
+        self.attrib.as_ref()
     }
 
     /// Installs a static verdict map: accesses on statically-safe
@@ -333,7 +349,12 @@ impl IoProtection for CachedCapChecker {
         let (object, phys) = match self.config.base.mode {
             CheckerMode::Fine => match access.object {
                 Some(obj) => (obj, access.addr),
-                None => return Err(self.deny(access, None, DenyReason::BadProvenance)),
+                None => {
+                    if let Some(a) = &mut self.attrib {
+                        a.denied(access.master, None);
+                    }
+                    return Err(self.deny(access, None, DenyReason::BadProvenance));
+                }
             },
             CheckerMode::Coarse => {
                 let (obj, phys) = self.config.base.coarse_split_address(access.addr);
@@ -343,21 +364,59 @@ impl IoProtection for CachedCapChecker {
         if let Some(map) = &self.static_verdicts {
             if map.is_safe(access.task, object) {
                 self.stats.elided += 1;
+                if let Some(a) = &mut self.attrib {
+                    a.elided(access.master, access.task, object);
+                }
                 return Ok(());
             }
         }
-        let cap = match self.lookup((access.task, object)) {
+        // Attribute hit/miss from the stats deltas around the lookup, so
+        // the attribution can never disagree with the counters.
+        let (hits_before, stall_before) = (self.stats.hits, self.stats.miss_cycles);
+        let looked = self.lookup((access.task, object));
+        if let Some(a) = &mut self.attrib {
+            if matches!(looked, Ok(Some(_))) {
+                a.lookup(
+                    access.master,
+                    access.task,
+                    object,
+                    self.stats.hits > hits_before,
+                    self.stats.miss_cycles - stall_before,
+                );
+            }
+        }
+        let cap = match looked {
             Ok(Some(cap)) => cap,
-            Ok(None) => return Err(self.deny(access, Some(object), DenyReason::NoEntry)),
-            Err(()) => return Err(self.deny(access, Some(object), DenyReason::InvalidTag)),
+            Ok(None) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, Some((access.task, object)));
+                }
+                return Err(self.deny(access, Some(object), DenyReason::NoEntry));
+            }
+            Err(()) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, Some((access.task, object)));
+                }
+                return Err(self.deny(access, Some(object), DenyReason::InvalidTag));
+            }
         };
         let needed = match access.kind {
             AccessKind::Read => cheri::Perms::LOAD,
             AccessKind::Write => cheri::Perms::STORE,
         };
         match cap.check_access(phys, access.len, needed) {
-            Ok(()) => Ok(()),
-            Err(fault) => Err(self.deny(access, Some(object), DenyReason::Capability(fault))),
+            Ok(()) => {
+                if let Some(a) = &mut self.attrib {
+                    a.granted(access.master, access.task, object);
+                }
+                Ok(())
+            }
+            Err(fault) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, Some((access.task, object)));
+                }
+                Err(self.deny(access, Some(object), DenyReason::Capability(fault)))
+            }
         }
     }
 

@@ -18,6 +18,7 @@
 //! Capabilities arrive from the CHERI CPU over a dedicated capability
 //! interconnect, exposed here as an MMIO register map ([`regs`]).
 
+use crate::attrib::CheckAttribution;
 use crate::config::{CheckerConfig, CheckerMode};
 use crate::elide::StaticVerdictMap;
 use crate::table::{CapabilityTable, TableEntry};
@@ -106,6 +107,7 @@ pub struct CapChecker {
     exception_flag: bool,
     stats: CheckerStats,
     static_verdicts: Option<StaticVerdictMap>,
+    attrib: Option<CheckAttribution>,
 }
 
 impl CapChecker {
@@ -119,7 +121,20 @@ impl CapChecker {
             exception_flag: false,
             stats: CheckerStats::default(),
             static_verdicts: None,
+            attrib: None,
         }
+    }
+
+    /// Starts per-master / per-`(task, object)` check attribution.
+    /// Off by default: the data path then pays one `None` test per check.
+    pub fn enable_attribution(&mut self) {
+        self.attrib = Some(CheckAttribution::new());
+    }
+
+    /// The attribution collected so far, if enabled.
+    #[must_use]
+    pub fn attribution(&self) -> Option<&CheckAttribution> {
+        self.attrib.as_ref()
     }
 
     /// Installs a static verdict map: per-beat checks are skipped for
@@ -275,7 +290,12 @@ impl IoProtection for CapChecker {
     fn check(&mut self, access: &Access) -> Result<(), Denial> {
         let (object, phys) = match self.resolve_object(access) {
             Ok(pair) => pair,
-            Err(reason) => return Err(self.deny(access, None, reason)),
+            Err(reason) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, None);
+                }
+                return Err(self.deny(access, None, reason));
+            }
         };
         // Elision gate: provenance is already resolved, so a safe verdict
         // covers exactly the stream the analyzer classified. Unresolved
@@ -284,19 +304,33 @@ impl IoProtection for CapChecker {
         if let Some(map) = &self.static_verdicts {
             if map.is_safe(access.task, object) {
                 self.stats.elided += 1;
+                if let Some(a) = &mut self.attrib {
+                    a.elided(access.master, access.task, object);
+                }
                 return Ok(());
             }
         }
         let Some(entry) = self.table.lookup(access.task, object) else {
+            if let Some(a) = &mut self.attrib {
+                a.denied(access.master, Some((access.task, object)));
+            }
             return Err(self.deny(access, Some(object), DenyReason::NoEntry));
         };
         let needed = CapChecker::required_perms(access.kind);
         match entry.capability.check_access(phys, access.len, needed) {
             Ok(()) => {
                 self.stats.granted += 1;
+                if let Some(a) = &mut self.attrib {
+                    a.granted(access.master, access.task, object);
+                }
                 Ok(())
             }
-            Err(fault) => Err(self.deny(access, Some(object), DenyReason::Capability(fault))),
+            Err(fault) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, Some((access.task, object)));
+                }
+                Err(self.deny(access, Some(object), DenyReason::Capability(fault)))
+            }
         }
     }
 

@@ -113,10 +113,7 @@ mod tests {
     #[test]
     fn default_is_dynamic_and_elision_is_opt_in() {
         let map = StaticVerdictMap::new();
-        assert_eq!(
-            map.verdict(TaskId(1), ObjectId(0)),
-            StaticVerdict::Dynamic
-        );
+        assert_eq!(map.verdict(TaskId(1), ObjectId(0)), StaticVerdict::Dynamic);
         assert!(!map.is_safe(TaskId(1), ObjectId(0)));
         assert!(map.is_empty());
     }

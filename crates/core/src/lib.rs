@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 
 mod alloc;
+pub mod attrib;
 pub mod cached;
 pub mod checker;
 mod config;
@@ -63,10 +64,11 @@ mod system;
 mod table;
 
 pub use alloc::{AllocError, HeapAllocator};
+pub use attrib::{CheckAttribution, CheckCounters};
 pub use cached::{CacheStats, CachedCapChecker, CachedCheckerConfig};
 pub use checker::{CapChecker, CheckerStats};
-pub use elide::{StaticVerdict, StaticVerdictMap};
 pub use config::{CheckerConfig, CheckerMode};
+pub use elide::{StaticVerdict, StaticVerdictMap};
 pub use engines::{CpuEngine, ProtectedEngine, Provenance};
 pub use recovery::{
     run_campaign, run_campaign_grid, CampaignConfig, CampaignReport, RecoveryOutcome,

@@ -459,7 +459,10 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, DriverErr
         ..SystemConfig::default()
     });
     sys.add_fus("accel", config.fus);
-    let tracer = SharedTracer::new();
+    // Long campaigns generate events proportional to task count; the
+    // bounded buffer keeps memory flat while `recorded()` (below) keeps
+    // the report's event count independent of the cap.
+    let tracer = SharedTracer::with_capacity(64 * 1024);
     sys.set_tracer(tracer.clone());
 
     let mut plan = FaultPlan::new(config.spec.clone(), config.seed);
@@ -656,7 +659,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, DriverErr
         driver_cycles: sys.driver_clock(),
         denied_checks,
         corruption_detected,
-        events: tracer.len() as u64,
+        events: tracer.recorded(),
     })
 }
 

@@ -636,6 +636,33 @@ impl HeteroSystem {
         }
     }
 
+    /// Starts per-master / per-`(task, object)` check attribution on the
+    /// active checker (plain or cached). Returns `false` on baseline
+    /// systems, which have no attribution to collect.
+    pub fn enable_check_attribution(&mut self) -> bool {
+        match &mut self.protection {
+            Protection::Checker(c) => {
+                c.enable_attribution();
+                true
+            }
+            Protection::Cached(c) => {
+                c.enable_attribution();
+                true
+            }
+            Protection::Baseline(_) => false,
+        }
+    }
+
+    /// The check attribution collected so far, if enabled.
+    #[must_use]
+    pub fn check_attribution(&self) -> Option<&crate::attrib::CheckAttribution> {
+        match &self.protection {
+            Protection::Checker(c) => c.attribution(),
+            Protection::Cached(c) => c.attribution(),
+            Protection::Baseline(_) => None,
+        }
+    }
+
     /// Checks elided so far by the active checker (0 on baselines).
     #[must_use]
     pub fn checks_elided(&self) -> u64 {
@@ -1740,9 +1767,11 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.kind == EventKind::StaticVerdictsInstalled { safe_pairs: 1 }));
-        assert!(events
-            .iter()
-            .any(|e| e.kind == EventKind::ChecksElided { task: t.0, count: 8 }));
+        assert!(events.iter().any(|e| e.kind
+            == EventKind::ChecksElided {
+                task: t.0,
+                count: 8
+            }));
         // Metrics carry the counter too.
         let mut reg = Registry::new();
         sys.export_metrics(&mut reg);

@@ -17,7 +17,7 @@
 
 use crate::ids::Cycles;
 use crate::trace::{Trace, TraceOp};
-use obs::{EventKind, NullTracer, Tracer};
+use obs::{EventKind, NullProfiler, NullTracer, Profiler, Tracer};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
@@ -193,6 +193,24 @@ pub fn simulate_cpu(trace: &Trace, cfg: &CpuTiming) -> CpuReport {
 /// the two paths are one code path and cycle counts cannot diverge.
 #[must_use]
 pub fn simulate_cpu_traced(trace: &Trace, cfg: &CpuTiming, tracer: &mut dyn Tracer) -> CpuReport {
+    simulate_cpu_prof(trace, cfg, tracer, &mut NullProfiler)
+}
+
+/// [`simulate_cpu_traced`] with the run's cycles attributed to profiler
+/// spans: `cpu/{setup,compute,issue,miss_stall}` partitions the total
+/// (child sums are truncated, so attribution never exceeds the report),
+/// and each access's cost lands in the `cpu.access_cycles` histogram.
+/// Every cost attributed here derives from simulated quantities only, so
+/// the profile is deterministic. The traced entry point calls this with a
+/// [`NullProfiler`] — one code path, cycle counts cannot diverge.
+#[must_use]
+pub fn simulate_cpu_prof(
+    trace: &Trace,
+    cfg: &CpuTiming,
+    tracer: &mut dyn Tracer,
+    prof: &mut dyn Profiler,
+) -> CpuReport {
+    let profiling = prof.enabled();
     let mut cache = cfg.cache.map(Cache::new);
     let mut cycles = 0.0f64;
     let mut report = CpuReport::default();
@@ -202,7 +220,12 @@ pub fn simulate_cpu_traced(trace: &Trace, cfg: &CpuTiming, tracer: &mut dyn Trac
         cycles += ch.setup_cycles as f64;
     }
 
-    let mut access = |addr: u64, report: &mut CpuReport, at: f64, tracer: &mut dyn Tracer| -> f64 {
+    let mut access = |addr: u64,
+                      report: &mut CpuReport,
+                      at: f64,
+                      tracer: &mut dyn Tracer,
+                      prof: &mut dyn Profiler|
+     -> f64 {
         report.mem_ops += 1;
         let mut cost = cfg.issue_cycles + per_op_extra;
         match cache.as_mut() {
@@ -218,6 +241,9 @@ pub fn simulate_cpu_traced(trace: &Trace, cfg: &CpuTiming, tracer: &mut dyn Trac
             }
             None => cost += cfg.miss_latency as f64,
         }
+        if profiling {
+            prof.observe("cpu.access_cycles", cost as u64);
+        }
         cost
     };
 
@@ -226,7 +252,7 @@ pub fn simulate_cpu_traced(trace: &Trace, cfg: &CpuTiming, tracer: &mut dyn Trac
             TraceOp::Compute(units) => {
                 cycles += units as f64 * cfg.cycles_per_unit * compute_factor
             }
-            TraceOp::Mem { addr, .. } => cycles += access(addr, &mut report, cycles, tracer),
+            TraceOp::Mem { addr, .. } => cycles += access(addr, &mut report, cycles, tracer, prof),
             TraceOp::Copy { src, dst, bytes } => {
                 // memcpy moves line-sized bursts: read a line's worth of
                 // chunks, then write them (avoids pathological src/dst
@@ -237,10 +263,10 @@ pub fn simulate_cpu_traced(trace: &Trace, cfg: &CpuTiming, tracer: &mut dyn Trac
                 while at < bytes {
                     let span = burst.min(bytes - at);
                     for i in (0..span).step_by(width as usize) {
-                        cycles += access(src + at + i, &mut report, cycles, tracer);
+                        cycles += access(src + at + i, &mut report, cycles, tracer, prof);
                     }
                     for i in (0..span).step_by(width as usize) {
-                        cycles += access(dst + at + i, &mut report, cycles, tracer);
+                        cycles += access(dst + at + i, &mut report, cycles, tracer, prof);
                     }
                     at += span;
                 }
@@ -248,6 +274,34 @@ pub fn simulate_cpu_traced(trace: &Trace, cfg: &CpuTiming, tracer: &mut dyn Trac
         }
     }
     report.cycles = cycles.ceil() as Cycles;
+
+    if profiling {
+        // Reconstruct the exact partition from the run's own counts: the
+        // total is setup + compute + per-access issue + miss stalls, so
+        // compute falls out as the remainder. Truncating each share keeps
+        // the attributed sum at or below the reported total.
+        let setup = cfg.cheri.map_or(0.0, |c| c.setup_cycles as f64);
+        let issue = report.mem_ops as f64 * (cfg.issue_cycles + per_op_extra);
+        let stalled = if cfg.cache.is_some() {
+            report.misses
+        } else {
+            report.mem_ops
+        };
+        let miss_stall = stalled as f64 * cfg.miss_latency as f64;
+        let compute = (cycles - setup - issue - miss_stall).max(0.0);
+        prof.enter("cpu");
+        for (name, share) in [
+            ("setup", setup),
+            ("compute", compute),
+            ("issue", issue),
+            ("miss_stall", miss_stall),
+        ] {
+            prof.enter(name);
+            prof.add_cycles(share as u64);
+            prof.exit();
+        }
+        prof.exit();
+    }
     report
 }
 
@@ -425,6 +479,29 @@ pub fn simulate_accel_system_traced(
     bus: &BusConfig,
     tracer: &mut dyn Tracer,
 ) -> AccelReport {
+    simulate_accel_system_prof(tasks, bus, tracer, &mut NullProfiler)
+}
+
+/// [`simulate_accel_system_traced`] with the makespan attributed to
+/// profiler spans. The partition is exact:
+/// `accel/setup` is the earliest task start,
+/// `accel/execute/bus_busy` is the beats the one-beat-per-cycle port
+/// moved (each beat occupies a distinct port cycle after setup), and
+/// `accel/execute/bus_idle` is the remainder — the three sum to the
+/// makespan. Per-request arbitration waits and burst lengths land in the
+/// `accel.req_wait` / `accel.req_beats` histograms, and each task's
+/// start-to-done duration in `accel.task_cycles`. All attributed
+/// quantities are simulated, so the profile is deterministic. The traced
+/// entry point calls this with a [`NullProfiler`] — one code path,
+/// timing cannot diverge.
+#[must_use]
+pub fn simulate_accel_system_prof(
+    tasks: &[AccelTask<'_>],
+    bus: &BusConfig,
+    tracer: &mut dyn Tracer,
+    prof: &mut dyn Profiler,
+) -> AccelReport {
+    let profiling = prof.enabled();
     let mut lanes: Vec<Lane> = Vec::new();
     for (t_idx, task) in tasks.iter().enumerate() {
         let n = task.cfg.lanes.max(1) as usize;
@@ -508,6 +585,10 @@ pub fn simulate_accel_system_traced(
                             },
                         );
                     }
+                    if profiling {
+                        prof.observe("accel.req_wait", (grant - ready) as u64);
+                        prof.observe("accel.req_beats", beats);
+                    }
                     bus_free = grant + beats as f64;
                     bus_beats += beats;
                     lane.inflight.push_back(grant + beats as f64 + latency);
@@ -539,6 +620,32 @@ pub fn simulate_accel_system_traced(
     }
 
     let makespan = per_task.iter().copied().max().unwrap_or(0);
+
+    if profiling {
+        for (t_idx, done) in per_task.iter().enumerate() {
+            prof.observe("accel.task_cycles", done.saturating_sub(tasks[t_idx].start));
+        }
+        let setup = tasks.iter().map(|t| t.start).min().unwrap_or(0);
+        let execute = makespan.saturating_sub(setup);
+        // Every beat occupies a distinct cycle on the single port, and no
+        // grant precedes the earliest start, so busy ≤ execute holds; the
+        // min is belt-and-braces against a saturated fault model.
+        let busy = bus_beats.min(execute);
+        prof.enter("accel");
+        prof.enter("setup");
+        prof.add_cycles(setup);
+        prof.exit();
+        prof.enter("execute");
+        prof.enter("bus_busy");
+        prof.add_cycles(busy);
+        prof.exit();
+        prof.enter("bus_idle");
+        prof.add_cycles(execute - busy);
+        prof.exit();
+        prof.exit();
+        prof.exit();
+    }
+
     AccelReport {
         per_task,
         makespan,
@@ -966,6 +1073,64 @@ mod tests {
                 tasks.len()
             );
         }
+    }
+
+    #[test]
+    fn cpu_profiled_run_is_cycle_identical_and_well_attributed() {
+        use obs::SpanProfiler;
+        for cfg in [
+            CpuTiming::default(),
+            CpuTiming::default().with_cheri(),
+            CpuTiming {
+                cache: None,
+                ..CpuTiming::default()
+            },
+        ] {
+            let t: Trace = (0..5_000u64)
+                .flat_map(|i| [TraceOp::Compute(3), mem(i * 128)])
+                .collect();
+            let plain = simulate_cpu(&t, &cfg);
+            let mut prof = SpanProfiler::new();
+            let profiled = simulate_cpu_prof(&t, &cfg, &mut NullTracer, &mut prof);
+            assert_eq!(plain, profiled, "profiling must not change the report");
+            let snap = prof.snapshot();
+            let attributed = snap.attributed_cycles();
+            assert!(attributed <= plain.cycles, "never over-attribute");
+            assert!(
+                attributed * 100 >= plain.cycles * 95,
+                "span partition covers the run: {attributed} of {}",
+                plain.cycles
+            );
+            assert_eq!(
+                snap.metrics.histograms["cpu.access_cycles"].count,
+                plain.mem_ops
+            );
+        }
+    }
+
+    #[test]
+    fn accel_profiled_run_is_cycle_identical_and_attribution_is_exact() {
+        use obs::SpanProfiler;
+        let t = mem_heavy_trace();
+        let tasks: Vec<AccelTask<'_>> = (0..3u64)
+            .map(|i| AccelTask {
+                trace: &t,
+                cfg: AccelTimingConfig::default(),
+                start: i * 200,
+            })
+            .collect();
+        let bus = BusConfig::default().with_checker(2);
+        let plain = simulate_accel_system(&tasks, &bus);
+        let mut prof = SpanProfiler::new();
+        let profiled = simulate_accel_system_prof(&tasks, &bus, &mut NullTracer, &mut prof);
+        assert_eq!(plain, profiled, "profiling must not change the report");
+        let snap = prof.snapshot();
+        // setup + bus_busy + bus_idle is an exact partition of the makespan.
+        assert_eq!(snap.attributed_cycles(), plain.makespan);
+        let hists = &snap.metrics.histograms;
+        assert_eq!(hists["accel.task_cycles"].count, tasks.len() as u64);
+        assert!(hists["accel.req_wait"].count > 0);
+        assert_eq!(hists["accel.req_beats"].sum, plain.bus_beats);
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! * **Metrics** ([`Registry`], [`Snapshot`], [`MetricSource`]): named
 //!   counters, gauges, and power-of-two histograms over `BTreeMap`s, so
 //!   iteration (and therefore every exported byte) is deterministic.
+//! * **Profiling** ([`prof`]): a hierarchical span profiler attributing
+//!   costs to nested named spans in two domains — deterministic
+//!   simulated cycles (what `capcheri.profile.v1` reports serialize)
+//!   and diagnostic wall-clock time (never serialized). [`NullProfiler`]
+//!   keeps the uninstrumented path zero-cost, exactly like
+//!   [`NullTracer`].
 //! * **Exporters** ([`chrome`], [`json`], [`report`]): Chrome
 //!   trace-event JSON loadable in Perfetto (`ui.perfetto.dev`), with
 //!   virtual cycles as timestamps, and a flat JSON metrics report — both
@@ -44,10 +50,12 @@ pub mod chrome;
 mod event;
 pub mod json;
 mod metrics;
+pub mod prof;
 pub mod report;
 pub mod stats;
 mod tracer;
 
 pub use event::{Event, EventKind, FaultKind, Phase};
 pub use metrics::{HistogramSnapshot, MetricSource, Registry, Snapshot};
+pub use prof::{NullProfiler, ProfileSnapshot, Profiler, SpanProfiler, SpanSnapshot};
 pub use tracer::{NullTracer, SharedTracer, TraceBuffer, Tracer};

@@ -45,7 +45,7 @@ impl Histogram {
 }
 
 /// Frozen summary of one histogram.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HistogramSnapshot {
     /// Samples observed.
     pub count: u64,
@@ -57,6 +57,23 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Arithmetic mean (0.0 when empty).
     pub mean: f64,
+    /// The occupied power-of-two buckets as `(bucket, count)` pairs in
+    /// ascending bucket order. Bucket `b` holds samples whose bit length
+    /// is `b`: bucket 0 holds zeros, bucket 1 holds `1`, bucket 2 holds
+    /// `2..=3`, and so on — deterministic by construction, and sparse so
+    /// a mostly-empty 65-bucket array costs nothing to carry around.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The inclusive sample range `(lo, hi)` bucket `b` covers.
+    #[must_use]
+    pub fn bucket_range(bucket: u8) -> (u64, u64) {
+        match bucket {
+            0 => (0, 0),
+            b => (1 << (b - 1), u64::MAX >> (64 - u32::from(b))),
+        }
+    }
 }
 
 /// The live registry components write into.
@@ -119,6 +136,13 @@ impl Registry {
                             } else {
                                 h.sum as f64 / h.count as f64
                             },
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, n)| **n > 0)
+                                .map(|(b, n)| (b as u8, *n))
+                                .collect(),
                         },
                     )
                 })
@@ -187,12 +211,27 @@ impl Snapshot {
             w.u64(h.max);
             w.key("mean");
             w.f64(h.mean);
+            w.key("buckets");
+            write_buckets(&mut w, &h.buckets);
             w.end_object();
         }
         w.end_object();
         w.end_object();
         w.finish()
     }
+}
+
+/// Writes a sparse bucket list as `[[bucket,count],...]` — the shared
+/// shape every exporter uses for histogram buckets.
+pub(crate) fn write_buckets(w: &mut JsonWriter, buckets: &[(u8, u64)]) {
+    w.begin_array();
+    for (bucket, count) in buckets {
+        w.begin_array();
+        w.u64(u64::from(*bucket));
+        w.u64(*count);
+        w.end_array();
+    }
+    w.end_array();
 }
 
 #[cfg(test)]
@@ -215,9 +254,52 @@ mod tests {
             r.observe("lat", v);
         }
         let s = r.snapshot();
-        let h = s.histograms["lat"];
+        let h = &s.histograms["lat"];
         assert_eq!((h.count, h.sum, h.min, h.max), (4, 12, 0, 8));
         assert!((h.mean - 3.0).abs() < 1e-12);
+        // Bit-length buckets: 0→0, 1→1, 3→2, 8→4.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (2, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn bucketing_is_deterministic_and_boundary_exact() {
+        // Each power-of-two boundary lands in its own bucket; one below
+        // lands one bucket lower. Observation order never matters.
+        let cases: [(u64, u8); 8] = [
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 64),
+        ];
+        let mut fwd = Registry::new();
+        for (v, _) in cases {
+            fwd.observe("h", v);
+        }
+        let mut rev = Registry::new();
+        for &(v, _) in cases.iter().rev() {
+            rev.observe("h", v);
+        }
+        assert_eq!(fwd.snapshot(), rev.snapshot(), "order-independent");
+        let snap = fwd.snapshot();
+        let h = &snap.histograms["h"];
+        for (v, bucket) in cases {
+            assert!(
+                h.buckets.iter().any(|&(b, _)| b == bucket),
+                "sample {v} should occupy bucket {bucket}: {:?}",
+                h.buckets
+            );
+            let (lo, hi) = HistogramSnapshot::bucket_range(bucket);
+            assert!(lo <= v && v <= hi, "{v} outside bucket {bucket} range");
+        }
+        assert!(
+            h.buckets.windows(2).all(|w| w[0].0 < w[1].0),
+            "buckets ascend: {:?}",
+            h.buckets
+        );
     }
 
     #[test]
@@ -232,6 +314,27 @@ mod tests {
         // BTreeMap order: "a" before "b".
         assert!(json.find("\"a\"").unwrap() < json.find("\"b\"").unwrap());
         assert_eq!(json, r.snapshot().to_json(), "byte-stable");
+    }
+
+    /// Pins the exact serialized shape of [`Snapshot::to_json`]: section
+    /// order, per-histogram key order, and the sparse bucket encoding.
+    /// Downstream consumers (CI `cmp`s, the trend differ) rely on these
+    /// bytes, so a change here is a schema change and must be deliberate.
+    #[test]
+    fn snapshot_json_key_order_is_pinned() {
+        let mut r = Registry::new();
+        r.counter_add("n", 3);
+        r.gauge_set("util", 0.5);
+        r.observe("lat", 5);
+        r.observe("lat", 0);
+        let json = r.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"n\":3},\
+             \"gauges\":{\"util\":0.5},\
+             \"histograms\":{\"lat\":{\"count\":2,\"sum\":5,\"min\":0,\"max\":5,\
+             \"mean\":2.5,\"buckets\":[[0,1],[3,1]]}}}"
+        );
     }
 
     #[test]

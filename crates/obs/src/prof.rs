@@ -1,0 +1,469 @@
+//! The hierarchical span profiler — where a run's cycles went.
+//!
+//! The tracer ([`crate::Tracer`]) answers *what happened when*; the
+//! profiler answers *where the time went*. Instrumented code opens
+//! nested, named spans and attributes costs to the innermost open span
+//! in two separate domains:
+//!
+//! * **Simulated cycles** ([`Profiler::add_cycles`]) — the deterministic
+//!   domain. Every cycle a timing model attributes here is derived from
+//!   the simulation alone, so for a fixed input the span tree is
+//!   byte-identical on any machine, at any thread count. Reports
+//!   (`capcheri.profile.v1`) serialize **only** this domain.
+//! * **Wall-clock nanoseconds** ([`Profiler::add_wall_ns`]) — the
+//!   diagnostic domain, for finding where the *simulator itself* spends
+//!   host time. Wall readings are inherently nondeterministic, so they
+//!   are kept out of every serialized report (the repository lint's
+//!   `nd-wall-clock` rule enforces the same split inside the timing
+//!   crates, which never read a host clock at all).
+//!
+//! Latency distributions go through [`Profiler::observe`] into the same
+//! deterministic power-of-two histograms the metrics registry uses
+//! ([`crate::Registry::observe`]), so a span tree can carry per-request
+//! wait/beat distributions alongside its totals.
+//!
+//! [`NullProfiler`] mirrors [`crate::NullTracer`]: instrumented and
+//! uninstrumented paths are one and the same code, every method is an
+//! inline no-op, and hot loops can hoist [`Profiler::enabled`] to skip
+//! even argument preparation.
+//!
+//! # Examples
+//!
+//! ```
+//! use obs::prof::{Profiler, SpanProfiler};
+//!
+//! let mut p = SpanProfiler::new();
+//! p.enter("accel");
+//! p.enter("setup");
+//! p.add_cycles(310);
+//! p.exit();
+//! p.enter("execute");
+//! p.add_cycles(4_000);
+//! p.observe("accel.req_wait", 3);
+//! p.exit();
+//! p.exit();
+//! let snap = p.snapshot();
+//! assert_eq!(snap.attributed_cycles(), 4_310);
+//! assert_eq!(snap.spans[0].name, "run");
+//! ```
+
+use crate::metrics::{Registry, Snapshot};
+
+/// Anything that can receive span entries and attributed costs.
+///
+/// Instrumented code calls these methods unconditionally; with the
+/// default [`NullProfiler`] every call is a no-op the optimizer removes.
+/// Hot loops that must *compute* something before attributing it can
+/// hoist [`Profiler::enabled`] once and skip the work entirely.
+pub trait Profiler {
+    /// Opens a child span of the innermost open span (creating it on
+    /// first entry; re-entering an existing child accumulates into it).
+    fn enter(&mut self, name: &'static str);
+
+    /// Closes the innermost open span. The root span never closes.
+    fn exit(&mut self);
+
+    /// Attributes simulated cycles to the innermost open span
+    /// (the deterministic domain — this is what reports serialize).
+    fn add_cycles(&mut self, cycles: u64);
+
+    /// Attributes host wall-clock nanoseconds to the innermost open span
+    /// (the diagnostic domain — never serialized into reports).
+    fn add_wall_ns(&mut self, ns: u64);
+
+    /// Records one sample into the named power-of-two histogram.
+    fn observe(&mut self, hist: &'static str, sample: u64);
+
+    /// Whether attributed costs go anywhere.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default profiler: drops everything, costs nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullProfiler;
+
+impl Profiler for NullProfiler {
+    #[inline]
+    fn enter(&mut self, _name: &'static str) {}
+
+    #[inline]
+    fn exit(&mut self) {}
+
+    #[inline]
+    fn add_cycles(&mut self, _cycles: u64) {}
+
+    #[inline]
+    fn add_wall_ns(&mut self, _ns: u64) {}
+
+    #[inline]
+    fn observe(&mut self, _hist: &'static str, _sample: u64) {}
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+impl<T: Profiler + ?Sized> Profiler for &mut T {
+    fn enter(&mut self, name: &'static str) {
+        (**self).enter(name);
+    }
+
+    fn exit(&mut self) {
+        (**self).exit();
+    }
+
+    fn add_cycles(&mut self, cycles: u64) {
+        (**self).add_cycles(cycles);
+    }
+
+    fn add_wall_ns(&mut self, ns: u64) {
+        (**self).add_wall_ns(ns);
+    }
+
+    fn observe(&mut self, hist: &'static str, sample: u64) {
+        (**self).observe(hist, sample);
+    }
+
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+}
+
+/// One node of the frozen span tree.
+///
+/// `cycles` and `wall_ns` are *self* costs — what was attributed while
+/// this exact span was innermost, excluding its children. Summing over
+/// every node therefore never double-counts (see
+/// [`ProfileSnapshot::attributed_cycles`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// The span's name (stable label, part of the report schema).
+    pub name: &'static str,
+    /// Index of the parent node (`None` for the root).
+    pub parent: Option<usize>,
+    /// Child node indices, in first-entry order (deterministic).
+    pub children: Vec<usize>,
+    /// Times this span was entered.
+    pub count: u64,
+    /// Self-attributed simulated cycles (the deterministic domain).
+    pub cycles: u64,
+    /// Self-attributed wall nanoseconds (the diagnostic domain).
+    pub wall_ns: u64,
+}
+
+/// The frozen take of one [`SpanProfiler`]: the span tree plus the
+/// histogram registry snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileSnapshot {
+    /// The span arena; index 0 is the root span `"run"`. A child's index
+    /// is always greater than its parent's, so a single forward pass
+    /// visits parents before children.
+    pub spans: Vec<SpanSnapshot>,
+    /// The profiler's histograms (and nothing else), frozen.
+    pub metrics: Snapshot,
+}
+
+impl ProfileSnapshot {
+    /// Total simulated cycles attributed anywhere in the tree. Because
+    /// node costs are self costs, this is a plain sum.
+    #[must_use]
+    pub fn attributed_cycles(&self) -> u64 {
+        self.spans.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Depth-first walk in child order, calling `f(depth, node)` — the
+    /// deterministic rendering order every exporter uses.
+    pub fn walk(&self, mut f: impl FnMut(usize, &SpanSnapshot)) {
+        fn go(
+            spans: &[SpanSnapshot],
+            at: usize,
+            depth: usize,
+            f: &mut impl FnMut(usize, &SpanSnapshot),
+        ) {
+            f(depth, &spans[at]);
+            for &c in &spans[at].children {
+                go(spans, c, depth + 1, f);
+            }
+        }
+        if !self.spans.is_empty() {
+            go(&self.spans, 0, 0, &mut f);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SpanNode {
+    name: &'static str,
+    parent: Option<usize>,
+    children: Vec<usize>,
+    count: u64,
+    cycles: u64,
+    wall_ns: u64,
+}
+
+/// The recording profiler: an arena of span nodes deduplicated by
+/// `(parent, name)`, a stack of open spans, and a histogram registry.
+///
+/// Everything about it is deterministic: children are ordered by first
+/// entry, histograms live in a `BTreeMap`-backed registry, and the
+/// wall-clock domain is additive-only (the profiler itself never reads
+/// a clock — callers decide where wall time comes from).
+#[derive(Clone, Debug)]
+pub struct SpanProfiler {
+    nodes: Vec<SpanNode>,
+    stack: Vec<usize>,
+    hists: Registry,
+}
+
+impl Default for SpanProfiler {
+    fn default() -> SpanProfiler {
+        SpanProfiler::new()
+    }
+}
+
+impl SpanProfiler {
+    /// A fresh profiler with an open root span named `"run"`.
+    #[must_use]
+    pub fn new() -> SpanProfiler {
+        SpanProfiler {
+            nodes: vec![SpanNode {
+                name: "run",
+                parent: None,
+                children: Vec::new(),
+                count: 1,
+                cycles: 0,
+                wall_ns: 0,
+            }],
+            stack: vec![0],
+            hists: Registry::new(),
+        }
+    }
+
+    fn top(&self) -> usize {
+        *self.stack.last().expect("the root span never closes")
+    }
+
+    /// Freezes the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        ProfileSnapshot {
+            spans: self
+                .nodes
+                .iter()
+                .map(|n| SpanSnapshot {
+                    name: n.name,
+                    parent: n.parent,
+                    children: n.children.clone(),
+                    count: n.count,
+                    cycles: n.cycles,
+                    wall_ns: n.wall_ns,
+                })
+                .collect(),
+            metrics: self.hists.snapshot(),
+        }
+    }
+}
+
+impl Profiler for SpanProfiler {
+    fn enter(&mut self, name: &'static str) {
+        let parent = self.top();
+        // Fan-out per span is small (a handful of phases), so a linear
+        // scan beats a map here and keeps first-entry child order free.
+        let found = self.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].name == name);
+        let idx = match found {
+            Some(idx) => {
+                self.nodes[idx].count += 1;
+                idx
+            }
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(SpanNode {
+                    name,
+                    parent: Some(parent),
+                    children: Vec::new(),
+                    count: 1,
+                    cycles: 0,
+                    wall_ns: 0,
+                });
+                self.nodes[parent].children.push(idx);
+                idx
+            }
+        };
+        self.stack.push(idx);
+    }
+
+    fn exit(&mut self) {
+        if self.stack.len() > 1 {
+            self.stack.pop();
+        }
+    }
+
+    fn add_cycles(&mut self, cycles: u64) {
+        let top = self.top();
+        self.nodes[top].cycles += cycles;
+    }
+
+    fn add_wall_ns(&mut self, ns: u64) {
+        let top = self.top();
+        self.nodes[top].wall_ns += ns;
+    }
+
+    fn observe(&mut self, hist: &'static str, sample: u64) {
+        self.hists.observe(hist, sample);
+    }
+}
+
+/// Runs `f` inside a span, attributing its host wall time there — the
+/// diagnostic domain's scoped helper. With a disabled profiler the clock
+/// is never read and `f` runs bare.
+pub fn time_wall<R>(prof: &mut dyn Profiler, name: &'static str, f: impl FnOnce() -> R) -> R {
+    if !prof.enabled() {
+        return f();
+    }
+    prof.enter(name);
+    let t0 = std::time::Instant::now();
+    let out = f();
+    prof.add_wall_ns(t0.elapsed().as_nanos() as u64);
+    prof.exit();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_profiler_is_disabled_and_silent() {
+        let mut p = NullProfiler;
+        assert!(!p.enabled());
+        p.enter("x");
+        p.add_cycles(5);
+        p.observe("h", 1);
+        p.exit();
+    }
+
+    #[test]
+    fn spans_nest_and_deduplicate() {
+        let mut p = SpanProfiler::new();
+        for _ in 0..3 {
+            p.enter("outer");
+            p.add_cycles(10);
+            p.enter("inner");
+            p.add_cycles(1);
+            p.exit();
+            p.exit();
+        }
+        let s = p.snapshot();
+        // run + outer + inner: re-entry accumulates, never duplicates.
+        assert_eq!(s.spans.len(), 3);
+        let outer = &s.spans[1];
+        assert_eq!((outer.name, outer.count, outer.cycles), ("outer", 3, 30));
+        let inner = &s.spans[2];
+        assert_eq!((inner.name, inner.count, inner.cycles), ("inner", 3, 3));
+        assert_eq!(inner.parent, Some(1));
+        assert_eq!(s.attributed_cycles(), 33);
+    }
+
+    #[test]
+    fn self_cycles_exclude_children() {
+        let mut p = SpanProfiler::new();
+        p.enter("a");
+        p.add_cycles(5);
+        p.enter("b");
+        p.add_cycles(7);
+        p.exit();
+        p.add_cycles(2);
+        p.exit();
+        let s = p.snapshot();
+        assert_eq!(s.spans[1].cycles, 7, "a's self time");
+        assert_eq!(s.spans[2].cycles, 7, "b's self time");
+        assert_eq!(s.attributed_cycles(), 14);
+    }
+
+    #[test]
+    fn root_survives_extra_exits() {
+        let mut p = SpanProfiler::new();
+        p.exit();
+        p.exit();
+        p.add_cycles(4);
+        let s = p.snapshot();
+        assert_eq!(s.spans[0].name, "run");
+        assert_eq!(s.spans[0].cycles, 4);
+    }
+
+    #[test]
+    fn sibling_order_is_first_entry_order() {
+        let mut p = SpanProfiler::new();
+        for name in ["c", "a", "b", "a"] {
+            p.enter(name);
+            p.exit();
+        }
+        let s = p.snapshot();
+        let names: Vec<&str> = s.spans[0]
+            .children
+            .iter()
+            .map(|&c| s.spans[c].name)
+            .collect();
+        assert_eq!(names, ["c", "a", "b"]);
+    }
+
+    #[test]
+    fn walk_visits_depth_first_in_child_order() {
+        let mut p = SpanProfiler::new();
+        p.enter("a");
+        p.enter("a1");
+        p.exit();
+        p.exit();
+        p.enter("b");
+        p.exit();
+        let s = p.snapshot();
+        let mut seen = Vec::new();
+        s.walk(|depth, node| seen.push((depth, node.name)));
+        assert_eq!(seen, [(0, "run"), (1, "a"), (2, "a1"), (1, "b")]);
+    }
+
+    #[test]
+    fn histograms_are_bucketed_and_frozen() {
+        let mut p = SpanProfiler::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            p.observe("lat", v);
+        }
+        let s = p.snapshot();
+        let h = &s.metrics.histograms["lat"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.max, 1000);
+        // Power-of-two buckets: 0→0, 1→1, 2..3→2, 1000→10.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn wall_domain_is_separate_from_cycles() {
+        let mut p = SpanProfiler::new();
+        let out = time_wall(&mut p, "host", || 42);
+        assert_eq!(out, 42);
+        let s = p.snapshot();
+        assert_eq!(s.spans[1].name, "host");
+        assert_eq!(s.spans[1].cycles, 0, "wall time never leaks into cycles");
+        assert_eq!(s.attributed_cycles(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let build = || {
+            let mut p = SpanProfiler::new();
+            p.enter("x");
+            p.add_cycles(3);
+            p.observe("h", 9);
+            p.exit();
+            p.snapshot()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -67,6 +67,8 @@ impl BenchReport {
             w.u64(h.max);
             w.key("mean");
             w.f64(h.mean);
+            w.key("buckets");
+            crate::metrics::write_buckets(w, &h.buckets);
             w.end_object();
         }
         w.end_object();

@@ -46,38 +46,72 @@ impl<T: Tracer + ?Sized> Tracer for &mut T {
 }
 
 /// An in-memory event buffer, in recording order.
+///
+/// By default the buffer grows without bound. [`TraceBuffer::with_capacity`]
+/// turns it into a bounded ring: once `capacity` events are retained, the
+/// oldest half is discarded in one batch (amortized O(1) per event, no
+/// per-record shifting) and counted in [`TraceBuffer::dropped`] — long
+/// fault campaigns keep their most recent window instead of blowing up
+/// the heap. [`TraceBuffer::recorded`] keeps the lifetime total either
+/// way, so event *counts* in reports are unaffected by the cap.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TraceBuffer {
     events: Vec<Event>,
+    capacity: Option<usize>,
+    recorded: u64,
+    dropped: u64,
 }
 
 impl TraceBuffer {
-    /// An empty buffer.
+    /// An empty, unbounded buffer.
     #[must_use]
     pub fn new() -> TraceBuffer {
         TraceBuffer::default()
     }
 
-    /// The recorded events, in recording order.
+    /// An empty buffer that retains at most `capacity` events (at least
+    /// 2 — a smaller ring could retain nothing after compaction).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            capacity: Some(capacity.max(2)),
+            ..TraceBuffer::default()
+        }
+    }
+
+    /// The retained events, in recording order (the oldest may have been
+    /// dropped on a bounded buffer — see [`TraceBuffer::dropped`]).
     #[must_use]
     pub fn events(&self) -> &[Event] {
         &self.events
     }
 
-    /// Number of recorded events.
+    /// Number of retained events.
     #[must_use]
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// `true` when nothing has been recorded.
+    /// Lifetime count of events recorded, including dropped ones.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events discarded to honor the ring capacity (0 when unbounded).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `true` when nothing is retained.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// The events sorted by cycle; the sort is stable, so same-cycle
-    /// events keep their recording order (export determinism).
+    /// The retained events sorted by cycle; the sort is stable, so
+    /// same-cycle events keep their recording order (export determinism).
     #[must_use]
     pub fn sorted_by_cycle(&self) -> Vec<Event> {
         let mut out = self.events.clone();
@@ -88,6 +122,17 @@ impl TraceBuffer {
 
 impl Tracer for TraceBuffer {
     fn record(&mut self, cycle: u64, kind: EventKind) {
+        if let Some(cap) = self.capacity {
+            if self.events.len() >= cap {
+                // Batch compaction: dropping half at once keeps the
+                // amortized cost O(1) per event where a true one-in-
+                // one-out ring behind a `&[Event]` accessor could not.
+                let cut = cap / 2;
+                self.events.drain(..cut);
+                self.dropped += cut as u64;
+            }
+        }
+        self.recorded += 1;
         self.events.push(Event { cycle, kind });
     }
 }
@@ -105,6 +150,13 @@ impl SharedTracer {
         SharedTracer::default()
     }
 
+    /// A handle to a fresh buffer bounded to `capacity` retained events
+    /// (see [`TraceBuffer::with_capacity`]).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> SharedTracer {
+        SharedTracer(Rc::new(RefCell::new(TraceBuffer::with_capacity(capacity))))
+    }
+
     /// Copies the buffer out (the handle keeps recording).
     #[must_use]
     pub fn snapshot(&self) -> TraceBuffer {
@@ -117,13 +169,25 @@ impl SharedTracer {
         std::mem::take(&mut self.0.borrow_mut())
     }
 
-    /// Number of events recorded so far.
+    /// Number of retained events.
     #[must_use]
     pub fn len(&self) -> usize {
         self.0.borrow().len()
     }
 
-    /// `true` when nothing has been recorded.
+    /// Lifetime count of events recorded, including dropped ones.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.0.borrow().recorded()
+    }
+
+    /// Events discarded to honor the ring capacity (0 when unbounded).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.0.borrow().dropped()
+    }
+
+    /// `true` when nothing is retained.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.0.borrow().is_empty()
@@ -167,6 +231,57 @@ mod tests {
         let taken = b.take();
         assert_eq!(taken.len(), 1);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn bounded_buffer_drops_oldest_and_counts() {
+        let mut b = TraceBuffer::with_capacity(4);
+        for cycle in 0..10 {
+            b.record(cycle, EventKind::TaskStart { task: 0 });
+        }
+        assert_eq!(b.recorded(), 10);
+        assert!(b.len() <= 4, "retained {} > capacity", b.len());
+        assert_eq!(b.dropped() + b.len() as u64, b.recorded());
+        // The retained tail is the most recent window, still in order.
+        let cycles: Vec<u64> = b.events().iter().map(|e| e.cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*cycles.last().unwrap(), 9);
+    }
+
+    #[test]
+    fn unbounded_buffer_never_drops() {
+        let mut b = TraceBuffer::new();
+        for cycle in 0..1000 {
+            b.record(cycle, EventKind::TaskEnd { task: 1 });
+        }
+        assert_eq!(b.len(), 1000);
+        assert_eq!(b.recorded(), 1000);
+        assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn tiny_capacity_is_clamped_to_two() {
+        let mut b = TraceBuffer::with_capacity(0);
+        for cycle in 0..5 {
+            b.record(cycle, EventKind::TaskStart { task: 2 });
+        }
+        assert!(!b.is_empty(), "a degenerate ring must still retain events");
+        assert_eq!(b.recorded(), 5);
+    }
+
+    #[test]
+    fn shared_tracer_capacity_forwards() {
+        let mut t = SharedTracer::with_capacity(4);
+        for cycle in 0..9 {
+            t.record(cycle, EventKind::L1Access { hit: false });
+        }
+        assert_eq!(t.recorded(), 9);
+        assert!(t.len() <= 4);
+        assert_eq!(t.dropped() + t.len() as u64, t.recorded());
+        // snapshot() carries the drop accounting with it.
+        let snap = t.snapshot();
+        assert_eq!(snap.recorded(), 9);
+        assert_eq!(snap.dropped(), t.dropped());
     }
 
     #[test]
