@@ -1,0 +1,327 @@
+//! The `capcheri.adapt.v1` bench report — the online adaptive policy
+//! controller driven by real benchmark epochs.
+//!
+//! Each epoch runs the benchmark once under the cache-backed checker in
+//! the controller's current provenance mode, samples the checker's cache
+//! statistics as that epoch's [`EpochSignals`], and feeds them to the
+//! [`AdaptController`]. A `SwitchMode` decision takes effect on the next
+//! epoch's configuration, so the report shows closed-loop behaviour —
+//! which mode each epoch actually ran in, what it cost, and why the
+//! controller moved.
+//!
+//! Everything serialized derives from simulated quantities, so the JSON
+//! is byte-identical for a fixed `(bench, epochs, tasks, seed)` on any
+//! machine and at any `--threads` value.
+
+use crate::runner::run_benchmark_cached;
+use capchecker::{
+    AdaptConfig, AdaptController, AdaptDecision, CachedCheckerConfig, CheckerMode, EpochSignals,
+};
+use machsuite::Benchmark;
+use obs::json::JsonWriter;
+use std::fmt::Write as _;
+
+/// Schema identifier stamped into every adaptive bench report.
+pub const ADAPT_SCHEMA: &str = "capcheri.adapt.v1";
+
+/// The cache geometry the adaptive bench loop runs under: small enough
+/// that real kernels miss, so the stall-share signal has dynamics worth
+/// reacting to (the production default of 16 entries absorbs most
+/// benchmarks' working sets).
+#[must_use]
+pub fn adaptive_cache_config() -> CachedCheckerConfig {
+    CachedCheckerConfig {
+        cache_entries: 4,
+        ..CachedCheckerConfig::default()
+    }
+}
+
+/// One closed-loop epoch: the mode it ran in, what it cost, and the
+/// signals the controller saw at its boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdaptEpoch {
+    /// Epoch index (0-based).
+    pub epoch: u32,
+    /// Provenance mode this epoch executed under.
+    pub mode: CheckerMode,
+    /// Makespan of the epoch's run, in cycles.
+    pub cycles: u64,
+    /// The boundary sample handed to the controller.
+    pub signals: EpochSignals,
+    /// Cache hits this epoch (detail behind `signals.checks`).
+    pub hits: u64,
+    /// Cache misses this epoch.
+    pub misses: u64,
+}
+
+/// One benchmark driven through `epochs` closed-loop controller epochs.
+#[derive(Clone, Debug)]
+pub struct AdaptBenchReport {
+    /// Which benchmark ran.
+    pub bench: Benchmark,
+    /// Concurrent accelerator tasks per epoch.
+    pub tasks: usize,
+    /// The base seed (epoch `e` runs with `seed + e`).
+    pub seed: u64,
+    /// The controller configuration in force.
+    pub config: AdaptConfig,
+    /// Every epoch, in order.
+    pub epochs: Vec<AdaptEpoch>,
+    /// Every decision the controller made, in order.
+    pub decisions: Vec<AdaptDecision>,
+    /// Mode the controller wants after the last epoch.
+    pub final_mode: CheckerMode,
+}
+
+impl AdaptBenchReport {
+    /// Runs `bench` through `epochs` controller epochs and wraps the
+    /// take.
+    ///
+    /// # Panics
+    ///
+    /// As [`crate::runner::run_benchmark`]; also when `config` has no
+    /// hysteresis gap.
+    #[must_use]
+    pub fn collect(
+        bench: Benchmark,
+        epochs: u32,
+        tasks: usize,
+        seed: u64,
+        config: AdaptConfig,
+    ) -> AdaptBenchReport {
+        // The bench loop's only actuator is the provenance mode — the
+        // cache itself is the signal source and stays in place, so the
+        // cache/FU lattices are inert (`cached = false`, no FUs).
+        let mut controller = AdaptController::new(config, CheckerMode::Fine, false);
+        let mut out = Vec::with_capacity(epochs as usize);
+        for epoch in 0..epochs {
+            let mode = controller.mode();
+            let cfg = adaptive_cache_config().with_mode(mode);
+            let run = run_benchmark_cached(bench, tasks, seed.wrapping_add(u64::from(epoch)), cfg);
+            // A fresh system per epoch means the full-run stats *are*
+            // the epoch's deltas.
+            let signals = EpochSignals {
+                checks: run.cache.hits + run.cache.misses + run.cache.elided,
+                stall_cycles: run.cache.miss_cycles,
+                denied: run.cache.denied,
+                corruption: run.cache.corruption_detected,
+                quarantined_fus: Vec::new(),
+            };
+            controller.observe(&signals);
+            out.push(AdaptEpoch {
+                epoch,
+                mode,
+                cycles: run.result.cycles,
+                signals,
+                hits: run.cache.hits,
+                misses: run.cache.misses,
+            });
+        }
+        AdaptBenchReport {
+            bench,
+            tasks,
+            seed,
+            epochs: out,
+            decisions: controller.trace().to_vec(),
+            final_mode: controller.mode(),
+            config,
+        }
+    }
+
+    fn write(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("schema");
+        w.string(ADAPT_SCHEMA);
+        w.key("bench");
+        w.string(self.bench.name());
+        w.key("tasks");
+        w.u64(self.tasks as u64);
+        w.key("seed");
+        w.u64(self.seed);
+        w.key("config");
+        w.begin_object();
+        self.config.write_fields(w);
+        w.end_object();
+        w.key("epochs");
+        w.begin_array();
+        for e in &self.epochs {
+            w.begin_object();
+            w.key("epoch");
+            w.u64(u64::from(e.epoch));
+            w.key("mode");
+            w.string(e.mode.label());
+            w.key("cycles");
+            w.u64(e.cycles);
+            w.key("checks");
+            w.u64(e.signals.checks);
+            w.key("stall_cycles");
+            w.u64(e.signals.stall_cycles);
+            w.key("stall_share_pct");
+            w.u64(e.signals.stall_share_pct());
+            w.key("hits");
+            w.u64(e.hits);
+            w.key("misses");
+            w.u64(e.misses);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("decisions");
+        w.begin_array();
+        for d in &self.decisions {
+            d.write(w);
+        }
+        w.end_array();
+        w.key("final");
+        w.begin_object();
+        w.key("mode");
+        w.string(self.final_mode.label());
+        w.end_object();
+        w.end_object();
+    }
+
+    /// This report as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write(&mut w);
+        w.finish()
+    }
+
+    /// The report as human-readable text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "adapt: {} epochs={} tasks={} seed={}",
+            self.bench.name(),
+            self.epochs.len(),
+            self.tasks,
+            self.seed
+        );
+        let _ = writeln!(
+            out,
+            "  {:<6} {:<7} {:>12} {:>10} {:>12} {:>6}",
+            "epoch", "mode", "cycles", "checks", "stall", "share"
+        );
+        for e in &self.epochs {
+            let _ = writeln!(
+                out,
+                "  {:<6} {:<7} {:>12} {:>10} {:>12} {:>5}%",
+                e.epoch,
+                e.mode.label(),
+                e.cycles,
+                e.signals.checks,
+                e.signals.stall_cycles,
+                e.signals.stall_share_pct()
+            );
+        }
+        if self.decisions.is_empty() {
+            let _ = writeln!(out, "  decisions: none (signals inside the deadband)");
+        } else {
+            let _ = writeln!(out, "  decisions:");
+            for d in &self.decisions {
+                let _ = writeln!(
+                    out,
+                    "    epoch {} {}: share={}% dwell={}",
+                    d.epoch,
+                    d.rule.label(),
+                    d.stall_share_pct,
+                    d.dwell
+                );
+            }
+        }
+        let _ = writeln!(out, "  final mode: {}", self.final_mode.label());
+        out
+    }
+}
+
+/// Several reports as one JSON document:
+/// `{"schema":"...","runs":[...]}`.
+#[must_use]
+pub fn reports_to_json(reports: &[AdaptBenchReport]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string(ADAPT_SCHEMA);
+    w.key("runs");
+    w.begin_array();
+    for r in reports {
+        r.write(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Several reports as one text document.
+#[must_use]
+pub fn render_all(reports: &[AdaptBenchReport]) -> String {
+    let mut out = String::new();
+    for r in reports {
+        out.push_str(&r.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_valid_and_closed_loop() {
+        let r = AdaptBenchReport::collect(Benchmark::Aes, 3, 1, 3, AdaptConfig::default());
+        let json = r.to_json();
+        obs::json::validate(&json).unwrap();
+        for needle in [
+            "\"schema\":\"capcheri.adapt.v1\"",
+            "\"bench\":\"aes\"",
+            "\"config\":",
+            "\"decisions\":",
+            "\"final\":",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+        assert!(!json.contains("wall"), "host time must never serialize");
+        assert_eq!(r.epochs.len(), 3);
+        // The closed loop is consistent: epoch 0 starts Fine, and each
+        // SwitchMode decision changes the very next epoch's mode.
+        assert_eq!(r.epochs[0].mode, CheckerMode::Fine);
+        for pair in r.epochs.windows(2) {
+            let switched = r.decisions.iter().any(|d| {
+                d.epoch == pair[0].epoch
+                    && matches!(d.action, capchecker::AdaptAction::SwitchMode { .. })
+            });
+            if switched {
+                assert_eq!(pair[1].mode, pair[0].mode.toggled());
+            } else {
+                assert_eq!(pair[1].mode, pair[0].mode);
+            }
+        }
+    }
+
+    #[test]
+    fn small_cache_drives_a_stall_switch() {
+        // With 4 cache entries a multi-buffer kernel misses hard enough
+        // that the default up-threshold fires; hysteresis holds it there.
+        let r = AdaptBenchReport::collect(Benchmark::SpmvCrs, 4, 2, 1, AdaptConfig::default());
+        assert!(
+            r.decisions
+                .iter()
+                .any(|d| d.rule == obs::AdaptRule::StallUp),
+            "no stall-up fired: {:?}",
+            r.decisions
+        );
+        assert_eq!(r.final_mode, CheckerMode::Coarse);
+        // Constant input ⇒ at most one flip in each direction.
+        assert!(r.decisions.len() <= 2, "oscillation: {:?}", r.decisions);
+    }
+
+    #[test]
+    fn reports_are_byte_deterministic() {
+        let a = AdaptBenchReport::collect(Benchmark::GemmNcubed, 3, 2, 7, AdaptConfig::default());
+        let b = AdaptBenchReport::collect(Benchmark::GemmNcubed, 3, 2, 7, AdaptConfig::default());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -11,6 +11,8 @@
 //!          [--json] [--out FILE]
 //! simulate profile <benchmark|all> [--variant V] [--tasks N] [--seed S]
 //!          [--threads N] [--json] [--out FILE]
+//! simulate adapt <benchmark|all|campaign> [--epochs N] [--tasks N] [--seed S]
+//!          [--spec SPEC] [--fus N] [--threads N] [--json] [--out FILE]
 //! ```
 //!
 //! `--threads N` fans independent benchmark cells out over a scoped
@@ -48,6 +50,17 @@
 //! quantities and is therefore byte-identical for any `--threads`
 //! value; `--out FILE` writes the report to a file instead of stdout.
 //!
+//! The `adapt` subcommand closes the loop: the online adaptive policy
+//! controller drives real runs. With a benchmark (or `all`) it runs
+//! `--epochs` epochs under the cache-backed checker, feeding the cache's
+//! stall signals back into the controller so Fine ⇄ Coarse mode switches
+//! take effect on the next epoch. With the `campaign` pseudo-target it
+//! reruns the fault campaign with the controller in charge of
+//! degradation, probationary re-promotion, and quarantine release.
+//! `--json` emits the `capcheri.adapt.v1` report; decisions carry their
+//! epoch, rule, raw inputs, and hysteresis state, and the bytes are
+//! identical for any `--threads` value.
+//!
 //! The `analyze` subcommand runs the static capability-flow analyzer
 //! over every benchmark configuration and reports the proved-safe ports,
 //! over-privileged default grants, and the measured cycle payoff of
@@ -67,7 +80,8 @@
 //! cargo run --release -p capcheri-bench --bin simulate -- conformance --seed 1 --ops 10000
 //! ```
 
-use capchecker::{run_campaign, CampaignConfig, SystemVariant};
+use capchecker::{run_adaptive_campaign, run_campaign, AdaptConfig, CampaignConfig, SystemVariant};
+use capcheri_bench::adapt::AdaptBenchReport;
 use capcheri_bench::profile::ProfileReport;
 use capcheri_bench::runner;
 use hetsim::FaultSpec;
@@ -96,7 +110,9 @@ fn usage() -> String {
          \x20      simulate analyze [--lint] [--streams N] [--ops N] [--seed S]\n\
          \x20               [--threads N] [--json] [--out FILE]\n\
          \x20      simulate profile <benchmark|all> [--variant V] [--tasks N] [--seed S]\n\
-         \x20               [--threads N] [--json] [--out FILE]\n\n\
+         \x20               [--threads N] [--json] [--out FILE]\n\
+         \x20      simulate adapt <benchmark|all|campaign> [--epochs N] [--tasks N] [--seed S]\n\
+         \x20               [--spec SPEC] [--fus N] [--threads N] [--json] [--out FILE]\n\n\
          benchmarks: {}\n\
          fault kinds: {}",
         names.join(", "),
@@ -450,6 +466,191 @@ fn run_profile(opts: &ProfileOptions) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct AdaptOptions {
+    /// Empty means the `campaign` pseudo-target.
+    benches: Vec<Benchmark>,
+    campaign: CampaignConfig,
+    epochs: u32,
+    /// `None` keeps each target's own default (1 concurrent task per
+    /// bench epoch; the campaign default task count for `campaign`).
+    tasks: Option<usize>,
+    seed: u64,
+    threads: usize,
+    json: bool,
+    out: Option<String>,
+}
+
+fn parse_adapt(args: &[String]) -> Result<AdaptOptions, String> {
+    let mut opts = AdaptOptions {
+        benches: Vec::new(),
+        campaign: CampaignConfig::default(),
+        epochs: 4,
+        tasks: None,
+        seed: 0xC0DE,
+        threads: perf::auto_threads(),
+        json: false,
+        out: None,
+    };
+    let mut it = args.iter();
+    let first = it.next().ok_or_else(usage)?;
+    match first.as_str() {
+        "campaign" => {}
+        "all" => opts.benches = Benchmark::ALL.to_vec(),
+        name => opts.benches.push(
+            name.parse::<Benchmark>()
+                .map_err(|e| format!("{e}\n\n{}", usage()))?,
+        ),
+    }
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--epochs" => {
+                opts.epochs = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--tasks" => {
+                opts.tasks = Some(
+                    value(&mut it)?
+                        .parse()
+                        .map_err(|e| format!("--tasks: {e}"))?,
+                );
+            }
+            "--seed" => {
+                opts.seed = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--spec" => {
+                opts.campaign.spec = value(&mut it)?
+                    .parse::<FaultSpec>()
+                    .map_err(|e| format!("--spec: {e}"))?;
+            }
+            "--fus" => {
+                opts.campaign.fus = value(&mut it)?.parse().map_err(|e| format!("--fus: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = value(&mut it)?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1);
+            }
+            "--json" => opts.json = true,
+            "--out" => opts.out = Some(value(&mut it)?),
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn write_or_print(out: &Option<String>, rendered: &str) -> ExitCode {
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            print!("{rendered}");
+            if !rendered.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn run_adapt_campaign(opts: &AdaptOptions) -> ExitCode {
+    let mut config = opts.campaign.clone();
+    if let Some(tasks) = opts.tasks {
+        config.tasks = u32::try_from(tasks.max(1)).map_or(u32::MAX, |t| t);
+    }
+    config.seed = opts.seed;
+    let report = match run_adaptive_campaign(&config, &AdaptConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("adaptive campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.json {
+        return write_or_print(&opts.out, &report.to_json());
+    }
+    let mut text = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        text,
+        "adaptive campaign: {} tasks, seed {:#x}, spec {:?}, {} epochs",
+        report.campaign.tasks, report.campaign.seed, report.campaign.spec, report.epochs
+    );
+    let _ = writeln!(text, "{:<22} {:>8}", "resolution", "count");
+    for (res, n) in report.campaign.resolution_counts() {
+        let _ = writeln!(text, "{res:<22} {n:>8}");
+    }
+    if report.decisions.is_empty() {
+        let _ = writeln!(text, "decisions: none");
+    } else {
+        let _ = writeln!(text, "decisions:");
+        for d in &report.decisions {
+            let _ = writeln!(
+                text,
+                "  epoch {:<3} {:<15} share={}% corruption={} dwell={}",
+                d.epoch,
+                d.rule.label(),
+                d.stall_share_pct,
+                d.corruption,
+                d.dwell
+            );
+        }
+    }
+    let _ = writeln!(
+        text,
+        "final: mode={} cache={} released_fus={} latched_fus={}",
+        report.final_mode.label(),
+        report.cache_health.label(),
+        report.released_fus,
+        report.latched_fus
+    );
+    write_or_print(&opts.out, &text)
+}
+
+fn run_adapt(opts: &AdaptOptions) -> ExitCode {
+    if opts.benches.is_empty() {
+        return run_adapt_campaign(opts);
+    }
+    // One closed-loop series per worker; index-ordered merge keeps the
+    // output byte-identical for any --threads value (the report
+    // serializes only simulated quantities).
+    let reports = perf::parallel_map(opts.threads, opts.benches.len(), |i| {
+        AdaptBenchReport::collect(
+            opts.benches[i],
+            opts.epochs,
+            opts.tasks.unwrap_or(1),
+            opts.seed,
+            AdaptConfig::default(),
+        )
+    });
+    let reports = match reports {
+        Ok(r) => r,
+        Err(p) => {
+            eprintln!("{p}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendered = if opts.json {
+        capcheri_bench::adapt::reports_to_json(&reports)
+    } else {
+        capcheri_bench::adapt::render_all(&reports)
+    };
+    write_or_print(&opts.out, &rendered)
+}
+
 fn parse(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         benches: Vec::new(),
@@ -537,6 +738,15 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("profile") {
         return match parse_profile(&args[1..]) {
             Ok(opts) => run_profile(&opts),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("adapt") {
+        return match parse_adapt(&args[1..]) {
+            Ok(opts) => run_adapt(&opts),
             Err(msg) => {
                 eprintln!("{msg}");
                 ExitCode::FAILURE

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -1,7 +1,10 @@
 //! Runs one benchmark under one of the five §6.3 system configurations
 //! and costs it with the timing models.
 
-use capchecker::{CheckAttribution, HeteroSystem, StaticVerdictMap, SystemVariant, TaskRequest};
+use capchecker::{
+    CacheStats, CachedCheckerConfig, CheckAttribution, HeteroSystem, ProtectionChoice,
+    StaticVerdictMap, SystemVariant, TaskRequest,
+};
 use capcheri_analyze::{analyze_benchmark, declared_perms, BenchAnalysis};
 use hetsim::timing::{
     simulate_accel_system_prof, simulate_cpu_prof, simulate_cpu_traced, AccelTask,
@@ -63,7 +66,17 @@ pub fn run_benchmark(
     tasks: usize,
     seed: u64,
 ) -> RunResult {
-    run_inner(bench, variant, tasks, seed, None, None, &mut NullProfiler).result
+    run_inner(
+        bench,
+        variant,
+        tasks,
+        seed,
+        None,
+        None,
+        None,
+        &mut NullProfiler,
+    )
+    .result
 }
 
 /// A checked run and its statically-elided twin, for the adaptive-elision
@@ -107,12 +120,23 @@ impl ElidedRun {
 pub fn run_benchmark_elided(bench: Benchmark, tasks: usize, seed: u64) -> ElidedRun {
     let variant = SystemVariant::CheriCpuCheriAccel;
     let analysis = analyze_benchmark(bench, seed);
-    let checked = run_inner(bench, variant, tasks, seed, None, None, &mut NullProfiler).result;
+    let checked = run_inner(
+        bench,
+        variant,
+        tasks,
+        seed,
+        None,
+        None,
+        None,
+        &mut NullProfiler,
+    )
+    .result;
     let elided = run_inner(
         bench,
         variant,
         tasks,
         seed,
+        None,
         None,
         Some(&analysis),
         &mut NullProfiler,
@@ -145,6 +169,7 @@ pub fn run_benchmark_observed(
         variant,
         tasks,
         seed,
+        None,
         Some(tracer.clone()),
         None,
         &mut NullProfiler,
@@ -195,6 +220,7 @@ pub fn run_benchmark_profiled(
         variant,
         tasks,
         seed,
+        None,
         Some(tracer.clone()),
         None,
         &mut prof,
@@ -209,6 +235,50 @@ pub fn run_benchmark_profiled(
     }
 }
 
+/// A run under the cache-backed checker plus the checker's own cache
+/// statistics — the signal source for the adaptive controller.
+#[derive(Clone, Debug)]
+pub struct CachedRun {
+    /// The measured run (variant `ccpu+caccel` with the protection
+    /// overridden to the cached checker).
+    pub result: RunResult,
+    /// Cache statistics accumulated over the whole run, captured before
+    /// task teardown resets the checker.
+    pub cache: CacheStats,
+}
+
+/// Runs `bench` under `ccpu+caccel` with the protection swapped to the
+/// cache-backed checker in `config` — the adaptive controller's actuator
+/// for Fine ⇄ Coarse mode epochs.
+///
+/// # Panics
+///
+/// As [`run_benchmark`].
+#[must_use]
+pub fn run_benchmark_cached(
+    bench: Benchmark,
+    tasks: usize,
+    seed: u64,
+    config: CachedCheckerConfig,
+) -> CachedRun {
+    let inner = run_inner(
+        bench,
+        SystemVariant::CheriCpuCheriAccel,
+        tasks,
+        seed,
+        Some(ProtectionChoice::CachedCapChecker(config)),
+        None,
+        None,
+        &mut NullProfiler,
+    );
+    CachedRun {
+        result: inner.result,
+        cache: inner
+            .cache
+            .expect("the cached protection was just installed"),
+    }
+}
+
 /// Everything one inner run can produce; the public entry points each
 /// surface the slice they promise.
 struct InnerRun {
@@ -216,13 +286,16 @@ struct InnerRun {
     metrics: Option<Snapshot>,
     checks_elided: u64,
     attribution: Option<CheckAttribution>,
+    cache: Option<CacheStats>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_inner(
     bench: Benchmark,
     variant: SystemVariant,
     tasks: usize,
     seed: u64,
+    protection: Option<ProtectionChoice>,
     observe: Option<SharedTracer>,
     elide: Option<&BenchAnalysis>,
     prof: &mut dyn Profiler,
@@ -232,7 +305,11 @@ fn run_inner(
     } else {
         1
     };
-    let mut sys = HeteroSystem::new(variant.config());
+    let mut config = variant.config();
+    if let Some(p) = protection {
+        config.protection = p;
+    }
+    let mut sys = HeteroSystem::new(config);
     if let Some(t) = &observe {
         sys.set_tracer(t.clone());
     }
@@ -382,6 +459,7 @@ fn run_inner(
     // path (evictions, register clears, scrub). Cycles were already
     // costed from the traces, so this cannot perturb the results.
     let attribution = sys.check_attribution().cloned();
+    let cache = sys.cached_checker().map(|c| c.cache_stats());
     for id in ids {
         sys.deallocate_task(id).expect("task is live");
     }
@@ -403,6 +481,7 @@ fn run_inner(
         metrics: snapshot,
         checks_elided,
         attribution,
+        cache,
     }
 }
 
@@ -469,6 +548,18 @@ mod tests {
         let b = run_benchmark_elided(Benchmark::SpmvCrs, 2, 7);
         assert_eq!(a.elided.cycles, b.elided.cycles);
         assert_eq!(a.checks_elided, b.checks_elided);
+    }
+
+    #[test]
+    fn cached_run_reports_cache_traffic() {
+        let run = run_benchmark_cached(Benchmark::Aes, 1, 1, CachedCheckerConfig::default());
+        assert!(run.result.cycles > 0);
+        assert!(
+            run.cache.hits + run.cache.misses > 0,
+            "the cached checker saw no requests"
+        );
+        let again = run_benchmark_cached(Benchmark::Aes, 1, 1, CachedCheckerConfig::default());
+        assert_eq!(run.cache, again.cache, "cache stats are deterministic");
     }
 
     #[test]

@@ -37,6 +37,17 @@ pub struct CachedCheckerConfig {
     pub base: CheckerConfig,
 }
 
+impl CachedCheckerConfig {
+    /// This configuration with the provenance mode replaced — what the
+    /// adaptive controller rebuilds the checker with on a Fine ⇄ Coarse
+    /// switch (cache geometry is a hardware property and carries over).
+    #[must_use]
+    pub fn with_mode(mut self, mode: CheckerMode) -> CachedCheckerConfig {
+        self.base.mode = mode;
+        self
+    }
+}
+
 impl Default for CachedCheckerConfig {
     fn default() -> CachedCheckerConfig {
         CachedCheckerConfig {

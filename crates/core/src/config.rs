@@ -28,6 +28,15 @@ impl CheckerMode {
             CheckerMode::Coarse => "Coarse",
         }
     }
+
+    /// The other mode — what the adaptive controller switches to.
+    #[must_use]
+    pub fn toggled(self) -> CheckerMode {
+        match self {
+            CheckerMode::Fine => CheckerMode::Coarse,
+            CheckerMode::Coarse => CheckerMode::Fine,
+        }
+    }
 }
 
 /// Hardware parameters of a CapChecker instance.
@@ -118,6 +127,8 @@ mod tests {
         assert_eq!(c.mode, CheckerMode::Fine);
         assert_eq!(c.coarse_object_bits, 8);
         assert_eq!(CheckerConfig::coarse().mode, CheckerMode::Coarse);
+        assert_eq!(CheckerMode::Fine.toggled(), CheckerMode::Coarse);
+        assert_eq!(CheckerMode::Coarse.toggled(), CheckerMode::Fine);
     }
 
     #[test]

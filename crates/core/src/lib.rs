@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adapt;
 mod alloc;
 pub mod attrib;
 pub mod cached;
@@ -63,6 +64,10 @@ pub mod revoke;
 mod system;
 mod table;
 
+pub use adapt::{
+    run_adaptive_campaign, AdaptAction, AdaptConfig, AdaptController, AdaptDecision,
+    AdaptiveCampaignReport, CacheHealth, EpochSignals,
+};
 pub use alloc::{AllocError, HeapAllocator};
 pub use attrib::{CheckAttribution, CheckCounters};
 pub use cached::{CacheStats, CachedCapChecker, CachedCheckerConfig};

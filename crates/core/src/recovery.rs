@@ -152,6 +152,25 @@ pub struct RecoveryPolicy {
     pub quarantine_threshold: u32,
 }
 
+impl RecoveryPolicy {
+    /// Backoff after failed attempt `attempt` (1-based):
+    /// `backoff_base << (attempt - 1)`, saturating at [`Cycles::MAX`]
+    /// instead of overflowing the shift. A policy with `max_attempts ≥ 64`
+    /// (or a large base) therefore waits "forever-ish" rather than
+    /// panicking in debug builds or silently wrapping in release.
+    #[must_use]
+    pub fn backoff_after(&self, attempt: u32) -> Cycles {
+        if self.backoff_base == 0 {
+            return 0;
+        }
+        let shift = attempt.saturating_sub(1);
+        self.backoff_base
+            .checked_shl(shift)
+            .filter(|b| b >> shift == self.backoff_base)
+            .unwrap_or(Cycles::MAX)
+    }
+}
+
 impl Default for RecoveryPolicy {
     fn default() -> RecoveryPolicy {
         RecoveryPolicy {
@@ -193,8 +212,14 @@ pub enum Resolution {
     /// post-run audit.
     Denied,
     /// The engine kept hanging; the driver gave up on it and quarantined
-    /// the functional unit.
+    /// the functional unit for good (no adaptive controller to parole it).
     Quarantined,
+    /// The engine was quarantined, but an adaptive controller is running
+    /// and probationary release remains possible. Only the adaptive
+    /// campaign ([`crate::adapt`]) produces this; with the controller off,
+    /// quarantine is permanent and reports keep the plain `Quarantined`
+    /// label, so `capcheri.fault_campaign.v1` bytes are unchanged.
+    QuarantinedProbation,
     /// No healthy functional unit remained to run the task at all.
     Starved,
 }
@@ -208,6 +233,7 @@ impl Resolution {
             Resolution::RetriedCompleted => "retried-completed",
             Resolution::Denied => "denied",
             Resolution::Quarantined => "quarantined",
+            Resolution::QuarantinedProbation => "quarantined-probation",
             Resolution::Starved => "starved",
         }
     }
@@ -254,6 +280,10 @@ pub struct CampaignConfig {
     pub fus: usize,
     /// Size of each of a task's two buffers.
     pub buffer_bytes: u64,
+    /// Protection on the accelerator path. Defaults to the cache-backed
+    /// CapChecker (so the degradation path is reachable); the adaptive
+    /// A/B comparison runs static alternatives through the same harness.
+    pub protection: ProtectionChoice,
 }
 
 impl Default for CampaignConfig {
@@ -265,6 +295,7 @@ impl Default for CampaignConfig {
             policy: RecoveryPolicy::default(),
             fus: 4,
             buffer_bytes: 256,
+            protection: ProtectionChoice::CachedCapChecker(CachedCheckerConfig::default()),
         }
     }
 }
@@ -327,6 +358,16 @@ impl CampaignReport {
         w.begin_object();
         w.key("schema");
         w.string("capcheri.fault_campaign.v1");
+        self.write_fields(&mut w);
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes the report's body keys (everything but `schema`) into an
+    /// open JSON object — shared between `capcheri.fault_campaign.v1`
+    /// and the embedded `campaign` object of `capcheri.adapt.v1`, so the
+    /// two serializations cannot drift.
+    pub(crate) fn write_fields(&self, w: &mut JsonWriter) {
         w.key("seed");
         w.u64(self.seed);
         w.key("spec");
@@ -393,15 +434,13 @@ impl CampaignReport {
         w.u64(self.corruption_detected);
         w.key("events");
         w.u64(self.events);
-        w.end_object();
-        w.finish()
     }
 }
 
 /// The campaign workload: a small streaming kernel over the task's two
 /// buffers — enough memory operations that every injection window index
 /// lands on real traffic.
-fn synthetic_kernel(eng: &mut dyn Engine) -> Result<(), ExecFault> {
+pub(crate) fn synthetic_kernel(eng: &mut dyn Engine) -> Result<(), ExecFault> {
     for i in 0..16 {
         let x = eng.load_u32(0, i)?;
         eng.store_u32(1, i, x.wrapping_add(1))?;
@@ -414,7 +453,7 @@ fn synthetic_kernel(eng: &mut dyn Engine) -> Result<(), ExecFault> {
 /// capability tags and clears them. An accelerator cannot legitimately
 /// mint capabilities into its buffers, so any tag found there is forged
 /// (or a fault) and must not survive into the next tenant.
-fn audit_task_tags(sys: &mut HeteroSystem, task: TaskId) -> Result<u64, DriverError> {
+pub(crate) fn audit_task_tags(sys: &mut HeteroSystem, task: TaskId) -> Result<u64, DriverError> {
     let layout = sys.cpu_layout(task)?;
     let mut cleared = 0u64;
     for buf in &layout.buffers {
@@ -434,8 +473,9 @@ fn audit_task_tags(sys: &mut HeteroSystem, task: TaskId) -> Result<u64, DriverEr
 
 /// Runs a seeded fault campaign and returns its deterministic report.
 ///
-/// The system under test is a CHERI CPU with the cache-backed CapChecker
-/// (so the degradation path is reachable) and `config.fus` engines. Every
+/// The system under test is a CHERI CPU with `config.protection` on the
+/// accelerator path (default: the cache-backed CapChecker, so the
+/// degradation path is reachable) and `config.fus` engines. Every
 /// task draws one injection decision, runs the synthetic kernel under
 /// `kernel → FaultyEngine → WatchdogEngine → ProtectedEngine`, and is
 /// driven to exactly one [`Resolution`] by the retry loop.
@@ -455,7 +495,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, DriverErr
     // run at the default physical memory size — sweep cost no longer
     // scales with it.
     let mut sys = HeteroSystem::new(SystemConfig {
-        protection: ProtectionChoice::CachedCapChecker(CachedCheckerConfig::default()),
+        protection: config.protection,
         ..SystemConfig::default()
     });
     sys.add_fus("accel", config.fus);
@@ -600,7 +640,7 @@ pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, DriverErr
             if schedule_retry {
                 sys.clear_protection_exception();
                 sys.clear_task_fault(task)?;
-                let backoff = policy.backoff_base << (attempts - 1);
+                let backoff = policy.backoff_after(attempts);
                 sys.advance_clock(backoff);
                 sys.record(EventKind::TaskRetry {
                     task: task.0,
@@ -738,6 +778,77 @@ mod tests {
         wd.compute(u64::MAX); // the hang spin
         assert!(wd.tripped());
         assert!(matches!(wd.load(0, 0, 1), Err(ExecFault::Hung { .. })));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let policy = RecoveryPolicy::default();
+        // The documented schedule for the default policy is unchanged.
+        assert_eq!(policy.backoff_after(1), 64);
+        assert_eq!(policy.backoff_after(2), 128);
+        assert_eq!(policy.backoff_after(3), 256);
+        // Shifts that would overflow saturate to Cycles::MAX...
+        assert_eq!(policy.backoff_after(64), Cycles::MAX);
+        assert_eq!(policy.backoff_after(65), Cycles::MAX);
+        assert_eq!(policy.backoff_after(u32::MAX), Cycles::MAX);
+        // ...including lost-top-bit overflow below the shift-width limit.
+        let wide = RecoveryPolicy {
+            backoff_base: 1 << 62,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(wide.backoff_after(2), 1 << 63);
+        assert_eq!(wide.backoff_after(3), Cycles::MAX);
+        // A zero base never waits, no matter the attempt count.
+        let zero = RecoveryPolicy {
+            backoff_base: 0,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(zero.backoff_after(100), 0);
+    }
+
+    #[test]
+    fn huge_max_attempts_campaign_does_not_panic() {
+        // Regression: with max_attempts ≥ 64 the old `base << (n-1)`
+        // overflowed the shift on persistently-failing tasks. The
+        // garbled-dma fault persists across retries, so every attempt
+        // fails and the backoff schedule is walked all the way out.
+        let r = run_campaign(&CampaignConfig {
+            tasks: 2,
+            seed: 7,
+            spec: FaultSpec::from_str("garbled-dma:1").unwrap(),
+            policy: RecoveryPolicy {
+                max_attempts: 70,
+                ..RecoveryPolicy::default()
+            },
+            ..CampaignConfig::default()
+        })
+        .unwrap();
+        for t in &r.records {
+            assert_eq!(t.resolution, Resolution::Denied);
+            assert_eq!(t.attempts, 70);
+        }
+        // The driver clock saturated rather than wrapping.
+        assert_eq!(r.driver_cycles, Cycles::MAX);
+    }
+
+    #[test]
+    fn probation_label_is_distinct_and_absent_without_controller() {
+        assert_eq!(
+            Resolution::QuarantinedProbation.label(),
+            "quarantined-probation"
+        );
+        assert_ne!(
+            Resolution::QuarantinedProbation.label(),
+            Resolution::Quarantined.label()
+        );
+        // The plain campaign (controller off) never produces it, keeping
+        // capcheri.fault_campaign.v1 bytes unchanged.
+        let r = campaign("engine-hang:1", 6, 7);
+        assert!(r
+            .records
+            .iter()
+            .all(|t| t.resolution != Resolution::QuarantinedProbation));
+        assert!(!r.to_json().contains("quarantined-probation"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!   exception was raised, release the FU, and report the exception.
 
 use crate::alloc::{AllocError, HeapAllocator};
-use crate::cached::CachedCapChecker;
+use crate::cached::{CachedCapChecker, CachedCheckerConfig};
 use crate::checker::CapChecker;
 use crate::config::{CheckerConfig, CheckerMode};
 use crate::elide::StaticVerdictMap;
@@ -815,7 +815,7 @@ impl HeteroSystem {
                     Protection::Cached(c) => c.grant(id, ObjectId(i as u16), cap),
                     Protection::Baseline(b) => b.grant(id, ObjectId(i as u16), cap),
                 };
-                clock += install_cost + self.config.mmio_write_cycles;
+                clock = clock.saturating_add(install_cost + self.config.mmio_write_cycles);
                 if let Some(t) = tracer.as_mut() {
                     t.record(
                         clock,
@@ -847,7 +847,7 @@ impl HeteroSystem {
             // Control registers: one pointer per buffer plus start/config.
             setup_cycles += (caps.len() as Cycles + 2) * self.config.mmio_write_cycles;
         }
-        self.driver_clock += setup_cycles;
+        self.driver_clock = self.driver_clock.saturating_add(setup_cycles);
 
         // Load the accelerator's base pointers into its control registers.
         if let Some(fu_idx) = fu {
@@ -1134,7 +1134,9 @@ impl HeteroSystem {
         self.protection.as_dyn().revoke_task(task);
         let evicted = entries_before.saturating_sub(self.protection.as_dyn_ref().entries_in_use());
         // The EVICT_TASK register write is one MMIO transaction.
-        self.driver_clock += self.config.mmio_write_cycles;
+        self.driver_clock = self
+            .driver_clock
+            .saturating_add(self.config.mmio_write_cycles);
         if evicted > 0 {
             self.record(EventKind::CheckerEvict {
                 task: task.0,
@@ -1270,7 +1272,9 @@ impl HeteroSystem {
                 Protection::Checker(c) => c.config().install_cycles(),
                 Protection::Cached(_) | Protection::Baseline(_) => 0,
             };
-            self.driver_clock += install_cost + self.config.mmio_write_cycles;
+            self.driver_clock = self
+                .driver_clock
+                .saturating_add(install_cost + self.config.mmio_write_cycles);
             self.record(EventKind::MmioCapInstall {
                 task: task.0,
                 object: obj as u16,
@@ -1354,8 +1358,10 @@ impl HeteroSystem {
 
     /// Advances the driver's setup-cycle clock — retry backoff is modelled
     /// as driver time spent waiting, so campaign reports account for it.
+    /// Saturating: a policy whose backoff has saturated to [`Cycles::MAX`]
+    /// pins the clock there instead of wrapping.
     pub fn advance_clock(&mut self, cycles: Cycles) {
-        self.driver_clock += cycles;
+        self.driver_clock = self.driver_clock.saturating_add(cycles);
     }
 
     /// Clears the protection mechanism's global exception flag (the
@@ -1440,7 +1446,7 @@ impl HeteroSystem {
                 continue;
             }
             for (i, cap) in st.device_caps.iter().enumerate() {
-                self.driver_clock += install;
+                self.driver_clock = self.driver_clock.saturating_add(install);
                 if install_over_mmio(&mut checker, id, ObjectId(i as u16), cap).is_ok() {
                     regranted += 1;
                 }
@@ -1452,6 +1458,143 @@ impl HeteroSystem {
             regranted,
         });
         Some((detections, regranted))
+    }
+
+    /// Probationary release: returns a quarantined functional unit to the
+    /// scheduler. The adaptive controller calls this after a clean
+    /// probation window; the FU's fault history restarts from zero, so a
+    /// re-quarantine needs a fresh run of aborts.
+    ///
+    /// Returns `false` when `fu` is out of range or not quarantined.
+    pub fn release_fu(&mut self, fu: usize) -> bool {
+        if fu >= self.fus.len() || !self.fus[fu].quarantined {
+            return false;
+        }
+        self.fus[fu].quarantined = false;
+        self.record(EventKind::EngineReleased { fu: fu as u32 });
+        true
+    }
+
+    /// The provenance mode of the active CapChecker (plain or cached);
+    /// `None` on baseline systems, which have no mode to adapt.
+    #[must_use]
+    pub fn checker_mode(&self) -> Option<CheckerMode> {
+        match &self.protection {
+            Protection::Checker(c) => Some(c.mode()),
+            Protection::Cached(c) => Some(c.config().base.mode),
+            Protection::Baseline(_) => None,
+        }
+    }
+
+    /// Reverses [`HeteroSystem::degrade_to_uncached`]: swaps the
+    /// fixed-table CapChecker back for the cache-backed variant after the
+    /// adaptive controller's clean probation window. Every live task's
+    /// device capabilities are re-granted into the fresh backing table
+    /// (one MMIO write each — cached grants skip the install sequence).
+    /// Checker statistics, attribution, and any installed static-verdict
+    /// map do not survive the swap; the controller re-baselines its
+    /// signal deltas after calling this.
+    ///
+    /// Returns the number of capabilities re-granted, or `None` when the
+    /// active protection is not the fixed-table checker.
+    pub fn repromote_to_cached(&mut self, config: CachedCheckerConfig) -> Option<u64> {
+        if !matches!(self.protection, Protection::Checker(_)) {
+            return None;
+        }
+        let mut cached = CachedCapChecker::new(config);
+        let mut regranted = 0u64;
+        for (&id, st) in &self.tasks {
+            if st.fu.is_none() {
+                continue;
+            }
+            for (i, cap) in st.device_caps.iter().enumerate() {
+                self.driver_clock = self
+                    .driver_clock
+                    .saturating_add(self.config.mmio_write_cycles);
+                if cached.grant(id, ObjectId(i as u16), cap).is_ok() {
+                    regranted += 1;
+                }
+            }
+        }
+        self.protection = Protection::Cached(cached);
+        self.record(EventKind::CheckerRepromoted { regranted });
+        Some(regranted)
+    }
+
+    /// Switches the active CapChecker (plain or cached) between Fine and
+    /// Coarse provenance, rebuilding the checker in the new mode,
+    /// re-granting every live task's device capabilities, and reloading
+    /// each FU's base-pointer registers (object-tagged in Coarse mode).
+    /// As with degradation, statistics, attribution, and static verdicts
+    /// are dropped by the rebuild.
+    ///
+    /// Returns the number of capabilities re-granted; `None` on baseline
+    /// systems or when the checker already runs in `mode` (no-op).
+    pub fn set_checker_mode(&mut self, mode: CheckerMode) -> Option<u64> {
+        let current = self.checker_mode()?;
+        if current == mode {
+            return None;
+        }
+        let mut regranted = 0u64;
+        match &self.protection {
+            Protection::Checker(c) => {
+                let mut cfg = *c.config();
+                cfg.mode = mode;
+                let mut checker = CapChecker::new(cfg);
+                let install = cfg.install_cycles() + self.config.mmio_write_cycles;
+                for (&id, st) in &self.tasks {
+                    if st.fu.is_none() {
+                        continue;
+                    }
+                    for (i, cap) in st.device_caps.iter().enumerate() {
+                        self.driver_clock = self.driver_clock.saturating_add(install);
+                        if install_over_mmio(&mut checker, id, ObjectId(i as u16), cap).is_ok() {
+                            regranted += 1;
+                        }
+                    }
+                }
+                self.protection = Protection::Checker(checker);
+            }
+            Protection::Cached(c) => {
+                let cfg = c.config().with_mode(mode);
+                let mut cached = CachedCapChecker::new(cfg);
+                for (&id, st) in &self.tasks {
+                    if st.fu.is_none() {
+                        continue;
+                    }
+                    for (i, cap) in st.device_caps.iter().enumerate() {
+                        self.driver_clock = self
+                            .driver_clock
+                            .saturating_add(self.config.mmio_write_cycles);
+                        if cached.grant(id, ObjectId(i as u16), cap).is_ok() {
+                            regranted += 1;
+                        }
+                    }
+                }
+                self.protection = Protection::Cached(cached);
+            }
+            Protection::Baseline(_) => unreachable!("checker_mode() returned Some"),
+        }
+        // Reload every live FU's base pointers for the new address view.
+        let coarse = self.coarse_config();
+        for st in self.tasks.values() {
+            let Some(fu_idx) = st.fu else { continue };
+            for (i, &(base, _)) in st.buffers.iter().enumerate() {
+                let visible = match coarse {
+                    Some(cfg) => cfg.coarse_tag_address(i as u16, base),
+                    None => base,
+                };
+                self.fus[fu_idx].regs.set(i, visible);
+                self.driver_clock = self
+                    .driver_clock
+                    .saturating_add(self.config.mmio_write_cycles);
+            }
+        }
+        self.record(EventKind::CheckerModeSwitched {
+            coarse: mode == CheckerMode::Coarse,
+            regranted,
+        });
+        Some(regranted)
     }
 }
 
@@ -1690,6 +1833,96 @@ mod tests {
             .run_accel_task(t, |eng| eng.load_u32(0, 4096).map(|_| ()))
             .unwrap();
         assert!(!out.completed());
+    }
+
+    #[test]
+    fn repromote_reverses_degradation_and_keeps_protection() {
+        let mut sys = HeteroSystem::new(SystemConfig {
+            protection: ProtectionChoice::CachedCapChecker(Default::default()),
+            ..SystemConfig::default()
+        });
+        sys.add_fus("k", 1);
+        let t = sys
+            .allocate_task(&TaskRequest::accel("k0", "k").rw_buffers([256, 256]))
+            .unwrap();
+        let cfg = *sys.cached_checker().unwrap().config();
+        sys.degrade_to_uncached().unwrap();
+        assert!(sys.checker().is_some());
+        assert!(
+            sys.repromote_to_cached(cfg).is_some(),
+            "repromotion from the fixed-table checker succeeds"
+        );
+        assert!(sys.cached_checker().is_some(), "cached variant is back");
+        assert!(
+            sys.repromote_to_cached(cfg).is_none(),
+            "already cached: no-op"
+        );
+        // The re-granted capabilities still protect the task.
+        let out = sys
+            .run_accel_task(t, |eng| {
+                eng.store_u32(0, 0, 7)?;
+                eng.load_u32(0, 0).map(|_| ())
+            })
+            .unwrap();
+        assert!(out.completed());
+        let out = sys
+            .run_accel_task(t, |eng| eng.load_u32(0, 4096).map(|_| ()))
+            .unwrap();
+        assert!(!out.completed(), "overflow still caught after repromotion");
+    }
+
+    #[test]
+    fn released_fu_is_schedulable_again() {
+        let mut sys = fine_system();
+        let a = sys.allocate_task(&two_buffer_request()).unwrap();
+        let fu_a = sys.task_fu(a).unwrap().unwrap();
+        sys.deallocate_task(a).unwrap();
+        assert!(sys.quarantine_fu(fu_a, 3));
+        assert_eq!(sys.quarantined_fus(), 1);
+        assert!(!sys.release_fu(99), "out of range is reported");
+        assert!(sys.release_fu(fu_a));
+        assert!(!sys.release_fu(fu_a), "already released: no-op");
+        assert_eq!(sys.quarantined_fus(), 0);
+        // Both FUs are available again.
+        let _b = sys.allocate_task(&two_buffer_request()).unwrap();
+        let _c = sys.allocate_task(&two_buffer_request()).unwrap();
+    }
+
+    #[test]
+    fn mode_switch_retags_live_tasks() {
+        let mut sys = fine_system();
+        assert_eq!(sys.checker_mode(), Some(CheckerMode::Fine));
+        let t = sys.allocate_task(&two_buffer_request()).unwrap();
+        assert!(sys.set_checker_mode(CheckerMode::Fine).is_none(), "no-op");
+        let regranted = sys.set_checker_mode(CheckerMode::Coarse).unwrap();
+        assert_eq!(regranted, 2);
+        assert_eq!(sys.checker_mode(), Some(CheckerMode::Coarse));
+        // The accelerator's view now carries object tags, and the kernel
+        // still runs (and is still bounds-checked).
+        let layout = sys.accel_layout(t).unwrap();
+        assert_eq!(layout.buffers[1].base >> 56, 1);
+        let out = sys
+            .run_accel_task(t, |eng| {
+                eng.store_u32(1, 3, 9)?;
+                assert_eq!(eng.load_u32(1, 3)?, 9);
+                Ok(())
+            })
+            .unwrap();
+        assert!(out.completed());
+        // And back to Fine.
+        let regranted = sys.set_checker_mode(CheckerMode::Fine).unwrap();
+        assert_eq!(regranted, 2);
+        let out = sys
+            .run_accel_task(t, |eng| eng.load_u32(0, 4096).map(|_| ()))
+            .unwrap();
+        assert!(!out.completed(), "fine mode still denies overflow");
+        // Baselines have no mode.
+        let mut base = HeteroSystem::new(SystemConfig {
+            protection: ProtectionChoice::None,
+            ..SystemConfig::default()
+        });
+        assert!(base.checker_mode().is_none());
+        assert!(base.set_checker_mode(CheckerMode::Coarse).is_none());
     }
 
     #[test]

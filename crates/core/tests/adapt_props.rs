@@ -1,0 +1,214 @@
+//! Property-based tests for the adaptive policy controller.
+//!
+//! The unit tests in `adapt.rs` pin specific lattice walks; these
+//! properties sweep arbitrary configurations and signal streams and
+//! assert the invariants that must hold *everywhere*:
+//!
+//! 1. **No oscillation** — on any constant input stream the mode flips at
+//!    most once, whatever the thresholds, dwell, or stream length (the
+//!    hysteresis-gap guarantee).
+//! 2. **Lattice monotonicity** — the cache only moves along
+//!    `Cached → Probation → {Cached, LatchedDegraded}` edges, a latch is
+//!    absorbing, and it closes only after `cache_fail_latch` degradations.
+//! 3. **Bounded parole** — no functional unit is released more than
+//!    `fu_release_budget` times, and a latched FU is never released again.
+//! 4. **Determinism** — identical signal streams produce identical
+//!    decision traces.
+
+use capchecker::{
+    AdaptAction, AdaptConfig, AdaptController, CacheHealth, CheckerMode, EpochSignals,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A valid controller config: the hysteresis gap is strictly positive.
+fn config(down: u64, gap: u64, dwell: u32, probation: u32, latch: u32, budget: u32) -> AdaptConfig {
+    AdaptConfig {
+        stall_down_pct: down,
+        stall_up_pct: down + gap.max(1),
+        min_dwell_epochs: dwell,
+        probation_epochs: probation.max(1),
+        cache_fail_latch: latch.max(1),
+        fu_release_budget: budget,
+        ..AdaptConfig::default()
+    }
+}
+
+fn mode_flips(controller: &AdaptController) -> usize {
+    controller
+        .trace()
+        .iter()
+        .filter(|d| matches!(d.action, AdaptAction::SwitchMode { .. }))
+        .count()
+}
+
+proptest! {
+    /// Any constant signal stream settles after at most one mode flip —
+    /// the strict `up > down` gap means the share that justified a switch
+    /// can never justify the reverse switch.
+    #[test]
+    fn constant_input_flips_the_mode_at_most_once(
+        down in 0u64..60,
+        gap in 1u64..40,
+        dwell in 0u32..5,
+        checks in 0u64..5_000,
+        stall in 0u64..5_000,
+        epochs in 1usize..48,
+        start_coarse in any::<bool>(),
+    ) {
+        let initial = if start_coarse {
+            CheckerMode::Coarse
+        } else {
+            CheckerMode::Fine
+        };
+        let mut c = AdaptController::new(config(down, gap, dwell, 1, 1, 0), initial, false);
+        let signals = EpochSignals {
+            checks,
+            stall_cycles: stall,
+            ..EpochSignals::default()
+        };
+        for _ in 0..epochs {
+            c.observe(&signals);
+        }
+        prop_assert!(
+            mode_flips(&c) <= 1,
+            "mode oscillated on constant input: {:?}",
+            c.trace()
+        );
+    }
+
+    /// The cache lattice only walks legal edges, the latch is absorbing,
+    /// and it closes only after `cache_fail_latch` degradations.
+    #[test]
+    fn cache_lattice_edges_are_legal(
+        corruption in prop::collection::vec(0u64..3, 1..40),
+        probation in 1u32..4,
+        latch in 1u32..4,
+    ) {
+        let cfg = config(10, 20, 0, probation, latch, 0);
+        let mut c = AdaptController::new(cfg, CheckerMode::Fine, true);
+        let mut prev = c.cache_health();
+        for &corr in &corruption {
+            c.observe(&EpochSignals {
+                corruption: corr,
+                ..EpochSignals::default()
+            });
+            let next = c.cache_health();
+            let legal = match (prev, next) {
+                // Self-loops are always fine (probation counters may move).
+                (CacheHealth::Cached { .. }, CacheHealth::Cached { .. })
+                | (CacheHealth::Probation { .. }, CacheHealth::Probation { .. })
+                | (CacheHealth::LatchedDegraded, CacheHealth::LatchedDegraded)
+                // The legal transitions.
+                | (CacheHealth::Cached { .. }, CacheHealth::Probation { .. })
+                | (CacheHealth::Probation { .. }, CacheHealth::Cached { .. })
+                | (CacheHealth::Probation { .. }, CacheHealth::LatchedDegraded) => true,
+                _ => false,
+            };
+            prop_assert!(legal, "illegal cache edge {prev:?} -> {next:?}");
+            prev = next;
+        }
+        let degrades = c
+            .trace()
+            .iter()
+            .filter(|d| matches!(d.action, AdaptAction::DegradeCache))
+            .count();
+        let repromotes = c
+            .trace()
+            .iter()
+            .filter(|d| matches!(d.action, AdaptAction::RepromoteCache))
+            .count();
+        prop_assert!(repromotes <= degrades, "re-promoted more than degraded");
+        if let Some(at) = c
+            .trace()
+            .iter()
+            .position(|d| matches!(d.action, AdaptAction::LatchCache { .. }))
+        {
+            prop_assert!(
+                degrades >= latch as usize,
+                "latched after only {degrades} degradations (budget {latch})"
+            );
+            prop_assert!(
+                !c.trace()[at..]
+                    .iter()
+                    .any(|d| matches!(d.action, AdaptAction::RepromoteCache)),
+                "re-promoted after the latch closed"
+            );
+        }
+    }
+
+    /// No functional unit is ever released past its budget, and a latched
+    /// FU never comes back.
+    #[test]
+    fn fu_parole_respects_its_budget(
+        pattern in prop::collection::vec(prop::collection::vec(0u32..4, 0..4), 1..40),
+        probation in 1u32..3,
+        budget in 0u32..3,
+    ) {
+        let cfg = config(10, 20, 0, probation, 1, budget);
+        let mut c = AdaptController::new(cfg, CheckerMode::Fine, false);
+        for quarantined in &pattern {
+            c.observe(&EpochSignals {
+                quarantined_fus: quarantined.clone(),
+                ..EpochSignals::default()
+            });
+        }
+        let mut releases: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut latched_at: BTreeMap<u32, usize> = BTreeMap::new();
+        for (i, d) in c.trace().iter().enumerate() {
+            match d.action {
+                AdaptAction::ReleaseFu { fu } => {
+                    *releases.entry(fu).or_default() += 1;
+                    prop_assert!(
+                        !latched_at.contains_key(&fu),
+                        "fu {fu} released after it was latched"
+                    );
+                }
+                AdaptAction::LatchFu { fu, .. } => {
+                    prop_assert!(
+                        latched_at.insert(fu, i).is_none(),
+                        "fu {fu} latched twice"
+                    );
+                }
+                _ => {}
+            }
+        }
+        for (fu, n) in &releases {
+            prop_assert!(
+                *n <= budget,
+                "fu {fu} released {n} times with budget {budget}"
+            );
+        }
+        prop_assert_eq!(c.released_fus(), releases.values().map(|n| u64::from(*n)).sum::<u64>());
+        prop_assert_eq!(c.latched_fus(), latched_at.len() as u64);
+    }
+
+    /// Identical signal streams produce identical traces — the controller
+    /// is a pure function of its inputs.
+    #[test]
+    fn identical_streams_identical_traces(
+        stream in prop::collection::vec(
+            (0u64..2_000, 0u64..2_000, 0u64..2, prop::collection::vec(0u32..4, 0..3)),
+            1..24,
+        ),
+        down in 0u64..40,
+        gap in 1u64..30,
+    ) {
+        let cfg = config(down, gap, 1, 1, 2, 1);
+        let mut a = AdaptController::new(cfg, CheckerMode::Fine, true);
+        let mut b = AdaptController::new(cfg, CheckerMode::Fine, true);
+        for (checks, stall, corr, fus) in &stream {
+            let signals = EpochSignals {
+                checks: *checks,
+                stall_cycles: *stall,
+                corruption: *corr,
+                quarantined_fus: fus.clone(),
+                ..EpochSignals::default()
+            };
+            prop_assert_eq!(a.observe(&signals), b.observe(&signals));
+        }
+        prop_assert_eq!(a.trace(), b.trace());
+        prop_assert_eq!(a.mode(), b.mode());
+        prop_assert_eq!(a.cache_health(), b.cache_health());
+    }
+}

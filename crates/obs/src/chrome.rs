@@ -203,6 +203,42 @@ fn write_event(w: &mut JsonWriter, event: &Event) {
                     w.key("count");
                     w.u64(count);
                 }
+                EventKind::AdaptDecision { epoch, rule } => {
+                    w.key("epoch");
+                    w.u64(u64::from(epoch));
+                    w.key("rule");
+                    w.string(rule.label());
+                }
+                EventKind::ProbationStarted { epoch, window } => {
+                    w.key("epoch");
+                    w.u64(u64::from(epoch));
+                    w.key("window");
+                    w.u64(u64::from(window));
+                }
+                EventKind::ProbationPassed { epoch } => {
+                    w.key("epoch");
+                    w.u64(u64::from(epoch));
+                }
+                EventKind::ProbationFailed { epoch, failures } => {
+                    w.key("epoch");
+                    w.u64(u64::from(epoch));
+                    w.key("failures");
+                    w.u64(u64::from(failures));
+                }
+                EventKind::EngineReleased { fu } => {
+                    w.key("fu");
+                    w.u64(u64::from(fu));
+                }
+                EventKind::CheckerRepromoted { regranted } => {
+                    w.key("regranted");
+                    w.u64(regranted);
+                }
+                EventKind::CheckerModeSwitched { coarse, regranted } => {
+                    w.key("coarse");
+                    w.bool(coarse);
+                    w.key("regranted");
+                    w.u64(regranted);
+                }
             }
             w.end_object();
         }

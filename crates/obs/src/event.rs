@@ -95,6 +95,68 @@ impl fmt::Display for FaultKind {
     }
 }
 
+/// The adaptive controller's rule taxonomy: which policy rule fired to
+/// produce an [`EventKind::AdaptDecision`].
+///
+/// Lives here — like [`FaultKind`] — because the controller (`capchecker`),
+/// the reports (`capcheri-bench`), and the threat harness all name the
+/// same rules and the taxonomy must be shared without a dependency cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AdaptRule {
+    /// Check-stall share crossed the up threshold: switch Fine → Coarse.
+    StallUp,
+    /// Check-stall share fell below the down threshold: switch back.
+    StallDown,
+    /// Corruption signal crossed the threshold: degrade the cached
+    /// checker to the fixed-table design and start probation.
+    CacheDegrade,
+    /// A clean probation window elapsed: re-promote to the cached design.
+    CacheRepromote,
+    /// The cache flapped past its failure budget: degraded for good.
+    CacheLatch,
+    /// A quarantined FU's probation window elapsed: release it.
+    FuRelease,
+    /// A released FU faulted again: back to quarantine.
+    FuRequarantine,
+    /// An FU exhausted its re-quarantine budget: quarantined for good.
+    FuLatch,
+}
+
+impl AdaptRule {
+    /// Every rule, in the stable order reports use.
+    pub const ALL: [AdaptRule; 8] = [
+        AdaptRule::StallUp,
+        AdaptRule::StallDown,
+        AdaptRule::CacheDegrade,
+        AdaptRule::CacheRepromote,
+        AdaptRule::CacheLatch,
+        AdaptRule::FuRelease,
+        AdaptRule::FuRequarantine,
+        AdaptRule::FuLatch,
+    ];
+
+    /// Stable kebab-case label used in decision traces and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            AdaptRule::StallUp => "stall-up",
+            AdaptRule::StallDown => "stall-down",
+            AdaptRule::CacheDegrade => "cache-degrade",
+            AdaptRule::CacheRepromote => "cache-repromote",
+            AdaptRule::CacheLatch => "cache-latch",
+            AdaptRule::FuRelease => "fu-release",
+            AdaptRule::FuRequarantine => "fu-requarantine",
+            AdaptRule::FuLatch => "fu-latch",
+        }
+    }
+}
+
+impl fmt::Display for AdaptRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What happened. Each variant carries only plain integers so events are
 /// `Copy` and recording costs one `Vec` push.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -259,6 +321,55 @@ pub enum EventKind {
         /// Checks skipped so far on the active mechanism.
         count: u64,
     },
+    /// The adaptive controller issued one policy decision at an epoch
+    /// boundary.
+    AdaptDecision {
+        /// Epoch the decision was taken in.
+        epoch: u32,
+        /// The rule that fired.
+        rule: AdaptRule,
+    },
+    /// A degraded checker or quarantined FU entered its probation window.
+    ProbationStarted {
+        /// Epoch probation began in.
+        epoch: u32,
+        /// Clean epochs required before release/re-promotion.
+        window: u32,
+    },
+    /// A probation window elapsed cleanly.
+    ProbationPassed {
+        /// Epoch the window closed in.
+        epoch: u32,
+    },
+    /// A probation subject faulted again before its window elapsed.
+    ProbationFailed {
+        /// Epoch of the recurrence.
+        epoch: u32,
+        /// Times this subject has now failed.
+        failures: u32,
+    },
+    /// The driver released a quarantined FU back into the pool on
+    /// probation (the adaptive controller's reversal of
+    /// [`EventKind::EngineQuarantined`]).
+    EngineReleased {
+        /// Released FU index.
+        fu: u32,
+    },
+    /// The driver re-promoted a degraded checker back to the cached
+    /// design after a clean probation window (the reversal of
+    /// [`EventKind::CheckerDegraded`]).
+    CheckerRepromoted {
+        /// Capabilities re-granted into the fresh cached checker.
+        regranted: u64,
+    },
+    /// The driver switched the active checker's provenance mode at a
+    /// task boundary, re-granting live capabilities.
+    CheckerModeSwitched {
+        /// `true` when the new mode is Coarse.
+        coarse: bool,
+        /// Capabilities re-granted into the rebuilt checker.
+        regranted: u64,
+    },
 }
 
 impl EventKind {
@@ -289,6 +400,13 @@ impl EventKind {
             EventKind::AnalysisComplete { .. } => "analysis_complete",
             EventKind::StaticVerdictsInstalled { .. } => "static_verdicts_installed",
             EventKind::ChecksElided { .. } => "checks_elided",
+            EventKind::AdaptDecision { .. } => "adapt_decision",
+            EventKind::ProbationStarted { .. } => "probation_started",
+            EventKind::ProbationPassed { .. } => "probation_passed",
+            EventKind::ProbationFailed { .. } => "probation_failed",
+            EventKind::EngineReleased { .. } => "engine_released",
+            EventKind::CheckerRepromoted { .. } => "checker_repromoted",
+            EventKind::CheckerModeSwitched { .. } => "checker_mode_switched",
         }
     }
 
@@ -317,6 +435,13 @@ impl EventKind {
             EventKind::AnalysisComplete { .. }
             | EventKind::StaticVerdictsInstalled { .. }
             | EventKind::ChecksElided { .. } => "analysis",
+            EventKind::AdaptDecision { .. }
+            | EventKind::ProbationStarted { .. }
+            | EventKind::ProbationPassed { .. }
+            | EventKind::ProbationFailed { .. } => "adapt",
+            EventKind::EngineReleased { .. }
+            | EventKind::CheckerRepromoted { .. }
+            | EventKind::CheckerModeSwitched { .. } => "recovery",
         }
     }
 }
@@ -394,6 +519,53 @@ mod tests {
         let elided = EventKind::ChecksElided { task: 1, count: 64 };
         assert_eq!(elided.name(), "checks_elided");
         assert_eq!(elided.track(), "analysis");
+        let decision = EventKind::AdaptDecision {
+            epoch: 4,
+            rule: AdaptRule::StallUp,
+        };
+        assert_eq!(decision.name(), "adapt_decision");
+        assert_eq!(decision.track(), "adapt");
+        assert_eq!(
+            EventKind::ProbationStarted {
+                epoch: 1,
+                window: 2
+            }
+            .track(),
+            "adapt"
+        );
+        assert_eq!(
+            EventKind::ProbationPassed { epoch: 3 }.name(),
+            "probation_passed"
+        );
+        assert_eq!(
+            EventKind::ProbationFailed {
+                epoch: 3,
+                failures: 2
+            }
+            .name(),
+            "probation_failed"
+        );
+        assert_eq!(EventKind::EngineReleased { fu: 1 }.track(), "recovery");
+        assert_eq!(
+            EventKind::CheckerRepromoted { regranted: 2 }.name(),
+            "checker_repromoted"
+        );
+        let switched = EventKind::CheckerModeSwitched {
+            coarse: true,
+            regranted: 4,
+        };
+        assert_eq!(switched.name(), "checker_mode_switched");
+        assert_eq!(switched.track(), "recovery");
+    }
+
+    #[test]
+    fn adapt_rule_labels_are_stable_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for rule in AdaptRule::ALL {
+            assert!(seen.insert(rule.label()), "duplicate label {rule}");
+        }
+        assert_eq!(AdaptRule::StallUp.to_string(), "stall-up");
+        assert_eq!(AdaptRule::FuRequarantine.label(), "fu-requarantine");
     }
 
     #[test]

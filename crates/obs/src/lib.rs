@@ -55,7 +55,7 @@ pub mod report;
 pub mod stats;
 mod tracer;
 
-pub use event::{Event, EventKind, FaultKind, Phase};
+pub use event::{AdaptRule, Event, EventKind, FaultKind, Phase};
 pub use metrics::{HistogramSnapshot, MetricSource, Registry, Snapshot};
 pub use prof::{NullProfiler, ProfileSnapshot, Profiler, SpanProfiler, SpanSnapshot};
 pub use tracer::{NullTracer, SharedTracer, TraceBuffer, Tracer};
