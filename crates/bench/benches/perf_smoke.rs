@@ -88,6 +88,18 @@ fn measure() -> Vec<Metric> {
     let sweep_naive = ns("sweep/naive");
 
     let cells = Benchmark::ALL.len();
+    // One untimed warm-up pass, as the criterion groups above do for the
+    // sweeps: the first pass pays one-off page faults on the trace and
+    // event-wheel arenas (recycled thereafter), which is allocator noise,
+    // not simulator throughput.
+    for bench in Benchmark::ALL {
+        black_box(runner::run_benchmark(
+            bench,
+            SystemVariant::CheriCpuCheriAccel,
+            1,
+            0xC0DE,
+        ));
+    }
     let start = Instant::now();
     for bench in Benchmark::ALL {
         black_box(runner::run_benchmark(

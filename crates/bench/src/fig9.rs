@@ -52,7 +52,7 @@ fn run_mix(mix: &[Benchmark], variant: SystemVariant, seed: u64) -> Cycles {
             .expect("kernel runs");
         assert!(outcome.completed(), "benign {bench} denied");
         starts.push(sys.setup_cycles(id).expect("live task"));
-        traces.push(sys.trace(id).expect("live task").expect("ran").clone());
+        traces.push(sys.take_trace(id).expect("live task").expect("ran"));
     }
     let bus = if variant == SystemVariant::CheriCpuCheriAccel {
         BusConfig::default().with_checker(CHECKER_PIPELINE_LATENCY)

@@ -365,10 +365,9 @@ fn run_inner(
         );
         setups.push(sys.setup_cycles(id).expect("task is live"));
         traces.push(
-            sys.trace(id)
+            sys.take_trace(id)
                 .expect("task is live")
-                .expect("kernel ran")
-                .clone(),
+                .expect("kernel ran"),
         );
         ids.push(id);
     }

@@ -19,7 +19,7 @@
 
 use crate::attrib::CheckAttribution;
 use crate::config::{CheckerConfig, CheckerMode};
-use crate::elide::StaticVerdictMap;
+use crate::elide::{StaticVerdictMap, VerdictBitmap};
 use cheri::Capability;
 use hetsim::{Access, AccessKind, Cycles, Denial, DenyReason, ObjectId, TaskId};
 use ioprotect::{GrantError, Granularity, IoProtection, MechanismProperties};
@@ -133,6 +133,10 @@ pub struct CachedCapChecker {
     /// Fault-injection: bits to flip in the next inserted line's image.
     poison_next: Option<u128>,
     static_verdicts: Option<StaticVerdictMap>,
+    /// Invariant: always equals `VerdictBitmap::build` of `static_verdicts`
+    /// (empty when no map is installed) — the branch-free image the beat
+    /// path consults instead of walking the map.
+    verdict_bits: VerdictBitmap,
     attrib: Option<CheckAttribution>,
 }
 
@@ -149,6 +153,7 @@ impl CachedCapChecker {
             exceptions: Vec::new(),
             poison_next: None,
             static_verdicts: None,
+            verdict_bits: VerdictBitmap::new(),
             attrib: None,
         }
     }
@@ -172,12 +177,17 @@ impl CachedCapChecker {
     /// leave the LRU state untouched — the cache is reserved for the
     /// traffic that still needs judging.
     pub fn set_static_verdicts(&mut self, map: StaticVerdictMap) {
+        self.verdict_bits = VerdictBitmap::build(&map);
         self.static_verdicts = Some(map);
     }
 
-    /// Removes the verdict map; every beat is checked again.
+    /// Removes the verdict map; every beat is checked again. This is the
+    /// invalidation hook the recovery/degradation paths call — the bitmap
+    /// is dropped together with the map, atomically from the data path's
+    /// point of view.
     pub fn clear_static_verdicts(&mut self) {
         self.static_verdicts = None;
+        self.verdict_bits = VerdictBitmap::new();
     }
 
     /// The installed verdict map, if any.
@@ -298,6 +308,84 @@ impl CachedCapChecker {
         Ok(Some(cap))
     }
 
+    /// The full check pipeline, returning the granted physical address.
+    /// Shared by [`IoProtection::check`] and [`IoProtection::vet`]; in
+    /// both provenance modes the returned address equals
+    /// `self.translate(access.addr)`.
+    #[inline]
+    fn vet_inner(&mut self, access: &Access) -> Result<u64, Denial> {
+        let (object, phys) = match self.config.base.mode {
+            CheckerMode::Fine => match access.object {
+                Some(obj) => (obj, access.addr),
+                None => {
+                    if let Some(a) = &mut self.attrib {
+                        a.denied(access.master, None);
+                    }
+                    return Err(self.deny(access, None, DenyReason::BadProvenance));
+                }
+            },
+            CheckerMode::Coarse => {
+                let (obj, phys) = self.config.base.coarse_split_address(access.addr);
+                (ObjectId(obj), phys)
+            }
+        };
+        if self.verdict_bits.is_safe(access.task, object) {
+            self.stats.elided += 1;
+            if let Some(a) = &mut self.attrib {
+                a.elided(access.master, access.task, object);
+            }
+            return Ok(phys);
+        }
+        // Attribute hit/miss from the stats deltas around the lookup, so
+        // the attribution can never disagree with the counters.
+        let (hits_before, stall_before) = (self.stats.hits, self.stats.miss_cycles);
+        let looked = self.lookup((access.task, object));
+        if let Some(a) = &mut self.attrib {
+            if matches!(looked, Ok(Some(_))) {
+                a.lookup(
+                    access.master,
+                    access.task,
+                    object,
+                    self.stats.hits > hits_before,
+                    self.stats.miss_cycles - stall_before,
+                );
+            }
+        }
+        let cap = match looked {
+            Ok(Some(cap)) => cap,
+            Ok(None) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, Some((access.task, object)));
+                }
+                return Err(self.deny(access, Some(object), DenyReason::NoEntry));
+            }
+            Err(()) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, Some((access.task, object)));
+                }
+                return Err(self.deny(access, Some(object), DenyReason::InvalidTag));
+            }
+        };
+        let needed = match access.kind {
+            AccessKind::Read => cheri::Perms::LOAD,
+            AccessKind::Write => cheri::Perms::STORE,
+        };
+        match cap.check_access(phys, access.len, needed) {
+            Ok(()) => {
+                if let Some(a) = &mut self.attrib {
+                    a.granted(access.master, access.task, object);
+                }
+                Ok(phys)
+            }
+            Err(fault) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, Some((access.task, object)));
+                }
+                Err(self.deny(access, Some(object), DenyReason::Capability(fault)))
+            }
+        }
+    }
+
     fn deny(&mut self, access: &Access, object: Option<ObjectId>, reason: DenyReason) -> Denial {
         if let Some(obj) = object {
             self.exceptions.push((access.task, obj));
@@ -357,78 +445,7 @@ impl IoProtection for CachedCapChecker {
     }
 
     fn check(&mut self, access: &Access) -> Result<(), Denial> {
-        let (object, phys) = match self.config.base.mode {
-            CheckerMode::Fine => match access.object {
-                Some(obj) => (obj, access.addr),
-                None => {
-                    if let Some(a) = &mut self.attrib {
-                        a.denied(access.master, None);
-                    }
-                    return Err(self.deny(access, None, DenyReason::BadProvenance));
-                }
-            },
-            CheckerMode::Coarse => {
-                let (obj, phys) = self.config.base.coarse_split_address(access.addr);
-                (ObjectId(obj), phys)
-            }
-        };
-        if let Some(map) = &self.static_verdicts {
-            if map.is_safe(access.task, object) {
-                self.stats.elided += 1;
-                if let Some(a) = &mut self.attrib {
-                    a.elided(access.master, access.task, object);
-                }
-                return Ok(());
-            }
-        }
-        // Attribute hit/miss from the stats deltas around the lookup, so
-        // the attribution can never disagree with the counters.
-        let (hits_before, stall_before) = (self.stats.hits, self.stats.miss_cycles);
-        let looked = self.lookup((access.task, object));
-        if let Some(a) = &mut self.attrib {
-            if matches!(looked, Ok(Some(_))) {
-                a.lookup(
-                    access.master,
-                    access.task,
-                    object,
-                    self.stats.hits > hits_before,
-                    self.stats.miss_cycles - stall_before,
-                );
-            }
-        }
-        let cap = match looked {
-            Ok(Some(cap)) => cap,
-            Ok(None) => {
-                if let Some(a) = &mut self.attrib {
-                    a.denied(access.master, Some((access.task, object)));
-                }
-                return Err(self.deny(access, Some(object), DenyReason::NoEntry));
-            }
-            Err(()) => {
-                if let Some(a) = &mut self.attrib {
-                    a.denied(access.master, Some((access.task, object)));
-                }
-                return Err(self.deny(access, Some(object), DenyReason::InvalidTag));
-            }
-        };
-        let needed = match access.kind {
-            AccessKind::Read => cheri::Perms::LOAD,
-            AccessKind::Write => cheri::Perms::STORE,
-        };
-        match cap.check_access(phys, access.len, needed) {
-            Ok(()) => {
-                if let Some(a) = &mut self.attrib {
-                    a.granted(access.master, access.task, object);
-                }
-                Ok(())
-            }
-            Err(fault) => {
-                if let Some(a) = &mut self.attrib {
-                    a.denied(access.master, Some((access.task, object)));
-                }
-                Err(self.deny(access, Some(object), DenyReason::Capability(fault)))
-            }
-        }
+        self.vet_inner(access).map(|_| ())
     }
 
     fn entries_in_use(&self) -> usize {
@@ -440,6 +457,11 @@ impl IoProtection for CachedCapChecker {
             CheckerMode::Fine => addr,
             CheckerMode::Coarse => self.config.base.coarse_split_address(addr).1,
         }
+    }
+
+    #[inline]
+    fn vet(&mut self, access: &Access) -> Result<u64, Denial> {
+        self.vet_inner(access)
     }
 }
 

@@ -20,7 +20,7 @@
 
 use crate::attrib::CheckAttribution;
 use crate::config::{CheckerConfig, CheckerMode};
-use crate::elide::StaticVerdictMap;
+use crate::elide::{StaticVerdictMap, VerdictBitmap};
 use crate::table::{CapabilityTable, TableEntry};
 use cheri::{Capability, CompressedCapability, Perms};
 use hetsim::mmio::MmioDevice;
@@ -107,6 +107,12 @@ pub struct CapChecker {
     exception_flag: bool,
     stats: CheckerStats,
     static_verdicts: Option<StaticVerdictMap>,
+    /// `static_verdicts` compiled to per-task bit words — the branch-free
+    /// elision test on the beat path. Invariant: always equal to
+    /// `VerdictBitmap::build` of the installed map (empty when none), so
+    /// elision decisions and counters match the map-walk semantics
+    /// byte-for-byte.
+    verdict_bits: VerdictBitmap,
     attrib: Option<CheckAttribution>,
 }
 
@@ -121,6 +127,7 @@ impl CapChecker {
             exception_flag: false,
             stats: CheckerStats::default(),
             static_verdicts: None,
+            verdict_bits: VerdictBitmap::new(),
             attrib: None,
         }
     }
@@ -141,13 +148,21 @@ impl CapChecker {
     /// `(task, object)` pairs the analyzer proved safe, each skip
     /// counted in [`CheckerStats::elided`]. Unsafe and dynamic pairs
     /// are judged exactly as before.
+    ///
+    /// The map is compiled to a [`VerdictBitmap`] here, once, so the
+    /// beat path tests a bit word instead of walking the map.
     pub fn set_static_verdicts(&mut self, map: StaticVerdictMap) {
+        self.verdict_bits = VerdictBitmap::build(&map);
         self.static_verdicts = Some(map);
     }
 
-    /// Removes the verdict map; every beat is checked again.
+    /// Removes the verdict map (and its compiled bitmap); every beat is
+    /// checked again. This is the invalidation hook the recovery and
+    /// degradation paths use — dropping the map without dropping the
+    /// bitmap would keep eliding from a stale proof.
     pub fn clear_static_verdicts(&mut self) {
         self.static_verdicts = None;
+        self.verdict_bits = VerdictBitmap::new();
     }
 
     /// The installed verdict map, if any.
@@ -239,6 +254,62 @@ impl CapChecker {
             }
         }
     }
+
+    /// The full check pipeline, returning the granted request's physical
+    /// address. Both [`IoProtection::check`] and [`IoProtection::vet`]
+    /// are thin wrappers over this, so the one-call and two-call paths
+    /// cannot diverge in verdicts, counters, or exception latching.
+    ///
+    /// The returned address equals `translate(access.addr)`: in Fine mode
+    /// both are the identity, and in Coarse mode `resolve_object` and
+    /// `translate` strip the same object bits.
+    #[inline]
+    fn vet_inner(&mut self, access: &Access) -> Result<u64, Denial> {
+        let (object, phys) = match self.resolve_object(access) {
+            Ok(pair) => pair,
+            Err(reason) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, None);
+                }
+                return Err(self.deny(access, None, reason));
+            }
+        };
+        // Elision gate: provenance is already resolved, so a safe verdict
+        // covers exactly the stream the analyzer classified. Unresolved
+        // (no-provenance) requests never reach this point and are denied
+        // above regardless of any verdict. The verdict itself is a
+        // branch-free bitmap test — the bitmap is kept equal to the
+        // installed map, and an empty bitmap (no map) marks nothing safe.
+        if self.verdict_bits.is_safe(access.task, object) {
+            self.stats.elided += 1;
+            if let Some(a) = &mut self.attrib {
+                a.elided(access.master, access.task, object);
+            }
+            return Ok(phys);
+        }
+        let Some(entry) = self.table.lookup(access.task, object) else {
+            if let Some(a) = &mut self.attrib {
+                a.denied(access.master, Some((access.task, object)));
+            }
+            return Err(self.deny(access, Some(object), DenyReason::NoEntry));
+        };
+        let needed = CapChecker::required_perms(access.kind);
+        match entry.capability.check_access(phys, access.len, needed) {
+            Ok(()) => {
+                self.stats.granted += 1;
+                if let Some(a) = &mut self.attrib {
+                    a.granted(access.master, access.task, object);
+                }
+                Ok(phys)
+            }
+            Err(fault) => {
+                if let Some(a) = &mut self.attrib {
+                    a.denied(access.master, Some((access.task, object)));
+                }
+                Err(self.deny(access, Some(object), DenyReason::Capability(fault)))
+            }
+        }
+    }
 }
 
 impl IoProtection for CapChecker {
@@ -288,50 +359,7 @@ impl IoProtection for CapChecker {
     }
 
     fn check(&mut self, access: &Access) -> Result<(), Denial> {
-        let (object, phys) = match self.resolve_object(access) {
-            Ok(pair) => pair,
-            Err(reason) => {
-                if let Some(a) = &mut self.attrib {
-                    a.denied(access.master, None);
-                }
-                return Err(self.deny(access, None, reason));
-            }
-        };
-        // Elision gate: provenance is already resolved, so a safe verdict
-        // covers exactly the stream the analyzer classified. Unresolved
-        // (no-provenance) requests never reach this point and are denied
-        // above regardless of any verdict.
-        if let Some(map) = &self.static_verdicts {
-            if map.is_safe(access.task, object) {
-                self.stats.elided += 1;
-                if let Some(a) = &mut self.attrib {
-                    a.elided(access.master, access.task, object);
-                }
-                return Ok(());
-            }
-        }
-        let Some(entry) = self.table.lookup(access.task, object) else {
-            if let Some(a) = &mut self.attrib {
-                a.denied(access.master, Some((access.task, object)));
-            }
-            return Err(self.deny(access, Some(object), DenyReason::NoEntry));
-        };
-        let needed = CapChecker::required_perms(access.kind);
-        match entry.capability.check_access(phys, access.len, needed) {
-            Ok(()) => {
-                self.stats.granted += 1;
-                if let Some(a) = &mut self.attrib {
-                    a.granted(access.master, access.task, object);
-                }
-                Ok(())
-            }
-            Err(fault) => {
-                if let Some(a) = &mut self.attrib {
-                    a.denied(access.master, Some((access.task, object)));
-                }
-                Err(self.deny(access, Some(object), DenyReason::Capability(fault)))
-            }
-        }
+        self.vet_inner(access).map(|_| ())
     }
 
     fn entries_in_use(&self) -> usize {
@@ -340,6 +368,11 @@ impl IoProtection for CapChecker {
 
     fn translate(&self, addr: u64) -> u64 {
         self.physical_address(addr)
+    }
+
+    #[inline]
+    fn vet(&mut self, access: &Access) -> Result<u64, Denial> {
+        self.vet_inner(access)
     }
 }
 

@@ -106,6 +106,104 @@ impl StaticVerdictMap {
     }
 }
 
+/// Objects representable in one bitmap row: the checker's table holds at
+/// most 256 entries, so denser object spaces are out of the fast path by
+/// construction (they spill, correctly, into a sorted slice).
+const BITMAP_OBJECTS: usize = 256;
+const BITMAP_WORDS: usize = BITMAP_OBJECTS / 64;
+
+/// One task's precomputed safe-object bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BitmapRow {
+    task: u32,
+    /// Bit `o` set ⇔ `(task, o)` is [`StaticVerdict::Safe`], `o < 256`.
+    words: [u64; BITMAP_WORDS],
+    /// Safe objects ≥ 256 (exotic; sorted for binary search).
+    spill: Vec<u16>,
+}
+
+/// A [`StaticVerdictMap`] compiled to per-task bit words, built once when
+/// the driver installs verdicts at grant-install time and consulted
+/// branch-free on the DMA beat hot path.
+///
+/// `StaticVerdictMap` answers `is_safe` with an ordered-map walk — pointer
+/// chasing and key compares on every beat. The bitmap answers with one
+/// shift-and-mask against a preloaded word: the verdict test itself has no
+/// data-dependent branch. Rows are one per task with ≥ 1 safe pair; the
+/// common single-task stream resolves its row on the first compare.
+///
+/// Coherence invariant: a checker holding both structures must keep the
+/// bitmap equal to `VerdictBitmap::build` of its map at every observable
+/// point — (re)built when verdicts are installed, and invalidated together
+/// with the map on clear (the controller's degrade path) so elision
+/// decisions, counters, and report bytes are identical to the map-walk
+/// implementation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerdictBitmap {
+    rows: Vec<BitmapRow>,
+}
+
+impl VerdictBitmap {
+    /// An empty bitmap: nothing is safe, nothing is elided.
+    #[must_use]
+    pub fn new() -> VerdictBitmap {
+        VerdictBitmap::default()
+    }
+
+    /// Compiles `map`'s [`StaticVerdict::Safe`] pairs into bit rows.
+    #[must_use]
+    pub fn build(map: &StaticVerdictMap) -> VerdictBitmap {
+        let mut rows: Vec<BitmapRow> = Vec::new();
+        // Map iteration is key-ordered, so rows come out sorted by task
+        // and spills sorted by object — deterministic by construction.
+        for (task, object, verdict) in map.iter() {
+            if verdict != StaticVerdict::Safe {
+                continue;
+            }
+            if rows.last().map(|r| r.task) != Some(task.0) {
+                rows.push(BitmapRow {
+                    task: task.0,
+                    words: [0; BITMAP_WORDS],
+                    spill: Vec::new(),
+                });
+            }
+            let row = rows.last_mut().expect("row just ensured");
+            let o = usize::from(object.0);
+            if o < BITMAP_OBJECTS {
+                row.words[o >> 6] |= 1 << (o & 63);
+            } else {
+                row.spill.push(object.0);
+            }
+        }
+        VerdictBitmap { rows }
+    }
+
+    /// `true` when `(task, object)` was proved safe — equivalent to
+    /// [`StaticVerdictMap::is_safe`] on the map this was built from.
+    #[inline]
+    #[must_use]
+    pub fn is_safe(&self, task: TaskId, object: ObjectId) -> bool {
+        for row in &self.rows {
+            if row.task == task.0 {
+                let o = usize::from(object.0);
+                return if o < BITMAP_OBJECTS {
+                    // Branch-free verdict: shift the preloaded word.
+                    (row.words[o >> 6] >> (o & 63)) & 1 != 0
+                } else {
+                    row.spill.binary_search(&object.0).is_ok()
+                };
+            }
+        }
+        false
+    }
+
+    /// `true` when no pair is marked safe.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +234,42 @@ mod tests {
         assert_eq!(StaticVerdict::Safe.label(), "safe");
         assert_eq!(StaticVerdict::Unsafe.label(), "unsafe");
         assert_eq!(StaticVerdict::Dynamic.label(), "dynamic");
+    }
+
+    #[test]
+    fn bitmap_agrees_with_map_on_every_pair() {
+        let mut map = StaticVerdictMap::new();
+        // Safe, unsafe, dynamic pairs across several tasks, including
+        // word boundaries (63/64), the row edge (255), and spills (≥256).
+        for (t, o, v) in [
+            (1, 0, StaticVerdict::Safe),
+            (1, 63, StaticVerdict::Safe),
+            (1, 64, StaticVerdict::Safe),
+            (1, 65, StaticVerdict::Unsafe),
+            (2, 255, StaticVerdict::Safe),
+            (2, 256, StaticVerdict::Safe),
+            (2, 300, StaticVerdict::Dynamic),
+            (7, 1000, StaticVerdict::Safe),
+        ] {
+            map.set(TaskId(t), ObjectId(o), v);
+        }
+        let bits = VerdictBitmap::build(&map);
+        for t in [0u32, 1, 2, 3, 7] {
+            for o in [0u16, 1, 63, 64, 65, 254, 255, 256, 300, 999, 1000] {
+                assert_eq!(
+                    bits.is_safe(TaskId(t), ObjectId(o)),
+                    map.is_safe(TaskId(t), ObjectId(o)),
+                    "bitmap diverged from map at ({t}, {o})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_bitmap_is_never_safe() {
+        let bits = VerdictBitmap::new();
+        assert!(bits.is_empty());
+        assert!(!bits.is_safe(TaskId(0), ObjectId(0)));
+        assert_eq!(bits, VerdictBitmap::build(&StaticVerdictMap::new()));
     }
 }

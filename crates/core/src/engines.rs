@@ -31,9 +31,14 @@ pub enum Provenance {
 
 /// The accelerator-side engine: kernel accesses become bus requests that
 /// the protection mechanism vets.
-pub struct ProtectedEngine<'a> {
+///
+/// Generic over the protection type so the driver can monomorphize the
+/// per-beat vet pipeline for each concrete checker (one virtual call per
+/// kernel op instead of two, with the verdict-bitmap probe inlined); the
+/// `dyn IoProtection` default keeps heterogeneous call sites working.
+pub struct ProtectedEngine<'a, P: IoProtection + ?Sized = dyn IoProtection> {
     mem: &'a mut TaggedMemory,
-    protection: &'a mut dyn IoProtection,
+    protection: &'a mut P,
     layout: TaskLayout,
     master: MasterId,
     task: TaskId,
@@ -46,19 +51,19 @@ pub struct ProtectedEngine<'a> {
     requests: u64,
 }
 
-impl<'a> ProtectedEngine<'a> {
+impl<'a, P: IoProtection + ?Sized> ProtectedEngine<'a, P> {
     /// Binds a task's accelerator execution to the protected memory path.
     ///
     /// `layout` holds the *accelerator-visible* base addresses — physical
     /// for Fine-mode and baseline systems, object-tagged for Coarse.
     pub fn new(
         mem: &'a mut TaggedMemory,
-        protection: &'a mut dyn IoProtection,
+        protection: &'a mut P,
         layout: TaskLayout,
         master: MasterId,
         task: TaskId,
         provenance: Provenance,
-    ) -> ProtectedEngine<'a> {
+    ) -> ProtectedEngine<'a, P> {
         ProtectedEngine {
             mem,
             protection,
@@ -76,7 +81,7 @@ impl<'a> ProtectedEngine<'a> {
     /// Attaches an event sink; every vetted request is recorded as a
     /// checker-check event (plus an exception event when refused).
     #[must_use]
-    pub fn with_tracer(mut self, tracer: SharedTracer) -> ProtectedEngine<'a> {
+    pub fn with_tracer(mut self, tracer: SharedTracer) -> ProtectedEngine<'a, P> {
         self.tracer = Some(tracer);
         self
     }
@@ -99,6 +104,7 @@ impl<'a> ProtectedEngine<'a> {
         self.first_denial
     }
 
+    #[inline]
     fn request(
         &mut self,
         obj: usize,
@@ -119,7 +125,10 @@ impl<'a> ProtectedEngine<'a> {
             kind,
             object,
         };
-        let verdict = self.protection.check(&access);
+        // One fused check+translate call per beat (`vet`): the verdict,
+        // counters, and exception latching are exactly those of
+        // `check` followed by `translate`.
+        let verdict = self.protection.vet(&access);
         if let Some(tracer) = self.tracer.as_mut() {
             let at = self.requests;
             tracer.record(
@@ -141,15 +150,20 @@ impl<'a> ProtectedEngine<'a> {
             }
         }
         self.requests += 1;
-        if let Err(denial) = verdict {
-            self.first_denial.get_or_insert(denial);
-            return Err(ExecFault::Denied(denial));
+        match verdict {
+            Ok(phys) => Ok(phys),
+            Err(denial) => {
+                self.first_denial.get_or_insert(denial);
+                Err(ExecFault::Denied(denial))
+            }
         }
-        Ok(self.protection.translate(addr))
     }
 }
 
-impl Engine for ProtectedEngine<'_> {
+impl<P: IoProtection + ?Sized> Engine for ProtectedEngine<'_, P> {
+    hetsim::impl_typed_engine_helpers!();
+
+    #[inline]
     fn load(&mut self, obj: usize, offset: u64, size: u8) -> Result<u64, ExecFault> {
         let phys = self.request(obj, offset, u64::from(size), AccessKind::Read)?;
         let v = self.mem.read_uint(phys, size)?;
@@ -162,6 +176,7 @@ impl Engine for ProtectedEngine<'_> {
         Ok(v)
     }
 
+    #[inline]
     fn store(&mut self, obj: usize, offset: u64, size: u8, value: u64) -> Result<(), ExecFault> {
         let phys = self.request(obj, offset, u64::from(size), AccessKind::Write)?;
         // write_uint is tag-clearing: granted DMA writes can never leave a
@@ -204,7 +219,7 @@ impl Engine for ProtectedEngine<'_> {
     }
 }
 
-impl fmt::Debug for ProtectedEngine<'_> {
+impl<P: IoProtection + ?Sized> fmt::Debug for ProtectedEngine<'_, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ProtectedEngine")
             .field("task", &self.task)
@@ -248,6 +263,7 @@ impl<'a> CpuEngine<'a> {
         self.trace
     }
 
+    #[inline]
     fn check(&self, obj: usize, addr: u64, len: u64, kind: AccessKind) -> Result<(), ExecFault> {
         let Some(caps) = &self.caps else {
             return Ok(());
@@ -273,6 +289,9 @@ impl<'a> CpuEngine<'a> {
 }
 
 impl Engine for CpuEngine<'_> {
+    hetsim::impl_typed_engine_helpers!();
+
+    #[inline]
     fn load(&mut self, obj: usize, offset: u64, size: u8) -> Result<u64, ExecFault> {
         let addr = self.layout.address(obj, offset);
         self.check(obj, addr, u64::from(size), AccessKind::Read)?;
@@ -286,6 +305,7 @@ impl Engine for CpuEngine<'_> {
         Ok(v)
     }
 
+    #[inline]
     fn store(&mut self, obj: usize, offset: u64, size: u8, value: u64) -> Result<(), ExecFault> {
         let addr = self.layout.address(obj, offset);
         self.check(obj, addr, u64::from(size), AccessKind::Write)?;

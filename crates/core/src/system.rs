@@ -441,6 +441,33 @@ impl fmt::Debug for Protection {
     }
 }
 
+/// Runs one kernel through a [`ProtectedEngine`] monomorphized for the
+/// concrete protection type `P`, so the per-beat check+translate path is
+/// fully inlined into the engine's load/store bodies.
+#[allow(clippy::too_many_arguments)]
+fn drive_kernel<P, F>(
+    mem: &mut TaggedMemory,
+    protection: &mut P,
+    layout: TaskLayout,
+    master: MasterId,
+    task: TaskId,
+    provenance: Provenance,
+    tracer: Option<SharedTracer>,
+    kernel: F,
+) -> (Result<(), ExecFault>, Option<Denial>, Trace)
+where
+    P: IoProtection + ?Sized,
+    F: FnOnce(&mut dyn Engine) -> Result<(), ExecFault>,
+{
+    let mut eng = ProtectedEngine::new(mem, protection, layout, master, task, provenance);
+    if let Some(t) = tracer {
+        eng = eng.with_tracer(t);
+    }
+    let result = kernel(&mut eng);
+    let denial = eng.first_denial();
+    (result, denial, eng.into_trace())
+}
+
 /// The assembled heterogeneous system: memory, CPU, FUs, protection, and
 /// the trusted driver.
 ///
@@ -1013,20 +1040,20 @@ impl HeteroSystem {
             phase: Phase::Execute,
         });
         let tracer = self.tracer.clone();
-        let mut eng = ProtectedEngine::new(
+        // Dispatch once per kernel on the concrete protection type so the
+        // per-beat vet pipeline (verdict-bitmap probe included) inlines
+        // into the engine's load/store bodies instead of going through a
+        // second virtual call on every DMA beat.
+        let (result, denial, trace) = drive_kernel(
             &mut self.mem,
             self.protection.as_dyn(),
             layout,
             master,
             task,
             provenance,
+            tracer,
+            kernel,
         );
-        if let Some(t) = tracer {
-            eng = eng.with_tracer(t);
-        }
-        let result = kernel(&mut eng);
-        let denial = eng.first_denial();
-        let trace = eng.into_trace();
         let st = self.tasks.get_mut(&task).expect("state verified above");
         st.trace = Some(trace);
         if let Some(d) = denial {
@@ -1083,6 +1110,24 @@ impl HeteroSystem {
     /// [`DriverError::UnknownTask`].
     pub fn trace(&self, task: TaskId) -> Result<Option<&Trace>, DriverError> {
         Ok(self.state(task)?.trace.as_ref())
+    }
+
+    /// Takes ownership of the trace recorded by the task's last run,
+    /// leaving `None` behind. Equivalent to [`HeteroSystem::trace`] plus a
+    /// clone, minus the clone — hot benchmark loops move multi-hundred-
+    /// thousand-op traces out instead of copying them.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownTask`].
+    pub fn take_trace(&mut self, task: TaskId) -> Result<Option<Trace>, DriverError> {
+        self.state(task)?;
+        Ok(self
+            .tasks
+            .get_mut(&task)
+            .expect("state verified above")
+            .trace
+            .take())
     }
 
     /// Driver setup cycles for the task: control-register writes plus (on

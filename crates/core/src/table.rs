@@ -110,9 +110,12 @@ impl CapabilityTable {
     }
 
     fn position(&self, task: TaskId, object: ObjectId) -> Option<usize> {
+        // Probe by reference: `is_some_and` on a `Copy` option would move
+        // the 48-byte entry out per probed slot, which is measurable on
+        // the per-beat lookup path.
         self.slots
             .iter()
-            .position(|s| s.is_some_and(|e| e.task == task && e.object == object))
+            .position(|s| matches!(s, Some(e) if e.task == task && e.object == object))
     }
 }
 

@@ -195,6 +195,98 @@ pub trait Engine {
     }
 }
 
+/// Overrides the typed [`Engine`] helpers (`load_u32`, `store_f32`, …)
+/// inside a concrete `impl Engine for …` block with bodies identical to
+/// the trait defaults.
+///
+/// Kernels drive engines through `&mut dyn Engine`, so a *default* typed
+/// helper is a vtable call whose body makes a second vtable call into
+/// `load`/`store`. Overridden in the concrete impl, `self.load(..)`
+/// resolves statically and the whole chain — address computation,
+/// protection check, memory access, trace push — inlines behind a single
+/// indirect call per kernel operation. This is purely a dispatch change:
+/// the expanded bodies are the trait defaults verbatim, so traces,
+/// verdicts, and faults are unchanged.
+#[macro_export]
+macro_rules! impl_typed_engine_helpers {
+    () => {
+        #[inline]
+        fn load_u32(&mut self, obj: usize, index: u64) -> Result<u32, $crate::ExecFault> {
+            Ok(self.load(obj, index * 4, 4)? as u32)
+        }
+
+        #[inline]
+        fn store_u32(
+            &mut self,
+            obj: usize,
+            index: u64,
+            value: u32,
+        ) -> Result<(), $crate::ExecFault> {
+            self.store(obj, index * 4, 4, u64::from(value))
+        }
+
+        #[inline]
+        fn load_i32(&mut self, obj: usize, index: u64) -> Result<i32, $crate::ExecFault> {
+            Ok(self.load_u32(obj, index)? as i32)
+        }
+
+        #[inline]
+        fn store_i32(
+            &mut self,
+            obj: usize,
+            index: u64,
+            value: i32,
+        ) -> Result<(), $crate::ExecFault> {
+            self.store_u32(obj, index, value as u32)
+        }
+
+        #[inline]
+        fn load_f32(&mut self, obj: usize, index: u64) -> Result<f32, $crate::ExecFault> {
+            Ok(f32::from_bits(self.load_u32(obj, index)?))
+        }
+
+        #[inline]
+        fn store_f32(
+            &mut self,
+            obj: usize,
+            index: u64,
+            value: f32,
+        ) -> Result<(), $crate::ExecFault> {
+            self.store_u32(obj, index, value.to_bits())
+        }
+
+        #[inline]
+        fn load_u64(&mut self, obj: usize, index: u64) -> Result<u64, $crate::ExecFault> {
+            self.load(obj, index * 8, 8)
+        }
+
+        #[inline]
+        fn store_u64(
+            &mut self,
+            obj: usize,
+            index: u64,
+            value: u64,
+        ) -> Result<(), $crate::ExecFault> {
+            self.store(obj, index * 8, 8, value)
+        }
+
+        #[inline]
+        fn load_u8(&mut self, obj: usize, offset: u64) -> Result<u8, $crate::ExecFault> {
+            Ok(self.load(obj, offset, 1)? as u8)
+        }
+
+        #[inline]
+        fn store_u8(
+            &mut self,
+            obj: usize,
+            offset: u64,
+            value: u8,
+        ) -> Result<(), $crate::ExecFault> {
+            self.store(obj, offset, 1, u64::from(value))
+        }
+    };
+}
+
 /// One buffer's placement in physical memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BufferRegion {
@@ -243,6 +335,7 @@ impl TaskLayout {
     ///
     /// Panics if `obj` is not a valid object number for this task.
     #[must_use]
+    #[inline]
     pub fn address(&self, obj: usize, offset: u64) -> u64 {
         self.buffers[obj].base.wrapping_add(offset)
     }
@@ -282,6 +375,9 @@ impl<'m> DirectEngine<'m> {
 }
 
 impl Engine for DirectEngine<'_> {
+    crate::impl_typed_engine_helpers!();
+
+    #[inline]
     fn load(&mut self, obj: usize, offset: u64, size: u8) -> Result<u64, ExecFault> {
         let addr = self.layout.address(obj, offset);
         let v = self.mem.read_uint(addr, size)?;
@@ -294,6 +390,7 @@ impl Engine for DirectEngine<'_> {
         Ok(v)
     }
 
+    #[inline]
     fn store(&mut self, obj: usize, offset: u64, size: u8, value: u64) -> Result<(), ExecFault> {
         let addr = self.layout.address(obj, offset);
         self.mem.write_uint(addr, size, value)?;
@@ -306,6 +403,7 @@ impl Engine for DirectEngine<'_> {
         Ok(())
     }
 
+    #[inline]
     fn compute(&mut self, units: u64) {
         if units > 0 {
             self.trace.push(TraceOp::Compute(units));

@@ -76,6 +76,15 @@ pub struct TaggedMemory {
     /// bounds can never go stale: a granule's bytes are frozen while its
     /// tag is set (every data write clears the tags it touches).
     cap_index: BTreeMap<u64, (u64, u128)>,
+    /// Conservative envelope of every granule address that has *ever*
+    /// held a set tag: `tag_lo..=tag_hi`, granule-aligned. Data stores
+    /// must clear the tags they overwrite, but almost all of them land in
+    /// plain data buffers; testing the envelope first keeps the per-store
+    /// cost at two integer compares instead of a capability-index probe.
+    /// The envelope never shrinks (clears leave it alone), so it can only
+    /// over-approximate — never miss — a live tag.
+    tag_lo: u64,
+    tag_hi: u64,
 }
 
 impl TaggedMemory {
@@ -94,7 +103,16 @@ impl TaggedMemory {
             data: vec![0; size as usize],
             tags: vec![false; (size / CAP_SIZE_BYTES) as usize],
             cap_index: BTreeMap::new(),
+            tag_lo: u64::MAX,
+            tag_hi: 0,
         }
+    }
+
+    /// Grows the tagged-granule envelope to cover `granule_addr`.
+    #[inline]
+    fn note_tagged(&mut self, granule_addr: u64) {
+        self.tag_lo = self.tag_lo.min(granule_addr);
+        self.tag_hi = self.tag_hi.max(granule_addr);
     }
 
     /// Decodes the authority bounds of the capability bytes currently in
@@ -114,6 +132,7 @@ impl TaggedMemory {
         self.data.len() as u64
     }
 
+    #[inline]
     fn span(&self, addr: u64, len: u64) -> Result<std::ops::Range<usize>, MemError> {
         let end = addr
             .checked_add(len)
@@ -129,6 +148,7 @@ impl TaggedMemory {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`] if the span leaves physical memory.
+    #[inline]
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
         let span = self.span(addr, buf.len() as u64)?;
         buf.copy_from_slice(&self.data[span]);
@@ -141,6 +161,7 @@ impl TaggedMemory {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`] if the span leaves physical memory.
+    #[inline]
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
         let span = self.span(addr, buf.len() as u64)?;
         self.data[span].copy_from_slice(buf);
@@ -157,6 +178,7 @@ impl TaggedMemory {
     /// # Panics
     ///
     /// Panics if `len > 8`.
+    #[inline]
     pub fn read_uint(&self, addr: u64, len: u8) -> Result<u64, MemError> {
         assert!(len <= 8, "integer reads are at most 8 bytes");
         let mut raw = [0u8; 8];
@@ -173,6 +195,7 @@ impl TaggedMemory {
     /// # Panics
     ///
     /// Panics if `len > 8`.
+    #[inline]
     pub fn write_uint(&mut self, addr: u64, len: u8, value: u64) -> Result<(), MemError> {
         assert!(len <= 8, "integer writes are at most 8 bytes");
         let raw = value.to_le_bytes();
@@ -221,6 +244,7 @@ impl TaggedMemory {
         if tag {
             let decoded = cap.decode(true);
             self.cap_index.insert(addr, (decoded.base(), decoded.top()));
+            self.note_tagged(addr);
         } else {
             self.cap_index.remove(&addr);
         }
@@ -258,6 +282,7 @@ impl TaggedMemory {
             // reading the granule would see them.
             let bounds = self.decode_bounds_at(granule_addr);
             self.cap_index.insert(granule_addr, bounds);
+            self.note_tagged(granule_addr);
         } else {
             self.cap_index.remove(&granule_addr);
         }
@@ -268,6 +293,7 @@ impl TaggedMemory {
     ///
     /// Walks the capability index, not the span, so wide DMA writes and
     /// scrubs pay per *set* tag in the range rather than per granule.
+    #[inline]
     pub fn clear_tags(&mut self, addr: u64, len: u64) {
         if len == 0 {
             return;
@@ -276,6 +302,10 @@ impl TaggedMemory {
         let lo = (addr / CAP_SIZE_BYTES) * CAP_SIZE_BYTES;
         let hi = last.min(self.tags.len().saturating_sub(1)) as u64 * CAP_SIZE_BYTES;
         if lo > hi {
+            return;
+        }
+        // Envelope fast-out: the span cannot intersect a set tag.
+        if hi < self.tag_lo || lo > self.tag_hi {
             return;
         }
         let doomed: Vec<u64> = self.cap_index.range(lo..=hi).map(|(a, _)| *a).collect();

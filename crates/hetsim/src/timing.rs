@@ -488,14 +488,363 @@ pub fn simulate_accel_system_traced(
 /// `accel/execute/bus_busy` is the beats the one-beat-per-cycle port
 /// moved (each beat occupies a distinct port cycle after setup), and
 /// `accel/execute/bus_idle` is the remainder — the three sum to the
-/// makespan. Per-request arbitration waits and burst lengths land in the
-/// `accel.req_wait` / `accel.req_beats` histograms, and each task's
-/// start-to-done duration in `accel.task_cycles`. All attributed
+/// makespan (`bus_idle` is exactly the idle the event wheel jumps over
+/// without stepping). Per-request arbitration waits and burst lengths
+/// land in the `accel.req_wait` / `accel.req_beats` histograms, and each
+/// task's start-to-done duration in `accel.task_cycles`. All attributed
 /// quantities are simulated, so the profile is deterministic. The traced
 /// entry point calls this with a [`NullProfiler`] — one code path,
 /// timing cannot diverge.
+///
+/// This is the event-wheel core: lanes are compact cursors over
+/// pre-folded `(compute, beats)` entries, the next lane to run is the
+/// argmin of the per-lane next-event times, and a granted lane keeps
+/// running inline while no other lane is scheduled earlier. It performs
+/// the same floating-point operations in the same order as
+/// [`simulate_accel_system_naive`], so results are cycle-for-cycle (in
+/// fact bit-for-bit) identical — the test suite and the CI perf-smoke
+/// job pin that equivalence.
 #[must_use]
 pub fn simulate_accel_system_prof(
+    tasks: &[AccelTask<'_>],
+    bus: &BusConfig,
+    tracer: &mut dyn Tracer,
+    prof: &mut dyn Profiler,
+) -> AccelReport {
+    // Monomorphize the wheel over its observers: the common benchmark
+    // path (no tracer, no profiler) compiles to a loop with no virtual
+    // calls at all.
+    match (tracer.enabled(), prof.enabled()) {
+        (false, false) => run_wheel::<false, false>(tasks, bus, tracer, prof),
+        (true, false) => run_wheel::<true, false>(tasks, bus, tracer, prof),
+        (false, true) => run_wheel::<false, true>(tasks, bus, tracer, prof),
+        (true, true) => run_wheel::<true, true>(tasks, bus, tracer, prof),
+    }
+}
+
+/// One lane memory operation in the form the event wheel walks: the
+/// compute *cycles* the lane retires since its previous own memory op,
+/// and the healthy-bus beats of the transfer. The cycles are the single
+/// `units as f64 / compute_per_cycle` division [`distribute_over_lanes`]'
+/// coalescing implies — performed once at build time with the identical
+/// operands, so hoisting it out of the wheel loop cannot change a bit
+/// (zero units fold to `+0.0`, and `t + 0.0 == t` for the non-negative
+/// times the wheel advances).
+#[derive(Clone, Copy, Debug, Default)]
+struct LaneEntry {
+    pre_cycles: f64,
+    base_beats: u64,
+}
+
+/// Per-lane cursor state of the event wheel. The whole struct is plain
+/// scalars: entries live in one shared arena (sequential reads), and the
+/// outstanding-request window is a fixed ring in a second arena instead
+/// of a `VecDeque` per lane.
+#[derive(Clone, Copy, Debug)]
+struct WheelLane {
+    task: u32,
+    cursor: usize,
+    end: usize,
+    tail_units: u64,
+    cpc: f64,
+    window: u32,
+    ring_start: usize,
+    ring_head: u32,
+    ring_len: u32,
+}
+
+struct Wheel {
+    entries: Vec<LaneEntry>,
+    lanes: Vec<WheelLane>,
+    /// Next-event time per lane; `f64::INFINITY` once the lane finished.
+    when: Vec<f64>,
+    ring: Vec<f64>,
+}
+
+// Retired entry arenas, reused by [`build_wheel`]. A long trace folds to
+// megabytes of [`LaneEntry`]s; faulting that arena in fresh on every
+// simulation call costs more than filling it, so the buffer is parked
+// per thread between runs (contents are fully rewritten each build).
+thread_local! {
+    static ENTRY_POOL: std::cell::RefCell<Vec<LaneEntry>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Drop for Wheel {
+    fn drop(&mut self) {
+        if self.entries.capacity() < 4096 {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.entries);
+        ENTRY_POOL.with(|pool| {
+            let mut parked = pool.borrow_mut();
+            if entries.capacity() > parked.capacity() {
+                entries.clear();
+                *parked = entries;
+            }
+        });
+    }
+}
+
+/// Folds every task's trace into the wheel's compact per-lane arrays —
+/// the lazy-cursor equivalent of [`distribute_over_lanes`] (same lane
+/// numbering, same round-robin, same compute coalescing), minus the
+/// per-lane `Vec<TraceOp>` materialization.
+fn build_wheel(tasks: &[AccelTask<'_>], bus: &BusConfig) -> Wheel {
+    let mut lanes: Vec<WheelLane> = Vec::new();
+    let mut when: Vec<f64> = Vec::new();
+    let mut total_entries = 0usize;
+    let mut total_ring = 0usize;
+    for (t_idx, task) in tasks.iter().enumerate() {
+        let n = task.cfg.lanes.max(1) as usize;
+        let mem_ops = task.trace.mem_ops() as usize;
+        let window = task.cfg.outstanding.max(1) as usize;
+        for j in 0..n {
+            // Round-robin: lane j owns mem ops j, j+n, j+2n, …
+            let count = mem_ops / n + usize::from(j < mem_ops % n);
+            lanes.push(WheelLane {
+                task: t_idx as u32,
+                cursor: total_entries,
+                end: total_entries + count,
+                tail_units: 0,
+                cpc: task.cfg.compute_per_cycle.max(1e-9),
+                window: window as u32,
+                ring_start: total_ring,
+                ring_head: 0,
+                ring_len: 0,
+            });
+            when.push(task.start as f64);
+            total_entries += count;
+            total_ring += window;
+        }
+    }
+    let mut entries = ENTRY_POOL.with(|pool| std::mem::take(&mut *pool.borrow_mut()));
+    entries.clear();
+    entries.resize(total_entries, LaneEntry::default());
+    let mut lane_base = 0usize;
+    for task in tasks {
+        let n = task.cfg.lanes.max(1) as usize;
+        let cpc = task.cfg.compute_per_cycle.max(1e-9);
+        let mut pending: Vec<u64> = vec![0; n];
+        let mut cursors: Vec<usize> = (0..n).map(|j| lanes[lane_base + j].cursor).collect();
+        let mut mem_rr = 0usize;
+        for op in task.trace.ops() {
+            let beats = match *op {
+                TraceOp::Compute(units) => {
+                    // Compute divides evenly, remainder to the low lanes —
+                    // accumulated, matching `push_compute`'s coalescing.
+                    let share = units / n as u64;
+                    let rem = (units % n as u64) as usize;
+                    for (j, p) in pending.iter_mut().enumerate() {
+                        *p += share + u64::from(j < rem);
+                    }
+                    continue;
+                }
+                TraceOp::Mem { bytes, .. } => bus.beats(u64::from(bytes)),
+                TraceOp::Copy { bytes, .. } => 2 * bus.beats(bytes),
+            };
+            let j = mem_rr % n;
+            entries[cursors[j]] = LaneEntry {
+                pre_cycles: if pending[j] != 0 {
+                    pending[j] as f64 / cpc
+                } else {
+                    0.0
+                },
+                base_beats: beats,
+            };
+            cursors[j] += 1;
+            pending[j] = 0;
+            mem_rr += 1;
+        }
+        for (j, p) in pending.into_iter().enumerate() {
+            lanes[lane_base + j].tail_units = p;
+        }
+        lane_base += n;
+    }
+    Wheel {
+        entries,
+        lanes,
+        when,
+        ring: vec![0.0; total_ring],
+    }
+}
+
+/// The event-wheel loop. `TRACING`/`PROFILING` mirror
+/// `tracer.enabled()` / `prof.enabled()`; monomorphizing on them keeps
+/// the benchmark path free of per-op virtual calls while the observed
+/// paths stay the same code, so observers can never perturb timing.
+fn run_wheel<const TRACING: bool, const PROFILING: bool>(
+    tasks: &[AccelTask<'_>],
+    bus: &BusConfig,
+    tracer: &mut dyn Tracer,
+    prof: &mut dyn Profiler,
+) -> AccelReport {
+    let mut wheel = build_wheel(tasks, bus);
+    let latency = (bus.mem_latency + bus.checker_latency) as f64;
+    let mut bus_free = 0.0f64;
+    let mut bus_beats = 0u64;
+    let mut grants = 0u64;
+    let mut per_task: Vec<Cycles> = tasks.iter().map(|t| t.start).collect();
+
+    if TRACING {
+        for (t_idx, task) in tasks.iter().enumerate() {
+            tracer.record(task.start, EventKind::TaskStart { task: t_idx as u32 });
+        }
+    }
+
+    let mut remaining = wheel.lanes.len();
+    while remaining > 0 {
+        // Next event: the earliest (time, lane) pair, plus the runner-up
+        // that bounds how long the winner may keep running inline. The
+        // strict `<` keeps the lowest index on ties — the same order the
+        // reference heap's `(Time, usize)` keys produce.
+        let mut li = 0usize;
+        let mut best = f64::INFINITY;
+        let mut other = (f64::INFINITY, usize::MAX);
+        for (i, &t) in wheel.when.iter().enumerate() {
+            if t < best {
+                other = (best, li);
+                best = t;
+                li = i;
+            } else if t < other.0 {
+                other = (t, i);
+            }
+        }
+        let mut lane = wheel.lanes[li];
+        let task_idx = lane.task as usize;
+        let window = lane.window as usize;
+        let mut t = wheel.when[li];
+        loop {
+            if lane.cursor == lane.end {
+                // Lane finished issuing: retire its tail compute, then
+                // wait for its in-flight requests.
+                if lane.tail_units != 0 {
+                    t += lane.tail_units as f64 / lane.cpc;
+                }
+                let drain = if lane.ring_len > 0 {
+                    let back = (lane.ring_head + lane.ring_len - 1) as usize % window;
+                    wheel.ring[lane.ring_start + back]
+                } else {
+                    t
+                };
+                let done = t.max(drain).ceil() as Cycles;
+                per_task[task_idx] = per_task[task_idx].max(done);
+                wheel.when[li] = f64::INFINITY;
+                remaining -= 1;
+                break;
+            }
+            let e = wheel.entries[lane.cursor];
+            lane.cursor += 1;
+            t += e.pre_cycles;
+            let mut beats = e.base_beats;
+            grants += 1;
+            // Interconnect faults: a dropped transfer retransmits (double
+            // occupancy); a stalled grant waits out the arbiter. Both are
+            // counter-periodic, so reproducible.
+            if bus.faults.drops(grants) {
+                beats *= 2;
+            }
+            let stall = bus.faults.stall_for(grants) as f64;
+            let mut ready = t;
+            if lane.ring_len as usize >= window {
+                ready = ready.max(wheel.ring[lane.ring_start + lane.ring_head as usize]);
+                lane.ring_head = ((lane.ring_head as usize + 1) % window) as u32;
+                lane.ring_len -= 1;
+            }
+            let grant = ready.max(bus_free) + stall;
+            if TRACING {
+                tracer.record(
+                    grant as u64,
+                    EventKind::BusGrant {
+                        lane: li as u32,
+                        task: lane.task,
+                        beats,
+                        waited: (grant - ready) as u64,
+                    },
+                );
+            }
+            if PROFILING {
+                prof.observe("accel.req_wait", (grant - ready) as u64);
+                prof.observe("accel.req_beats", beats);
+            }
+            bus_free = grant + beats as f64;
+            bus_beats += beats;
+            let slot = (lane.ring_head as usize + lane.ring_len as usize) % window;
+            wheel.ring[lane.ring_start + slot] = grant + beats as f64 + latency;
+            lane.ring_len += 1;
+            t = grant + beats as f64;
+            // The wheel's monotonic jump: time advances straight to this
+            // lane's next grant as long as no other lane has an earlier
+            // event — idle port cycles are skipped, never stepped.
+            if other.0 < t || (other.0 == t && other.1 < li) {
+                wheel.when[li] = t;
+                break;
+            }
+        }
+        wheel.lanes[li] = lane;
+    }
+
+    if TRACING {
+        for (t_idx, done) in per_task.iter().enumerate() {
+            tracer.record(*done, EventKind::TaskEnd { task: t_idx as u32 });
+        }
+    }
+
+    let makespan = per_task.iter().copied().max().unwrap_or(0);
+
+    if PROFILING {
+        for (t_idx, done) in per_task.iter().enumerate() {
+            prof.observe("accel.task_cycles", done.saturating_sub(tasks[t_idx].start));
+        }
+        let setup = tasks.iter().map(|t| t.start).min().unwrap_or(0);
+        let execute = makespan.saturating_sub(setup);
+        // Every beat occupies a distinct cycle on the single port, and no
+        // grant precedes the earliest start, so busy ≤ execute holds; the
+        // min is belt-and-braces against a saturated fault model.
+        let busy = bus_beats.min(execute);
+        prof.enter("accel");
+        prof.enter("setup");
+        prof.add_cycles(setup);
+        prof.exit();
+        prof.enter("execute");
+        prof.enter("bus_busy");
+        prof.add_cycles(busy);
+        prof.exit();
+        prof.enter("bus_idle");
+        prof.add_cycles(execute - busy);
+        prof.exit();
+        prof.exit();
+        prof.exit();
+    }
+
+    AccelReport {
+        per_task,
+        makespan,
+        bus_beats,
+        bus_utilization: if makespan == 0 {
+            0.0
+        } else {
+            bus_beats as f64 / makespan as f64
+        },
+    }
+}
+
+/// The retained stepping reference: the per-lane `Vec<TraceOp>`
+/// materialization and binary-heap scheduler the event wheel replaced.
+/// Kept callable (not test-only) because the CI perf-smoke job and the
+/// conformance tests pin [`simulate_accel_system`] against it
+/// cycle-for-cycle — the wheel performs the same floating-point
+/// operations in the same order, so any divergence is a bug in the wheel.
+#[must_use]
+pub fn simulate_accel_system_naive(tasks: &[AccelTask<'_>], bus: &BusConfig) -> AccelReport {
+    simulate_accel_system_naive_prof(tasks, bus, &mut NullTracer, &mut NullProfiler)
+}
+
+/// [`simulate_accel_system_naive`] with the same tracer/profiler hooks as
+/// the wheel — the full pre-wheel implementation, verbatim, so the
+/// observed paths can be pinned too.
+#[must_use]
+pub fn simulate_accel_system_naive_prof(
     tasks: &[AccelTask<'_>],
     bus: &BusConfig,
     tracer: &mut dyn Tracer,

@@ -43,21 +43,52 @@ pub enum TraceOp {
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     ops: Vec<TraceOp>,
+    /// Non-compute ops, maintained on push so [`Trace::mem_ops`] is O(1)
+    /// (the timing cores size their per-lane arrays from it).
+    mem_op_count: u64,
 }
 
+// Retired trace buffers, recycled by [`Trace::new`]. Kernel traces run to
+// hundreds of thousands of ops; allocating that arena fresh per run costs
+// more in page faults and growth copies than recording into it does, so
+// dropping a large trace parks its buffer here instead (bounded, per
+// thread, cleared before reuse — recording behaviour is unchanged).
+thread_local! {
+    static TRACE_POOL: std::cell::RefCell<Vec<Vec<TraceOp>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Buffers smaller than this are left to the allocator; only arenas whose
+/// reallocation actually shows up in profiles are worth parking.
+const POOL_MIN_CAPACITY: usize = 4096;
+/// At most this many parked buffers per thread.
+const POOL_MAX_BUFFERS: usize = 4;
+
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty trace, reusing a previously retired buffer when
+    /// one is parked (warm pages, grown capacity).
     #[must_use]
     pub fn new() -> Trace {
-        Trace::default()
+        let ops = TRACE_POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default();
+        debug_assert!(ops.is_empty(), "pooled buffers are cleared on retire");
+        Trace {
+            ops,
+            mem_op_count: 0,
+        }
     }
 
     /// Appends an operation, merging consecutive [`TraceOp::Compute`] runs.
+    #[inline]
     pub fn push(&mut self, op: TraceOp) {
-        if let (Some(TraceOp::Compute(prev)), TraceOp::Compute(units)) = (self.ops.last_mut(), &op)
-        {
-            *prev += units;
-            return;
+        if let TraceOp::Compute(units) = op {
+            if let Some(TraceOp::Compute(prev)) = self.ops.last_mut() {
+                *prev += units;
+                return;
+            }
+        } else {
+            self.mem_op_count += 1;
         }
         self.ops.push(op);
     }
@@ -107,11 +138,16 @@ impl Trace {
 
     /// Number of discrete memory operations (copies count as one).
     #[must_use]
+    #[inline]
     pub fn mem_ops(&self) -> u64 {
-        self.ops
-            .iter()
-            .filter(|op| !matches!(op, TraceOp::Compute(_)))
-            .count() as u64
+        debug_assert_eq!(
+            self.mem_op_count,
+            self.ops
+                .iter()
+                .filter(|op| !matches!(op, TraceOp::Compute(_)))
+                .count() as u64
+        );
+        self.mem_op_count
     }
 
     /// Coalesces runs of contiguous same-direction, same-object accesses
@@ -172,6 +208,22 @@ impl Trace {
         }
         flush(&mut out, &mut pending);
         out
+    }
+}
+
+impl Drop for Trace {
+    fn drop(&mut self) {
+        if self.ops.capacity() < POOL_MIN_CAPACITY {
+            return;
+        }
+        let mut ops = std::mem::take(&mut self.ops);
+        TRACE_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < POOL_MAX_BUFFERS {
+                ops.clear();
+                pool.push(ops);
+            }
+        });
     }
 }
 

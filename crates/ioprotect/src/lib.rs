@@ -136,6 +136,27 @@ pub trait IoProtection {
     fn translate(&self, addr: u64) -> u64 {
         addr
     }
+
+    /// Vets one access and, when granted, returns the physical address
+    /// the memory controller should see — [`IoProtection::check`]
+    /// followed by [`IoProtection::translate`] as a single data-path
+    /// call.
+    ///
+    /// This is the DMA beat hot path: engines issue one `vet` per beat
+    /// instead of two virtual calls. The default is definitionally
+    /// check-then-translate, so mechanisms only override it to fuse the
+    /// two (the CapChecker resolves the object once and reuses it for
+    /// both the verdict and the Coarse address strip); any override must
+    /// preserve the exact verdicts, counters, and exception latching of
+    /// the two-call sequence.
+    ///
+    /// # Errors
+    ///
+    /// The same [`Denial`] that [`IoProtection::check`] would return.
+    fn vet(&mut self, access: &Access) -> Result<u64, Denial> {
+        self.check(access)?;
+        Ok(self.translate(access.addr))
+    }
 }
 
 pub(crate) fn require_valid(cap: &Capability) -> Result<(), GrantError> {
