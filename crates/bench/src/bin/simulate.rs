@@ -107,6 +107,8 @@ fn usage() -> String {
          \x20      simulate faults [--spec none|all:RATE|kind:RATE,...] [--tasks N] [--seed S]\n\
          \x20               [--fus N] [--json]\n\
          \x20      simulate conformance [--seed S] [--ops N] [--json]\n\
+         \x20      simulate verify [--depth N] [--tasks N] [--objects N] [--threads N]\n\
+         \x20               [--planted-bug off-by-one] [--json] [--out FILE]\n\
          \x20      simulate analyze [--lint] [--streams N] [--ops N] [--seed S]\n\
          \x20               [--threads N] [--json] [--out FILE]\n\
          \x20      simulate profile <benchmark|all> [--variant V] [--tasks N] [--seed S]\n\
@@ -218,6 +220,85 @@ fn parse_conformance(args: &[String]) -> Result<(u64, u64, bool), String> {
         }
     }
     Ok((seed, ops, json))
+}
+
+fn parse_verify(
+    args: &[String],
+) -> Result<(capcheri_mc::ExploreConfig, bool, Option<String>), String> {
+    let mut cfg = capcheri_mc::ExploreConfig::new(10);
+    let mut json = false;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--depth" => {
+                cfg.depth = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--depth: {e}"))?;
+            }
+            "--tasks" => {
+                cfg.tasks = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--tasks: {e}"))?;
+            }
+            "--objects" => {
+                cfg.objects = value(&mut it)?
+                    .parse()
+                    .map_err(|e| format!("--objects: {e}"))?;
+            }
+            "--threads" => {
+                cfg.threads = value(&mut it)?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .max(1);
+            }
+            "--planted-bug" => match value(&mut it)?.as_str() {
+                "off-by-one" => cfg.planted = Some(capcheri_mc::PlantedBug::BoundsOffByOne),
+                other => return Err(format!("--planted-bug: unknown bug {other:?}")),
+            },
+            "--json" => json = true,
+            "--out" => out = Some(value(&mut it)?),
+            other => return Err(format!("unknown flag {other:?}\n\n{}", usage())),
+        }
+    }
+    if !(1..=4).contains(&cfg.tasks) || !(1..=4).contains(&cfg.objects) {
+        return Err("--tasks and --objects must be 1-4 (the model is deliberately tiny)".into());
+    }
+    Ok((cfg, json, out))
+}
+
+fn run_verify(cfg: capcheri_mc::ExploreConfig, json: bool, out: Option<String>) -> ExitCode {
+    let result = capcheri_mc::explore(cfg);
+    let rendered = if json {
+        capcheri_mc::to_json(&cfg, &result)
+    } else {
+        capcheri_mc::summary(&cfg, &result)
+    };
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("cannot write {path}: {e}");
+            // Internal error, not a property verdict.
+            return ExitCode::from(2);
+        }
+    } else {
+        print!("{rendered}");
+        if !rendered.ends_with('\n') {
+            println!();
+        }
+    }
+    if result.violation.is_none() {
+        ExitCode::SUCCESS
+    } else {
+        if !json {
+            eprintln!("verify FAILED: a property violation was found");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn run_conformance(seed: u64, ops: u64, json: bool) -> ExitCode {
@@ -722,7 +803,19 @@ fn main() -> ExitCode {
             Ok((seed, ops, json)) => run_conformance(seed, ops, json),
             Err(msg) => {
                 eprintln!("{msg}");
-                ExitCode::FAILURE
+                // Exit 1 is reserved for "property violated"; a bad
+                // invocation is an internal error (exit 2), so CI can
+                // tell a red verdict from a broken harness.
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("verify") {
+        return match parse_verify(&args[1..]) {
+            Ok((cfg, json, out)) => run_verify(cfg, json, out),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
             }
         };
     }

@@ -60,7 +60,11 @@ enum Content {
 
 /// The golden reference model: a flat capability table plus a tiny flat
 /// tag memory.
-#[derive(Debug)]
+///
+/// `Clone` is deliberate: the bounded model checker forks the oracle at
+/// every explored state, and every field is plain owned data, so a clone
+/// is an exact independent copy of the reference model.
+#[derive(Clone, Debug)]
 pub struct Oracle {
     capacity: usize,
     entries: Vec<(TaskId, ObjectId, OracleCap)>,

@@ -12,8 +12,12 @@ use crate::stream::Op;
 /// holds. `still_fails(ops)` must be `true` on entry; the result is
 /// 1-minimal (removing any single remaining op makes the failure
 /// disappear).
+///
+/// Generic over the op type so other harnesses — the bounded model
+/// checker shrinks its own op alphabet — can reuse the same ddmin loop;
+/// conformance call sites instantiate it at [`Op`] unchanged.
 #[must_use]
-pub fn shrink(ops: &[Op], still_fails: &dyn Fn(&[Op]) -> bool) -> Vec<Op> {
+pub fn shrink<T: Clone>(ops: &[T], still_fails: &dyn Fn(&[T]) -> bool) -> Vec<T> {
     let mut current = ops.to_vec();
     debug_assert!(still_fails(&current), "shrink needs a failing stream");
     let mut chunk = (current.len() / 2).max(1);

@@ -60,6 +60,25 @@ impl Default for CachedCheckerConfig {
 
 pub use obs::stats::CacheStats;
 
+/// Architectural state of a [`CachedCapChecker`] captured by
+/// [`CachedCapChecker::snapshot`]: the backing table (sorted by
+/// `(task, object)` so snapshots of equal state are byte-equal), the
+/// exception trace, and the latched global flag.
+///
+/// The cache itself is *not* captured: it is a microarchitectural
+/// accelerator whose contents never change a verdict, so a restored
+/// checker simply starts cold. Counters, attribution, armed fault
+/// injections, and static-verdict maps are likewise excluded.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedCheckerSnapshot {
+    /// Backing-table entries, sorted by `(task, object)`.
+    pub entries: Vec<(TaskId, ObjectId, Capability)>,
+    /// `(task, object)` pairs that have faulted, in fault order.
+    pub exceptions: Vec<(TaskId, ObjectId)>,
+    /// The latched global exception flag.
+    pub exception_flag: bool,
+}
+
 /// One hardware cache line: the compressed capability image plus an
 /// integrity checksum over it.
 ///
@@ -194,6 +213,54 @@ impl CachedCapChecker {
     #[must_use]
     pub fn static_verdicts(&self) -> Option<&StaticVerdictMap> {
         self.static_verdicts.as_ref()
+    }
+
+    /// Captures the checker's architectural state for later
+    /// [`restore`](CachedCapChecker::restore) — see
+    /// [`CachedCheckerSnapshot`] for what is (and is not) captured.
+    #[must_use]
+    pub fn snapshot(&self) -> CachedCheckerSnapshot {
+        let mut entries: Vec<(TaskId, ObjectId, Capability)> = self
+            .backing
+            .iter()
+            .map(|(&(t, o), &cap)| (t, o, cap))
+            .collect();
+        entries.sort_by_key(|&(t, o, _)| (t.0, o.0));
+        CachedCheckerSnapshot {
+            entries,
+            exceptions: self.exceptions.clone(),
+            exception_flag: self.exception_flag,
+        }
+    }
+
+    /// Restores architectural state captured by
+    /// [`snapshot`](CachedCapChecker::snapshot). The cache comes back
+    /// cold and counters restart from zero — timing changes, verdicts do
+    /// not: every check after a restore returns exactly what the
+    /// snapshotted checker would have returned.
+    pub fn restore(&mut self, snap: &CachedCheckerSnapshot) {
+        self.backing = snap
+            .entries
+            .iter()
+            .map(|&(t, o, cap)| ((t, o), cap))
+            .collect();
+        self.cache.clear();
+        self.exceptions = snap.exceptions.clone();
+        self.exception_flag = snap.exception_flag;
+        self.stats = CacheStats::default();
+        self.poison_next = None;
+    }
+
+    /// `true` when the compiled [`VerdictBitmap`] equals
+    /// `VerdictBitmap::build` of the installed map (or is empty when no
+    /// map is installed) — the coherence invariant the model checker
+    /// asserts at every explored state.
+    #[must_use]
+    pub fn verdicts_coherent(&self) -> bool {
+        match &self.static_verdicts {
+            Some(map) => self.verdict_bits == VerdictBitmap::build(map),
+            None => self.verdict_bits.is_empty(),
+        }
     }
 
     /// The configuration this checker was built with.

@@ -65,6 +65,23 @@ pub mod regs {
 
 pub use obs::stats::CheckerStats;
 
+/// Architectural state of a [`CapChecker`] captured by
+/// [`CapChecker::snapshot`]: the table contents (in slot order, with
+/// per-entry exception bits) plus the latched global exception flag.
+///
+/// Performance counters, MMIO staging, attribution, and any installed
+/// static-verdict map are *not* captured — a snapshot records what the
+/// checker enforces, not how fast or why. The bounded model checker
+/// forks thousands of these per run, so they stay small on purpose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckerSnapshot {
+    /// Occupied entries in slot order: task, object, capability, and the
+    /// entry's exception bit.
+    pub entries: Vec<(TaskId, ObjectId, Capability, bool)>,
+    /// The latched global exception flag.
+    pub exception_flag: bool,
+}
+
 #[derive(Clone, Copy, Debug, Default)]
 struct Staging {
     lo: u64,
@@ -169,6 +186,53 @@ impl CapChecker {
     #[must_use]
     pub fn static_verdicts(&self) -> Option<&StaticVerdictMap> {
         self.static_verdicts.as_ref()
+    }
+
+    /// Captures the checker's architectural state for later
+    /// [`restore`](CapChecker::restore) — the fork half of the model
+    /// checker's fork-and-explore loop. See [`CheckerSnapshot`] for what
+    /// is (and is not) captured.
+    #[must_use]
+    pub fn snapshot(&self) -> CheckerSnapshot {
+        CheckerSnapshot {
+            entries: self
+                .table
+                .iter()
+                .map(|e| (e.task, e.object, e.capability, e.exception))
+                .collect(),
+            exception_flag: self.exception_flag,
+        }
+    }
+
+    /// Restores architectural state captured by
+    /// [`snapshot`](CapChecker::snapshot): the table is rebuilt entry for
+    /// entry (exception bits included) and the global flag is reloaded.
+    /// Counters restart from zero and the MMIO staging area is cleared;
+    /// verdicts from the restored state are bit-for-bit those the
+    /// snapshotted checker would have produced.
+    pub fn restore(&mut self, snap: &CheckerSnapshot) {
+        self.table = CapabilityTable::new(self.config.entries);
+        for &(task, object, cap, exception) in &snap.entries {
+            self.table.install(task, object, cap);
+            if exception {
+                self.table.mark_exception(task, object);
+            }
+        }
+        self.exception_flag = snap.exception_flag;
+        self.staging = Staging::default();
+        self.stats = CheckerStats::default();
+    }
+
+    /// `true` when the compiled [`VerdictBitmap`] equals
+    /// `VerdictBitmap::build` of the installed map (or is empty when no
+    /// map is installed) — the coherence invariant the model checker
+    /// asserts at every explored state.
+    #[must_use]
+    pub fn verdicts_coherent(&self) -> bool {
+        match &self.static_verdicts {
+            Some(map) => self.verdict_bits == VerdictBitmap::build(map),
+            None => self.verdict_bits.is_empty(),
+        }
     }
 
     /// The hardware configuration.

@@ -70,10 +70,10 @@ pub use adapt::{
 };
 pub use alloc::{AllocError, HeapAllocator};
 pub use attrib::{CheckAttribution, CheckCounters};
-pub use cached::{CacheStats, CachedCapChecker, CachedCheckerConfig};
-pub use checker::{CapChecker, CheckerStats};
+pub use cached::{CacheStats, CachedCapChecker, CachedCheckerConfig, CachedCheckerSnapshot};
+pub use checker::{CapChecker, CheckerSnapshot, CheckerStats};
 pub use config::{CheckerConfig, CheckerMode};
-pub use elide::{StaticVerdict, StaticVerdictMap};
+pub use elide::{StaticVerdict, StaticVerdictMap, VerdictBitmap};
 pub use engines::{CpuEngine, ProtectedEngine, Provenance};
 pub use recovery::{
     run_campaign, run_campaign_grid, CampaignConfig, CampaignReport, RecoveryOutcome,

@@ -1,0 +1,128 @@
+//! Elision-state coherence across checker rebuilds.
+//!
+//! The static-verdict map and its compiled [`VerdictBitmap`] are one
+//! logical artifact: every checker rebuild (mode switch, degradation,
+//! repromotion) must drop *both together*, even when a revocation sweep
+//! is interleaved mid-way. A rebuild that kept the bitmap while dropping
+//! the map — or vice versa — would either keep eliding checks with no
+//! installed proof or stall elision silently; `verdicts_coherent()` is
+//! the invariant the model checker asserts at every explored state, and
+//! this test drives the same invariant through the full `HeteroSystem`
+//! driver path.
+
+use capchecker::{
+    sweep_revoked, CachedCheckerConfig, CheckerMode, HeteroSystem, ProtectionChoice, StaticVerdict,
+    StaticVerdictMap, SystemConfig, TaskRequest,
+};
+use hetsim::{ObjectId, TaskId};
+
+fn cached_system() -> HeteroSystem {
+    let mut sys = HeteroSystem::new(SystemConfig {
+        protection: ProtectionChoice::CachedCapChecker(CachedCheckerConfig::default()),
+        ..SystemConfig::default()
+    });
+    sys.add_fus("gemm", 2);
+    sys
+}
+
+fn request() -> TaskRequest {
+    TaskRequest::accel("t", "gemm").rw_buffers([256, 256])
+}
+
+/// Asserts the active checker's map/bitmap pair is coherent and reports
+/// whether a map is installed.
+fn coherent_with_map(sys: &HeteroSystem) -> bool {
+    if let Some(c) = sys.cached_checker() {
+        assert!(c.verdicts_coherent(), "cached checker map/bitmap diverged");
+    }
+    if let Some(c) = sys.checker() {
+        assert!(c.verdicts_coherent(), "fixed checker map/bitmap diverged");
+    }
+    sys.static_verdicts().is_some()
+}
+
+/// Runs one elidable kernel burst and returns how far `checks_elided`
+/// moved.
+fn elided_delta(sys: &mut HeteroSystem, task: TaskId) -> u64 {
+    let before = sys.checks_elided();
+    let out = sys
+        .run_accel_task(task, |eng| {
+            for i in 0..8 {
+                eng.store_u32(0, i, i as u32)?;
+            }
+            Ok(())
+        })
+        .expect("kernel runs");
+    assert!(out.completed(), "in-bounds kernel must complete");
+    sys.checks_elided() - before
+}
+
+#[test]
+fn mode_switch_and_repromotion_mid_sweep_drop_map_and_bitmap_together() {
+    let mut sys = cached_system();
+    let heap_base = sys.config().heap_base;
+    let mem_size = sys.config().mem_size;
+    let t = sys.allocate_task(&request()).expect("task allocates");
+
+    // Install a proof for buffer 0 and confirm elision advances.
+    let mut map = StaticVerdictMap::new();
+    map.set(t, ObjectId(0), StaticVerdict::Safe);
+    assert!(sys.install_static_verdicts(map));
+    assert!(coherent_with_map(&sys), "map must be installed");
+    assert_eq!(elided_delta(&mut sys, t), 8, "safe pair elides every beat");
+
+    // Mid-sequence revocation sweep over the front half of the heap,
+    // then a Fine → Coarse mode switch: the rebuild must drop the map
+    // and the compiled bitmap together.
+    let _ = sweep_revoked(sys.memory_mut(), heap_base, (mem_size - heap_base) / 2);
+    assert!(sys.set_checker_mode(CheckerMode::Coarse).is_some());
+    assert!(
+        !coherent_with_map(&sys),
+        "mode switch must drop the verdict map"
+    );
+    assert_eq!(
+        elided_delta(&mut sys, t),
+        0,
+        "elision must stop once the proof is gone"
+    );
+
+    // Re-prove, then degrade mid-sweep: same contract on the
+    // cached → fixed-table swap.
+    let mut map = StaticVerdictMap::new();
+    map.set(t, ObjectId(0), StaticVerdict::Safe);
+    assert!(sys.install_static_verdicts(map));
+    assert!(coherent_with_map(&sys));
+    assert!(elided_delta(&mut sys, t) > 0, "fresh proof elides again");
+    let _ = sweep_revoked(
+        sys.memory_mut(),
+        heap_base + (mem_size - heap_base) / 2,
+        (mem_size - heap_base) / 2,
+    );
+    assert!(sys.degrade_to_uncached().is_some());
+    assert!(
+        !coherent_with_map(&sys),
+        "degradation must drop the verdict map"
+    );
+    assert_eq!(elided_delta(&mut sys, t), 0);
+
+    // Re-prove on the fixed checker, then repromote mid-sweep: the
+    // fixed → cached swap drops the proof too, and the rebuilt checker
+    // still answers (the kernel completes, fully checked).
+    let mut map = StaticVerdictMap::new();
+    map.set(t, ObjectId(0), StaticVerdict::Safe);
+    assert!(sys.install_static_verdicts(map));
+    assert!(coherent_with_map(&sys));
+    let _ = sweep_revoked(sys.memory_mut(), heap_base, (mem_size - heap_base) / 2);
+    assert!(sys
+        .repromote_to_cached(CachedCheckerConfig::default())
+        .is_some());
+    assert!(
+        !coherent_with_map(&sys),
+        "repromotion must drop the verdict map"
+    );
+    assert_eq!(
+        elided_delta(&mut sys, t),
+        0,
+        "no elision without an installed proof"
+    );
+}

@@ -1,0 +1,254 @@
+//! Symmetry reduction: canonical state encodings modulo task/object ids.
+//!
+//! Every op in the alphabet is slot-relative (see [`crate::ops`]), so
+//! renaming tasks or objects commutes with the transition relation:
+//! `π(δ(s, op)) = δ(π(s), π(op))` for any pair of permutations `π`. Two
+//! states that differ only by a renaming therefore have isomorphic
+//! futures, and BFS only needs to expand one representative per orbit.
+//!
+//! The representative is chosen by brute force — the model is capped at
+//! 4×4, so at most `4! × 4! = 576` relabelings per state — as the
+//! lexicographically least byte encoding: one global byte
+//! ([`McState::global_bits`], permutation-invariant) followed by the
+//! per-pair cells ([`McState::cell`]) in relabeled row-major order.
+//! Deduplication compares *entire encodings*, never hashes, so a hash
+//! collision can hide no state; [`fnv_hash`] exists only as a compact
+//! label for reports and property tests.
+
+use crate::state::McState;
+
+/// A canonical (orbit-representative) encoding of one model state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Canonical {
+    /// The lexicographically least encoding over all relabelings.
+    pub bytes: Vec<u8>,
+    /// The task permutation achieving it (index = old id, value = new).
+    pub task_perm: Vec<u8>,
+    /// The object permutation achieving it.
+    pub object_perm: Vec<u8>,
+}
+
+/// All permutations of `0..n`, in a fixed deterministic order.
+pub(crate) fn permutations(n: u8) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut items: Vec<u8> = (0..n).collect();
+    heap_permute(&mut items, n as usize, &mut out);
+    out.sort();
+    out
+}
+
+fn heap_permute(items: &mut Vec<u8>, k: usize, out: &mut Vec<Vec<u8>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Encodes `state` under one relabeling: the global byte, then the cell
+/// of every *relabeled* pair in row-major `(new_task, new_object)` order.
+///
+/// `task_perm[old] = new`, so the cell written at relabeled position
+/// `(nt, no)` is the cell of the old pair mapping to it — we index by
+/// the inverse permutation.
+fn encode_under(state: &McState, task_perm: &[u8], object_perm: &[u8]) -> Vec<u8> {
+    let cfg = state.config();
+    let mut inv_t = vec![0u8; usize::from(cfg.tasks)];
+    let mut inv_o = vec![0u8; usize::from(cfg.objects)];
+    for (old, &new) in task_perm.iter().enumerate() {
+        inv_t[usize::from(new)] = old as u8;
+    }
+    for (old, &new) in object_perm.iter().enumerate() {
+        inv_o[usize::from(new)] = old as u8;
+    }
+    let mut bytes = Vec::with_capacity(1 + usize::from(cfg.tasks) * usize::from(cfg.objects));
+    bytes.push(state.global_bits());
+    for nt in 0..cfg.tasks {
+        for no in 0..cfg.objects {
+            bytes.push(state.cell(inv_t[usize::from(nt)], inv_o[usize::from(no)]));
+        }
+    }
+    bytes
+}
+
+/// The canonical encoding of `state`: the lexicographic minimum of
+/// [`encode_under`] over every task×object permutation pair.
+#[must_use]
+pub fn canonicalize(state: &McState) -> Canonical {
+    let cfg = state.config();
+    let mut best: Option<Canonical> = None;
+    for task_perm in permutations(cfg.tasks) {
+        for object_perm in permutations(cfg.objects) {
+            let bytes = encode_under(state, &task_perm, &object_perm);
+            let better = match &best {
+                None => true,
+                Some(b) => bytes < b.bytes,
+            };
+            if better {
+                best = Some(Canonical {
+                    bytes,
+                    task_perm: task_perm.clone(),
+                    object_perm: object_perm.clone(),
+                });
+            }
+        }
+    }
+    best.expect("at least the identity permutation is tried")
+}
+
+/// Precomputed permutation tables for one model size — the explorer
+/// builds this once instead of regenerating `n!` vectors per state.
+pub(crate) struct PermTables {
+    /// Task permutations, each paired with its inverse.
+    pub tasks: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Object permutations, each paired with its inverse.
+    pub objects: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+fn with_inverses(perms: Vec<Vec<u8>>) -> Vec<(Vec<u8>, Vec<u8>)> {
+    perms
+        .into_iter()
+        .map(|perm| {
+            let mut inv = vec![0u8; perm.len()];
+            for (old, &new) in perm.iter().enumerate() {
+                inv[usize::from(new)] = old as u8;
+            }
+            (perm, inv)
+        })
+        .collect()
+}
+
+impl PermTables {
+    pub(crate) fn new(tasks: u8, objects: u8) -> PermTables {
+        PermTables {
+            tasks: with_inverses(permutations(tasks)),
+            objects: with_inverses(permutations(objects)),
+        }
+    }
+}
+
+/// The canonical encoding packed exactly into a `u128`: 8 bits of
+/// [`McState::global_bits`], then one 4-bit nibble per pair in relabeled
+/// row-major order (each cell fits 4 bits; at most 16 pairs fit 64
+/// nibbles... the model caps at 4×4 = 16 pairs = 64 bits, 72 total).
+///
+/// This is a *lossless packing*, not a hash — deduplicating on it is as
+/// sound as deduplicating on the byte encoding.
+pub(crate) fn canonical_key(state: &McState, perms: &PermTables) -> u128 {
+    let cfg = state.config();
+    let tasks = usize::from(cfg.tasks);
+    let objects = usize::from(cfg.objects);
+    // Cells in identity order, fetched once.
+    let mut cells = [0u8; 16];
+    for t in 0..tasks {
+        for o in 0..objects {
+            cells[t * objects + o] = state.cell(t as u8, o as u8);
+        }
+    }
+    let mut best = u128::MAX;
+    for (_, inv_t) in &perms.tasks {
+        for (_, inv_o) in &perms.objects {
+            let mut packed = u128::from(state.global_bits());
+            for nt in 0..tasks {
+                for no in 0..objects {
+                    let cell = cells[usize::from(inv_t[nt]) * objects + usize::from(inv_o[no])];
+                    packed = (packed << 4) | u128::from(cell);
+                }
+            }
+            if packed < best {
+                best = packed;
+            }
+        }
+    }
+    best
+}
+
+/// FNV-1a 64-bit hash of a canonical encoding — a compact label for
+/// reports and property tests, never used for deduplication.
+#[must_use]
+pub fn fnv_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::McOp;
+    use crate::state::McConfig;
+
+    #[test]
+    fn permutations_are_complete_and_sorted() {
+        let perms = permutations(3);
+        assert_eq!(perms.len(), 6);
+        assert_eq!(perms[0], vec![0, 1, 2]);
+        assert_eq!(perms[5], vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn relabeled_runs_share_a_canonical_encoding() {
+        let cfg = McConfig::new(2, 3);
+        let ops = [
+            McOp::GrantFull { task: 0, object: 1 },
+            McOp::GrantNarrow { task: 1, object: 2 },
+            McOp::Spill { task: 0, object: 0 },
+            McOp::InstallVerdicts,
+        ];
+        let task_perm = [1u8, 0];
+        let object_perm = [2u8, 0, 1];
+        let mut a = McState::new(cfg);
+        let mut b = McState::new(cfg);
+        for op in ops {
+            a.apply(op).unwrap();
+            b.apply(op.relabel(&task_perm, &object_perm)).unwrap();
+        }
+        assert_eq!(canonicalize(&a).bytes, canonicalize(&b).bytes);
+    }
+
+    #[test]
+    fn packed_key_equals_packed_canonical_bytes() {
+        let cfg = McConfig::new(2, 3);
+        let perms = PermTables::new(2, 3);
+        let mut state = McState::new(cfg);
+        for op in [
+            McOp::GrantFull { task: 1, object: 2 },
+            McOp::GrantNarrow { task: 0, object: 1 },
+            McOp::Spill { task: 1, object: 0 },
+            McOp::InstallVerdicts,
+            McOp::Degrade,
+        ] {
+            // The byte encoding is the 8-bit global word followed by
+            // 4-bit cells; packing its lexicographic minimum must equal
+            // what `canonical_key` computes directly.
+            let bytes = canonicalize(&state).bytes;
+            let mut expect = u128::from(bytes[0]);
+            for &cell in &bytes[1..] {
+                assert!(cell < 16, "cells must fit one nibble");
+                expect = (expect << 4) | u128::from(cell);
+            }
+            assert_eq!(canonical_key(&state, &perms), expect);
+            state.apply(op).unwrap();
+        }
+    }
+
+    #[test]
+    fn different_grant_shapes_do_not_collide() {
+        let cfg = McConfig::new(2, 2);
+        let mut a = McState::new(cfg);
+        let mut b = McState::new(cfg);
+        a.apply(McOp::GrantFull { task: 0, object: 0 }).unwrap();
+        b.apply(McOp::GrantNarrow { task: 0, object: 0 }).unwrap();
+        assert_ne!(canonicalize(&a).bytes, canonicalize(&b).bytes);
+    }
+}

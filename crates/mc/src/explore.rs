@@ -1,0 +1,385 @@
+//! The bounded breadth-first explorer.
+//!
+//! BFS proceeds in depth levels. Each level's frontier holds only the
+//! op-index path that reached each state; expansion rebuilds the
+//! concrete [`McState`] by replaying that path from the initial state,
+//! applies every alphabet op, canonicalizes each successor, and keeps
+//! the ones whose canonical encoding has not been seen. Dedup compares
+//! losslessly packed canonical encodings (`u128`s, not hashes), so the
+//! reduction is exact — a collision cannot hide a state.
+//!
+//! With `threads > 1`, frontier states expand in parallel through
+//! [`perf::parallel_map`]. Workers only read the *prior* levels' seen
+//! set; within-level duplicates are pruned afterwards in a sequential,
+//! frontier-index-ordered merge, and when violations surface the whole
+//! level still finishes so the lowest `(frontier index, op index)`
+//! violation is reported. Both choices exist for one reason: every
+//! counter and the reported counterexample are byte-identical across
+//! thread counts.
+
+use crate::canon::{canonical_key, PermTables};
+use crate::ops::{alphabet, McOp};
+use crate::state::{McConfig, McState, PlantedBug, Violation};
+use obs::{Event, EventKind};
+use std::collections::HashSet;
+
+/// Parameters of one bounded exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Maximum path length explored (BFS levels).
+    pub depth: u32,
+    /// Tasks in the model.
+    pub tasks: u8,
+    /// Objects per task.
+    pub objects: u8,
+    /// Optional planted bug (test hook).
+    pub planted: Option<PlantedBug>,
+    /// Worker threads for frontier expansion (1 = sequential).
+    pub threads: usize,
+}
+
+impl ExploreConfig {
+    /// The default scaled-down run: 2 tasks × 3 objects, sequential.
+    #[must_use]
+    pub fn new(depth: u32) -> ExploreConfig {
+        ExploreConfig {
+            depth,
+            tasks: 2,
+            objects: 3,
+            planted: None,
+            threads: 1,
+        }
+    }
+
+    fn mc_config(self) -> McConfig {
+        let mut cfg = McConfig::new(self.tasks, self.objects);
+        if let Some(bug) = self.planted {
+            cfg = cfg.with_planted(bug);
+        }
+        cfg
+    }
+}
+
+/// A property violation found during exploration, with its replayable
+/// path and the ddmin-shrunk counterexample.
+#[derive(Clone, Debug)]
+pub struct FoundViolation {
+    /// The exact op sequence that reached the violation.
+    pub path: Vec<McOp>,
+    /// What broke.
+    pub violation: Violation,
+    /// The 1-minimal subsequence that still violates (via
+    /// [`conformance::shrink`]).
+    pub shrunk: Vec<McOp>,
+}
+
+/// Outcome of one bounded exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreResult {
+    /// Unique canonical states discovered (including the initial state).
+    pub states: u64,
+    /// Transitions applied (op applications that completed).
+    pub transitions: u64,
+    /// Successors that re-hit an already-seen canonical state.
+    pub revisits: u64,
+    /// Deepest level actually expanded.
+    pub depth_reached: u32,
+    /// New-state count per depth level (index 0 = depth 1).
+    pub frontier_per_depth: Vec<u64>,
+    /// True when the frontier emptied before the depth bound — the
+    /// reachable state space was exhausted.
+    pub complete: bool,
+    /// The first violation found, in deterministic order, if any.
+    pub violation: Option<FoundViolation>,
+    /// Observability events (cycle = depth level), mirroring the
+    /// conformance harness's convention.
+    pub events: Vec<Event>,
+}
+
+/// One expanded successor, before the sequential dedup merge.
+struct Successor {
+    /// The losslessly packed canonical encoding ([`canonical_key`]).
+    key: u128,
+    /// Index of the op that produced this successor.
+    op_idx: u16,
+}
+
+/// Everything one frontier state produced: its kept successors in op
+/// order, how many ops applied, how many successors were prior-level
+/// revisits, and its first violation (op index + detail).
+struct Expansion {
+    successors: Vec<Successor>,
+    transitions: u64,
+    revisits: u64,
+    violation: Option<(u16, Violation)>,
+}
+
+/// Rebuilds a frontier state by replaying its op-index path from the
+/// initial state. The frontier stores *only paths* (a few bytes each):
+/// materialized states would hold hundreds of megabytes of small
+/// allocations at deep levels, and the resulting allocator and
+/// page-fault churn costs far more than ≤ depth replays per state.
+fn replay_path(cfg: McConfig, ops: &[McOp], path: &[u16]) -> McState {
+    let mut state = McState::new(cfg);
+    for &op_idx in path {
+        state
+            .apply(ops[usize::from(op_idx)])
+            .expect("a frontier path replays cleanly — it was checked when first explored");
+    }
+    state
+}
+
+/// Expands one frontier state against the whole alphabet. `seen` is the
+/// prior-level canonical set — read-only, shared across workers.
+fn expand(
+    cfg: McConfig,
+    ops: &[McOp],
+    perms: &PermTables,
+    seen: &HashSet<u128>,
+    path: &[u16],
+) -> Expansion {
+    let mut out = Expansion {
+        successors: Vec::new(),
+        transitions: 0,
+        revisits: 0,
+        violation: None,
+    };
+    // One replay per frontier state; each op then works on a clone — all
+    // ops share the same predecessor.
+    let mut base = replay_path(cfg, ops, path);
+    for (op_idx, &op) in ops.iter().enumerate() {
+        // Abstractly inert ops (see `McState::abstractly_inert`) run on
+        // the shared base: their successor is canonically the
+        // predecessor, whose key is already in `seen`. The refinement
+        // and invariant checks still run in full.
+        if base.abstractly_inert(op) {
+            #[cfg(debug_assertions)]
+            let key_before = canonical_key(&base, perms);
+            match base.apply(op) {
+                Ok(()) => {
+                    #[cfg(debug_assertions)]
+                    debug_assert_eq!(
+                        key_before,
+                        canonical_key(&base, perms),
+                        "op {op:?} claimed inert but changed the canonical state"
+                    );
+                    out.transitions += 1;
+                    out.revisits += 1;
+                }
+                Err(violation) => {
+                    out.violation = Some((op_idx as u16, violation));
+                    break;
+                }
+            }
+            continue;
+        }
+        let mut state = base.clone();
+        match state.apply(op) {
+            Ok(()) => {
+                out.transitions += 1;
+                let key = canonical_key(&state, perms);
+                if seen.contains(&key) {
+                    out.revisits += 1;
+                    continue;
+                }
+                out.successors.push(Successor {
+                    key,
+                    op_idx: op_idx as u16,
+                });
+            }
+            Err(violation) => {
+                out.violation = Some((op_idx as u16, violation));
+                // Deterministic tie-break needs nothing past the first
+                // violating op of this state.
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn path_to_ops(ops: &[McOp], path: &[u16], last: Option<u16>) -> Vec<McOp> {
+    path.iter()
+        .copied()
+        .chain(last)
+        .map(|i| ops[usize::from(i)])
+        .collect()
+}
+
+/// Runs the bounded BFS to completion or the depth bound.
+///
+/// Deterministic for a fixed config *including across `threads` values*:
+/// states expand in frontier order, successors merge in
+/// `(frontier index, op index)` order, and the reported violation is the
+/// least such pair of the first level containing any.
+///
+/// # Panics
+///
+/// Propagates worker panics from the parallel expansion path.
+#[must_use]
+pub fn explore(cfg: ExploreConfig) -> ExploreResult {
+    let mc_cfg = cfg.mc_config();
+    let ops = alphabet(cfg.tasks, cfg.objects);
+    let perms = PermTables::new(cfg.tasks, cfg.objects);
+    let initial = McState::new(mc_cfg);
+
+    let mut seen: HashSet<u128> = HashSet::new();
+    seen.insert(canonical_key(&initial, &perms));
+    let mut frontier: Vec<Vec<u16>> = vec![Vec::new()];
+
+    let mut result = ExploreResult {
+        states: 1,
+        transitions: 0,
+        revisits: 0,
+        depth_reached: 0,
+        frontier_per_depth: Vec::new(),
+        complete: false,
+        violation: None,
+        events: Vec::new(),
+    };
+
+    for depth in 1..=cfg.depth {
+        if frontier.is_empty() {
+            result.complete = true;
+            break;
+        }
+        let expansions: Vec<Expansion> = if cfg.threads > 1 {
+            let frontier_ref = &frontier;
+            let seen_ref = &seen;
+            let ops_ref = &ops;
+            let perms_ref = &perms;
+            perf::parallel_map(cfg.threads, frontier_ref.len(), |i| {
+                expand(mc_cfg, ops_ref, perms_ref, seen_ref, &frontier_ref[i])
+            })
+            .expect("model-checker worker panicked")
+        } else {
+            frontier
+                .iter()
+                .map(|path| expand(mc_cfg, &ops, &perms, &seen, path))
+                .collect()
+        };
+
+        result.depth_reached = depth;
+        let mut next: Vec<Vec<u16>> = Vec::new();
+        let mut level_new = 0u64;
+        for (f_idx, expansion) in expansions.iter().enumerate() {
+            result.transitions += expansion.transitions;
+            result.revisits += expansion.revisits;
+            for successor in &expansion.successors {
+                // Within-level dedup happens here, sequentially and in
+                // (frontier index, op index) order — identical to what
+                // the sequential path interleaves with expansion.
+                if seen.insert(successor.key) {
+                    level_new += 1;
+                    let mut path = frontier[f_idx].clone();
+                    path.push(successor.op_idx);
+                    next.push(path);
+                } else {
+                    result.revisits += 1;
+                }
+            }
+            if result.violation.is_none() {
+                if let Some((op_idx, violation)) = &expansion.violation {
+                    let full = path_to_ops(&ops, &frontier[f_idx], Some(*op_idx));
+                    let shrunk = conformance::shrink(&full, &|candidate| {
+                        McState::replay(mc_cfg, candidate).is_some()
+                    });
+                    result.violation = Some(FoundViolation {
+                        path: full,
+                        violation: violation.clone(),
+                        shrunk,
+                    });
+                }
+            }
+        }
+        result.states += level_new;
+        result.frontier_per_depth.push(level_new);
+        result.events.push(Event {
+            cycle: u64::from(depth),
+            kind: EventKind::ModelCheckDepth {
+                depth,
+                states: result.states,
+                frontier: level_new,
+            },
+        });
+        if result.violation.is_some() {
+            break;
+        }
+        frontier = next;
+    }
+    if result.violation.is_none() && frontier.is_empty() {
+        result.complete = true;
+    }
+    result.events.push(Event {
+        cycle: u64::from(result.depth_reached),
+        kind: EventKind::ModelCheckComplete {
+            states: result.states,
+            violations: u64::from(result.violation.is_some()),
+        },
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shallow_exploration_is_clean_and_deterministic() {
+        let cfg = ExploreConfig {
+            depth: 3,
+            tasks: 2,
+            objects: 2,
+            planted: None,
+            threads: 1,
+        };
+        let a = explore(cfg);
+        assert!(a.violation.is_none(), "clean model must verify");
+        assert!(a.states > 1);
+        let b = explore(cfg);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.revisits, b.revisits);
+        assert_eq!(a.frontier_per_depth, b.frontier_per_depth);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_any_counter() {
+        let mut cfg = ExploreConfig {
+            depth: 3,
+            tasks: 2,
+            objects: 2,
+            planted: None,
+            threads: 1,
+        };
+        let seq = explore(cfg);
+        cfg.threads = 4;
+        let par = explore(cfg);
+        assert_eq!(seq.states, par.states);
+        assert_eq!(seq.transitions, par.transitions);
+        assert_eq!(seq.revisits, par.revisits);
+        assert_eq!(seq.frontier_per_depth, par.frontier_per_depth);
+        assert_eq!(seq.complete, par.complete);
+    }
+
+    #[test]
+    fn planted_bug_is_found_quickly_with_a_short_shrunk_repro() {
+        let cfg = ExploreConfig {
+            depth: 4,
+            tasks: 2,
+            objects: 2,
+            planted: Some(PlantedBug::BoundsOffByOne),
+            threads: 1,
+        };
+        let result = explore(cfg);
+        let found = result.violation.expect("planted bug must be found");
+        assert_eq!(found.violation.property, "verdict-refinement");
+        assert!(
+            found.shrunk.len() <= 6,
+            "shrunk repro too long: {:?}",
+            found.shrunk
+        );
+        // The shrunk sequence must still reproduce from scratch.
+        assert!(McState::replay(cfg.mc_config(), &found.shrunk).is_some());
+    }
+}

@@ -1,0 +1,178 @@
+//! The `capcheri.modelcheck.v1` machine-readable report.
+//!
+//! Byte-deterministic for a fixed [`ExploreConfig`] — including across
+//! `--threads` values — so CI diffs two runs and archives the artifact.
+//! Built with `obs`'s [`JsonWriter`] like every other report schema in
+//! the repo.
+
+use crate::explore::{ExploreConfig, ExploreResult};
+use crate::ops::McOp;
+use obs::json::JsonWriter;
+
+/// Schema identifier embedded in the report.
+pub const SCHEMA: &str = "capcheri.modelcheck.v1";
+
+/// Formats a shrunk counterexample as a ready-to-paste regression test.
+///
+/// [`McOp`]'s fields are plain integers, so its `Debug` output —
+/// prefixed with `capcheri_mc::McOp::` — is valid constructor syntax
+/// (the same property `conformance::regression_test` relies on).
+#[must_use]
+pub fn regression_test(ops: &[McOp]) -> String {
+    let mut body = String::new();
+    body.push_str("#[test]\nfn modelcheck_regression() {\n    let ops = vec![\n");
+    for op in ops {
+        body.push_str(&format!("        capcheri_mc::McOp::{op:?},\n"));
+    }
+    body.push_str(
+        "    ];\n    let cfg = capcheri_mc::McConfig::new(2, 3);\n    \
+         assert_eq!(capcheri_mc::McState::replay(cfg, &ops), None);\n}\n",
+    );
+    body
+}
+
+/// Renders one exploration as the `capcheri.modelcheck.v1` document.
+#[must_use]
+pub fn to_json(cfg: &ExploreConfig, result: &ExploreResult) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("schema");
+    w.string(SCHEMA);
+    w.key("tasks");
+    w.u64(u64::from(cfg.tasks));
+    w.key("objects");
+    w.u64(u64::from(cfg.objects));
+    w.key("depth");
+    w.u64(u64::from(cfg.depth));
+    w.key("planted_bug");
+    w.bool(cfg.planted.is_some());
+
+    w.key("states");
+    w.u64(result.states);
+    w.key("transitions");
+    w.u64(result.transitions);
+    w.key("revisits");
+    w.u64(result.revisits);
+    w.key("depth_reached");
+    w.u64(u64::from(result.depth_reached));
+    w.key("complete");
+    w.bool(result.complete);
+
+    w.key("frontier_per_depth");
+    w.begin_array();
+    for &count in &result.frontier_per_depth {
+        w.u64(count);
+    }
+    w.end_array();
+
+    w.key("violations");
+    w.begin_array();
+    if let Some(found) = &result.violation {
+        w.begin_object();
+        w.key("subject");
+        w.string(&found.violation.subject);
+        w.key("property");
+        w.string(found.violation.property);
+        w.key("detail");
+        w.string(&found.violation.detail);
+        w.key("path_len");
+        w.u64(found.path.len() as u64);
+        w.key("path");
+        w.begin_array();
+        for op in &found.path {
+            w.string(&format!("{op:?}"));
+        }
+        w.end_array();
+        w.key("shrunk");
+        w.begin_array();
+        for op in &found.shrunk {
+            w.string(&format!("{op:?}"));
+        }
+        w.end_array();
+        w.key("reproducer");
+        w.string(&regression_test(&found.shrunk));
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("verdict");
+    w.string(if result.violation.is_none() {
+        "clean"
+    } else {
+        "violation"
+    });
+    w.end_object();
+    w.finish()
+}
+
+/// A short human-readable summary for terminal output.
+#[must_use]
+pub fn summary(cfg: &ExploreConfig, result: &ExploreResult) -> String {
+    let mut text = format!(
+        "modelcheck {}x{} depth={}\n\
+         states: {} unique, {} transitions, {} revisits\n\
+         depth reached: {} ({})\n",
+        cfg.tasks,
+        cfg.objects,
+        cfg.depth,
+        result.states,
+        result.transitions,
+        result.revisits,
+        result.depth_reached,
+        if result.complete {
+            "state space exhausted"
+        } else {
+            "depth bound hit"
+        },
+    );
+    match &result.violation {
+        None => text.push_str("verdict: clean — every reachable state satisfies every property\n"),
+        Some(found) => {
+            text.push_str(&format!(
+                "verdict: VIOLATION — {} broke {} ({})\n\
+                 path ({} ops): {:?}\n\
+                 shrunk ({} ops): {:?}\n",
+                found.violation.subject,
+                found.violation.property,
+                found.violation.detail,
+                found.path.len(),
+                found.path,
+                found.shrunk.len(),
+                found.shrunk,
+            ));
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+
+    #[test]
+    fn report_is_byte_deterministic_and_schema_tagged() {
+        let cfg = ExploreConfig {
+            depth: 2,
+            tasks: 2,
+            objects: 2,
+            planted: None,
+            threads: 1,
+        };
+        let a = to_json(&cfg, &explore(cfg));
+        let b = to_json(&cfg, &explore(cfg));
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\":\"capcheri.modelcheck.v1\""));
+        assert!(a.contains("\"verdict\":\"clean\""));
+    }
+
+    #[test]
+    fn regression_test_renders_constructor_syntax() {
+        let text = regression_test(&[
+            McOp::GrantFull { task: 0, object: 0 },
+            McOp::ReadEdge { task: 0, object: 0 },
+        ]);
+        assert!(text.contains("capcheri_mc::McOp::GrantFull { task: 0, object: 0 }"));
+        assert!(text.contains("McState::replay"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the symmetry reduction.
+//!
+//! Two claims carry the model checker's soundness, and both are
+//! randomized here well beyond what the unit tests pin:
+//!
+//! 1. **Equivariance** — relabeling task/object ids in an op sequence
+//!    lands in the same canonical encoding (and so the same FNV label).
+//!    This is exactly the property that lets BFS expand one orbit
+//!    representative instead of every relabeled twin.
+//! 2. **Abstraction adequacy** — states with equal canonical encodings
+//!    are indistinguishable under the full probe suite: every subject
+//!    gives the same verdict on every probe of every (relabeled) pair.
+//!    Dedup on the encoding therefore cannot merge two states a checker
+//!    bug could tell apart.
+
+use capcheri_mc::{alphabet, canonicalize, fnv_hash, McConfig, McOp, McState};
+use proptest::prelude::*;
+
+const TASKS: u8 = 2;
+const OBJECTS: u8 = 3;
+
+/// All permutations of `0..n` (n ≤ 3 here), fixed order.
+fn perms(n: u8) -> Vec<Vec<u8>> {
+    match n {
+        2 => vec![vec![0, 1], vec![1, 0]],
+        3 => vec![
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ],
+        _ => panic!("unsupported size {n}"),
+    }
+}
+
+fn inverse(perm: &[u8]) -> Vec<u8> {
+    let mut inv = vec![0u8; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[usize::from(new)] = old as u8;
+    }
+    inv
+}
+
+/// Builds a state by applying ops drawn by index from the alphabet.
+/// The clean model never violates, so every op applies.
+fn run(ops: &[McOp]) -> McState {
+    let mut state = McState::new(McConfig::new(TASKS, OBJECTS));
+    for &op in ops {
+        state
+            .apply(op)
+            .expect("clean model ops apply without violation");
+    }
+    state
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<McOp>> {
+    let all = alphabet(TASKS, OBJECTS);
+    let n = all.len();
+    prop::collection::vec(0..n, 0..12)
+        .prop_map(move |ixs| ixs.into_iter().map(|i| all[i]).collect())
+}
+
+proptest! {
+    /// Permuting every id in an op sequence yields the same canonical
+    /// encoding and the same FNV label — transition commutes with
+    /// relabeling, so orbits collapse to one representative.
+    #[test]
+    fn relabeled_sequences_share_canonical_encoding(
+        ops in arb_ops(),
+        tp in 0usize..2,
+        op_ix in 0usize..6,
+    ) {
+        let task_perm = &perms(TASKS)[tp];
+        let object_perm = &perms(OBJECTS)[op_ix];
+        let a = run(&ops);
+        let relabeled: Vec<McOp> =
+            ops.iter().map(|op| op.relabel(task_perm, object_perm)).collect();
+        let b = run(&relabeled);
+        let ca = canonicalize(&a);
+        let cb = canonicalize(&b);
+        prop_assert_eq!(&ca.bytes, &cb.bytes);
+        prop_assert_eq!(fnv_hash(&ca.bytes), fnv_hash(&cb.bytes));
+    }
+
+    /// Equal canonical encodings imply *verdict equivalence*: under each
+    /// state's own minimizing permutation, every relabeled pair answers
+    /// the whole probe suite identically across all five subjects. This
+    /// is the license to dedup — the encoding loses nothing a probe
+    /// could observe.
+    #[test]
+    fn equal_encodings_are_probe_equivalent(
+        ops in arb_ops(),
+        tp in 0usize..2,
+        op_ix in 0usize..6,
+    ) {
+        let task_perm = &perms(TASKS)[tp];
+        let object_perm = &perms(OBJECTS)[op_ix];
+        let a = run(&ops);
+        let relabeled: Vec<McOp> =
+            ops.iter().map(|op| op.relabel(task_perm, object_perm)).collect();
+        let b = run(&relabeled);
+        let ca = canonicalize(&a);
+        let cb = canonicalize(&b);
+        prop_assert_eq!(&ca.bytes, &cb.bytes, "precondition: same orbit");
+        // Map each canonical position back through each state's own
+        // minimizing permutation; the concrete pairs must probe alike.
+        let (ia_t, ia_o) = (inverse(&ca.task_perm), inverse(&ca.object_perm));
+        let (ib_t, ib_o) = (inverse(&cb.task_perm), inverse(&cb.object_perm));
+        for nt in 0..TASKS {
+            for no in 0..OBJECTS {
+                let pa = a.probe_pair(ia_t[usize::from(nt)], ia_o[usize::from(no)]);
+                let pb = b.probe_pair(ib_t[usize::from(nt)], ib_o[usize::from(no)]);
+                prop_assert_eq!(pa, pb, "probe divergence at canonical pair ({}, {})", nt, no);
+            }
+        }
+    }
+
+    /// Replaying any clean-model sequence twice gives byte-identical
+    /// canonical encodings — the model itself is deterministic, which
+    /// the byte-determinism of whole reports rests on.
+    #[test]
+    fn replay_is_deterministic(ops in arb_ops()) {
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(canonicalize(&a).bytes, canonicalize(&b).bytes);
+        for t in 0..TASKS {
+            for o in 0..OBJECTS {
+                prop_assert_eq!(a.probe_pair(t, o), b.probe_pair(t, o));
+            }
+        }
+    }
+}

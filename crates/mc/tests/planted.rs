@@ -1,0 +1,119 @@
+//! The planted-bug kill test: proof the model checker catches a real,
+//! historical-shaped defect.
+//!
+//! `PlantedBug::BoundsOffByOne` re-introduces (behind a test-only hook)
+//! the classic fencepost: a one-byte bounds overflow that is "retried"
+//! one byte shorter and waved through. The checker must find it at small
+//! depth, and the ddmin-shrunk counterexample — plus the paste-ready
+//! regression test it renders — is pinned as a golden snapshot so the
+//! kill stays visibly short forever. Regenerate after an intentional
+//! model change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p capcheri-mc --test planted
+//! ```
+
+use capcheri_mc::{explore, regression_test, ExploreConfig, McState, PlantedBug};
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v == "1");
+    let path = golden_path(name);
+    if update {
+        fs::create_dir_all(path.parent().expect("golden path has a parent"))
+            .expect("golden dir is creatable");
+        fs::write(&path, rendered).expect("golden dir is writable");
+        return;
+    }
+    let pinned = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        pinned, rendered,
+        "{name} drifted from its golden snapshot;\n\
+         if the change is intentional, regenerate with\n\
+         UPDATE_GOLDEN=1 cargo test -p capcheri-mc --test planted\n\
+         and commit the rewritten file"
+    );
+}
+
+/// The planted off-by-one must be found in a bounded, shallow search,
+/// its shrunk repro must be short (≤ 6 ops), must still reproduce from
+/// scratch, and both the shrunk sequence and its rendered regression
+/// test are pinned byte-for-byte.
+#[test]
+fn planted_off_by_one_is_killed_and_the_shrunk_repro_is_pinned() {
+    let cfg = ExploreConfig {
+        depth: 4,
+        tasks: 2,
+        objects: 2,
+        planted: Some(PlantedBug::BoundsOffByOne),
+        threads: 1,
+    };
+    let result = explore(cfg);
+    let found = result
+        .violation
+        .as_ref()
+        .expect("the planted off-by-one must be found by depth 4");
+
+    // The bug is a checker saying Granted where the oracle denies — a
+    // verdict-refinement break, not an invariant or oracle failure.
+    assert_eq!(found.violation.property, "verdict-refinement");
+    assert!(
+        found.shrunk.len() <= 6,
+        "shrunk repro must stay paste-ready short, got {} ops: {:?}",
+        found.shrunk.len(),
+        found.shrunk
+    );
+    assert!(
+        found.shrunk.len() <= found.path.len(),
+        "shrinking may never grow the path"
+    );
+
+    // The shrunk sequence is a *genuine* counterexample: replaying it
+    // from the initial state reproduces a violation, and replaying it
+    // without the planted bug is clean (the model itself is not broken).
+    let mc_cfg = capcheri_mc::McConfig::new(2, 2).with_planted(PlantedBug::BoundsOffByOne);
+    assert!(
+        McState::replay(mc_cfg, &found.shrunk).is_some(),
+        "shrunk counterexample must reproduce from scratch"
+    );
+    let clean_cfg = capcheri_mc::McConfig::new(2, 2);
+    assert_eq!(
+        McState::replay(clean_cfg, &found.shrunk),
+        None,
+        "the counterexample must vanish once the planted bug is removed"
+    );
+
+    // Pin the shrunk ops and the rendered regression test.
+    let mut shrunk_doc = String::new();
+    for op in &found.shrunk {
+        shrunk_doc.push_str(&format!("{op:?}\n"));
+    }
+    check_golden("planted_off_by_one.ops.txt", &shrunk_doc);
+    check_golden(
+        "planted_off_by_one.regression.rs.txt",
+        &regression_test(&found.shrunk),
+    );
+}
+
+/// Without the planted hook the exact same exploration is clean — the
+/// kill test above cannot be passing on a broken model.
+#[test]
+fn the_same_search_without_the_plant_is_clean() {
+    let cfg = ExploreConfig {
+        depth: 4,
+        tasks: 2,
+        objects: 2,
+        planted: None,
+        threads: 1,
+    };
+    let result = explore(cfg);
+    assert!(result.violation.is_none());
+}

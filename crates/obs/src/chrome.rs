@@ -239,6 +239,24 @@ fn write_event(w: &mut JsonWriter, event: &Event) {
                     w.key("regranted");
                     w.u64(regranted);
                 }
+                EventKind::ModelCheckDepth {
+                    depth,
+                    states,
+                    frontier,
+                } => {
+                    w.key("depth");
+                    w.u64(u64::from(depth));
+                    w.key("states");
+                    w.u64(states);
+                    w.key("frontier");
+                    w.u64(frontier);
+                }
+                EventKind::ModelCheckComplete { states, violations } => {
+                    w.key("states");
+                    w.u64(states);
+                    w.key("violations");
+                    w.u64(violations);
+                }
             }
             w.end_object();
         }

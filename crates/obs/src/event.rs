@@ -370,6 +370,22 @@ pub enum EventKind {
         /// Capabilities re-granted into the rebuilt checker.
         regranted: u64,
     },
+    /// The bounded model checker finished exploring one BFS depth level.
+    ModelCheckDepth {
+        /// Depth level just completed (1 = the initial state's successors).
+        depth: u32,
+        /// Unique canonical states discovered so far.
+        states: u64,
+        /// States waiting in the next frontier.
+        frontier: u64,
+    },
+    /// A bounded model-checking run finished.
+    ModelCheckComplete {
+        /// Unique canonical states explored.
+        states: u64,
+        /// Property violations found (0 on a clean run).
+        violations: u64,
+    },
 }
 
 impl EventKind {
@@ -407,6 +423,8 @@ impl EventKind {
             EventKind::EngineReleased { .. } => "engine_released",
             EventKind::CheckerRepromoted { .. } => "checker_repromoted",
             EventKind::CheckerModeSwitched { .. } => "checker_mode_switched",
+            EventKind::ModelCheckDepth { .. } => "modelcheck_depth",
+            EventKind::ModelCheckComplete { .. } => "modelcheck_complete",
         }
     }
 
@@ -442,6 +460,7 @@ impl EventKind {
             EventKind::EngineReleased { .. }
             | EventKind::CheckerRepromoted { .. }
             | EventKind::CheckerModeSwitched { .. } => "recovery",
+            EventKind::ModelCheckDepth { .. } | EventKind::ModelCheckComplete { .. } => "verify",
         }
     }
 }
@@ -556,6 +575,19 @@ mod tests {
         };
         assert_eq!(switched.name(), "checker_mode_switched");
         assert_eq!(switched.track(), "recovery");
+        let level = EventKind::ModelCheckDepth {
+            depth: 3,
+            states: 120,
+            frontier: 40,
+        };
+        assert_eq!(level.name(), "modelcheck_depth");
+        assert_eq!(level.track(), "verify");
+        let verified = EventKind::ModelCheckComplete {
+            states: 500,
+            violations: 0,
+        };
+        assert_eq!(verified.name(), "modelcheck_complete");
+        assert_eq!(verified.track(), "verify");
     }
 
     #[test]

@@ -188,6 +188,21 @@ pub fn conformance_campaign(ops: u64, seed: u64) -> conformance::ConformanceRepo
     conformance::run_conformance(seed, ops)
 }
 
+/// Runs a bounded model-checking campaign: where [`conformance_campaign`]
+/// *samples* long random streams, this *exhausts* every op interleaving
+/// of a scaled-down model up to `depth` (see the `capcheri-mc` crate).
+/// The two are complementary ends of the same spec: random streams reach
+/// deep, rare interactions; BFS certifies there is no shallow corner
+/// case at all.
+#[must_use]
+pub fn verify_campaign(depth: u32, tasks: u8, objects: u8) -> capcheri_mc::ExploreResult {
+    capcheri_mc::explore(capcheri_mc::ExploreConfig {
+        tasks,
+        objects,
+        ..capcheri_mc::ExploreConfig::new(depth)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +215,16 @@ mod tests {
         let b = conformance_campaign(600, 0xF024);
         assert!(a.is_clean(), "{}", a.summary());
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn verify_campaign_is_clean_and_deterministic() {
+        let a = verify_campaign(3, 2, 2);
+        let b = verify_campaign(3, 2, 2);
+        assert!(a.violation.is_none(), "{:?}", a.violation);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.frontier_per_depth, b.frontier_per_depth);
     }
 
     #[test]
