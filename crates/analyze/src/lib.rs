@@ -32,14 +32,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bench;
+pub mod flow;
 pub mod lint;
+pub mod provenance;
 pub mod stream;
 
 pub use bench::{
     analyze_benchmark, audit_grants, declared_perms, default_grants, mode_perms, BenchAnalysis,
     PortReport, StaticGrant,
 };
+pub use flow::{
+    analyze_flow, churn_grants, reanalysis_work, Barrier, FlowAnalysis, IncrementalAnalyzer,
+    SegmentPair, SegmentReport, WorkRatio,
+};
 pub use lint::{lint_paths, lint_source, LintFinding};
+pub use provenance::{GrantNode, InstalledGrant, ProvenanceLattice};
 pub use stream::{analyze_stream, PairSummary, StreamAnalysis};
 
 use std::fmt;
@@ -49,7 +56,8 @@ use std::fmt;
 pub struct Finding {
     /// Stable category slug: `over-privilege`, `port-aliasing`,
     /// `stale-grant`, `no-entry`, `bad-provenance`, `permission`,
-    /// `bounds`, `out-of-bounds`, `undeclared-access`, `tag`, `seal`.
+    /// `bounds`, `out-of-bounds`, `undeclared-access`, `tag`, `seal`,
+    /// `authority-widening`, `cross-tenant-flow`.
     pub category: &'static str,
     /// What the finding is about (a `(task, object)` pair, a port name).
     pub subject: String,

@@ -14,6 +14,15 @@
 //!   order-dependent;
 //! * **`nd-wall-clock`** — `Instant::now`/`SystemTime::now` inside the
 //!   timing-critical crates, where simulated time is the only clock;
+//! * **`nd-hashmap-iter`** — same-line iteration over a
+//!   `HashMap`/`HashSet` (`.iter()`, `.keys()`, `.values()`, `.drain()`,
+//!   or a `for` loop) outside test code: hash order varies per process,
+//!   so anything folded from it must be re-ordered before use;
+//! * **`panic-in-hot-path`** — `.unwrap()`, `.expect(...)`, or `panic!`
+//!   in the per-access hot-path files (`crates/core/src/{checker,
+//!   cached,elide}.rs`, `crates/hetsim/src/timing.rs`) outside test
+//!   code, where a panic aborts the simulated machine instead of
+//!   reporting a fault through the exception path;
 //! * **`unsafe-audit`** — an `unsafe` token without a `// SAFETY:`
 //!   comment in the three lines above it. The workspace forbids `unsafe`
 //!   outright (`unsafe_code = "forbid"`), so this rule exists for
@@ -254,6 +263,19 @@ fn is_timing_path(file: &str) -> bool {
         .any(|m| file.contains(m))
 }
 
+/// Whether `file` is on the per-access hot path, where a panic aborts
+/// the simulated machine instead of latching a fault.
+fn is_hot_path(file: &str) -> bool {
+    [
+        "crates/core/src/checker.rs",
+        "crates/core/src/cached.rs",
+        "crates/core/src/elide.rs",
+        "crates/hetsim/src/timing.rs",
+    ]
+    .iter()
+    .any(|m| file.ends_with(m))
+}
+
 /// Lints one file's source text. `file` is used for path-sensitive rules
 /// and in findings; it is not opened.
 #[must_use]
@@ -285,8 +307,18 @@ pub fn lint_source(file: &str, source: &str) -> Vec<LintFinding> {
 
     let report_path = is_report_path(file);
     let timing_path = is_timing_path(file);
+    let hot_path = is_hot_path(file);
+    // Test modules are file-final in this repository, so everything at
+    // or after the first `#[cfg(test)]` is test code — where panics are
+    // the assertion mechanism and hash order never reaches a report.
+    let first_test_line = lexed
+        .code
+        .iter()
+        .position(|code| code.contains("#[cfg(test)]"))
+        .map(|idx| idx as u32 + 1);
     for (idx, code) in lexed.code.iter().enumerate() {
         let line = idx as u32 + 1;
+        let in_tests = first_test_line.is_some_and(|t| line >= t);
         let hash_map = has_ident(code, "HashMap") || has_ident(code, "HashSet");
         if hash_map && report_path {
             push(
@@ -310,6 +342,33 @@ pub fn lint_source(file: &str, source: &str) -> Vec<LintFinding> {
                 line,
                 "reduction over hash-map iteration is order-dependent; \
                  collect and sort first"
+                    .to_owned(),
+            );
+        }
+        if hash_map
+            && !in_tests
+            && ([".iter(", ".keys(", ".values(", ".drain("]
+                .iter()
+                .any(|m| code.contains(m))
+                || (has_ident(code, "for") && has_ident(code, "in")))
+        {
+            push(
+                "nd-hashmap-iter",
+                line,
+                "iteration over a hash map varies per process; \
+                 use an ordered container or sort before consuming"
+                    .to_owned(),
+            );
+        }
+        if hot_path
+            && !in_tests
+            && (code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!"))
+        {
+            push(
+                "panic-in-hot-path",
+                line,
+                "panic on the per-access hot path aborts the simulated \
+                 machine; report through the fault/exception path instead"
                     .to_owned(),
             );
         }
@@ -417,8 +476,9 @@ mod tests {
     fn unordered_reduction_is_flagged_anywhere() {
         let src = "let total: f64 = HashMap::new().values().sum();\n";
         let findings = lint_source("crates/perf/src/lib.rs", src);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "nd-unordered-reduction");
+        // The same line trips the general iteration rule too.
+        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, ["nd-unordered-reduction", "nd-hashmap-iter"]);
         // A reduction over a Vec is ordered: clean.
         let ok = "let total: f64 = v.iter().sum();\n";
         assert!(lint_source("crates/perf/src/lib.rs", ok).is_empty());
@@ -450,6 +510,55 @@ mod tests {
         // \"unsafe\" in a string is not an unsafe block.
         let quoted = "let s = \"unsafe\";\n";
         assert!(lint_source("crates/core/src/x.rs", quoted).is_empty());
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged_outside_tests() {
+        let src = "let ks: Vec<u32> = HashMap::new().keys().copied().collect();\n";
+        let findings = lint_source("crates/perf/src/pool.rs", src);
+        assert!(
+            findings.iter().any(|f| f.rule == "nd-hashmap-iter"),
+            "{findings:#?}"
+        );
+        // A for-loop over a hash set on one line is flagged too.
+        let looped = "for x in HashSet::new() { use_it(x); }\n";
+        assert_eq!(
+            lint_source("crates/perf/src/pool.rs", looped)[0].rule,
+            "nd-hashmap-iter"
+        );
+        // The same line after #[cfg(test)] is test code: clean.
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(lint_source("crates/perf/src/pool.rs", &in_tests).is_empty());
+        // Membership queries don't iterate: clean.
+        let member = "let hit = HashSet::new().contains(&k);\n";
+        assert!(lint_source("crates/perf/src/pool.rs", member).is_empty());
+    }
+
+    #[test]
+    fn panics_are_flagged_only_in_hot_path_files() {
+        let src =
+            "let v = table.get(&key).unwrap();\nlet w = row.expect(\"row\");\npanic!(\"boom\");\n";
+        for file in [
+            "crates/core/src/checker.rs",
+            "crates/core/src/cached.rs",
+            "crates/core/src/elide.rs",
+            "crates/hetsim/src/timing.rs",
+        ] {
+            let findings = lint_source(file, src);
+            assert_eq!(findings.len(), 3, "{file}: {findings:#?}");
+            assert!(findings.iter().all(|f| f.rule == "panic-in-hot-path"));
+        }
+        // Off the hot path the same source is clean.
+        assert!(lint_source("crates/core/src/system.rs", src).is_empty());
+        // Inside the file-final test module it is clean too.
+        let in_tests = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+        assert!(lint_source("crates/core/src/checker.rs", &in_tests).is_empty());
+        // And the allow comment suppresses a justified site.
+        let allowed = concat!(
+            "// lint: allow(panic-in-hot-path)\n",
+            "let row = rows.last_mut().expect(\"row just ensured\");\n",
+        );
+        assert!(lint_source("crates/core/src/elide.rs", allowed).is_empty());
     }
 
     #[test]

@@ -1,0 +1,379 @@
+//! Provenance lattice: every installed grant's derivation chain, traced
+//! back to the grant it was derived from, plus the two audit classes the
+//! flow analysis emits on top of it.
+//!
+//! CHERI derivation is *monotone*: a child capability may narrow bounds
+//! and drop permissions but never widen either. The lattice makes that
+//! auditable end to end. Each admitted grant becomes a [`GrantNode`];
+//! its parent is the live grant that *dominates* it (covers its bounds
+//! and permissions) at install time, preferring a same-task dominator
+//! and then the most recent one. Two audits read the structure:
+//!
+//! - **`authority-widening`** — a child whose bounds or permissions
+//!   exceed its parent's. Empty by construction (an edge is only drawn
+//!   when the parent dominates), so any hit means the lattice itself was
+//!   corrupted; the planted-violation test forges exactly that via
+//!   [`ProvenanceLattice::from_nodes`].
+//! - **`cross-tenant-flow`** — non-interference between tenants (one
+//!   task ≙ one tenant): a capability derived from tenant A's grant
+//!   installed for tenant B, or any grant whose authority spans another
+//!   tenant's home compartment.
+
+use crate::Finding;
+use cheri::Perms;
+use conformance::stream::{slot_base, OBJECTS, SLOT_BYTES, TASKS};
+use std::collections::BTreeMap;
+
+/// One grant the abstract interpreter admitted into the checker table,
+/// as recorded by the flow skeleton pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InstalledGrant {
+    /// Global op index of the installing grant.
+    pub op: u64,
+    /// Destination task (the tenant the grant belongs to).
+    pub task: u8,
+    /// Destination object.
+    pub object: u8,
+    /// Lower bound of the granted capability.
+    pub base: u64,
+    /// Exclusive upper bound of the granted capability.
+    pub top: u128,
+    /// Granted permission mask.
+    pub perms: Perms,
+}
+
+/// One node of the provenance lattice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GrantNode {
+    /// Node id — the index into [`ProvenanceLattice::nodes`].
+    pub id: u32,
+    /// The installed grant this node records.
+    pub grant: InstalledGrant,
+    /// The node this grant was derived from, if any grant live at
+    /// install time dominated it (`None` means derived from the root).
+    pub parent: Option<u32>,
+}
+
+/// `true` if `parent`'s authority covers `child`'s — the monotonicity
+/// every derivation edge must satisfy.
+#[must_use]
+pub fn dominates(parent: &InstalledGrant, child: &InstalledGrant) -> bool {
+    parent.base <= child.base && parent.top >= child.top && parent.perms.contains(child.perms)
+}
+
+/// Tenant `task`'s home compartment: the address range holding all of
+/// its conformance slots.
+#[must_use]
+pub fn home_region(task: u8) -> (u64, u64) {
+    let lo = slot_base(task, 0);
+    (lo, lo + u64::from(OBJECTS) * SLOT_BYTES)
+}
+
+/// The derivation forest over every installed grant.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProvenanceLattice {
+    /// Nodes in install order; `nodes[i].id == i`.
+    pub nodes: Vec<GrantNode>,
+}
+
+impl ProvenanceLattice {
+    /// Builds the lattice from the skeleton pass's install/revoke log.
+    /// Both slices must be sorted by op index (they are produced that
+    /// way); a revocation kills the revoked task's live nodes before
+    /// any later grant picks a parent.
+    #[must_use]
+    pub fn build(installed: &[InstalledGrant], revokes: &[(u64, u8)]) -> ProvenanceLattice {
+        let mut nodes: Vec<GrantNode> = Vec::new();
+        // Pair → the node currently installed for it (replaced by
+        // re-grants, killed by revocation).
+        let mut live: BTreeMap<(u8, u8), u32> = BTreeMap::new();
+        let mut next_revoke = 0usize;
+        for grant in installed {
+            while next_revoke < revokes.len() && revokes[next_revoke].0 < grant.op {
+                let task = revokes[next_revoke].1;
+                live.retain(|&(t, _), _| t != task);
+                next_revoke += 1;
+            }
+            // Parent = the dominating live node, preferring same-task
+            // derivation and then the most recent install.
+            let mut parent: Option<u32> = None;
+            let mut best: Option<(bool, u32)> = None;
+            for &id in live.values() {
+                let candidate = &nodes[id as usize].grant;
+                if dominates(candidate, grant) {
+                    let rank = (candidate.task == grant.task, id);
+                    if best.is_none_or(|b| rank > b) {
+                        best = Some(rank);
+                        parent = Some(id);
+                    }
+                }
+            }
+            let id = nodes.len() as u32;
+            nodes.push(GrantNode {
+                id,
+                grant: *grant,
+                parent,
+            });
+            live.insert((grant.task, grant.object), id);
+        }
+        ProvenanceLattice { nodes }
+    }
+
+    /// Builds a lattice from pre-made nodes — the hook the planted
+    /// `authority-widening` test uses to forge a non-monotone edge that
+    /// [`ProvenanceLattice::build`] would never draw.
+    #[must_use]
+    pub fn from_nodes(nodes: Vec<GrantNode>) -> ProvenanceLattice {
+        ProvenanceLattice { nodes }
+    }
+
+    /// The derivation chain of node `id`, root-most first.
+    #[must_use]
+    pub fn chain(&self, id: u32) -> Vec<u32> {
+        let mut chain = Vec::new();
+        let mut cursor = Some(id);
+        while let Some(node) = cursor {
+            chain.push(node);
+            // A cycle in a forged lattice must not hang the audit.
+            if chain.len() > self.nodes.len() {
+                break;
+            }
+            cursor = self.nodes[node as usize].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Audits every derivation edge for monotonicity. Must return no
+    /// findings on any lattice [`ProvenanceLattice::build`] produced.
+    #[must_use]
+    pub fn audit_widening(&self) -> Vec<Finding> {
+        let mut dedup = Dedup::new();
+        for node in &self.nodes {
+            let Some(parent_id) = node.parent else {
+                continue;
+            };
+            let parent = &self.nodes[parent_id as usize].grant;
+            let child = &node.grant;
+            if dominates(parent, child) {
+                continue;
+            }
+            let what = if !parent.perms.contains(child.perms) {
+                "permissions"
+            } else {
+                "bounds"
+            };
+            dedup.push(
+                "authority-widening",
+                format!("task {} object {}", child.task, child.object),
+                format!(
+                    "derivation widened {what}: child [{:#x}, {:#x}) perms {:#x} exceeds \
+                     parent [{:#x}, {:#x}) perms {:#x} (grant at op {})",
+                    child.base,
+                    child.top,
+                    child.perms,
+                    parent.base,
+                    parent.top,
+                    parent.perms,
+                    parent.op,
+                ),
+                node.grant.op,
+            );
+        }
+        dedup.into_findings()
+    }
+
+    /// Audits cross-tenant flows: derivation edges crossing tasks and
+    /// grants whose authority spans another tenant's home compartment.
+    #[must_use]
+    pub fn audit_flows(&self) -> Vec<Finding> {
+        let mut dedup = Dedup::new();
+        for node in &self.nodes {
+            let grant = &node.grant;
+            if let Some(parent_id) = node.parent {
+                let parent = &self.nodes[parent_id as usize].grant;
+                if parent.task != grant.task {
+                    dedup.push(
+                        "cross-tenant-flow",
+                        format!("task {} -> task {}", parent.task, grant.task),
+                        format!(
+                            "capability for object {} derives from tenant {}'s grant (op {})",
+                            grant.object, parent.task, parent.op,
+                        ),
+                        grant.op,
+                    );
+                }
+            }
+            for tenant in 0..TASKS {
+                if tenant == grant.task {
+                    continue;
+                }
+                let (lo, hi) = home_region(tenant);
+                if grant.base < hi && grant.top > u128::from(lo) {
+                    dedup.push(
+                        "cross-tenant-flow",
+                        format!("task {} -> task {tenant}", grant.task),
+                        format!(
+                            "grant [{:#x}, {:#x}) spans tenant {tenant}'s compartment \
+                             [{lo:#x}, {hi:#x})",
+                            grant.base, grant.top,
+                        ),
+                        grant.op,
+                    );
+                }
+            }
+        }
+        dedup.into_findings()
+    }
+}
+
+/// First-occurrence deduplication by `(category, subject)`, mirroring
+/// the stream analyzer's finding discipline: the first hit supplies the
+/// detail and op index, later hits only bump the count.
+struct Dedup {
+    order: Vec<(&'static str, String)>,
+    found: BTreeMap<(&'static str, String), Finding>,
+}
+
+impl Dedup {
+    fn new() -> Dedup {
+        Dedup {
+            order: Vec::new(),
+            found: BTreeMap::new(),
+        }
+    }
+
+    fn push(&mut self, category: &'static str, subject: String, detail: String, op: u64) {
+        let key = (category, subject.clone());
+        if let Some(existing) = self.found.get_mut(&key) {
+            existing.count += 1;
+            return;
+        }
+        self.order.push(key.clone());
+        self.found.insert(
+            key,
+            Finding {
+                category,
+                subject,
+                detail,
+                op: Some(op),
+                count: 1,
+            },
+        );
+    }
+
+    fn into_findings(mut self) -> Vec<Finding> {
+        self.order
+            .iter()
+            .map(|key| self.found.remove(key).expect("ordered keys exist"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(op: u64, task: u8, object: u8, base: u64, len: u64, perms: Perms) -> InstalledGrant {
+        InstalledGrant {
+            op,
+            task,
+            object,
+            base,
+            top: u128::from(base) + u128::from(len),
+            perms,
+        }
+    }
+
+    #[test]
+    fn derivation_chains_trace_to_the_installing_grant() {
+        let b = slot_base(0, 0);
+        let installed = [
+            grant(0, 0, 0, b, 0x1000, Perms::RW),
+            grant(1, 0, 1, b, 0x100, Perms::LOAD),
+            grant(2, 0, 2, b, 0x10, Perms::LOAD),
+        ];
+        let lattice = ProvenanceLattice::build(&installed, &[]);
+        assert_eq!(lattice.nodes[0].parent, None);
+        assert_eq!(lattice.nodes[1].parent, Some(0));
+        // Node 2 prefers the most recent same-task dominator.
+        assert_eq!(lattice.nodes[2].parent, Some(1));
+        assert_eq!(lattice.chain(2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn revocation_severs_future_derivation() {
+        let b = slot_base(0, 0);
+        let installed = [
+            grant(0, 0, 0, b, 0x1000, Perms::RW),
+            grant(5, 0, 1, b, 0x100, Perms::LOAD),
+        ];
+        // Task 0 revoked at op 3, before the second grant installs.
+        let lattice = ProvenanceLattice::build(&installed, &[(3, 0)]);
+        assert_eq!(lattice.nodes[1].parent, None, "parent died with the revoke");
+    }
+
+    #[test]
+    fn built_lattices_never_widen() {
+        for seed in 1..=6u64 {
+            let ops = conformance::generate(seed, 300);
+            let flow = crate::flow::analyze_flow(&ops, 1);
+            assert!(
+                flow.lattice.audit_widening().is_empty(),
+                "seed {seed}: build() must only draw monotone edges"
+            );
+        }
+    }
+
+    #[test]
+    fn planted_widening_is_caught() {
+        let b = slot_base(0, 0);
+        let parent = grant(0, 0, 0, b, 0x100, Perms::LOAD);
+        // Child claims derivation from the parent but carries STORE the
+        // parent never had, and wider bounds.
+        let child = grant(1, 0, 1, b, 0x1000, Perms::RW);
+        let lattice = ProvenanceLattice::from_nodes(vec![
+            GrantNode {
+                id: 0,
+                grant: parent,
+                parent: None,
+            },
+            GrantNode {
+                id: 1,
+                grant: child,
+                parent: Some(0),
+            },
+        ]);
+        let findings = lattice.audit_widening();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].category, "authority-widening");
+        assert!(findings[0].detail.contains("permissions"));
+    }
+
+    #[test]
+    fn cross_tenant_derivation_and_span_are_flagged() {
+        let (lo1, _) = home_region(1);
+        // Tenant 0 holds a grant spanning tenant 1's whole compartment;
+        // tenant 1 then derives from it.
+        let wide = grant(0, 0, 0, lo1, u64::from(OBJECTS) * SLOT_BYTES, Perms::RW);
+        let derived = grant(1, 1, 0, lo1, 0x100, Perms::LOAD);
+        let lattice = ProvenanceLattice::build(&[wide, derived], &[]);
+        assert_eq!(lattice.nodes[1].parent, Some(0));
+        let flows = lattice.audit_flows();
+        // The span hit (node 0 covers tenant 1's compartment) and the
+        // derivation hit (node 1 derives from tenant 0) share the
+        // subject, so they fold into one finding with count 2.
+        assert_eq!(flows.len(), 1, "{flows:?}");
+        assert_eq!(flows[0].category, "cross-tenant-flow");
+        assert_eq!(flows[0].subject, "task 0 -> task 1");
+        assert_eq!(flows[0].count, 2);
+    }
+
+    #[test]
+    fn same_tenant_grants_in_own_region_are_clean() {
+        let b = slot_base(2, 3);
+        let lattice = ProvenanceLattice::build(&[grant(0, 2, 3, b, 0x200, Perms::RW)], &[]);
+        assert!(lattice.audit_widening().is_empty());
+        assert!(lattice.audit_flows().is_empty());
+    }
+}

@@ -32,13 +32,17 @@ use hetsim::{AccessKind, DenyReason, ObjectId, TaskId};
 use obs::EventKind;
 use std::collections::BTreeMap;
 
+/// The hardware table's 256 entries — the capacity gate every grant
+/// admission decision (and therefore every verdict) can depend on.
+pub(crate) const CAPACITY: usize = 256;
+
 /// The analyzer's model of one installed capability: the uncompressed
 /// facts the grant recorded, nothing derived.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct AbstractCap {
-    perms: Perms,
-    base: u64,
-    top: u128,
+pub(crate) struct AbstractCap {
+    pub(crate) perms: Perms,
+    pub(crate) base: u64,
+    pub(crate) top: u128,
 }
 
 /// Least-privilege summary of one `(task, object)` compartment.
@@ -114,14 +118,22 @@ impl StreamAnalysis {
 /// What the interpreter predicted for one access, kept for the second
 /// (classification) pass.
 #[derive(Clone, Copy, Debug)]
-struct Predicted {
-    key: (u8, u8),
-    provenance: bool,
+pub(crate) struct Predicted {
+    pub(crate) key: (u8, u8),
+    pub(crate) provenance: bool,
     /// Whether the pair had been granted at any point *before* this
     /// access — what turns a `no-entry` denial into a stale-grant
     /// (revocation-race) finding.
-    granted_before: bool,
+    pub(crate) granted_before: bool,
 }
+
+/// One access the interpreter proved granted: stream index, prediction
+/// context, address, length, write flag.
+pub(crate) type GrantedRec = (u64, Predicted, u64, u8, bool);
+
+/// One access the interpreter proved denied: stream index, prediction
+/// context, denial reason.
+pub(crate) type DeniedRec = (u64, Predicted, DenyReason);
 
 /// Interprets `ops` over the abstract table and classifies every access.
 ///
@@ -133,13 +145,11 @@ struct Predicted {
 /// corruption never touch the table, so they cannot change a verdict —
 /// the conformance harness proves that independently.
 #[must_use]
-#[allow(clippy::too_many_lines)]
 pub fn analyze_stream(ops: &[Op]) -> StreamAnalysis {
-    const CAPACITY: usize = 256;
     let mut table: BTreeMap<(u8, u8), AbstractCap> = BTreeMap::new();
     let mut ever_granted: BTreeMap<(u8, u8), bool> = BTreeMap::new();
-    let mut predictions: Vec<(u64, Predicted, DenyReason)> = Vec::new();
-    let mut granted_ok: Vec<(u64, Predicted, u64, u8, bool)> = Vec::new();
+    let mut predictions: Vec<DeniedRec> = Vec::new();
+    let mut granted_ok: Vec<GrantedRec> = Vec::new();
     let mut skipped = 0u64;
 
     for (index, op) in ops.iter().enumerate() {
@@ -210,9 +220,20 @@ pub fn analyze_stream(ops: &[Op]) -> StreamAnalysis {
         }
     }
 
-    // Pass 2: pair verdicts. Safe = at least one provenanced access and
-    // zero provenanced denials; any provenanced denial makes the pair
-    // unsafe (its checks stay on and the denial is a finding).
+    classify(&predictions, &granted_ok, skipped)
+}
+
+/// Pass 2, shared verbatim with the incremental flow engine
+/// ([`crate::flow`]): pair verdicts, access classes, and deduplicated
+/// findings from the interpreter's per-access predictions. Safe = at
+/// least one provenanced access and zero provenanced denials; any
+/// provenanced denial makes the pair unsafe (its checks stay on and the
+/// denial is a finding).
+pub(crate) fn classify(
+    predictions: &[DeniedRec],
+    granted_ok: &[GrantedRec],
+    skipped: u64,
+) -> StreamAnalysis {
     let mut summaries: BTreeMap<(u8, u8), PairSummary> = BTreeMap::new();
     fn summary(summaries: &mut BTreeMap<(u8, u8), PairSummary>, key: (u8, u8)) -> &mut PairSummary {
         summaries.entry(key).or_insert(PairSummary {
@@ -227,7 +248,7 @@ pub fn analyze_stream(ops: &[Op]) -> StreamAnalysis {
             used: Perms::NONE,
         })
     }
-    for &(_, p, addr, len, write) in &granted_ok {
+    for &(_, p, addr, len, write) in granted_ok {
         if !p.provenance {
             continue;
         }
@@ -238,7 +259,7 @@ pub fn analyze_stream(ops: &[Op]) -> StreamAnalysis {
         s.hi = s.hi.max(u128::from(addr) + u128::from(len));
         s.used = s.used | if write { Perms::STORE } else { Perms::LOAD };
     }
-    for &(_, p, _) in &predictions {
+    for &(_, p, _) in predictions {
         if !p.provenance {
             continue;
         }
@@ -260,7 +281,7 @@ pub fn analyze_stream(ops: &[Op]) -> StreamAnalysis {
     let mut safe = 0u64;
     let mut flagged = 0u64;
     let mut dynamic = 0u64;
-    for &(_, p, _, _, _) in &granted_ok {
+    for &(_, p, _, _, _) in granted_ok {
         let elidable = p.provenance
             && summaries
                 .get(&p.key)
@@ -276,7 +297,7 @@ pub fn analyze_stream(ops: &[Op]) -> StreamAnalysis {
     // Findings, deduplicated by (pair, category), first occurrence kept.
     let mut findings: Vec<Finding> = Vec::new();
     let mut seen: BTreeMap<(u8, u8, &'static str), usize> = BTreeMap::new();
-    for &(index, p, reason) in &predictions {
+    for &(index, p, reason) in predictions {
         let (category, detail) = describe(reason, p.granted_before);
         match seen.entry((p.key.0, p.key.1, category)) {
             std::collections::btree_map::Entry::Occupied(e) => {
@@ -315,10 +336,23 @@ fn judge(
     addr: u64,
     len: u8,
 ) -> Option<DenyReason> {
+    judge_cap(table.get(&key), provenance, kind, addr, len)
+}
+
+/// [`judge`] against one pair's capability directly — the per-pair form
+/// the incremental engine ([`crate::flow`]) replays inside a work unit,
+/// where no shared table exists.
+pub(crate) fn judge_cap(
+    cap: Option<&AbstractCap>,
+    provenance: bool,
+    kind: AccessKind,
+    addr: u64,
+    len: u8,
+) -> Option<DenyReason> {
     if !provenance {
         return Some(DenyReason::BadProvenance);
     }
-    let Some(cap) = table.get(&key) else {
+    let Some(cap) = cap else {
         return Some(DenyReason::NoEntry);
     };
     // Tag and seal are grant-time invariants here (the import path

@@ -10,13 +10,15 @@ const PLANTED: &str = include_str!("fixtures/planted_hazards.rs.txt");
 
 #[test]
 fn lint_fails_on_planted_fixture() {
-    // Under a report-path name inside a timing crate, every rule fires.
+    // Under a report-path name inside a timing crate, every
+    // path-sensitive rule except the hot-path one fires.
     let findings = lint_source("crates/core/src/report.rs", PLANTED);
     let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
     for expected in [
         "nd-map-in-report",
         "nd-unordered-reduction",
         "nd-wall-clock",
+        "nd-hashmap-iter",
         "unsafe-audit",
     ] {
         assert!(
@@ -24,6 +26,12 @@ fn lint_fails_on_planted_fixture() {
             "planted fixture did not trip {expected}: {findings:#?}"
         );
     }
+    // Under a hot-path name the panic rule fires too.
+    let hot = lint_source("crates/core/src/checker.rs", PLANTED);
+    assert!(
+        hot.iter().any(|f| f.rule == "panic-in-hot-path"),
+        "planted fixture did not trip panic-in-hot-path: {hot:#?}"
+    );
     // This is exactly the condition under which the lint binary exits
     // non-zero, so CI would reject the fixture were it live code.
     assert!(!findings.is_empty());
@@ -31,13 +39,15 @@ fn lint_fails_on_planted_fixture() {
 
 #[test]
 fn fixture_hazards_are_path_sensitive() {
-    // Off the report path and outside timing crates, only the
-    // path-insensitive rules remain — the path-sensitivity is real.
+    // Off the report path, outside timing crates, and off the hot path,
+    // only the path-insensitive rules remain.
     let findings = lint_source("crates/bench/src/harness.rs", PLANTED);
     let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
     assert!(!rules.contains(&"nd-map-in-report"));
     assert!(!rules.contains(&"nd-wall-clock"));
+    assert!(!rules.contains(&"panic-in-hot-path"));
     assert!(rules.contains(&"nd-unordered-reduction"));
+    assert!(rules.contains(&"nd-hashmap-iter"));
     assert!(rules.contains(&"unsafe-audit"));
 }
 

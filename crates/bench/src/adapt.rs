@@ -9,14 +9,23 @@
 //! which mode each epoch actually ran in, what it cost, and why the
 //! controller moved.
 //!
+//! Epoch 0 runs fully checked while the static analyzer's segment proof
+//! is (notionally) being computed; every later epoch re-installs the
+//! retained verdict map before its kernels run — the same
+//! install-after-drop move `AdaptController` performs after a mode
+//! switch, so elision survives Fine ⇄ Coarse transitions instead of
+//! being lost at the first rebuild. Each epoch's `checks_elided` column
+//! is the measured payoff.
+//!
 //! Everything serialized derives from simulated quantities, so the JSON
 //! is byte-identical for a fixed `(bench, epochs, tasks, seed)` on any
 //! machine and at any `--threads` value.
 
-use crate::runner::run_benchmark_cached;
+use crate::runner::{run_benchmark_cached, run_benchmark_cached_elided};
 use capchecker::{
     AdaptConfig, AdaptController, AdaptDecision, CachedCheckerConfig, CheckerMode, EpochSignals,
 };
+use capcheri_analyze::analyze_benchmark;
 use machsuite::Benchmark;
 use obs::json::JsonWriter;
 use std::fmt::Write as _;
@@ -52,6 +61,9 @@ pub struct AdaptEpoch {
     pub hits: u64,
     /// Cache misses this epoch.
     pub misses: u64,
+    /// Checks the re-installed segment proof skipped this epoch (zero in
+    /// epoch 0, where the proof is still being computed).
+    pub checks_elided: u64,
 }
 
 /// One benchmark driven through `epochs` closed-loop controller epochs.
@@ -93,11 +105,23 @@ impl AdaptBenchReport {
         // cache itself is the signal source and stays in place, so the
         // cache/FU lattices are inert (`cached = false`, no FUs).
         let mut controller = AdaptController::new(config, CheckerMode::Fine, false);
+        // The segment proof the loop re-installs from epoch 1 onward:
+        // epoch 0 runs fully checked while the analyzer computes it.
+        let analysis = analyze_benchmark(bench, seed);
         let mut out = Vec::with_capacity(epochs as usize);
         for epoch in 0..epochs {
             let mode = controller.mode();
             let cfg = adaptive_cache_config().with_mode(mode);
-            let run = run_benchmark_cached(bench, tasks, seed.wrapping_add(u64::from(epoch)), cfg);
+            let epoch_seed = seed.wrapping_add(u64::from(epoch));
+            let run = if epoch == 0 {
+                run_benchmark_cached(bench, tasks, epoch_seed, cfg)
+            } else {
+                // Install-after-drop: each epoch's rebuilt checker (and
+                // every mid-epoch mode switch) starts without a verdict
+                // map; re-installing the retained segment proof is what
+                // keeps elision alive across the controller's switches.
+                run_benchmark_cached_elided(bench, tasks, epoch_seed, cfg, &analysis)
+            };
             // A fresh system per epoch means the full-run stats *are*
             // the epoch's deltas.
             let signals = EpochSignals {
@@ -115,6 +139,7 @@ impl AdaptBenchReport {
                 signals,
                 hits: run.cache.hits,
                 misses: run.cache.misses,
+                checks_elided: run.checks_elided,
             });
         }
         AdaptBenchReport {
@@ -162,6 +187,8 @@ impl AdaptBenchReport {
             w.u64(e.hits);
             w.key("misses");
             w.u64(e.misses);
+            w.key("checks_elided");
+            w.u64(e.checks_elided);
             w.end_object();
         }
         w.end_array();
@@ -201,19 +228,20 @@ impl AdaptBenchReport {
         );
         let _ = writeln!(
             out,
-            "  {:<6} {:<7} {:>12} {:>10} {:>12} {:>6}",
-            "epoch", "mode", "cycles", "checks", "stall", "share"
+            "  {:<6} {:<7} {:>12} {:>10} {:>12} {:>6} {:>8}",
+            "epoch", "mode", "cycles", "checks", "stall", "share", "elided"
         );
         for e in &self.epochs {
             let _ = writeln!(
                 out,
-                "  {:<6} {:<7} {:>12} {:>10} {:>12} {:>5}%",
+                "  {:<6} {:<7} {:>12} {:>10} {:>12} {:>5}% {:>8}",
                 e.epoch,
                 e.mode.label(),
                 e.cycles,
                 e.signals.checks,
                 e.signals.stall_cycles,
-                e.signals.stall_share_pct()
+                e.signals.stall_share_pct(),
+                e.checks_elided
             );
         }
         if self.decisions.is_empty() {
@@ -304,7 +332,10 @@ mod tests {
     #[test]
     fn small_cache_drives_a_stall_switch() {
         // With 4 cache entries a multi-buffer kernel misses hard enough
-        // that the default up-threshold fires; hysteresis holds it there.
+        // that the default up-threshold fires. Once the segment proof is
+        // re-installed, elided epochs stall so little that the
+        // down-threshold brings the system back to Fine — the round trip
+        // static elision buys.
         let r = AdaptBenchReport::collect(Benchmark::SpmvCrs, 4, 2, 1, AdaptConfig::default());
         assert!(
             r.decisions
@@ -313,9 +344,35 @@ mod tests {
             "no stall-up fired: {:?}",
             r.decisions
         );
-        assert_eq!(r.final_mode, CheckerMode::Coarse);
+        assert_eq!(r.final_mode, CheckerMode::Fine);
         // Constant input ⇒ at most one flip in each direction.
         assert!(r.decisions.len() <= 2, "oscillation: {:?}", r.decisions);
+    }
+
+    #[test]
+    fn elision_survives_the_first_mode_switch() {
+        // The acceptance figure: before epoch-scoped re-install, any mode
+        // switch dropped the verdict map and every later epoch reported
+        // zero elided checks. Now every epoch after the proof epoch —
+        // including those past the first switch — elides.
+        let r = AdaptBenchReport::collect(Benchmark::SpmvCrs, 4, 2, 1, AdaptConfig::default());
+        let first_switch = r
+            .decisions
+            .iter()
+            .find(|d| matches!(d.action, capchecker::AdaptAction::SwitchMode { .. }))
+            .map(|d| d.epoch)
+            .expect("the small cache drives at least one switch");
+        assert_eq!(r.epochs[0].checks_elided, 0, "epoch 0 computes the proof");
+        for e in r.epochs.iter().filter(|e| e.epoch > first_switch) {
+            assert!(
+                e.checks_elided > 0,
+                "epoch {} (mode {}) lost elision after the switch at epoch {}",
+                e.epoch,
+                e.mode.label(),
+                first_switch
+            );
+        }
+        assert!(r.to_json().contains("\"checks_elided\":"));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //!          [--tasks N] [--seed S] [--threads N] [--json] [--trace-out <path>]
 //! simulate faults [--spec SPEC] [--tasks N] [--seed S] [--fus N] [--json]
 //! simulate conformance [--seed S] [--ops N] [--json]
-//! simulate analyze [--lint] [--streams N] [--ops N] [--seed S] [--threads N]
-//!          [--json] [--out FILE]
+//! simulate analyze [--lint] [--flow | --incremental] [--streams N] [--ops N]
+//!          [--seed S] [--threads N] [--json] [--out FILE]
 //! simulate profile <benchmark|all> [--variant V] [--tasks N] [--seed S]
 //!          [--threads N] [--json] [--out FILE]
 //! simulate adapt <benchmark|all|campaign> [--epochs N] [--tasks N] [--seed S]
@@ -69,7 +69,16 @@
 //! and *verifies* each verdict map by replaying the elided checkers
 //! against the golden oracle — an unsound map is a hard failure.
 //! `--lint` runs the repository lint pass (nondeterminism hazards,
-//! unsafe-audit) and fails on any finding.
+//! panic-in-hot-path, nd-hashmap-iter, unsafe-audit) and fails on any
+//! finding. `--flow` switches to the incremental dataflow engine's
+//! report: barrier-delimited segment verdicts, the re-analysis work
+//! ratio under grant churn, and provenance flow findings
+//! (`capcheri.flowreport.v1` with `--json`); `--incremental` does the
+//! same through the caching engine and asserts incremental ≡
+//! from-scratch — the emitted bytes are identical either way, so CI
+//! `cmp`s the two files. Each segment's verdict map is replayed through
+//! the elided checkers against the golden oracle; a divergence fails
+//! the run.
 //!
 //! Examples:
 //!
@@ -109,8 +118,8 @@ fn usage() -> String {
          \x20      simulate conformance [--seed S] [--ops N] [--json]\n\
          \x20      simulate verify [--depth N] [--tasks N] [--objects N] [--threads N]\n\
          \x20               [--planted-bug off-by-one] [--json] [--out FILE]\n\
-         \x20      simulate analyze [--lint] [--streams N] [--ops N] [--seed S]\n\
-         \x20               [--threads N] [--json] [--out FILE]\n\
+         \x20      simulate analyze [--lint] [--flow | --incremental] [--streams N] [--ops N]\n\
+         \x20               [--seed S] [--threads N] [--json] [--out FILE]\n\
          \x20      simulate profile <benchmark|all> [--variant V] [--tasks N] [--seed S]\n\
          \x20               [--threads N] [--json] [--out FILE]\n\
          \x20      simulate adapt <benchmark|all|campaign> [--epochs N] [--tasks N] [--seed S]\n\
@@ -326,6 +335,12 @@ struct AnalyzeOptions {
     threads: usize,
     json: bool,
     out: Option<String>,
+    /// Emit the `capcheri.flowreport.v1` report from a from-scratch
+    /// flow analysis.
+    flow: bool,
+    /// As `flow`, but through the incremental engine (byte-identical
+    /// output; the engine asserts incremental ≡ from-scratch itself).
+    incremental: bool,
 }
 
 fn parse_analyze(args: &[String]) -> Result<AnalyzeOptions, String> {
@@ -339,6 +354,8 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeOptions, String> {
         threads: perf::auto_threads(),
         json: false,
         out: None,
+        flow: false,
+        incremental: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -349,6 +366,11 @@ fn parse_analyze(args: &[String]) -> Result<AnalyzeOptions, String> {
         };
         match flag.as_str() {
             "--lint" => opts.lint = true,
+            "--flow" => opts.flow = true,
+            "--incremental" => {
+                opts.flow = true;
+                opts.incremental = true;
+            }
             "--streams" => {
                 opts.streams = value(&mut it)?
                     .parse()
@@ -402,6 +424,46 @@ fn verify_streams(first_seed: u64, count: u64, ops: u64) -> bool {
     sound
 }
 
+/// Runs the flow-report path of `simulate analyze`: the incremental (or
+/// from-scratch) dataflow engine over seeded streams plus the kernel
+/// fixtures, emitting the byte-deterministic `capcheri.flowreport.v1`.
+fn run_analyze_flow(opts: &AnalyzeOptions) -> ExitCode {
+    // The flow report always analyzes at least a few streams — the work
+    // ratio is meaningless on an empty stream set.
+    let streams = opts.streams.max(4);
+    let report = capcheri_bench::flowreport::FlowReport::collect(
+        opts.seed,
+        streams,
+        opts.ops,
+        opts.threads,
+        opts.incremental,
+    );
+    let rendered = if opts.json {
+        report.to_json()
+    } else {
+        report.render()
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => {
+            print!("{rendered}");
+            if !rendered.ends_with('\n') {
+                println!();
+            }
+        }
+    }
+    if !report.all_replays_clean() {
+        eprintln!("analyze: a segment-elided replay diverged from the oracle");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn run_analyze(opts: &AnalyzeOptions) -> ExitCode {
     if opts.lint {
         let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
@@ -419,6 +481,9 @@ fn run_analyze(opts: &AnalyzeOptions) -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+    if opts.flow {
+        return run_analyze_flow(opts);
     }
     let rows = capcheri_bench::staticreport::rows_threads(opts.threads);
     let unsafe_findings: usize = rows.iter().map(|r| r.run.analysis.findings.len()).sum();

@@ -33,6 +33,7 @@ pub mod fig12;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod flowreport;
 pub mod profile;
 pub mod render;
 pub mod runner;

@@ -245,6 +245,10 @@ pub struct CachedRun {
     /// Cache statistics accumulated over the whole run, captured before
     /// task teardown resets the checker.
     pub cache: CacheStats,
+    /// Runtime checks the installed verdict map skipped (zero unless the
+    /// run was seeded with a static proof via
+    /// [`run_benchmark_cached_elided`]).
+    pub checks_elided: u64,
 }
 
 /// Runs `bench` under `ccpu+caccel` with the protection swapped to the
@@ -276,6 +280,43 @@ pub fn run_benchmark_cached(
         cache: inner
             .cache
             .expect("the cached protection was just installed"),
+        checks_elided: inner.checks_elided,
+    }
+}
+
+/// [`run_benchmark_cached`] with a static proof installed: the analysis'
+/// verdict map is retained on the system's epoch-scoped segment ledger
+/// and installed before the kernels run, so proved-safe checks are
+/// elided — the adaptive bench loop's re-install actuator for epochs
+/// after the segment's proof was computed.
+///
+/// # Panics
+///
+/// As [`run_benchmark`].
+#[must_use]
+pub fn run_benchmark_cached_elided(
+    bench: Benchmark,
+    tasks: usize,
+    seed: u64,
+    config: CachedCheckerConfig,
+    analysis: &BenchAnalysis,
+) -> CachedRun {
+    let inner = run_inner(
+        bench,
+        SystemVariant::CheriCpuCheriAccel,
+        tasks,
+        seed,
+        Some(ProtectionChoice::CachedCapChecker(config)),
+        None,
+        Some(analysis),
+        &mut NullProfiler,
+    );
+    CachedRun {
+        result: inner.result,
+        cache: inner
+            .cache
+            .expect("the cached protection was just installed"),
+        checks_elided: inner.checks_elided,
     }
 }
 
@@ -346,7 +387,10 @@ fn run_inner(
             for (task, object, verdict) in analysis.verdict_map(id).iter() {
                 verdicts.set(task, object, verdict);
             }
-            sys.install_static_verdicts(verdicts.clone());
+            // Retained, not merely installed: a mode switch mid-run drops
+            // the checker's copy, and the epoch-scoped ledger is what the
+            // adaptive controller re-installs from.
+            sys.retain_segment_verdicts(verdicts.clone());
         }
         for (obj, image) in bench.init(seed.wrapping_add(t as u64)).iter().enumerate() {
             sys.write_buffer(id, obj, 0, image)

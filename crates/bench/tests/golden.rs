@@ -13,7 +13,9 @@
 //!
 //! and commit the rewritten files — the diff *is* the review artifact.
 
-use capcheri_bench::{fig10, fig11, fig12, fig7, fig8, fig9, staticreport, table1, table2, table3};
+use capcheri_bench::{
+    fig10, fig11, fig12, fig7, fig8, fig9, flowreport, staticreport, table1, table2, table3,
+};
 use obs::json::JsonWriter;
 use std::fs;
 use std::path::PathBuf;
@@ -33,6 +35,7 @@ fn artifacts(threads: usize) -> Vec<(&'static str, &'static str, String)> {
             "report",
             staticreport::report_threads(threads),
         ),
+        ("flowreport", "report", flowreport::report_threads(threads)),
         ("table1", "table", table1::report()),
         ("table2", "table", table2::report()),
         ("table3", "table", table3::report()),

@@ -67,6 +67,9 @@ pub trait Subject {
     fn check(&mut self, access: &Access) -> Checked;
     /// Fault overlay: corrupt the capability cache, if the subject has one.
     fn corrupt_cache(&mut self, _slot: u8, _flip: u64, _on_insert: bool) {}
+    /// Install (replace) a static verdict map mid-stream, if the
+    /// subject elides. Segmented replays use this at analysis barriers.
+    fn install_verdicts(&mut self, _map: &StaticVerdictMap) {}
     /// The subject's latched exception flag.
     fn exception_flag(&self) -> bool;
     /// What the flag *should* be given the verdicts this subject
@@ -310,6 +313,10 @@ impl Subject for ElidedSubject {
     fn checks_elided(&self) -> u64 {
         self.checker.stats().elided
     }
+
+    fn install_verdicts(&mut self, map: &StaticVerdictMap) {
+        self.checker.set_static_verdicts(map.clone());
+    }
 }
 
 /// The cached checker with a static verdict map installed (and the
@@ -404,6 +411,10 @@ impl Subject for ElidedCachedSubject {
 
     fn checks_elided(&self) -> u64 {
         self.checker.cache_stats().elided
+    }
+
+    fn install_verdicts(&mut self, map: &StaticVerdictMap) {
+        self.checker.set_static_verdicts(map.clone());
     }
 }
 
@@ -681,6 +692,24 @@ pub fn run_ops_elided(ops: &[Op], map: &StaticVerdictMap) -> RunOutcome {
     )
 }
 
+/// Replays `ops` through elision-enabled subjects, re-installing a new
+/// verdict map at every segment boundary: the differential proof that
+/// an incremental analysis's *per-segment* maps are each sound while
+/// their segment executes. `segments` pairs each segment's first op
+/// index with its map, in ascending order (a map whose start is 0
+/// replaces the initial empty map before any op runs).
+#[must_use]
+pub fn run_ops_elided_segments(ops: &[Op], segments: &[(u64, StaticVerdictMap)]) -> RunOutcome {
+    run_stream_with_installs(
+        ops,
+        vec![
+            Box::new(ElidedSubject::new(StaticVerdictMap::new())),
+            Box::new(ElidedCachedSubject::new(StaticVerdictMap::new())),
+        ],
+        segments,
+    )
+}
+
 /// Builds the capability a [`Op::Grant`] would install — the one
 /// construction both the harness and the static analyzer use, so the
 /// analyzer's model can never drift from what actually enters a table.
@@ -738,8 +767,20 @@ pub fn build_access(
 /// Tests use this to insert a deliberately buggy subject and prove the
 /// harness catches it; [`run_ops`] is the production entry point.
 #[must_use]
+pub fn run_stream(ops: &[Op], subjects: Vec<Box<dyn Subject>>) -> RunOutcome {
+    run_stream_with_installs(ops, subjects, &[])
+}
+
+/// [`run_stream`] plus mid-stream verdict-map installation: before the
+/// op at each `installs` index runs, every subject receives the map via
+/// [`Subject::install_verdicts`].
 #[allow(clippy::too_many_lines)]
-pub fn run_stream(ops: &[Op], mut subjects: Vec<Box<dyn Subject>>) -> RunOutcome {
+fn run_stream_with_installs(
+    ops: &[Op],
+    mut subjects: Vec<Box<dyn Subject>>,
+    installs: &[(u64, StaticVerdictMap)],
+) -> RunOutcome {
+    let mut next_install = 0usize;
     let mut oracle = Oracle::new(256);
     let mut mem = TaggedMemory::new(stream::MEM_BYTES);
     let mut out = RunOutcome {
@@ -758,6 +799,12 @@ pub fn run_stream(ops: &[Op], mut subjects: Vec<Box<dyn Subject>>) -> RunOutcome
 
     for (index, op) in ops.iter().enumerate() {
         let index = index as u64;
+        while next_install < installs.len() && installs[next_install].0 == index {
+            for subject in &mut subjects {
+                subject.install_verdicts(&installs[next_install].1);
+            }
+            next_install += 1;
+        }
         for subject in &mut subjects {
             subject.begin_op(index);
         }

@@ -28,7 +28,7 @@
 //!   fault overlays from [`hetsim::FaultPlan`]);
 //! * [`run_ops`]/[`run_stream`] — the differential harness, diffing every
 //!   verdict, exception code, and the final tag state;
-//! * [`shrink`]/[`regression_test`] — delta-debugs a failing stream to a
+//! * [`shrink()`]/[`regression_test`] — delta-debugs a failing stream to a
 //!   minimal reproducer printed as a ready-to-paste test;
 //! * [`codec_check`] — round-trip/idempotence pinning of
 //!   `cheri::compressed` against the exact representation;
@@ -45,9 +45,9 @@ pub mod stream;
 
 pub use codec::{check as codec_check, CodecReport};
 pub use harness::{
-    build_access, build_grant_cap, default_subjects, run_ops, run_ops_elided, run_stream,
-    CachedSubject, Checked, DegradingSubject, Divergence, ElidedCachedSubject, ElidedSubject,
-    OpCounts, RunOutcome, Subject, UncachedSubject,
+    build_access, build_grant_cap, default_subjects, run_ops, run_ops_elided,
+    run_ops_elided_segments, run_stream, CachedSubject, Checked, DegradingSubject, Divergence,
+    ElidedCachedSubject, ElidedSubject, OpCounts, RunOutcome, Subject, UncachedSubject,
 };
 pub use oracle::{Oracle, OracleCap, Verdict};
 pub use report::{ConformanceReport, SCHEMA};

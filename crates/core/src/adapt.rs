@@ -1064,6 +1064,10 @@ fn run_epoch(
             }
             AdaptAction::RepromoteCache => {
                 sys.repromote_to_cached(cached_cfg);
+                // The rebuild dropped the installed verdict map; restore
+                // the retained segment proof so elision survives the
+                // probation round-trip.
+                sys.reinstall_segment_verdicts();
                 sys.record(EventKind::ProbationPassed { epoch: d.epoch });
             }
             AdaptAction::LatchCache { degrades } => {
@@ -1074,6 +1078,11 @@ fn run_epoch(
             }
             AdaptAction::SwitchMode { to, .. } => {
                 sys.set_checker_mode(to);
+                // Same coherence dance as re-promotion: map and bitmap
+                // dropped together by the rebuild, re-installed together
+                // from the epoch-scoped ledger. Degradation deliberately
+                // gets no re-install — trust was withdrawn.
+                sys.reinstall_segment_verdicts();
             }
             AdaptAction::ReleaseFu { fu } => {
                 sys.release_fu(fu as usize);

@@ -73,7 +73,7 @@ pub use attrib::{CheckAttribution, CheckCounters};
 pub use cached::{CacheStats, CachedCapChecker, CachedCheckerConfig, CachedCheckerSnapshot};
 pub use checker::{CapChecker, CheckerSnapshot, CheckerStats};
 pub use config::{CheckerConfig, CheckerMode};
-pub use elide::{StaticVerdict, StaticVerdictMap, VerdictBitmap};
+pub use elide::{SegmentVerdicts, StaticVerdict, StaticVerdictMap, VerdictBitmap};
 pub use engines::{CpuEngine, ProtectedEngine, Provenance};
 pub use recovery::{
     run_campaign, run_campaign_grid, CampaignConfig, CampaignReport, RecoveryOutcome,

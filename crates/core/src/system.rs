@@ -21,7 +21,7 @@ use crate::alloc::{AllocError, HeapAllocator};
 use crate::cached::{CachedCapChecker, CachedCheckerConfig};
 use crate::checker::CapChecker;
 use crate::config::{CheckerConfig, CheckerMode};
-use crate::elide::StaticVerdictMap;
+use crate::elide::{SegmentVerdicts, StaticVerdictMap};
 use crate::engines::{CpuEngine, ProtectedEngine, Provenance};
 use cheri::{compressed, Capability, CapabilityTree, NodeId, ObjectKind, Perms};
 use hetsim::mmio::RegisterFile;
@@ -519,6 +519,10 @@ pub struct HeteroSystem {
     /// deallocated task ([`EventKind::ChecksElided`]); the checker's
     /// counter is cumulative, so events carry the delta.
     elided_reported: u64,
+    /// Epoch-scoped verdict retention: the current analysis segment's
+    /// proven-safe map, held outside the checker so the adaptive
+    /// controller can re-install it after rebuilds drop it.
+    segment_verdicts: SegmentVerdicts,
 }
 
 impl HeteroSystem {
@@ -544,6 +548,7 @@ impl HeteroSystem {
             tracer: None,
             driver_clock: 0,
             elided_reported: 0,
+            segment_verdicts: SegmentVerdicts::new(),
             config,
         }
     }
@@ -651,6 +656,59 @@ impl HeteroSystem {
             self.record(EventKind::StaticVerdictsInstalled { safe_pairs });
         }
         installed
+    }
+
+    /// Installs `map` into the active checker *and* retains it in the
+    /// epoch-scoped ledger, so [`HeteroSystem::reinstall_segment_verdicts`]
+    /// can restore it after a rebuild drops the checker's copy. Returns
+    /// `false` on baseline systems (nothing installed or retained).
+    pub fn retain_segment_verdicts(&mut self, map: StaticVerdictMap) -> bool {
+        if !self.install_static_verdicts(map.clone()) {
+            return false;
+        }
+        self.segment_verdicts.retain(map);
+        true
+    }
+
+    /// Re-installs the retained segment map after a checker rebuild
+    /// (mode switch or re-promotion). The rebuild dropped map and bitmap
+    /// together per the coherence rule; this restores both atomically in
+    /// one `set_static_verdicts` call. Returns the number of safe pairs
+    /// restored, or `None` when nothing is retained or the system has no
+    /// elision path.
+    pub fn reinstall_segment_verdicts(&mut self) -> Option<u64> {
+        let map = self.segment_verdicts.retained()?.clone();
+        let safe_pairs = map.safe_pairs();
+        let installed = match &mut self.protection {
+            Protection::Checker(c) => {
+                c.set_static_verdicts(map);
+                true
+            }
+            Protection::Cached(c) => {
+                c.set_static_verdicts(map);
+                true
+            }
+            Protection::Baseline(_) => false,
+        };
+        if !installed {
+            return None;
+        }
+        self.segment_verdicts.record_reinstall();
+        self.record(EventKind::SegmentVerdictsReinstalled { safe_pairs });
+        Some(safe_pairs)
+    }
+
+    /// Drops the retained segment map (the workload crossed an analysis
+    /// barrier the retained proof does not cover). The checker's
+    /// installed copy is untouched; rebuilds clear that side.
+    pub fn clear_segment_verdicts(&mut self) {
+        self.segment_verdicts.clear();
+    }
+
+    /// The epoch-scoped verdict ledger (retained map + re-install count).
+    #[must_use]
+    pub fn segment_verdicts(&self) -> &SegmentVerdicts {
+        &self.segment_verdicts
     }
 
     /// The static verdict map installed into the active checker, if any.
@@ -2054,6 +2112,51 @@ mod tests {
         let mut reg = Registry::new();
         sys.export_metrics(&mut reg);
         assert_eq!(reg.snapshot().counter("checker.elided"), Some(8));
+    }
+
+    #[test]
+    fn retained_segment_verdicts_survive_mode_switch_and_repromotion() {
+        use crate::elide::{StaticVerdict, StaticVerdictMap};
+        let mut sys = HeteroSystem::new(SystemConfig {
+            protection: ProtectionChoice::CachedCapChecker(Default::default()),
+            ..SystemConfig::default()
+        });
+        let tracer = SharedTracer::new();
+        sys.set_tracer(tracer.clone());
+        sys.add_fus("gemm", 1);
+        let t = sys.allocate_task(&two_buffer_request()).unwrap();
+        let mut map = StaticVerdictMap::new();
+        map.set(t, ObjectId(0), StaticVerdict::Safe);
+        assert!(sys.retain_segment_verdicts(map));
+        assert_eq!(sys.static_verdicts().unwrap().safe_pairs(), 1);
+
+        // A mode switch rebuilds the checker and drops the installed map
+        // (coherence rule) — elision is gone...
+        sys.set_checker_mode(CheckerMode::Coarse).unwrap();
+        assert!(sys.static_verdicts().is_none(), "rebuild drops the map");
+        // ...until the controller re-installs the retained proof.
+        assert_eq!(sys.reinstall_segment_verdicts(), Some(1));
+        assert_eq!(sys.static_verdicts().unwrap().safe_pairs(), 1);
+
+        // Degrade → re-promote: the same ledger restores elision after
+        // the probation path swaps checkers twice.
+        sys.degrade_to_uncached().unwrap();
+        assert!(sys.static_verdicts().is_none());
+        sys.repromote_to_cached(Default::default()).unwrap();
+        assert_eq!(sys.reinstall_segment_verdicts(), Some(1));
+        assert_eq!(sys.segment_verdicts().reinstalls(), 2);
+
+        let events = tracer.snapshot();
+        let reinstalls = events
+            .events()
+            .iter()
+            .filter(|e| e.kind == EventKind::SegmentVerdictsReinstalled { safe_pairs: 1 })
+            .count();
+        assert_eq!(reinstalls, 2);
+
+        // A cleared ledger has nothing to re-install.
+        sys.clear_segment_verdicts();
+        assert_eq!(sys.reinstall_segment_verdicts(), None);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   watchdog layered *below* this wrapper detects), and dropped beats
 //!   (clean transient aborts).
 //!
-//! Tag flips ([`TaggedMemory::set_tag_raw`]) and checker-cache corruption
+//! Tag flips ([`crate::memory::TaggedMemory::set_tag_raw`]) and checker-cache corruption
 //! live outside the engine path and are injected directly by the recovery
 //! campaign driver in `core`.
 

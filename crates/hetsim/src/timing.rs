@@ -419,6 +419,7 @@ impl Eq for Time {}
 impl Ord for Time {
     fn cmp(&self, other: &Time) -> std::cmp::Ordering {
         self.partial_cmp(other)
+            // lint: allow(panic-in-hot-path) — Time is built from finite sums
             .expect("simulation times are never NaN")
     }
 }
@@ -920,6 +921,7 @@ pub fn simulate_accel_system_naive_prof(
                     let window = lane.cfg.outstanding.max(1) as usize;
                     let mut ready = lane.time;
                     if lane.inflight.len() >= window {
+                        // lint: allow(panic-in-hot-path) — len >= window >= 1
                         ready = ready.max(lane.inflight.pop_front().expect("nonempty window"));
                     }
                     let grant = ready.max(bus_free) + stall;

@@ -79,7 +79,7 @@ fn encode_under(state: &McState, task_perm: &[u8], object_perm: &[u8]) -> Vec<u8
 }
 
 /// The canonical encoding of `state`: the lexicographic minimum of
-/// [`encode_under`] over every task×object permutation pair.
+/// `encode_under` over every task×object permutation pair.
 #[must_use]
 pub fn canonicalize(state: &McState) -> Canonical {
     let cfg = state.config();
@@ -135,9 +135,9 @@ impl PermTables {
 }
 
 /// The canonical encoding packed exactly into a `u128`: 8 bits of
-/// [`McState::global_bits`], then one 4-bit nibble per pair in relabeled
-/// row-major order (each cell fits 4 bits; at most 16 pairs fit 64
-/// nibbles... the model caps at 4×4 = 16 pairs = 64 bits, 72 total).
+/// [`McState::global_bits`], then one 5-bit cell per pair in relabeled
+/// row-major order (each cell fits 5 bits; the model caps at 4×4 = 16
+/// pairs = 80 bits, 88 total).
 ///
 /// This is a *lossless packing*, not a hash — deduplicating on it is as
 /// sound as deduplicating on the byte encoding.
@@ -159,7 +159,7 @@ pub(crate) fn canonical_key(state: &McState, perms: &PermTables) -> u128 {
             for nt in 0..tasks {
                 for no in 0..objects {
                     let cell = cells[usize::from(inv_t[nt]) * objects + usize::from(inv_o[no])];
-                    packed = (packed << 4) | u128::from(cell);
+                    packed = (packed << 5) | u128::from(cell);
                 }
             }
             if packed < best {
@@ -229,13 +229,13 @@ mod tests {
             McOp::Degrade,
         ] {
             // The byte encoding is the 8-bit global word followed by
-            // 4-bit cells; packing its lexicographic minimum must equal
+            // 5-bit cells; packing its lexicographic minimum must equal
             // what `canonical_key` computes directly.
             let bytes = canonicalize(&state).bytes;
             let mut expect = u128::from(bytes[0]);
             for &cell in &bytes[1..] {
-                assert!(cell < 16, "cells must fit one nibble");
-                expect = (expect << 4) | u128::from(cell);
+                assert!(cell < 32, "cells must fit five bits");
+                expect = (expect << 5) | u128::from(cell);
             }
             assert_eq!(canonical_key(&state, &perms), expect);
             state.apply(op).unwrap();

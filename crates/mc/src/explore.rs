@@ -69,7 +69,7 @@ pub struct FoundViolation {
     /// What broke.
     pub violation: Violation,
     /// The 1-minimal subsequence that still violates (via
-    /// [`conformance::shrink`]).
+    /// [`conformance::shrink()`]).
     pub shrunk: Vec<McOp>,
 }
 

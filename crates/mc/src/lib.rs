@@ -40,7 +40,7 @@
 //! Or from the command line:
 //! `simulate verify --depth 10 --tasks 2 --objects 3 [--json]`.
 //!
-//! Counterexamples replay through [`conformance::shrink`] and render as
+//! Counterexamples replay through [`conformance::shrink()`] and render as
 //! paste-ready regression tests ([`report::regression_test`]).
 
 #![warn(missing_docs)]

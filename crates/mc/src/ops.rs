@@ -147,7 +147,9 @@ pub enum McOp {
         task: u8,
     },
     /// Install static verdicts: every pair holding a full grant is marked
-    /// safe on the elided subjects (the analyzer hand-off).
+    /// safe on the elided subjects (the analyzer hand-off). Also snapshots
+    /// the installed set as the *retained segment* for
+    /// [`McOp::InstallSegmentVerdicts`].
     InstallVerdicts,
     /// The mode-switch actuator: rebuild every checker, re-grant live
     /// capabilities, drop static verdicts, reset latched flags.
@@ -156,6 +158,12 @@ pub enum McOp {
     Degrade,
     /// Re-promote the degradation-path subject back to the cached design.
     Repromote,
+    /// The epoch-scoped re-install actuator: re-install the retained
+    /// segment's verdicts (filtered to pairs still holding a full grant)
+    /// after a rebuild dropped the installed map — the
+    /// install-after-drop interleaving the adaptive controller performs
+    /// on every mode switch and re-promotion.
+    InstallSegmentVerdicts,
 }
 
 impl McOp {
@@ -227,6 +235,7 @@ impl McOp {
             McOp::ModeSwitch => McOp::ModeSwitch,
             McOp::Degrade => McOp::Degrade,
             McOp::Repromote => McOp::Repromote,
+            McOp::InstallSegmentVerdicts => McOp::InstallSegmentVerdicts,
         }
     }
 }
@@ -258,6 +267,7 @@ pub fn alphabet(tasks: u8, objects: u8) -> Vec<McOp> {
     ops.push(McOp::ModeSwitch);
     ops.push(McOp::Degrade);
     ops.push(McOp::Repromote);
+    ops.push(McOp::InstallSegmentVerdicts);
     ops
 }
 
@@ -290,7 +300,7 @@ mod tests {
     #[test]
     fn alphabet_size_and_relabel_closure() {
         let ops = alphabet(2, 3);
-        assert_eq!(ops.len(), 10 * 6 + 2 * 2 + 4);
+        assert_eq!(ops.len(), 10 * 6 + 2 * 2 + 5);
         // Relabeling by a permutation maps the alphabet onto itself.
         let relabeled: std::collections::BTreeSet<String> = ops
             .iter()

@@ -164,6 +164,11 @@ pub struct McState {
     spills: BTreeSet<(u8, u8)>,
     /// Pairs the installed verdict maps wave through (empty ⇒ no waving).
     safe: BTreeSet<(u8, u8)>,
+    /// The retained analysis segment: the safe set snapshotted by the
+    /// last `InstallVerdicts`, surviving rebuilds so
+    /// `InstallSegmentVerdicts` can re-install it — the model of the
+    /// driver's epoch-scoped [`capchecker::SegmentVerdicts`] ledger.
+    segment: BTreeSet<(u8, u8)>,
     /// Whether verdict maps are installed on the elided subjects.
     maps_live: bool,
     /// Expected exception flags, one per [`SUBJECTS`] entry.
@@ -183,6 +188,7 @@ pub struct SavedState {
     shadow: BTreeMap<(u8, u8), GrantKind>,
     spills: BTreeSet<(u8, u8)>,
     safe: BTreeSet<(u8, u8)>,
+    segment: BTreeSet<(u8, u8)>,
     maps_live: bool,
     expected: [bool; 5],
 }
@@ -243,6 +249,7 @@ impl McState {
             shadow: BTreeMap::new(),
             spills: BTreeSet::new(),
             safe: BTreeSet::new(),
+            segment: BTreeSet::new(),
             maps_live: false,
             expected: [false; 5],
         }
@@ -325,6 +332,28 @@ impl McState {
                 }
                 self.elided.set_static_verdicts(map.clone());
                 self.elided_cached.set_static_verdicts(map);
+                self.segment = self.safe.clone();
+                self.maps_live = true;
+            }
+            McOp::InstallSegmentVerdicts => {
+                // The driver's install-after-drop: re-install the
+                // retained segment, filtered to pairs whose full grant
+                // is still live (the verdict's dependency) — revoked or
+                // narrowed pairs fall back to dynamic checking.
+                let mut map = StaticVerdictMap::new();
+                self.safe.clear();
+                for &(t, o) in &self.segment {
+                    if self.shadow.get(&(t, o)) == Some(&GrantKind::Full) {
+                        map.set(
+                            TaskId(u32::from(t)),
+                            ObjectId(u16::from(o)),
+                            StaticVerdict::Safe,
+                        );
+                        self.safe.insert((t, o));
+                    }
+                }
+                self.elided.set_static_verdicts(map.clone());
+                self.elided_cached.set_static_verdicts(map);
                 self.maps_live = true;
             }
             McOp::ModeSwitch => {
@@ -344,6 +373,8 @@ impl McState {
                 self.safe.clear();
                 self.maps_live = false;
                 self.expected = [false; 5];
+                // `segment` deliberately survives: the retained ledger
+                // lives driver-side, outside the rebuilt checkers.
             }
             McOp::Degrade => {
                 if matches!(self.degrading, DegradingPath::Cached(_)) {
@@ -723,7 +754,8 @@ impl McState {
     ///
     /// The argument is the same one behind the canonical encoding: all
     /// future verdicts are a function of (grants, spills, safe set,
-    /// maps-live, expected flags, degradation kind). An op that leaves
+    /// retained segment, maps-live, expected flags, degradation kind).
+    /// An op that leaves
     /// all of those fixed may mutate only verdict-irrelevant residue —
     /// cache LRU order, statistics, the oracle's latched flag — which the
     /// encoding already deliberately ignores.
@@ -760,11 +792,21 @@ impl McState {
             McOp::Sweep { task } => !self.spills.iter().any(|&(t, _)| t == task),
             McOp::InstallVerdicts => {
                 self.maps_live
+                    && self.segment == self.safe
                     && self
                         .shadow
                         .iter()
                         .filter(|&(_, &kind)| kind == GrantKind::Full)
                         .map(|(&pair, _)| pair)
+                        .eq(self.safe.iter().copied())
+            }
+            McOp::InstallSegmentVerdicts => {
+                self.maps_live
+                    && self
+                        .segment
+                        .iter()
+                        .copied()
+                        .filter(|pair| self.shadow.get(pair) == Some(&GrantKind::Full))
                         .eq(self.safe.iter().copied())
             }
             McOp::ModeSwitch => false,
@@ -774,7 +816,7 @@ impl McState {
     }
 
     /// The canonical-encoding cell for one pair: grant kind (2 bits),
-    /// spilled-tag bit, waved-safe bit.
+    /// spilled-tag bit, waved-safe bit, retained-segment bit.
     #[must_use]
     pub fn cell(&self, task: u8, object: u8) -> u8 {
         let grant = match self.shadow.get(&(task, object)) {
@@ -784,7 +826,8 @@ impl McState {
         };
         let spill = u8::from(self.spills.contains(&(task, object)));
         let safe = u8::from(self.safe.contains(&(task, object)));
-        grant | (spill << 2) | (safe << 3)
+        let retained = u8::from(self.segment.contains(&(task, object)));
+        grant | (spill << 2) | (safe << 3) | (retained << 4)
     }
 
     /// The permutation-invariant global bits: the five expected exception
@@ -804,7 +847,7 @@ impl McState {
 
     /// Every subject's verdict on every probe of `(task, object)`,
     /// rendered deterministically as relabeling-invariant labels
-    /// ([`verdict_label`] strips concrete addresses, which differ across
+    /// (`verdict_label` strips concrete addresses, which differ across
     /// renamings) — the probe suite behind the "equal canonical hash ⇒
     /// verdict-equivalent" property. Runs on clones; `self` is untouched.
     #[must_use]
@@ -852,6 +895,7 @@ impl McState {
             shadow: self.shadow.clone(),
             spills: self.spills.clone(),
             safe: self.safe.clone(),
+            segment: self.segment.clone(),
             maps_live: self.maps_live,
             expected: self.expected,
         }
@@ -895,6 +939,7 @@ impl McState {
         state.shadow = saved.shadow.clone();
         state.spills = saved.spills.clone();
         state.safe = saved.safe.clone();
+        state.segment = saved.segment.clone();
         state.maps_live = saved.maps_live;
         state.expected = saved.expected;
         state
@@ -934,11 +979,41 @@ mod tests {
             McOp::Degrade,
             McOp::Read { task: 0, object: 0 },
             McOp::ModeSwitch,
+            // The install-after-drop interleaving: the rebuild dropped
+            // the maps, the retained segment restores them.
+            McOp::InstallSegmentVerdicts,
+            McOp::Read { task: 0, object: 0 },
             McOp::Repromote,
             McOp::Revoke { task: 0 },
+            McOp::InstallSegmentVerdicts,
             McOp::Read { task: 0, object: 0 },
         ];
         assert_eq!(McState::replay(cfg, &ops), None);
+    }
+
+    #[test]
+    fn segment_reinstall_restores_waving_after_mode_switch() {
+        let cfg = McConfig::new(2, 2);
+        let mut state = McState::new(cfg);
+        state.apply(McOp::GrantFull { task: 0, object: 0 }).unwrap();
+        state.apply(McOp::InstallVerdicts).unwrap();
+        assert_eq!(state.cell(0, 0) >> 3, 0b11, "safe + retained bits set");
+        state.apply(McOp::ModeSwitch).unwrap();
+        assert_eq!(state.cell(0, 0) >> 3, 0b10, "safe dropped, segment kept");
+        assert_eq!(state.global_bits() >> 6, 0, "maps not live");
+        state.apply(McOp::InstallSegmentVerdicts).unwrap();
+        assert_eq!(state.cell(0, 0) >> 3, 0b11, "re-install restores waving");
+        assert_eq!(state.global_bits() >> 6, 1);
+        // Re-installing again is abstractly inert; revoking the grant
+        // then re-installing filters the pair out (dependency gone).
+        assert!(state.abstractly_inert(McOp::InstallSegmentVerdicts));
+        state.apply(McOp::Revoke { task: 0 }).unwrap();
+        state.apply(McOp::InstallSegmentVerdicts).unwrap();
+        assert_eq!(
+            state.cell(0, 0) >> 3,
+            0b10,
+            "revoked pair falls back to dynamic checking"
+        );
     }
 
     #[test]

@@ -193,7 +193,20 @@ fn write_event(w: &mut JsonWriter, event: &Event) {
                     w.key("dynamic");
                     w.u64(dynamic);
                 }
-                EventKind::StaticVerdictsInstalled { safe_pairs } => {
+                EventKind::FlowAnalysisComplete {
+                    segments,
+                    reused,
+                    units,
+                } => {
+                    w.key("segments");
+                    w.u64(segments);
+                    w.key("reused");
+                    w.u64(reused);
+                    w.key("units");
+                    w.u64(units);
+                }
+                EventKind::StaticVerdictsInstalled { safe_pairs }
+                | EventKind::SegmentVerdictsReinstalled { safe_pairs } => {
                     w.key("safe_pairs");
                     w.u64(safe_pairs);
                 }

@@ -308,10 +308,28 @@ pub enum EventKind {
         /// Accesses that need the runtime checker.
         dynamic: u64,
     },
+    /// The incremental flow analyzer finished one segmented pass over an
+    /// op stream.
+    FlowAnalysisComplete {
+        /// Barrier-delimited analysis segments in the stream.
+        segments: u64,
+        /// Per-`(segment, pair)` work units whose cached results were
+        /// reused (0 on a from-scratch pass).
+        reused: u64,
+        /// Total per-`(segment, pair)` work units in the pass.
+        units: u64,
+    },
     /// The driver installed a static verdict map into the active
     /// protection mechanism, enabling check elision.
     StaticVerdictsInstalled {
         /// `(task, object)` pairs the map marks statically safe.
+        safe_pairs: u64,
+    },
+    /// The driver re-installed the retained segment verdict map after a
+    /// checker rebuild (mode switch or re-promotion), restoring elision
+    /// that the rebuild dropped.
+    SegmentVerdictsReinstalled {
+        /// `(task, object)` pairs the re-installed map marks safe.
         safe_pairs: u64,
     },
     /// A task retired with per-beat checks elided by static verdicts.
@@ -414,7 +432,9 @@ impl EventKind {
             EventKind::ConformanceDivergence { .. } => "conformance_divergence",
             EventKind::ConformanceComplete { .. } => "conformance_complete",
             EventKind::AnalysisComplete { .. } => "analysis_complete",
+            EventKind::FlowAnalysisComplete { .. } => "flow_analysis_complete",
             EventKind::StaticVerdictsInstalled { .. } => "static_verdicts_installed",
+            EventKind::SegmentVerdictsReinstalled { .. } => "segment_verdicts_reinstalled",
             EventKind::ChecksElided { .. } => "checks_elided",
             EventKind::AdaptDecision { .. } => "adapt_decision",
             EventKind::ProbationStarted { .. } => "probation_started",
@@ -451,7 +471,9 @@ impl EventKind {
                 "conformance"
             }
             EventKind::AnalysisComplete { .. }
+            | EventKind::FlowAnalysisComplete { .. }
             | EventKind::StaticVerdictsInstalled { .. }
+            | EventKind::SegmentVerdictsReinstalled { .. }
             | EventKind::ChecksElided { .. } => "analysis",
             EventKind::AdaptDecision { .. }
             | EventKind::ProbationStarted { .. }
